@@ -1,0 +1,248 @@
+(* Command-line driver: boot configured Paramecium systems and poke at
+   them — namespace listing, packet workloads with cycle accounting, and
+   certification dry-runs.
+
+   dune exec bin/paramecium_demo.exe -- --help *)
+
+open Paramecium
+open Cmdliner
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* --- shared options ---------------------------------------------------- *)
+
+let seed_t =
+  Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let placement_t =
+  let placement_conv =
+    Arg.enum [ ("certified", `Certified); ("sandboxed", `Sandboxed); ("user", `User) ]
+  in
+  Arg.(
+    value
+    & opt placement_conv `Certified
+    & info [ "placement" ] ~docv:"PLACEMENT"
+        ~doc:"Protocol-stack placement: $(b,certified), $(b,sandboxed) or $(b,user).")
+
+let networking sys placement =
+  match placement with
+  | `Certified -> System.setup_networking sys ~placement:System.Certified ~addr:42 ()
+  | `Sandboxed -> System.setup_networking sys ~placement:System.Sandboxed ~addr:42 ()
+  | `User ->
+    let dom = System.new_domain sys "netuser" in
+    System.setup_networking sys ~placement:(System.User dom) ~addr:42 ()
+
+(* --- info --------------------------------------------------------------- *)
+
+let info_cmd =
+  let run seed =
+    let sys = System.create ~seed () in
+    let k = System.kernel sys in
+    say "Paramecium system";
+    say "  authority: %s" (Principal.id (Authority.ca (System.authority sys)));
+    say "  delegates:";
+    List.iter
+      (fun (d : Authority.delegate) ->
+        say "    %-18s latency %d cycles" d.Authority.principal.Principal.name
+          d.Authority.latency)
+      (Authority.delegates (System.authority sys));
+    say "  devices:";
+    List.iter
+      (fun (name, base, regs) -> say "    %-10s io 0x%08x, %d registers" name base regs)
+      (Machine.devices (Kernel.machine k));
+    say "  domains:";
+    List.iter
+      (fun d -> say "    %s" (Format.asprintf "%a" Domain.pp d))
+      (Kernel.domains k);
+    say "  physical memory: %d/%d frames free"
+      (Physmem.free_frames (Machine.phys (Kernel.machine k)))
+      (Physmem.total_frames (Machine.phys (Kernel.machine k)))
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Boot a system and describe it.")
+    Term.(const run $ seed_t)
+
+(* --- ls ------------------------------------------------------------------- *)
+
+let ls_cmd =
+  let run seed placement =
+    let sys = System.create ~seed () in
+    ignore (networking sys placement);
+    let k = System.kernel sys in
+    let ns = Directory.namespace (Kernel.directory k) in
+    Namespace.iter ns (fun path handle ->
+        let cls =
+          match Directory.resolve_handle (Kernel.directory k) handle with
+          | Some inst ->
+            Printf.sprintf "%s  [%s]" inst.Instance.class_name
+              (String.concat ", " (Instance.interface_names inst))
+          | None -> "(dangling)"
+        in
+        say "%-28s #%-3d %s" (Path.to_string path) handle cls)
+  in
+  Cmd.v
+    (Cmd.info "ls" ~doc:"List the instance name space of a booted system.")
+    Term.(const run $ seed_t $ placement_t)
+
+(* --- packets ---------------------------------------------------------------- *)
+
+let packets_cmd =
+  let count_t =
+    Arg.(value & opt int 20 & info [ "n"; "count" ] ~docv:"N" ~doc:"Packets to push.")
+  in
+  let size_t =
+    Arg.(value & opt int 256 & info [ "size" ] ~docv:"BYTES" ~doc:"Payload size.")
+  in
+  let run seed placement n size =
+    let sys = System.create ~seed () in
+    let k = System.kernel sys in
+    let net = networking sys placement in
+    let kdom = Kernel.kernel_domain k in
+    let consume = net.System.stack_domain in
+    ignore
+      (Invoke.call_exn (Kernel.ctx k consume) net.System.stack ~iface:"stack"
+         ~meth:"bind_port" [ Value.Int 7 ]);
+    let ctx = Kernel.ctx k kdom in
+    let payload = String.make size 'p' in
+    let tp = Wire.Transport.build ctx ~sport:9 ~dport:7 (Bytes.of_string payload) in
+    let np = Wire.Net.build ctx ~src:13 ~dst:42 ~ttl:8 ~proto:Stack.proto_transport tp in
+    let packet = Bytes.to_string (Wire.Frame.build ctx ~dst:42 ~src:13 np) in
+    let clock = Kernel.clock k in
+    let before = Clock.now clock in
+    for _ = 1 to n do
+      Nic.inject (Kernel.nic k) packet;
+      Kernel.step k ~ticks:1 ()
+    done;
+    Kernel.step k ~ticks:4 ();
+    let delivered =
+      match
+        Invoke.call_exn (Kernel.ctx k consume) net.System.stack ~iface:"stack"
+          ~meth:"pending" [ Value.Int 7 ]
+      with
+      | Value.Int p -> p
+      | _ -> 0
+    in
+    say "%d/%d packets of %dB delivered; %d cycles (%.1f cycles/packet)" delivered n
+      size
+      (Clock.now clock - before)
+      (float_of_int (Clock.now clock - before) /. float_of_int n);
+    say "counters:";
+    List.iter
+      (fun (name, v) -> say "  %-24s %d" name v)
+      (Clock.counters clock)
+  in
+  Cmd.v
+    (Cmd.info "packets"
+       ~doc:"Push a packet workload through a placement and report cycle counters.")
+    Term.(const run $ seed_t $ placement_t $ count_t $ size_t)
+
+(* --- certify ---------------------------------------------------------------- *)
+
+let certify_cmd =
+  let name_t =
+    Arg.(value & opt string "mycomponent" & info [ "name" ] ~docv:"NAME" ~doc:"Component name.")
+  in
+  let size_t =
+    Arg.(value & opt int 8192 & info [ "size" ] ~docv:"BYTES" ~doc:"Code size.")
+  in
+  let author_t =
+    Arg.(value & opt string "third-party" & info [ "author" ] ~docv:"AUTHOR" ~doc:"Author.")
+  in
+  let type_safe_t =
+    Arg.(value & flag & info [ "type-safe" ] ~doc:"Compiled by the trusted compiler.")
+  in
+  let annotated_t =
+    Arg.(value & flag & info [ "annotated" ] ~doc:"Ships with proof annotations.")
+  in
+  let run seed name size author type_safe annotated =
+    let sys = System.create ~seed () in
+    let auth = System.authority sys in
+    let meta =
+      Meta.make ~author ~type_safe ~proof_annotated:annotated ~name ~size ()
+    in
+    let code = Codegen.synthesize ~name ~size in
+    say "certifying %s" (Format.asprintf "%a" Meta.pp meta);
+    let outcome = Authority.certify auth meta ~code ~now:0 in
+    List.iter
+      (fun (delegate, verdict) ->
+        say "  %-18s %s" delegate
+          (match verdict with
+          | Authority.Accept -> "ACCEPT"
+          | Authority.Reject r -> "reject: " ^ r
+          | Authority.Cannot_decide -> "cannot decide"))
+      outcome.Authority.trail;
+    (match outcome.Authority.certificate with
+    | Some cert ->
+      say "certificate issued by %s at %d (off-line latency: %d cycles)"
+        cert.Certificate.signer.Principal.name cert.Certificate.issued_at
+        outcome.Authority.elapsed;
+      (* show that the kernel would accept it *)
+      let k = System.kernel sys in
+      (match Certsvc.validate (Kernel.certification k) cert ~code with
+      | Validator.Valid { chain_length } ->
+        say "kernel validation: OK (speaks-for chain length %d)" chain_length
+      | Validator.Invalid f ->
+        say "kernel validation: REFUSED (%s)" (Validator.failure_to_string f))
+    | None -> say "no delegate certified the component; kernel admission only via sandbox")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Run a component description through the certification delegate chain.")
+    Term.(const run $ seed_t $ name_t $ size_t $ author_t $ type_safe_t $ annotated_t)
+
+
+(* --- filter ------------------------------------------------------------------ *)
+
+let filter_cmd =
+  let expr_t =
+    Arg.(
+      value
+      & opt string "byte[19] == 7 && byte[18] == 0"
+      & info [ "expr" ] ~docv:"EXPR" ~doc:"Filter expression.")
+  in
+  let sandbox_t =
+    Arg.(value & flag & info [ "sandbox" ] ~doc:"Show the SFI-rewritten program too.")
+  in
+  let run expr sandbox =
+    match Filterc.compile_string expr with
+    | Error e ->
+      say "compile error: %s" e;
+      exit 1
+    | Ok program ->
+      say "filter: %s" expr;
+      say "object code (%d instructions, %d bytes):" (Vm.instr_count program)
+        (String.length (Vm.encode program));
+      Format.printf "%a%!" Vm.pp_program program;
+      if sandbox then begin
+        match Sfi_rewrite.rewrite program ~window_size:2048 with
+        | Error e -> say "sfi rewrite error: %s" e
+        | Ok sb ->
+          say "";
+          say "SFI-rewritten for a 2048-byte window (%d instructions):"
+            (Vm.instr_count sb);
+          Format.printf "%a%!" Vm.pp_program sb
+      end;
+      (* run it against a sample packet built by the stack's own wire code *)
+      let clock = Clock.create () in
+      let ctx = Call_ctx.make ~clock ~costs:Cost.default ~caller_domain:0 in
+      let tp = Wire.Transport.build ctx ~sport:9 ~dport:7 (Bytes.of_string "sample") in
+      let np = Wire.Net.build ctx ~src:13 ~dst:42 ~ttl:8 ~proto:Stack.proto_transport tp in
+      let frame = Wire.Frame.build ctx ~dst:42 ~src:13 np in
+      Clock.reset clock;
+      (match Vm.run ctx ~mem:(Vm.mem_of_bytes frame) program with
+      | Vm.Returned v ->
+        say "";
+        say "on a sample port-7 frame: returned %d (%s) in %d cycles" v
+          (if v <> 0 then "accept" else "drop")
+          (Clock.now clock)
+      | Vm.Wild_access o -> say "wild access at %d" o
+      | Vm.Vm_fault m -> say "vm fault: %s" m)
+  in
+  Cmd.v
+    (Cmd.info "filter"
+       ~doc:"Compile a packet-filter expression and show/run its object code.")
+    Term.(const run $ expr_t $ sandbox_t)
+
+let () =
+  let doc = "Paramecium extensible-kernel reproduction demos" in
+  let main = Cmd.group (Cmd.info "paramecium_demo" ~doc) [ info_cmd; ls_cmd; packets_cmd; certify_cmd; filter_cmd ] in
+  exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/appos.ml: Allocator Api Bytes Call_ctx Char Clock Composite Domain Iface Images Instance Interpose Invoke Kernel Oerror Paramecium Path Printf Stack System Value Vtype

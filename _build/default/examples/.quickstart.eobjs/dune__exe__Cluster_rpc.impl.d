@@ -1,0 +1,1 @@
+examples/cluster_rpc.ml: Api Bytes Clock Cluster Domain Images Int32 Invoke Kernel List Loader Paramecium Path Pm_obj Printf Rpc Scheduler String System Value

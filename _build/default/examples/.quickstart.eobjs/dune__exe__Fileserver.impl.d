@@ -1,0 +1,1 @@
+examples/fileserver.ml: Bytes Disk Domain Fun Invoke Kernel List Oerror Paramecium Printf Result Rpc Scheduler Simplefs String System Value

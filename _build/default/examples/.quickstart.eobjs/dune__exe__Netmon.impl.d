@@ -1,0 +1,1 @@
+examples/netmon.ml: Bytes Instance Interpose Invoke Kernel List Nic Paramecium Printf Stack String System Value Wire

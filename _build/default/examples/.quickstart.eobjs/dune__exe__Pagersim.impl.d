@@ -1,0 +1,1 @@
+examples/pagersim.ml: Clock Domain Invoke Kernel Machine Pager Paramecium Printf System Value

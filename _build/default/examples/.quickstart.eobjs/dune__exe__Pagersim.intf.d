@@ -1,0 +1,1 @@
+examples/pagersim.mli:

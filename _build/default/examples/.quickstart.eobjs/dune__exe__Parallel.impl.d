@@ -1,0 +1,1 @@
+examples/parallel.ml: Clock Domain Events Kernel Machine Mmu Paramecium Printf Prng Scheduler Sync System Vmem

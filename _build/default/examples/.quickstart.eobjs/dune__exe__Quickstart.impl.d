@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Authority Certsvc Clock Domain Hashtbl Iface Images Instance Invoke Kernel List Oerror Paramecium Principal Printf System Value Vtype

@@ -1,0 +1,1 @@
+examples/rpc_demo.ml: Bytes Domain Int32 Invoke Kernel List Oerror Paramecium Printf Rpc Scheduler System Value

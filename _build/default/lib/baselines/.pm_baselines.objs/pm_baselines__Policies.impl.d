@@ -1,0 +1,1 @@
+lib/baselines/policies.ml: Authority List Meta Pm_crypto Pm_secure Printf

@@ -1,0 +1,1 @@
+lib/baselines/policies.mli: Authority Meta Pm_crypto Pm_secure

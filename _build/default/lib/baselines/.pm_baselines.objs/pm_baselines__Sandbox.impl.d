@@ -1,0 +1,1 @@
+lib/baselines/sandbox.ml: List Pm_machine Pm_obj String

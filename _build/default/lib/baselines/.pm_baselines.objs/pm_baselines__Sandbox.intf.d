@@ -1,0 +1,1 @@
+lib/baselines/sandbox.mli: Pm_obj

@@ -1,0 +1,30 @@
+open Pm_secure
+
+let trusted_compiler (m : Meta.t) =
+  if m.Meta.type_safe then Authority.Accept else Authority.Cannot_decide
+
+let prover (m : Meta.t) =
+  if m.Meta.proof_annotated then Authority.Accept else Authority.Cannot_decide
+
+let test_team (m : Meta.t) =
+  if List.mem "known-bad" m.Meta.tags then Authority.Reject "failed the test suite"
+  else if List.mem "tested" m.Meta.tags then Authority.Accept
+  else Authority.Cannot_decide
+
+let administrator ~trusted_authors (m : Meta.t) =
+  if List.mem m.Meta.author trusted_authors then Authority.Accept
+  else Authority.Reject (Printf.sprintf "author %S is not trusted" m.Meta.author)
+
+let graduate_student ~max_size (m : Meta.t) =
+  if m.Meta.size <= max_size then Authority.Accept else Authority.Cannot_decide
+
+let flaky rng ~fail_probability policy m =
+  if Pm_crypto.Prng.float rng < fail_probability then Authority.Cannot_decide
+  else policy m
+
+(* cycles; a 50MHz-era machine does 5e7 cycles per second *)
+let latency_compiler = 2_000_000 (* tens of milliseconds *)
+let latency_prover = 500_000_000 (* ~10 seconds of machine time *)
+let latency_test_team = 5_000_000_000 (* minutes *)
+let latency_administrator = 50_000_000_000 (* tens of minutes *)
+let latency_student = 10_000_000_000

@@ -1,0 +1,52 @@
+(** Certifier policies modelling the paper's delegate menagerie.
+
+    §4: delegates "may include programs, like type-safe language compilers
+    or automated correctness provers, software test teams, system
+    administrators, and even graduate students", ordered by preference
+    with fall-through ("escape hatch"). Each policy here is a
+    [Meta.t -> verdict] suitable for {!Pm_secure.Authority.add_delegate};
+    suggested latencies reflect the paper's observation that certifiers
+    may take arbitrary (off-line) time. *)
+
+open Pm_secure
+
+(** SPIN as a delegate: "everything compiled by that compiler would then
+    be automatically certified". Accepts iff [type_safe]; otherwise
+    cannot decide. *)
+val trusted_compiler : Meta.t -> Authority.verdict
+
+(** Automated correctness prover: accepts components with proof
+    annotations; "when the automatic program correctness prover decides
+    that it cannot complete the proof, it might turn the problem over to
+    the system administrator" — so everything else is [Cannot_decide]. *)
+val prover : Meta.t -> Authority.verdict
+
+(** Software test team: accepts components carrying a ["tested"] tag,
+    rejects components tagged ["known-bad"], cannot decide otherwise. *)
+val test_team : Meta.t -> Authority.verdict
+
+(** System administrator: accepts components from trusted authors, rejects
+    the rest outright (the end of the escape hatch). *)
+val administrator : trusted_authors:string list -> Meta.t -> Authority.verdict
+
+(** The graduate student certifies anything that fits in their head. *)
+val graduate_student : max_size:int -> Meta.t -> Authority.verdict
+
+(** [flaky rng ~fail_probability policy] makes a delegate that sometimes
+    cannot decide regardless of [policy] — for the escape-hatch
+    experiment (E8). *)
+val flaky :
+  Pm_crypto.Prng.t ->
+  fail_probability:float ->
+  (Meta.t -> Authority.verdict) ->
+  Meta.t ->
+  Authority.verdict
+
+(** Suggested certification latencies (cycles): compilers are fast,
+    provers slow, humans slower. *)
+val latency_compiler : int
+
+val latency_prover : int
+val latency_test_team : int
+val latency_administrator : int
+val latency_student : int

@@ -1,0 +1,28 @@
+(** Software-fault-isolation sandbox (the Exokernel/SPIN-era baseline).
+
+    Models Wahbe et al.'s SFI as the paper positions it: the alternative
+    to certification that admits untrusted code into the kernel protection
+    domain at the price of run-time checks. Wrapping an instance taxes
+    every method with a sandbox crossing ([sfi_entry]) and every memory
+    access the component performs with an address check ([sfi_check]) —
+    access counts come from {!Pm_obj.Call_ctx.access} bookkeeping.
+
+    "Verifying a certificate at load-time obviates the need for run time
+    fault checks thus allowing components to be more efficient" — this
+    wrapper is the thing being obviated; experiments E4/E5 measure the
+    difference. *)
+
+(** [wrap registry ~target] is a sandboxed view of [target]: same
+    interfaces, run-time checks added. *)
+val wrap :
+  Pm_obj.Instance.t Pm_obj.Registry.t ->
+  target:Pm_obj.Instance.t ->
+  Pm_obj.Instance.t
+
+(** [for_loader registry] is [wrap] in the shape the loader's [?sandbox]
+    parameter expects. *)
+val for_loader :
+  Pm_obj.Instance.t Pm_obj.Registry.t -> Pm_obj.Instance.t -> Pm_obj.Instance.t
+
+(** [is_sandboxed inst] recognizes wrapped instances. *)
+val is_sandboxed : Pm_obj.Instance.t -> bool

@@ -1,0 +1,1 @@
+lib/components/allocator.ml: Hashtbl List Pm_machine Pm_nucleus Pm_obj Printf Result

@@ -1,0 +1,1 @@
+lib/components/allocator.mli: Pm_nucleus Pm_obj

@@ -1,0 +1,1 @@
+lib/components/codegen.ml: Buffer Char Pm_crypto Printf String

@@ -1,0 +1,1 @@
+lib/components/images.ml: Allocator Codegen Netdrv Pm_nucleus Pm_obj Pm_secure Stack

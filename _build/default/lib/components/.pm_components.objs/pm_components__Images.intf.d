@@ -1,0 +1,1 @@
+lib/components/images.mli: Netdrv Pm_nucleus Pm_secure

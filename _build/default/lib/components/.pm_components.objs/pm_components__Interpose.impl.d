@@ -1,0 +1,1 @@
+lib/components/interpose.ml: Bytes List Pm_names Pm_nucleus Pm_obj String

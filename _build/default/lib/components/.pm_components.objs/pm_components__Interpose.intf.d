@@ -1,0 +1,1 @@
+lib/components/interpose.mli: Pm_nucleus Pm_obj

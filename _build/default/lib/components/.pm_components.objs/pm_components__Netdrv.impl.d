@@ -1,0 +1,1 @@
+lib/components/netdrv.ml: Bytes Fun Hashtbl Logs Pm_machine Pm_names Pm_nucleus Pm_obj

@@ -1,0 +1,1 @@
+lib/components/netdrv.mli: Pm_nucleus Pm_obj

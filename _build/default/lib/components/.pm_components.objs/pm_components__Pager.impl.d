@@ -1,0 +1,1 @@
+lib/components/pager.ml: Array Option Pm_machine Pm_nucleus Pm_obj

@@ -1,0 +1,1 @@
+lib/components/pager.mli: Pm_machine Pm_nucleus Pm_obj

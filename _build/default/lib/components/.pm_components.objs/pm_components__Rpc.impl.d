@@ -1,0 +1,1 @@
+lib/components/rpc.ml: Bytes Char Hashtbl List Logs Pm_machine Pm_names Pm_nucleus Pm_obj Pm_threads Result String

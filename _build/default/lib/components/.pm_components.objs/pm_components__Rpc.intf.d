@@ -1,0 +1,1 @@
+lib/components/rpc.mli: Pm_nucleus Pm_obj

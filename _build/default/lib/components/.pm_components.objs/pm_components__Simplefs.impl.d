@@ -1,0 +1,1 @@
+lib/components/simplefs.ml: Array Bytes Char List Pm_machine Pm_nucleus Pm_obj Printf String

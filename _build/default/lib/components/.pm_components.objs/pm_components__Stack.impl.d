@@ -1,0 +1,1 @@
+lib/components/stack.ml: Bytes Hashtbl List Logs Pm_machine Pm_names Pm_nucleus Pm_obj Pm_vm Printf Queue Result Wire

@@ -1,0 +1,1 @@
+lib/components/stack.mli: Pm_nucleus Pm_obj

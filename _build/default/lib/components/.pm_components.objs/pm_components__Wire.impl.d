@@ -1,0 +1,1 @@
+lib/components/wire.ml: Bytes Char Pm_obj Printf

@@ -1,0 +1,1 @@
+lib/components/wire.mli: Pm_obj

@@ -1,0 +1,13 @@
+(** Memory allocator component — one of the paper's examples of an
+    "application component" built under the same architecture as system
+    components.
+
+    A first-fit free-list allocator over a heap of pages obtained from the
+    memory service. Exported interface ["allocator"]:
+    - [alloc(size:int) -> int] — address, or a [Fault] when exhausted
+    - [free(addr:int) -> unit]
+    - [avail() -> int] — free bytes
+    - [allocated() -> int] — live allocation count *)
+
+(** [create api dom ~heap_pages] builds the component in [dom]. *)
+val create : Pm_nucleus.Api.t -> Pm_nucleus.Domain.t -> heap_pages:int -> Pm_obj.Instance.t

@@ -1,0 +1,15 @@
+let synthesize ~name ~size =
+  if size < 0 then invalid_arg "Codegen.synthesize: negative size";
+  (* expand a seed digest into [size] bytes, counter-mode style *)
+  let buf = Buffer.create size in
+  let counter = ref 0 in
+  while Buffer.length buf < size do
+    Buffer.add_string buf
+      (Pm_crypto.Sha256.digest (Printf.sprintf "%s#%d" name !counter));
+    incr counter
+  done;
+  String.sub (Buffer.contents buf) 0 size
+
+let tamper code ~at =
+  if at < 0 || at >= String.length code then invalid_arg "Codegen.tamper: out of range";
+  String.mapi (fun i c -> if i = at then Char.chr (Char.code c lxor 1) else c) code

@@ -1,0 +1,12 @@
+(** Synthetic component object code.
+
+    Certificates digest real bytes; since our components are OCaml
+    closures, each loadable component carries a deterministic pseudo
+    object-code image derived from its name and declared size. Tamper
+    tests flip bytes in these images. *)
+
+(** [synthesize ~name ~size] is a deterministic [size]-byte image. *)
+val synthesize : name:string -> size:int -> string
+
+(** [tamper code ~at] flips one bit of byte [at]. *)
+val tamper : string -> at:int -> string

@@ -1,0 +1,85 @@
+module Api = Pm_nucleus.Api
+module Domain = Pm_nucleus.Domain
+module Directory = Pm_nucleus.Directory
+module Iface = Pm_obj.Iface
+module Instance = Pm_obj.Instance
+module Value = Pm_obj.Value
+module Vtype = Pm_obj.Vtype
+module Oerror = Pm_obj.Oerror
+module Invoke = Pm_obj.Invoke
+module Path = Pm_names.Path
+
+type call_hook = iface:string -> meth:string -> Value.t list -> unit
+
+type result_hook =
+  iface:string -> meth:string -> Value.t list -> (Value.t, Oerror.t) result -> unit
+
+let rec blob_bytes_of = function
+  | Value.Blob b -> Bytes.length b
+  | Value.Str _ | Value.Int _ | Value.Bool _ | Value.Unit | Value.Handle _ -> 0
+  | Value.Pair (a, b) -> blob_bytes_of a + blob_bytes_of b
+  | Value.List xs -> List.fold_left (fun acc v -> acc + blob_bytes_of v) 0 xs
+
+let wrap api dom ~target ?on_call ?on_result ?(overrides = []) () =
+  let calls = ref 0 and blob_bytes = ref 0 in
+  let observe args =
+    incr calls;
+    blob_bytes := !blob_bytes + List.fold_left (fun acc v -> acc + blob_bytes_of v) 0 args
+  in
+  let forwarded iface_name (m : Iface.meth) =
+    let override =
+      List.find_map
+        (fun (i, meth, impl) ->
+          if String.equal i iface_name && String.equal meth m.Iface.mname then Some impl
+          else None)
+        overrides
+    in
+    let impl ctx args =
+      observe args;
+      (match on_call with
+      | Some h -> h ~iface:iface_name ~meth:m.Iface.mname args
+      | None -> ());
+      let result =
+        match override with
+        | Some impl -> impl ctx args
+        | None -> Invoke.call ctx target ~iface:iface_name ~meth:m.Iface.mname args
+      in
+      (match on_result with
+      | Some h -> h ~iface:iface_name ~meth:m.Iface.mname args result
+      | None -> ());
+      result
+    in
+    { m with Iface.impl }
+  in
+  let agent_iface (i : Iface.t) =
+    Iface.make ~version:i.Iface.version ~name:i.Iface.name
+      (List.map (forwarded i.Iface.name) i.Iface.methods)
+  in
+  let monitor =
+    Iface.make ~name:"monitor"
+      [
+        Iface.meth ~name:"calls" ~args:[] ~ret:Vtype.Tint (fun _ctx -> function
+          | [] -> Ok (Value.Int !calls)
+          | _ -> Error (Oerror.Type_error "calls()"));
+        Iface.meth ~name:"blob_bytes" ~args:[] ~ret:Vtype.Tint (fun _ctx -> function
+          | [] -> Ok (Value.Int !blob_bytes)
+          | _ -> Error (Oerror.Type_error "blob_bytes()"));
+        Iface.meth ~name:"reset" ~args:[] ~ret:Vtype.Tunit (fun _ctx -> function
+          | [] ->
+            calls := 0;
+            blob_bytes := 0;
+            Ok Value.Unit
+          | _ -> Error (Oerror.Type_error "reset()"));
+      ]
+  in
+  Instance.create api.Api.registry
+    ~class_name:("interposer:" ^ target.Instance.class_name)
+    ~domain:dom.Domain.id
+    (List.map agent_iface target.Instance.interfaces @ [ monitor ])
+
+let attach api ~path ~agent =
+  match Directory.replace api.Api.directory (Path.of_string path) agent with
+  | Ok old -> Ok old
+  | Error e -> Error (Directory.bind_error_to_string e)
+
+let packet_monitor api dom ~target = wrap api dom ~target ()

@@ -1,0 +1,55 @@
+(** Interposing agents.
+
+    "Building an interposing agent for a network device,
+    [/shared/network], consists of building an interposing object (i.e.,
+    one that exports a superset of the original object's interfaces,
+    reimplements those methods it sees fit and forwards the others to the
+    original object) and replace the object handle in the name space."
+
+    {!wrap} builds the interposing object: every interface of the target
+    is re-exported with forwarding methods, optional call/result hooks
+    observe traffic, optional overrides reimplement chosen methods, and a
+    ["monitor"] interface (the superset part) exposes counters. {!attach}
+    swaps it into the name space. *)
+
+(** Called before each forwarded invocation. *)
+type call_hook = iface:string -> meth:string -> Pm_obj.Value.t list -> unit
+
+(** Called after, with the result. *)
+type result_hook =
+  iface:string ->
+  meth:string ->
+  Pm_obj.Value.t list ->
+  (Pm_obj.Value.t, Pm_obj.Oerror.t) result ->
+  unit
+
+(** [wrap api dom ~target ?on_call ?on_result ?overrides ()] builds the
+    agent in [dom]. [overrides] entries are
+    [(iface, method, replacement_impl)]; overridden methods do not
+    forward (the replacement may itself invoke [target]). The ["monitor"]
+    interface exports [calls() -> int], [blob_bytes() -> int] and
+    [reset() -> unit]. *)
+val wrap :
+  Pm_nucleus.Api.t ->
+  Pm_nucleus.Domain.t ->
+  target:Pm_obj.Instance.t ->
+  ?on_call:call_hook ->
+  ?on_result:result_hook ->
+  ?overrides:(string * string * Pm_obj.Iface.impl) list ->
+  unit ->
+  Pm_obj.Instance.t
+
+(** [attach api ~path ~agent] replaces the handle at [path] with the
+    agent, returning the previous instance. All future binds resolve to
+    the agent. *)
+val attach :
+  Pm_nucleus.Api.t ->
+  path:string ->
+  agent:Pm_obj.Instance.t ->
+  (Pm_obj.Instance.t, string) result
+
+(** [packet_monitor api dom ~target] is a ready-made monitoring agent for
+    a ["netdev"] or ["stack"] object: counts calls and the bytes of every
+    blob argument that passes through. *)
+val packet_monitor :
+  Pm_nucleus.Api.t -> Pm_nucleus.Domain.t -> target:Pm_obj.Instance.t -> Pm_obj.Instance.t

@@ -1,0 +1,199 @@
+module Api = Pm_nucleus.Api
+module Domain = Pm_nucleus.Domain
+module Vmem = Pm_nucleus.Vmem
+module Events = Pm_nucleus.Events
+module Machine = Pm_machine.Machine
+module Mmu = Pm_machine.Mmu
+module Nic = Pm_machine.Nic
+module Iface = Pm_obj.Iface
+module Instance = Pm_obj.Instance
+module Value = Pm_obj.Value
+module Vtype = Pm_obj.Vtype
+module Oerror = Pm_obj.Oerror
+module Call_ctx = Pm_obj.Call_ctx
+module Invoke = Pm_obj.Invoke
+module Path = Pm_names.Path
+
+type config = {
+  rx_buffers : int;
+  loopback : bool;
+  io_sharing : Vmem.sharing;
+}
+
+let default_config = { rx_buffers = 8; loopback = false; io_sharing = Vmem.Exclusive }
+
+(* NIC register map (see Pm_machine.Nic) *)
+let reg_ctrl = 0
+let reg_status = 1
+let reg_rx_free = 2
+let reg_rx_addr = 3
+let reg_rx_len = 4
+let reg_tx_addr = 5
+let reg_tx_len = 6
+let reg_tx_go = 7
+let reg_rx_dropped = 8
+
+let ctrl_rx = 1
+let ctrl_tx = 2
+let ctrl_irq = 4
+let ctrl_loopback = 8
+
+let status_rx = 1
+let status_tx_done = 2
+
+type state = {
+  api : Api.t;
+  dom : Domain.t;
+  grant : Vmem.io_grant;
+  buf_vaddr_of_phys : (int, int) Hashtbl.t;
+  tx_vaddr : int;
+  mutable sink : Instance.t option;
+  mutable rx_count : int;
+  mutable tx_count : int;
+}
+
+(* Run [f] with the driver's MMU context current (I/O grants are checked
+   against the running context). *)
+let in_domain st f =
+  let mmu = Machine.mmu st.api.Api.machine in
+  let prev = Mmu.current_context mmu in
+  if prev = st.dom.Domain.id then f ()
+  else begin
+    Mmu.switch_context mmu st.dom.Domain.id;
+    Fun.protect ~finally:(fun () -> Mmu.switch_context mmu prev) f
+  end
+
+(* Interrupt body: drain completed receive DMA, push frames to the sink,
+   recycle buffers, acknowledge transmit completions. *)
+let service_interrupt st () =
+  let vmem = st.api.Api.vmem in
+  let ctx = Api.ctx st.api st.dom in
+  let rec drain () =
+    let status = Vmem.io_read vmem st.grant ~reg:reg_status in
+    if status land status_tx_done <> 0 then
+      Vmem.io_write vmem st.grant ~reg:reg_status status_tx_done;
+    if status land status_rx <> 0 then begin
+      let phys = Vmem.io_read vmem st.grant ~reg:reg_rx_addr in
+      let len = Vmem.io_read vmem st.grant ~reg:reg_rx_len in
+      match Hashtbl.find_opt st.buf_vaddr_of_phys phys with
+      | None ->
+        (* not one of ours: ack and drop *)
+        Vmem.io_write vmem st.grant ~reg:reg_status status_rx;
+        drain ()
+      | Some vaddr ->
+        let data =
+          Machine.read_string st.api.Api.machine st.dom.Domain.id vaddr len
+        in
+        Call_ctx.note_access ctx len;
+        (* ack (pops the descriptor) and recycle the buffer *)
+        Vmem.io_write vmem st.grant ~reg:reg_status status_rx;
+        Vmem.io_write vmem st.grant ~reg:reg_rx_free phys;
+        st.rx_count <- st.rx_count + 1;
+        (match st.sink with
+        | None -> ()
+        | Some sink ->
+          (match
+             Invoke.call ctx sink ~iface:"stack" ~meth:"rx"
+               [ Value.Blob (Bytes.of_string data) ]
+           with
+          | Ok _ -> ()
+          | Error e ->
+            Logs.warn (fun m -> m "netdrv: sink rx failed: %s" (Oerror.to_string e))));
+        drain ()
+    end
+  in
+  drain ()
+
+let send st ctx data =
+  let len = Bytes.length data in
+  if len > Nic.mtu then Error (Oerror.Fault "netdrv: frame exceeds MTU")
+  else begin
+    in_domain st (fun () ->
+        let vmem = st.api.Api.vmem in
+        Machine.write_string st.api.Api.machine st.dom.Domain.id st.tx_vaddr
+          (Bytes.to_string data);
+        Call_ctx.note_access ctx len;
+        let phys = Vmem.phys_of vmem st.dom ~vaddr:st.tx_vaddr in
+        Vmem.io_write vmem st.grant ~reg:reg_tx_addr phys;
+        Vmem.io_write vmem st.grant ~reg:reg_tx_len len;
+        Vmem.io_write vmem st.grant ~reg:reg_tx_go 1;
+        st.tx_count <- st.tx_count + 1;
+        Ok Value.Unit)
+  end
+
+let create api dom ?(config = default_config) () =
+  if config.rx_buffers <= 0 then invalid_arg "Netdrv.create: need rx buffers";
+  let vmem = api.Api.vmem in
+  let grant = Vmem.alloc_io vmem dom ~device:"nic" ~sharing:config.io_sharing in
+  let buf_vaddr_of_phys = Hashtbl.create 16 in
+  (* one page per rx buffer plus one tx staging page *)
+  let tx_vaddr = Vmem.alloc_pages vmem dom ~count:1 ~sharing:Vmem.Exclusive in
+  let st =
+    { api; dom; grant; buf_vaddr_of_phys; tx_vaddr; sink = None; rx_count = 0;
+      tx_count = 0 }
+  in
+  in_domain st (fun () ->
+      for _ = 1 to config.rx_buffers do
+        let vaddr = Vmem.alloc_pages vmem dom ~count:1 ~sharing:Vmem.Exclusive in
+        let phys = Vmem.phys_of vmem dom ~vaddr in
+        Hashtbl.replace buf_vaddr_of_phys phys vaddr;
+        Vmem.io_write vmem grant ~reg:reg_rx_free phys
+      done;
+      let ctrl =
+        ctrl_rx lor ctrl_tx lor ctrl_irq
+        lor if config.loopback then ctrl_loopback else 0
+      in
+      Vmem.io_write vmem grant ~reg:reg_ctrl ctrl);
+  (* redirect the NIC interrupt (line 1 by boot convention) to a pop-up
+     thread in the driver's domain *)
+  ignore
+    (Events.register_popup api.Api.events (Events.Irq 1) ~domain:dom
+       ~sched:api.Api.sched ~priority:0 (fun _ -> service_interrupt st ()));
+  let send_m ctx = function
+    | [ Value.Blob data ] -> send st ctx data
+    | _ -> Error (Oerror.Type_error "send(blob)")
+  in
+  let attach_m _ctx = function
+    | [ Value.Str path ] ->
+      (match Api.bind api dom (Path.of_string path) with
+      | Ok sink ->
+        st.sink <- Some sink;
+        Ok Value.Unit
+      | Error e ->
+        Error (Oerror.Fault (Pm_nucleus.Directory.bind_error_to_string e)))
+    | _ -> Error (Oerror.Type_error "attach(str)")
+  in
+  let detach_m _ctx = function
+    | [] ->
+      st.sink <- None;
+      Ok Value.Unit
+    | _ -> Error (Oerror.Type_error "detach()")
+  in
+  let stats_m _ctx = function
+    | [] -> Ok (Value.Pair (Value.Int st.rx_count, Value.Int st.tx_count))
+    | _ -> Error (Oerror.Type_error "stats()")
+  in
+  let mtu_m _ctx = function
+    | [] -> Ok (Value.Int Nic.mtu)
+    | _ -> Error (Oerror.Type_error "mtu()")
+  in
+  let dropped_m _ctx = function
+    | [] ->
+      in_domain st (fun () ->
+          Ok (Value.Int (Vmem.io_read vmem st.grant ~reg:reg_rx_dropped)))
+    | _ -> Error (Oerror.Type_error "dropped()")
+  in
+  let iface =
+    Iface.make ~name:"netdev"
+      [
+        Iface.meth ~name:"send" ~args:[ Vtype.Tblob ] ~ret:Vtype.Tunit send_m;
+        Iface.meth ~name:"attach" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tunit attach_m;
+        Iface.meth ~name:"detach" ~args:[] ~ret:Vtype.Tunit detach_m;
+        Iface.meth ~name:"stats" ~args:[] ~ret:(Vtype.Tpair (Vtype.Tint, Vtype.Tint))
+          stats_m;
+        Iface.meth ~name:"mtu" ~args:[] ~ret:Vtype.Tint mtu_m;
+        Iface.meth ~name:"dropped" ~args:[] ~ret:Vtype.Tint dropped_m;
+      ]
+  in
+  Instance.create api.Api.registry ~class_name:"toolbox.netdrv" ~domain:dom.Domain.id
+    [ iface ]

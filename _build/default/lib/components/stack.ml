@@ -1,0 +1,400 @@
+module Api = Pm_nucleus.Api
+module Domain = Pm_nucleus.Domain
+module Iface = Pm_obj.Iface
+module Instance = Pm_obj.Instance
+module Composite = Pm_obj.Composite
+module Value = Pm_obj.Value
+module Vtype = Pm_obj.Vtype
+module Oerror = Pm_obj.Oerror
+module Invoke = Pm_obj.Invoke
+module Path = Pm_names.Path
+
+let proto_transport = 17
+let default_ttl = 16
+let broadcast = 0xffff
+let layer_names = [ "framer"; "net"; "transport" ]
+
+let fault msg = Error (Oerror.Fault msg)
+
+(* ------------------------------------------------------------------ *)
+(* Layer objects: each exports interface "layer" with encode/decode.    *)
+(* ------------------------------------------------------------------ *)
+
+let framer_layer api dom =
+  let encode ctx = function
+    | [ Value.Int dst; Value.Int src; Value.Blob payload ] ->
+      Ok (Value.Blob (Wire.Frame.build ctx ~dst ~src payload))
+    | _ -> Error (Oerror.Type_error "encode(dst, src, payload)")
+  in
+  let decode ctx = function
+    | [ Value.Blob raw ] ->
+      (match Wire.Frame.parse ctx raw with
+      | Ok { Wire.Frame.dst; src; payload } ->
+        Ok (Value.Pair (Value.Pair (Value.Int dst, Value.Int src), Value.Blob payload))
+      | Error e -> fault e)
+    | _ -> Error (Oerror.Type_error "decode(blob)")
+  in
+  let iface =
+    Iface.make ~name:"layer"
+      [
+        Iface.meth ~name:"encode" ~args:[ Vtype.Tint; Vtype.Tint; Vtype.Tblob ]
+          ~ret:Vtype.Tblob encode;
+        Iface.meth ~name:"decode" ~args:[ Vtype.Tblob ]
+          ~ret:(Vtype.Tpair (Vtype.Tpair (Vtype.Tint, Vtype.Tint), Vtype.Tblob))
+          decode;
+      ]
+  in
+  Instance.create api.Api.registry ~class_name:"stack.framer" ~domain:dom.Domain.id
+    [ iface ]
+
+let net_layer api dom =
+  let encode ctx = function
+    | [ Value.Int src; Value.Int dst; Value.Int proto; Value.Blob payload ] ->
+      Ok (Value.Blob (Wire.Net.build ctx ~src ~dst ~ttl:default_ttl ~proto payload))
+    | _ -> Error (Oerror.Type_error "encode(src, dst, proto, payload)")
+  in
+  let decode ctx = function
+    | [ Value.Blob raw ] ->
+      (match Wire.Net.parse ctx raw with
+      | Ok { Wire.Net.src; dst; ttl = _; proto; payload } ->
+        Ok
+          (Value.Pair
+             ( Value.Pair (Value.Int src, Value.Int dst),
+               Value.Pair (Value.Int proto, Value.Blob payload) ))
+      | Error e -> fault e)
+    | _ -> Error (Oerror.Type_error "decode(blob)")
+  in
+  let iface =
+    Iface.make ~name:"layer"
+      [
+        Iface.meth ~name:"encode"
+          ~args:[ Vtype.Tint; Vtype.Tint; Vtype.Tint; Vtype.Tblob ] ~ret:Vtype.Tblob
+          encode;
+        Iface.meth ~name:"decode" ~args:[ Vtype.Tblob ]
+          ~ret:
+            (Vtype.Tpair
+               (Vtype.Tpair (Vtype.Tint, Vtype.Tint), Vtype.Tpair (Vtype.Tint, Vtype.Tblob)))
+          decode;
+      ]
+  in
+  Instance.create api.Api.registry ~class_name:"stack.net" ~domain:dom.Domain.id [ iface ]
+
+let transport_layer api dom =
+  let encode ctx = function
+    | [ Value.Int sport; Value.Int dport; Value.Blob payload ] ->
+      Ok (Value.Blob (Wire.Transport.build ctx ~sport ~dport payload))
+    | _ -> Error (Oerror.Type_error "encode(sport, dport, payload)")
+  in
+  let decode ctx = function
+    | [ Value.Blob raw ] ->
+      (match Wire.Transport.parse ctx raw with
+      | Ok { Wire.Transport.sport; dport; payload } ->
+        Ok
+          (Value.Pair (Value.Pair (Value.Int sport, Value.Int dport), Value.Blob payload))
+      | Error e -> fault e)
+    | _ -> Error (Oerror.Type_error "decode(blob)")
+  in
+  let iface =
+    Iface.make ~name:"layer"
+      [
+        Iface.meth ~name:"encode" ~args:[ Vtype.Tint; Vtype.Tint; Vtype.Tblob ]
+          ~ret:Vtype.Tblob encode;
+        Iface.meth ~name:"decode" ~args:[ Vtype.Tblob ]
+          ~ret:(Vtype.Tpair (Vtype.Tpair (Vtype.Tint, Vtype.Tint), Vtype.Tblob))
+          decode;
+      ]
+  in
+  Instance.create api.Api.registry ~class_name:"stack.transport" ~domain:dom.Domain.id
+    [ iface ]
+
+(* ------------------------------------------------------------------ *)
+(* Controller                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  api : Api.t;
+  dom : Domain.t;
+  addr : int;
+  driver_path : Path.t;
+  mutable driver : Instance.t option;
+  comp : Composite.t option ref; (* set right after the composite exists *)
+  mailboxes : (int, Value.t Queue.t) Hashtbl.t;
+  mutable rx_ok : int;
+  mutable rx_dropped : int;
+  mutable tx : int;
+  (* downloaded packet filter: runs over every raw received frame *)
+  mutable filter : Pm_vm.Vm.program option;
+  mutable filter_sandboxed : bool;
+  mutable rx_filtered : int;
+}
+
+let layer st name =
+  match !(st.comp) with
+  | None -> Error (Oerror.Fault "stack: composition not assembled")
+  | Some comp ->
+    (match Composite.child comp name with
+    | Some inst -> Ok inst
+    | None -> Error (Oerror.Fault ("stack: missing layer " ^ name)))
+
+let driver st =
+  match st.driver with
+  | Some d when not d.Instance.revoked -> Ok d
+  | _ ->
+    (match Api.bind st.api st.dom st.driver_path with
+    | Ok d ->
+      st.driver <- Some d;
+      Ok d
+    | Error e ->
+      Error (Oerror.Fault (Pm_nucleus.Directory.bind_error_to_string e)))
+
+let ( let* ) = Result.bind
+
+let drop st reason =
+  st.rx_dropped <- st.rx_dropped + 1;
+  Logs.debug (fun m -> m "stack: dropped packet (%s)" reason);
+  Ok Value.Unit
+
+(* Run the downloaded filter over a raw frame; [true] = keep. A raw
+   (certified) filter runs on the frame in place; a sandboxed one runs on
+   a copy padded to a power of two so address masking is sound. *)
+let filter_accepts st ctx raw =
+  match st.filter with
+  | None -> true
+  | Some program ->
+    let mem =
+      if st.filter_sandboxed then begin
+        (* the window must match the size the rewrite masked for *)
+        let padded =
+          Bytes.make (Pm_vm.Sfi_rewrite.padded_size Pm_machine.Nic.mtu) '\000'
+        in
+        Bytes.blit raw 0 padded 0 (Bytes.length raw);
+        Pm_vm.Vm.mem_of_bytes padded
+      end
+      else Pm_vm.Vm.mem_of_bytes raw
+    in
+    (match Pm_vm.Vm.run ctx ~mem program with
+    | Pm_vm.Vm.Returned 0 ->
+      st.rx_filtered <- st.rx_filtered + 1;
+      false
+    | Pm_vm.Vm.Returned _ -> true
+    | Pm_vm.Vm.Wild_access _ ->
+      (* a raw filter just escaped its window: this is the kernel-safety
+         event certification is supposed to preclude *)
+      Logs.warn (fun m -> m "stack: packet filter issued a wild access");
+      st.rx_filtered <- st.rx_filtered + 1;
+      false
+    | Pm_vm.Vm.Vm_fault msg ->
+      Logs.warn (fun m -> m "stack: packet filter fault: %s" msg);
+      st.rx_filtered <- st.rx_filtered + 1;
+      false)
+
+(* Receive path: filter -> framer -> net -> transport -> mailbox. *)
+let rec rx st ctx raw =
+  if not (filter_accepts st ctx raw) then Ok Value.Unit
+  else rx_unfiltered st ctx raw
+
+and rx_unfiltered st ctx raw =
+  let call inst meth args = Invoke.call ctx inst ~iface:"layer" ~meth args in
+  let* framer = layer st "framer" in
+  match call framer "decode" [ Value.Blob raw ] with
+  | Error (Oerror.Fault e) -> drop st e
+  | Error e -> Error e
+  | Ok (Value.Pair (Value.Pair (Value.Int fdst, Value.Int _fsrc), Value.Blob np)) ->
+    if fdst <> st.addr && fdst <> broadcast then drop st "frame not for us"
+    else begin
+      let* netl = layer st "net" in
+      match call netl "decode" [ Value.Blob np ] with
+      | Error (Oerror.Fault e) -> drop st e
+      | Error e -> Error e
+      | Ok
+          (Value.Pair
+            ( Value.Pair (Value.Int nsrc, Value.Int ndst),
+              Value.Pair (Value.Int proto, Value.Blob tp) )) ->
+        if ndst <> st.addr && ndst <> broadcast then drop st "net not for us"
+        else if proto <> proto_transport then drop st "unknown protocol"
+        else begin
+          let* transport = layer st "transport" in
+          match call transport "decode" [ Value.Blob tp ] with
+          | Error (Oerror.Fault e) -> drop st e
+          | Error e -> Error e
+          | Ok (Value.Pair (Value.Pair (Value.Int sport, Value.Int dport), Value.Blob payload))
+            ->
+            (match Hashtbl.find_opt st.mailboxes dport with
+            | None -> drop st (Printf.sprintf "port %d not bound" dport)
+            | Some q ->
+              Queue.push
+                (Value.Pair
+                   (Value.Pair (Value.Int nsrc, Value.Int sport), Value.Blob payload))
+                q;
+              st.rx_ok <- st.rx_ok + 1;
+              Ok Value.Unit)
+          | Ok _ -> fault "stack: transport decode shape"
+        end
+      | Ok _ -> fault "stack: net decode shape"
+    end
+  | Ok _ -> fault "stack: frame decode shape"
+
+(* Transmit path: transport -> net -> framer -> driver. *)
+let send st ctx ~dst ~sport ~dport payload =
+  let call inst meth args = Invoke.call ctx inst ~iface:"layer" ~meth args in
+  let* transport = layer st "transport" in
+  let* tp = call transport "encode" [ Value.Int sport; Value.Int dport; Value.Blob payload ] in
+  let* netl = layer st "net" in
+  let* np =
+    call netl "encode"
+      [ Value.Int st.addr; Value.Int dst; Value.Int proto_transport; tp ]
+  in
+  let* framer = layer st "framer" in
+  let* frame = call framer "encode" [ Value.Int dst; Value.Int st.addr; np ] in
+  let* drv = driver st in
+  let* _ = Invoke.call ctx drv ~iface:"netdev" ~meth:"send" [ frame ] in
+  st.tx <- st.tx + 1;
+  Ok Value.Unit
+
+let controller api dom st =
+  let rx_m ctx = function
+    | [ Value.Blob raw ] -> rx st ctx raw
+    | _ -> Error (Oerror.Type_error "rx(blob)")
+  in
+  let send_m ctx = function
+    | [ Value.Int dst; Value.Int sport; Value.Int dport; Value.Blob payload ] ->
+      send st ctx ~dst ~sport ~dport payload
+    | _ -> Error (Oerror.Type_error "send(dst, sport, dport, payload)")
+  in
+  let bind_port_m _ctx = function
+    | [ Value.Int port ] ->
+      if Hashtbl.mem st.mailboxes port then fault "port already bound"
+      else begin
+        Hashtbl.replace st.mailboxes port (Queue.create ());
+        Ok Value.Unit
+      end
+    | _ -> Error (Oerror.Type_error "bind_port(int)")
+  in
+  let unbind_port_m _ctx = function
+    | [ Value.Int port ] ->
+      Hashtbl.remove st.mailboxes port;
+      Ok Value.Unit
+    | _ -> Error (Oerror.Type_error "unbind_port(int)")
+  in
+  let recv_m _ctx = function
+    | [ Value.Int port ] ->
+      (match Hashtbl.find_opt st.mailboxes port with
+      | None -> fault "port not bound"
+      | Some q ->
+        let items = List.of_seq (Queue.to_seq q) in
+        Queue.clear q;
+        Ok (Value.List items))
+    | _ -> Error (Oerror.Type_error "recv(int)")
+  in
+  let pending_m _ctx = function
+    | [ Value.Int port ] ->
+      (match Hashtbl.find_opt st.mailboxes port with
+      | None -> fault "port not bound"
+      | Some q -> Ok (Value.Int (Queue.length q)))
+    | _ -> Error (Oerror.Type_error "pending(int)")
+  in
+  let stats_m _ctx = function
+    | [] ->
+      Ok
+        (Value.List
+           [ Value.Int st.rx_ok; Value.Int st.rx_dropped; Value.Int st.tx;
+             Value.Int st.rx_filtered ])
+    | _ -> Error (Oerror.Type_error "stats()")
+  in
+  let set_filter_m _ctx = function
+    | [ Value.Blob code; Value.Bool sandboxed ] ->
+      (match Pm_vm.Vm.decode (Bytes.to_string code) with
+      | Error e -> fault ("stack: bad filter object code: " ^ e)
+      | Ok program ->
+        let program =
+          if sandboxed then begin
+            (* rewrite once for the padded-MTU window every sandboxed run
+               will use *)
+            match
+              Pm_vm.Sfi_rewrite.rewrite program
+                ~window_size:(Pm_vm.Sfi_rewrite.padded_size Pm_machine.Nic.mtu)
+            with
+            | Ok p -> Ok p
+            | Error e -> Error e
+          end
+          else Ok program
+        in
+        (match program with
+        | Error e -> fault ("stack: sfi rewrite failed: " ^ e)
+        | Ok program ->
+          st.filter <- Some program;
+          st.filter_sandboxed <- sandboxed;
+          Ok Value.Unit))
+    | _ -> Error (Oerror.Type_error "set_filter(blob, bool)")
+  in
+  let clear_filter_m _ctx = function
+    | [] ->
+      st.filter <- None;
+      Ok Value.Unit
+    | _ -> Error (Oerror.Type_error "clear_filter()")
+  in
+  let address_m _ctx = function
+    | [] -> Ok (Value.Int st.addr)
+    | _ -> Error (Oerror.Type_error "address()")
+  in
+  let iface =
+    Iface.make ~name:"stack"
+      [
+        Iface.meth ~name:"rx" ~args:[ Vtype.Tblob ] ~ret:Vtype.Tunit rx_m;
+        Iface.meth ~name:"send"
+          ~args:[ Vtype.Tint; Vtype.Tint; Vtype.Tint; Vtype.Tblob ] ~ret:Vtype.Tunit
+          send_m;
+        Iface.meth ~name:"bind_port" ~args:[ Vtype.Tint ] ~ret:Vtype.Tunit bind_port_m;
+        Iface.meth ~name:"unbind_port" ~args:[ Vtype.Tint ] ~ret:Vtype.Tunit
+          unbind_port_m;
+        Iface.meth ~name:"recv" ~args:[ Vtype.Tint ] ~ret:(Vtype.Tlist Vtype.Tany) recv_m;
+        Iface.meth ~name:"pending" ~args:[ Vtype.Tint ] ~ret:Vtype.Tint pending_m;
+        Iface.meth ~name:"stats" ~args:[] ~ret:(Vtype.Tlist Vtype.Tint) stats_m;
+        Iface.meth ~name:"set_filter" ~args:[ Vtype.Tblob; Vtype.Tbool ]
+          ~ret:Vtype.Tunit set_filter_m;
+        Iface.meth ~name:"clear_filter" ~args:[] ~ret:Vtype.Tunit clear_filter_m;
+        Iface.meth ~name:"address" ~args:[] ~ret:Vtype.Tint address_m;
+      ]
+  in
+  Instance.create api.Api.registry ~class_name:"stack.controller" ~domain:dom.Domain.id
+    [ iface ]
+
+let create api dom ~addr ~driver_path =
+  if addr < 0 || addr >= broadcast then invalid_arg "Stack.create: bad address";
+  let comp_ref = ref None in
+  let st =
+    {
+      api;
+      dom;
+      addr;
+      driver_path = Path.of_string driver_path;
+      driver = None;
+      comp = comp_ref;
+      mailboxes = Hashtbl.create 8;
+      rx_ok = 0;
+      rx_dropped = 0;
+      tx = 0;
+      filter = None;
+      filter_sandboxed = false;
+      rx_filtered = 0;
+    }
+  in
+  let comp =
+    Composite.make api.Api.registry ~class_name:"toolbox.protostack"
+      ~domain:dom.Domain.id ~mode:Composite.Dynamic
+      ~children:
+        [
+          ("framer", framer_layer api dom);
+          ("net", net_layer api dom);
+          ("transport", transport_layer api dom);
+          ("control", controller api dom st);
+        ]
+      ~exports:[ { Composite.as_name = "stack"; child = "control"; iface = "stack" } ]
+  in
+  comp_ref := Some comp;
+  comp
+
+let replace_layer comp name inst =
+  if not (List.mem name layer_names) then
+    invalid_arg (Printf.sprintf "Stack.replace_layer: %S is not a layer" name);
+  Composite.replace_child comp name inst

@@ -1,0 +1,46 @@
+(** Protocol stack component.
+
+    The paper's archetypal relocatable component ("protocol stack
+    implementations that are shared between multiple non-cooperating
+    users"): three layer objects — framer, network, transport — plus a
+    controller, assembled into a [Dynamic] composition so any layer can be
+    swapped at run time.
+
+    The composition exports one interface, ["stack"]:
+    - [rx(frame:blob) -> unit] — entry point the network driver calls
+    - [send(dst:int, sport:int, dport:int, payload:blob) -> unit]
+    - [bind_port(port:int) -> unit], [unbind_port(port:int) -> unit]
+    - [recv(port:int) -> list] — drain the port's mailbox; each element is
+      [Pair(Pair(src, sport), payload)]
+    - [pending(port:int) -> int]
+    - [stats() -> list] — [rx_ok; rx_dropped; tx; rx_filtered]
+    - [set_filter(code:blob, sandboxed:bool) -> unit] — download a
+      bytecode packet filter ({!Pm_vm}); it runs over every received raw
+      frame, dropping those it returns 0 for. With [sandboxed], the code
+      is SFI-rewritten first (for uncertified filters); otherwise it runs
+      raw, which is only safe for certified filters
+    - [clear_filter() -> unit]
+    - [address() -> int]
+
+    Addresses are 16-bit and double as link-layer addresses; [0xffff]
+    broadcasts. The driver is bound by name on first use, so load order
+    does not matter. *)
+
+(** [create api dom ~addr ~driver_path] builds the stack composition in
+    [dom]. *)
+val create :
+  Pm_nucleus.Api.t ->
+  Pm_nucleus.Domain.t ->
+  addr:int ->
+  driver_path:string ->
+  Pm_obj.Composite.t
+
+(** [replace_layer comp name inst] swaps a layer ("framer", "net",
+    "transport"); the replacement must export ["layer"]. *)
+val replace_layer : Pm_obj.Composite.t -> string -> Pm_obj.Instance.t -> unit
+
+(** [layer_names] — the replaceable children. *)
+val layer_names : string list
+
+(** The network-layer protocol number the transport layer uses. *)
+val proto_transport : int

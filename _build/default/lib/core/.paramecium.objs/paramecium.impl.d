@@ -1,0 +1,1 @@
+lib/core/paramecium.ml: Cluster Pm_baselines Pm_bignum Pm_components Pm_crypto Pm_machine Pm_names Pm_nucleus Pm_obj Pm_secure Pm_threads Pm_vm System

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Pm_machine System

@@ -1,0 +1,1 @@
+lib/core/system.ml: List Pm_baselines Pm_components Pm_crypto Pm_machine Pm_names Pm_nucleus Pm_obj Pm_secure Printf Result String

@@ -1,0 +1,1 @@
+lib/core/system.mli: Pm_crypto Pm_machine Pm_nucleus Pm_obj Pm_secure

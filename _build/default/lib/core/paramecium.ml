@@ -1,0 +1,98 @@
+(** Paramecium: an extensible object-based kernel — public facade.
+
+    Re-exports every subsystem under one roof and provides {!System}, the
+    one-call assembly used by the examples and benchmarks.
+
+    Layering (bottom-up): {!Nat}/{!Prng}/{!Sha256}/{!Rsa} (arithmetic and
+    cryptography), {!Cost}/{!Clock}/{!Physmem}/{!Mmu}/{!Machine} and the
+    device models (simulated hardware), {!Value}/{!Iface}/{!Instance}/
+    {!Composite} (the object architecture), {!Path}/{!Namespace}/{!View}
+    (instance naming), {!Principal}/{!Certificate}/{!Delegation}/
+    {!Authority}/{!Validator} (certification), {!Scheduler}/{!Sync}
+    (threads), {!Domain}/{!Events}/{!Vmem}/{!Directory}/{!Certsvc}/
+    {!Loader}/{!Kernel} (the nucleus), the component toolbox, and the
+    SFI/policy baselines. *)
+
+(* bignum + crypto *)
+module Nat = Pm_bignum.Nat
+module Prng = Pm_crypto.Prng
+module Sha256 = Pm_crypto.Sha256
+module Prime = Pm_crypto.Prime
+module Rsa = Pm_crypto.Rsa
+
+(* simulated machine *)
+module Cost = Pm_machine.Cost
+module Clock = Pm_machine.Clock
+module Physmem = Pm_machine.Physmem
+module Mmu = Pm_machine.Mmu
+module Machine = Pm_machine.Machine
+module Device = Pm_machine.Device
+module Nic = Pm_machine.Nic
+module Timer_dev = Pm_machine.Timer_dev
+module Console = Pm_machine.Console
+module Disk = Pm_machine.Disk
+
+(* object architecture *)
+module Value = Pm_obj.Value
+module Vtype = Pm_obj.Vtype
+module Oerror = Pm_obj.Oerror
+module Call_ctx = Pm_obj.Call_ctx
+module Iface = Pm_obj.Iface
+module Registry = Pm_obj.Registry
+module Instance = Pm_obj.Instance
+module Invoke = Pm_obj.Invoke
+module Inline = Pm_obj.Inline
+module Composite = Pm_obj.Composite
+
+(* instance naming *)
+module Path = Pm_names.Path
+module Namespace = Pm_names.Namespace
+module View = Pm_names.View
+
+(* security architecture *)
+module Principal = Pm_secure.Principal
+module Meta = Pm_secure.Meta
+module Certificate = Pm_secure.Certificate
+module Delegation = Pm_secure.Delegation
+module Authority = Pm_secure.Authority
+module Validator = Pm_secure.Validator
+
+(* threads *)
+module Scheduler = Pm_threads.Scheduler
+module Sync = Pm_threads.Sync
+
+(* nucleus *)
+module Domain = Pm_nucleus.Domain
+module Events = Pm_nucleus.Events
+module Vmem = Pm_nucleus.Vmem
+module Proxy = Pm_nucleus.Proxy
+module Directory = Pm_nucleus.Directory
+module Certsvc = Pm_nucleus.Certsvc
+module Api = Pm_nucleus.Api
+module Loader = Pm_nucleus.Loader
+module Kernel = Pm_nucleus.Kernel
+
+(* component toolbox *)
+module Codegen = Pm_components.Codegen
+module Wire = Pm_components.Wire
+module Allocator = Pm_components.Allocator
+module Netdrv = Pm_components.Netdrv
+module Stack = Pm_components.Stack
+module Rpc = Pm_components.Rpc
+module Interpose = Pm_components.Interpose
+module Pager = Pm_components.Pager
+module Simplefs = Pm_components.Simplefs
+module Images = Pm_components.Images
+
+(* downloaded-code substrate *)
+module Vm = Pm_vm.Vm
+module Sfi_rewrite = Pm_vm.Sfi_rewrite
+module Filterc = Pm_vm.Filterc
+
+(* baselines *)
+module Sandbox = Pm_baselines.Sandbox
+module Policies = Pm_baselines.Policies
+
+(* system assembly *)
+module System = System
+module Cluster = Cluster

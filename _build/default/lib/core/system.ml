@@ -1,0 +1,160 @@
+module Kernel = Pm_nucleus.Kernel
+module Api = Pm_nucleus.Api
+module Loader = Pm_nucleus.Loader
+module Domain = Pm_nucleus.Domain
+module Certsvc = Pm_nucleus.Certsvc
+module Authority = Pm_secure.Authority
+module Prng = Pm_crypto.Prng
+module Policies = Pm_baselines.Policies
+module Sandbox = Pm_baselines.Sandbox
+module Images = Pm_components.Images
+module Netdrv = Pm_components.Netdrv
+module Clock = Pm_machine.Clock
+
+type t = { kernel : Kernel.t; authority : Authority.t; rng : Prng.t }
+
+type placement = Certified | Online_certified | Sandboxed | User of Domain.t
+
+let standard_delegates =
+  [
+    ("trusted-compiler", Policies.trusted_compiler, Policies.latency_compiler);
+    ("prover", Policies.prover, Policies.latency_prover);
+    ("test-team", Policies.test_team, Policies.latency_test_team);
+    ( "administrator",
+      Policies.administrator ~trusted_authors:[ "kernel-team" ],
+      Policies.latency_administrator );
+  ]
+
+let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?(key_bits = 512)
+    ?(delegates = standard_delegates) () =
+  let rng = Prng.create ~seed in
+  let authority = Authority.create rng ~name:"certification-authority" ~key_bits in
+  List.iter
+    (fun (name, policy, latency) ->
+      ignore (Authority.add_delegate authority rng ~name ~policy ~latency ()))
+    delegates;
+  let kernel = Kernel.boot ?costs ?frames ?page_size ~root:(Authority.ca authority) () in
+  List.iter
+    (Certsvc.add_grant (Kernel.certification kernel))
+    (Authority.grants authority);
+  { kernel; authority; rng }
+
+let with_authority ?costs ?frames ?page_size ~seed authority =
+  let rng = Prng.create ~seed in
+  let kernel = Kernel.boot ?costs ?frames ?page_size ~root:(Authority.ca authority) () in
+  List.iter
+    (Certsvc.add_grant (Kernel.certification kernel))
+    (Authority.grants authority);
+  { kernel; authority; rng }
+
+let kernel t = t.kernel
+let authority t = t.authority
+let rng t = t.rng
+let api t = Kernel.api t.kernel
+let clock t = Kernel.clock t.kernel
+
+let install t image ~placement ~at =
+  let loader = Kernel.loader t.kernel in
+  let now = Clock.now (Kernel.clock t.kernel) in
+  match placement with
+  | Online_certified ->
+    (* consult the delegate chain *now*, on the kernel's time *)
+    let outcome =
+      Authority.certify t.authority image.Loader.meta ~code:image.Loader.code ~now
+    in
+    Clock.advance (Kernel.clock t.kernel) outcome.Authority.elapsed;
+    Clock.count (Kernel.clock t.kernel) "online_certification";
+    (match outcome.Authority.certificate with
+    | None -> Error "on-line certification failed: no delegate accepted"
+    | Some cert ->
+      Loader.publish loader { image with Loader.cert = Some cert };
+      Result.map_error Loader.load_error_to_string
+        (Loader.load loader
+           ~name:image.Loader.meta.Pm_secure.Meta.name
+           ~into:(Kernel.kernel_domain t.kernel)
+           ~at:(Pm_names.Path.of_string at) ()))
+  | Certified ->
+    let image, trail = Images.certify t.authority ~now image in
+    if image.Loader.cert = None then
+      Error
+        (Printf.sprintf "no delegate certified %S (trail: %s)"
+           image.Loader.meta.Pm_secure.Meta.name
+           (String.concat ", "
+              (List.map
+                 (fun (d, v) ->
+                   Printf.sprintf "%s=%s" d
+                     (match v with
+                     | Authority.Accept -> "accept"
+                     | Authority.Reject r -> "reject:" ^ r
+                     | Authority.Cannot_decide -> "cannot-decide"))
+                 trail)))
+    else begin
+      Loader.publish loader image;
+      Result.map_error Loader.load_error_to_string
+        (Loader.load loader
+           ~name:image.Loader.meta.Pm_secure.Meta.name
+           ~into:(Kernel.kernel_domain t.kernel)
+           ~at:(Pm_names.Path.of_string at) ())
+    end
+  | Sandboxed ->
+    Loader.publish loader image;
+    let registry = (api t).Api.registry in
+    Result.map_error Loader.load_error_to_string
+      (Loader.load loader
+         ~name:image.Loader.meta.Pm_secure.Meta.name
+         ~into:(Kernel.kernel_domain t.kernel)
+         ~at:(Pm_names.Path.of_string at)
+         ~sandbox:(Sandbox.for_loader registry) ())
+  | User dom ->
+    Loader.publish loader image;
+    Result.map_error Loader.load_error_to_string
+      (Loader.load loader
+         ~name:image.Loader.meta.Pm_secure.Meta.name
+         ~into:dom
+         ~at:(Pm_names.Path.of_string at) ())
+
+let install_exn t image ~placement ~at =
+  match install t image ~placement ~at with
+  | Ok inst -> inst
+  | Error e -> failwith ("System.install: " ^ e)
+
+type networking = {
+  driver : Pm_obj.Instance.t;
+  stack : Pm_obj.Instance.t;
+  stack_domain : Domain.t;
+}
+
+let new_domain t name = Kernel.create_domain t.kernel ~name ()
+
+let setup_networking t ~placement ~addr ?(loopback = false) () =
+  let config = { Netdrv.default_config with Netdrv.loopback } in
+  (* the driver itself is always a certified kernel component, authored by
+     the kernel team so the administrator delegate accepts it *)
+  let driver_image =
+    Images.image ~name:"netdrv" ~size:16_384 ~author:"kernel-team"
+      (Images.netdrv_construct ~config ())
+  in
+  let driver = install_exn t driver_image ~placement:Certified ~at:"/services/netdrv" in
+  Kernel.register_at t.kernel "/shared/network" driver;
+  let stack_domain =
+    match placement with
+    | User dom -> dom
+    | Certified | Online_certified | Sandboxed -> Kernel.kernel_domain t.kernel
+  in
+  let stack_image =
+    Images.image ~name:"protostack" ~size:24_576 ~author:"kernel-team"
+      ~type_safe:true
+      (Images.stack_construct ~addr ~driver_path:"/services/netdrv")
+  in
+  let stack = install_exn t stack_image ~placement ~at:"/services/stack" in
+  (* point the driver's receive path at the stack *)
+  let kdom = Kernel.kernel_domain t.kernel in
+  let ctx = Kernel.ctx t.kernel kdom in
+  (match
+     Pm_obj.Invoke.call ctx driver ~iface:"netdev" ~meth:"attach"
+       [ Pm_obj.Value.Str "/services/stack" ]
+   with
+  | Ok _ -> ()
+  | Error e ->
+    failwith ("System.setup_networking: attach failed: " ^ Pm_obj.Oerror.to_string e));
+  { driver; stack; stack_domain }

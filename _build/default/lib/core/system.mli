@@ -1,0 +1,83 @@
+(** One-call assembly of a complete Paramecium system.
+
+    Bundles the pieces a user otherwise wires by hand: a certification
+    authority with the paper's standard delegate chain (trusted compiler →
+    prover → test team → administrator), a booted kernel trusting that
+    authority, and helpers that publish, certify and place components.
+
+    This is the entry point examples and benchmarks use. *)
+
+type t
+
+(** Where a component is placed — the axis of experiment E4. *)
+type placement =
+  | Certified  (** kernel domain, certificate validated at load time *)
+  | Online_certified
+      (** kernel domain, but no certificate exists yet: the kernel blocks
+          while the delegate chain certifies at load time ("this does not
+          exclude on-line certification by the kernel", §4) — the
+          delegates' latency is charged to the machine clock *)
+  | Sandboxed  (** kernel domain, uncertified, SFI run-time checks *)
+  | User of Pm_nucleus.Domain.t  (** the given user domain, via proxies *)
+
+(** [create ?seed ?costs ?frames ?page_size ?key_bits ?delegates ()]
+    builds the system. [seed] drives every pseudo-random choice
+    (default 0xC0FFEE); [key_bits] sizes RSA keys (default 512 — small
+    but real); [delegates] overrides the standard chain, given as
+    [(name, policy, latency)]. *)
+val create :
+  ?seed:int ->
+  ?costs:Pm_machine.Cost.t ->
+  ?frames:int ->
+  ?page_size:int ->
+  ?key_bits:int ->
+  ?delegates:(string * (Pm_secure.Meta.t -> Pm_secure.Authority.verdict) * int) list ->
+  unit ->
+  t
+
+(** [with_authority ?costs ?frames ?page_size ~seed authority] boots a
+    fresh kernel that trusts an *existing* authority (and knows its
+    grants) — how additional nodes of a cluster join a certification
+    domain. *)
+val with_authority :
+  ?costs:Pm_machine.Cost.t ->
+  ?frames:int ->
+  ?page_size:int ->
+  seed:int ->
+  Pm_secure.Authority.t ->
+  t
+
+val kernel : t -> Pm_nucleus.Kernel.t
+val authority : t -> Pm_secure.Authority.t
+val rng : t -> Pm_crypto.Prng.t
+val api : t -> Pm_nucleus.Api.t
+val clock : t -> Pm_machine.Clock.t
+
+(** [install t image ~placement ~at] publishes the image, certifies it
+    when [placement] is [Certified] (failing if no delegate accepts),
+    sandbox-wraps it when [Sandboxed], and loads it at path [at]. *)
+val install :
+  t ->
+  Pm_nucleus.Loader.image ->
+  placement:placement ->
+  at:string ->
+  (Pm_obj.Instance.t, string) result
+
+val install_exn :
+  t -> Pm_nucleus.Loader.image -> placement:placement -> at:string -> Pm_obj.Instance.t
+
+(** Networking bundle for the experiments and examples. *)
+type networking = {
+  driver : Pm_obj.Instance.t;  (** at [/services/netdrv] and [/shared/network] *)
+  stack : Pm_obj.Instance.t;  (** at [/services/stack] *)
+  stack_domain : Pm_nucleus.Domain.t;
+}
+
+(** [setup_networking t ~placement ~addr ?loopback ()] loads a certified
+    NIC driver into the kernel, places the protocol stack per [placement],
+    and attaches the driver's receive path to the stack. *)
+val setup_networking :
+  t -> placement:placement -> addr:int -> ?loopback:bool -> unit -> networking
+
+(** [new_domain t name] is a fresh user protection domain. *)
+val new_domain : t -> string -> Pm_nucleus.Domain.t

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bytes Pm_bignum Prime Sha256 String

@@ -1,0 +1,1 @@
+lib/machine/disk.ml: Bytes Clock Device Hashtbl Machine Physmem Printf

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Char Clock Cost Device List Mmu Option Physmem Printf String

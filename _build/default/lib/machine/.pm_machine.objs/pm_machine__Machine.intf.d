@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Clock Cost Device Mmu Physmem

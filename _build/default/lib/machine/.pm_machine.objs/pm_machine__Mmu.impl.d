@@ -1,0 +1,1 @@
+lib/machine/mmu.ml: Array Clock Cost Format Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/machine/mmu.mli: Clock Cost Format

@@ -1,0 +1,1 @@
+lib/machine/nic.ml: Device List Machine Physmem Queue String

@@ -1,0 +1,1 @@
+lib/machine/physmem.ml: Array Bytes Char List String

@@ -1,0 +1,32 @@
+type t = { mutable cycles : int; counters : (string, int ref) Hashtbl.t }
+
+let create () = { cycles = 0; counters = Hashtbl.create 16 }
+
+let advance t n =
+  assert (n >= 0);
+  t.cycles <- t.cycles + n
+
+let now t = t.cycles
+
+let count_n t name n =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.counters name (ref n)
+
+let count t name = count_n t name 1
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  t.cycles <- 0;
+  Hashtbl.reset t.counters
+
+let measure t f =
+  let before = now t in
+  let result = f () in
+  (result, now t - before)

@@ -1,0 +1,35 @@
+(** Virtual cycle clock with named event counters.
+
+    Every simulated operation charges cycles here; experiments read the
+    difference around a workload. Counters record how often each kind of
+    event (trap, context switch, fault, ...) occurred, which the benches
+    report alongside cycles. *)
+
+type t
+
+val create : unit -> t
+
+(** [advance t n] charges [n >= 0] cycles. *)
+val advance : t -> int -> unit
+
+(** [now t] is the cycles elapsed since creation or the last [reset]. *)
+val now : t -> int
+
+(** [count t name] increments the event counter [name]. *)
+val count : t -> string -> unit
+
+(** [count_n t name n] bumps a counter by [n]. *)
+val count_n : t -> string -> int -> unit
+
+(** [counter t name] reads a counter (0 if never incremented). *)
+val counter : t -> string -> int
+
+(** [counters t] lists all counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+(** [reset t] zeroes the clock and all counters. *)
+val reset : t -> unit
+
+(** [measure t f] runs [f ()] and returns its result together with the
+    cycles it charged. *)
+val measure : t -> (unit -> 'a) -> 'a * int

@@ -1,0 +1,17 @@
+type t = { buf : Buffer.t; mutable io_base : int }
+
+let create machine =
+  let t = { buf = Buffer.create 256; io_base = 0 } in
+  let reg_read = function 1 -> 1 | _ -> 0 in
+  let reg_write reg v =
+    if reg = 0 then Buffer.add_char t.buf (Char.chr (v land 0xff))
+  in
+  let dev =
+    Device.make ~name:"console" ~reg_count:2 ~reg_read ~reg_write ~tick:(fun () -> ())
+  in
+  t.io_base <- Machine.attach_device machine dev;
+  t
+
+let io_base t = t.io_base
+let output t = Buffer.contents t.buf
+let clear t = Buffer.clear t.buf

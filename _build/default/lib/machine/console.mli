@@ -1,0 +1,15 @@
+(** Write-only console device.
+
+    Register map: 0 [DATA] (write a byte), 1 [STATUS] (always ready).
+    The accumulated output is observable from tests and examples. *)
+
+type t
+
+val create : Machine.t -> t
+val io_base : t -> int
+
+(** [output t] is everything written so far. *)
+val output : t -> string
+
+(** [clear t] discards accumulated output. *)
+val clear : t -> unit

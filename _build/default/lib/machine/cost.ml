@@ -1,0 +1,89 @@
+type t = {
+  cycle : int;
+  call : int;
+  indirect_call : int;
+  delegation_hop : int;
+  trap : int;
+  interrupt : int;
+  context_switch : int;
+  page_fault : int;
+  map_word : int;
+  tlb_fill : int;
+  mem_read : int;
+  mem_write : int;
+  io_read : int;
+  io_write : int;
+  sfi_check : int;
+  sfi_entry : int;
+  thread_create : int;
+  proto_thread : int;
+  promote : int;
+  thread_switch : int;
+  ns_component : int;
+  ns_override : int;
+  digest_byte : int;
+  sig_verify : int;
+  load_page : int;
+}
+
+(* The absolute numbers are in the ballpark of a ~50MHz SPARCstation of the
+   paper's era: procedure calls are a handful of cycles but can spill
+   register windows, traps and context switches cost hundreds of cycles,
+   a software-handled page fault costs on the order of a thousand. *)
+let default =
+  {
+    cycle = 1;
+    call = 8;
+    indirect_call = 14;
+    delegation_hop = 6;
+    trap = 280;
+    interrupt = 220;
+    context_switch = 320;
+    page_fault = 620;
+    map_word = 18;
+    tlb_fill = 40;
+    mem_read = 2;
+    mem_write = 2;
+    io_read = 12;
+    io_write = 12;
+    sfi_check = 4;
+    sfi_entry = 30;
+    thread_create = 900;
+    proto_thread = 60;
+    promote = 450;
+    thread_switch = 180;
+    ns_component = 35;
+    ns_override = 12;
+    digest_byte = 12;
+    sig_verify = 180_000;
+    load_page = 90;
+  }
+
+let unit_costs =
+  {
+    cycle = 1;
+    call = 1;
+    indirect_call = 1;
+    delegation_hop = 1;
+    trap = 1;
+    interrupt = 1;
+    context_switch = 1;
+    page_fault = 1;
+    map_word = 1;
+    tlb_fill = 1;
+    mem_read = 1;
+    mem_write = 1;
+    io_read = 1;
+    io_write = 1;
+    sfi_check = 1;
+    sfi_entry = 1;
+    thread_create = 1;
+    proto_thread = 1;
+    promote = 1;
+    thread_switch = 1;
+    ns_component = 1;
+    ns_override = 1;
+    digest_byte = 1;
+    sig_verify = 1;
+    load_page = 1;
+  }

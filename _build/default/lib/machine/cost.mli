@@ -1,0 +1,45 @@
+(** Cycle cost model for the simulated machine.
+
+    The paper's performance arguments are all relative: interface dispatch
+    vs plain call, trap-mediated cross-domain invocation vs in-kernel call,
+    load-time certification vs per-access sandboxing, proto-thread vs full
+    thread creation. This table pins those relative magnitudes to
+    SPARC-era-flavoured constants (cheap calls, traps costing hundreds of
+    cycles, context switches costing hundreds more) so experiments are
+    deterministic and their shapes meaningful.
+
+    All values are in cycles. *)
+
+type t = {
+  cycle : int;  (** one unit of straight-line work *)
+  call : int;  (** direct procedure call + return (register windows) *)
+  indirect_call : int;  (** call through an interface slot *)
+  delegation_hop : int;  (** following one delegation link *)
+  trap : int;  (** trap entry + exit *)
+  interrupt : int;  (** interrupt entry + dispatch *)
+  context_switch : int;  (** MMU context change *)
+  page_fault : int;  (** fault identification and dispatch, excl. handler *)
+  map_word : int;  (** mapping one argument word into another domain *)
+  tlb_fill : int;  (** software TLB refill *)
+  mem_read : int;  (** one bus read *)
+  mem_write : int;  (** one bus write *)
+  io_read : int;  (** device register read *)
+  io_write : int;  (** device register write *)
+  sfi_check : int;  (** one software-fault-isolation address check *)
+  sfi_entry : int;  (** sandbox crossing on method entry/exit *)
+  thread_create : int;  (** full thread creation *)
+  proto_thread : int;  (** proto-thread creation (pop-up fast path) *)
+  promote : int;  (** proto-thread -> full thread promotion *)
+  thread_switch : int;  (** scheduler switch between ready threads *)
+  ns_component : int;  (** resolving one name-space path component *)
+  ns_override : int;  (** consulting one override entry *)
+  digest_byte : int;  (** certification digest, per byte *)
+  sig_verify : int;  (** one public-key signature verification *)
+  load_page : int;  (** mapping one page of a component image *)
+}
+
+(** SPARC-era-flavoured defaults. *)
+val default : t
+
+(** A uniform all-ones table, useful in tests to count abstract events. *)
+val unit_costs : t

@@ -1,0 +1,10 @@
+type t = {
+  name : string;
+  reg_count : int;
+  reg_read : int -> int;
+  reg_write : int -> int -> unit;
+  tick : unit -> unit;
+}
+
+let make ~name ~reg_count ~reg_read ~reg_write ~tick =
+  { name; reg_count; reg_read; reg_write; tick }

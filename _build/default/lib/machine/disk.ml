@@ -1,0 +1,132 @@
+let op_cycles = 5_000 (* an optimistically fast disk: ~100us at 50MHz *)
+
+type pending = { block : int; addr : int; write : bool; mutable ticks_left : int }
+
+type t = {
+  machine : Machine.t;
+  irq_line : int;
+  mutable io_base : int;
+  blocks : int;
+  block_size : int;
+  store : (int, Bytes.t) Hashtbl.t;
+  mutable reg_block : int;
+  mutable reg_addr : int;
+  mutable status : int;
+  mutable pending : pending option;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let status_busy = 1
+let status_done = 2
+let status_error = 4
+
+let async_latency_ticks = 3
+
+let check_block t block =
+  if block < 0 || block >= t.blocks then
+    invalid_arg (Printf.sprintf "Disk: block %d out of range" block)
+
+let block_bytes t block =
+  match Hashtbl.find_opt t.store block with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make t.block_size '\000' in
+    Hashtbl.replace t.store block b;
+    b
+
+let do_read t ~block ~phys_addr =
+  t.reads <- t.reads + 1;
+  Physmem.blit_string (Machine.phys t.machine)
+    (Bytes.to_string (block_bytes t block))
+    phys_addr
+
+let do_write t ~block ~phys_addr =
+  t.writes <- t.writes + 1;
+  let data = Physmem.read_string (Machine.phys t.machine) phys_addr t.block_size in
+  Hashtbl.replace t.store block (Bytes.of_string data)
+
+let reg_read t = function
+  | 0 -> t.reg_block
+  | 1 -> t.reg_addr
+  | 3 -> t.status
+  | 4 -> t.blocks
+  | _ -> 0
+
+let reg_write t reg v =
+  match reg with
+  | 0 -> t.reg_block <- v
+  | 1 -> t.reg_addr <- v
+  | 2 ->
+    if t.pending <> None then t.status <- t.status lor status_error
+    else if v <> 1 && v <> 2 then t.status <- t.status lor status_error
+    else if t.reg_block < 0 || t.reg_block >= t.blocks then
+      t.status <- t.status lor status_error
+    else begin
+      t.status <- t.status lor status_busy;
+      t.pending <-
+        Some
+          { block = t.reg_block; addr = t.reg_addr; write = v = 2;
+            ticks_left = async_latency_ticks }
+    end
+  | 3 ->
+    (* write-1-to-clear for done and error *)
+    if v land status_done <> 0 then t.status <- t.status land lnot status_done;
+    if v land status_error <> 0 then t.status <- t.status land lnot status_error
+  | _ -> ()
+
+let tick t =
+  match t.pending with
+  | None -> ()
+  | Some p ->
+    p.ticks_left <- p.ticks_left - 1;
+    if p.ticks_left <= 0 then begin
+      if p.write then do_write t ~block:p.block ~phys_addr:p.addr
+      else do_read t ~block:p.block ~phys_addr:p.addr;
+      t.pending <- None;
+      t.status <- t.status land lnot status_busy lor status_done;
+      Machine.raise_irq t.machine t.irq_line
+    end
+
+let create machine ~irq_line ~blocks =
+  if blocks <= 0 then invalid_arg "Disk.create: need at least one block";
+  let t =
+    {
+      machine;
+      irq_line;
+      io_base = 0;
+      blocks;
+      block_size = Machine.page_size machine;
+      store = Hashtbl.create 64;
+      reg_block = 0;
+      reg_addr = 0;
+      status = 0;
+      pending = None;
+      reads = 0;
+      writes = 0;
+    }
+  in
+  let dev =
+    Device.make ~name:"disk" ~reg_count:5 ~reg_read:(reg_read t)
+      ~reg_write:(reg_write t) ~tick:(fun () -> tick t)
+  in
+  t.io_base <- Machine.attach_device machine dev;
+  t
+
+let io_base t = t.io_base
+let blocks t = t.blocks
+
+let read_sync t ~block ~phys_addr =
+  check_block t block;
+  Clock.advance (Machine.clock t.machine) op_cycles;
+  Clock.count (Machine.clock t.machine) "disk_read";
+  do_read t ~block ~phys_addr
+
+let write_sync t ~block ~phys_addr =
+  check_block t block;
+  Clock.advance (Machine.clock t.machine) op_cycles;
+  Clock.count (Machine.clock t.machine) "disk_write";
+  do_write t ~block ~phys_addr
+
+let reads t = t.reads
+let writes t = t.writes

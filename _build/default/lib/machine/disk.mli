@@ -1,0 +1,42 @@
+(** Simulated block storage device.
+
+    Page-granular blocks with DMA to/from physical memory. Two access
+    models:
+
+    - {b Programmed (asynchronous)}: the driver writes BLOCK/ADDR/CMD
+      registers; the operation completes on a later machine tick and
+      raises the IRQ line. Register map:
+      - 0 [BLOCK]: block number
+      - 1 [ADDR]: physical memory address for the DMA
+      - 2 [CMD]: write 1 = read block into memory, 2 = write memory to
+        block
+      - 3 [STATUS]: bit0 busy, bit1 done (write-1-to-clear), bit2 error
+      - 4 [BLOCKS] (read-only): device capacity in blocks
+    - {b Synchronous}: {!read_sync}/{!write_sync} perform the transfer
+      immediately, charging {!op_cycles} to the clock — what a paging
+      component inside a fault handler uses (it cannot wait for ticks).
+
+    Unwritten blocks read back as zeroes. *)
+
+type t
+
+(** cycles charged per synchronous block operation (seek + transfer) *)
+val op_cycles : int
+
+(** [create machine ~irq_line ~blocks] attaches the disk. Block size
+    equals the machine page size. *)
+val create : Machine.t -> irq_line:int -> blocks:int -> t
+
+val io_base : t -> int
+val blocks : t -> int
+
+(** [read_sync t ~block ~phys_addr] DMA-reads one block, charging
+    {!op_cycles}. Raises [Invalid_argument] on a bad block number. *)
+val read_sync : t -> block:int -> phys_addr:int -> unit
+
+val write_sync : t -> block:int -> phys_addr:int -> unit
+
+(** [reads t], [writes t] — operation counters (sync + async). *)
+val reads : t -> int
+
+val writes : t -> int

@@ -1,0 +1,165 @@
+exception Fatal_fault of Mmu.fault
+exception Machine_check of string
+
+let trap_vector_count = 32
+let irq_line_count = 16
+
+type attached = { dev : Device.t; io_base : int }
+
+type t = {
+  clock : Clock.t;
+  costs : Cost.t;
+  phys : Physmem.t;
+  mmu : Mmu.t;
+  traps : (int -> int) option array;
+  irqs : (unit -> unit) option array;
+  mutable fault_handler : (Mmu.fault -> bool) option;
+  mutable attached : attached list; (* newest first *)
+  mutable next_io_base : int;
+}
+
+let io_base_start = 0x1000_0000
+
+let create ?(costs = Cost.default) ?(frames = 1024) ?(page_size = 4096) () =
+  let clock = Clock.create () in
+  {
+    clock;
+    costs;
+    phys = Physmem.create ~frames ~page_size;
+    mmu = Mmu.create clock costs ~page_size;
+    traps = Array.make trap_vector_count None;
+    irqs = Array.make irq_line_count None;
+    fault_handler = None;
+    attached = [];
+    next_io_base = io_base_start;
+  }
+
+let clock t = t.clock
+let costs t = t.costs
+let phys t = t.phys
+let mmu t = t.mmu
+let page_size t = Physmem.page_size t.phys
+
+let check_vec kind max vec =
+  if vec < 0 || vec >= max then
+    raise (Machine_check (Printf.sprintf "bad %s number %d" kind vec))
+
+let set_trap_handler t vec h =
+  check_vec "trap vector" trap_vector_count vec;
+  t.traps.(vec) <- h
+
+let raise_trap t vec arg =
+  check_vec "trap vector" trap_vector_count vec;
+  Clock.advance t.clock t.costs.Cost.trap;
+  Clock.count t.clock "trap";
+  match t.traps.(vec) with
+  | Some h -> h arg
+  | None -> raise (Machine_check (Printf.sprintf "unhandled trap %d" vec))
+
+let set_irq_handler t line h =
+  check_vec "irq line" irq_line_count line;
+  t.irqs.(line) <- h
+
+let raise_irq t line =
+  check_vec "irq line" irq_line_count line;
+  Clock.advance t.clock t.costs.Cost.interrupt;
+  Clock.count t.clock "interrupt";
+  match t.irqs.(line) with
+  | Some h -> h ()
+  | None -> Clock.count t.clock "spurious_interrupt"
+
+let set_fault_handler t h = t.fault_handler <- h
+
+(* Resolve a virtual address, invoking the fault handler on faults and
+   retrying once if it claims resolution. *)
+let resolve t ctx vaddr access =
+  let rec go attempts =
+    match Mmu.translate t.mmu ctx vaddr access with
+    | Ok phys -> phys
+    | Error fault ->
+      Clock.advance t.clock t.costs.Cost.page_fault;
+      Clock.count t.clock "page_fault";
+      let resolved =
+        match t.fault_handler with
+        | Some h when attempts < 2 -> h fault
+        | _ -> false
+      in
+      if resolved then go (attempts + 1) else raise (Fatal_fault fault)
+  in
+  go 0
+
+let read8 t ctx vaddr =
+  Clock.advance t.clock t.costs.Cost.mem_read;
+  Physmem.read8 t.phys (resolve t ctx vaddr Mmu.Read)
+
+let write8 t ctx vaddr v =
+  Clock.advance t.clock t.costs.Cost.mem_write;
+  Physmem.write8 t.phys (resolve t ctx vaddr Mmu.Write) v
+
+let read32 t ctx vaddr =
+  Clock.advance t.clock t.costs.Cost.mem_read;
+  (* unaligned or page-straddling access decomposes into bytes *)
+  let ps = page_size t in
+  if vaddr mod ps <= ps - 4 then Physmem.read32 t.phys (resolve t ctx vaddr Mmu.Read)
+  else
+    read8 t ctx vaddr
+    lor (read8 t ctx (vaddr + 1) lsl 8)
+    lor (read8 t ctx (vaddr + 2) lsl 16)
+    lor (read8 t ctx (vaddr + 3) lsl 24)
+
+let write32 t ctx vaddr v =
+  Clock.advance t.clock t.costs.Cost.mem_write;
+  let ps = page_size t in
+  if vaddr mod ps <= ps - 4 then
+    Physmem.write32 t.phys (resolve t ctx vaddr Mmu.Write) v
+  else begin
+    write8 t ctx vaddr v;
+    write8 t ctx (vaddr + 1) (v lsr 8);
+    write8 t ctx (vaddr + 2) (v lsr 16);
+    write8 t ctx (vaddr + 3) (v lsr 24)
+  end
+
+let read_string t ctx vaddr len =
+  String.init len (fun i -> Char.chr (read8 t ctx (vaddr + i)))
+
+let write_string t ctx vaddr s =
+  String.iteri (fun i c -> write8 t ctx (vaddr + i) (Char.code c)) s
+
+let attach_device t dev =
+  let io_base = t.next_io_base in
+  t.next_io_base <- io_base + (dev.Device.reg_count * 4);
+  t.attached <- { dev; io_base } :: t.attached;
+  io_base
+
+let locate_io t addr =
+  let found =
+    List.find_opt
+      (fun a ->
+        addr >= a.io_base && addr < a.io_base + (a.dev.Device.reg_count * 4))
+      t.attached
+  in
+  match found with
+  | Some a ->
+    if (addr - a.io_base) mod 4 <> 0 then
+      raise (Machine_check (Printf.sprintf "unaligned io access 0x%x" addr));
+    (a.dev, (addr - a.io_base) / 4)
+  | None -> raise (Machine_check (Printf.sprintf "no device at io address 0x%x" addr))
+
+let io_read t addr =
+  Clock.advance t.clock t.costs.Cost.io_read;
+  let dev, reg = locate_io t addr in
+  dev.Device.reg_read reg
+
+let io_write t addr v =
+  Clock.advance t.clock t.costs.Cost.io_write;
+  let dev, reg = locate_io t addr in
+  dev.Device.reg_write reg v
+
+let devices t =
+  List.rev_map (fun a -> (a.dev.Device.name, a.io_base, a.dev.Device.reg_count)) t.attached
+
+let find_device t name =
+  List.find_opt (fun a -> String.equal a.dev.Device.name name) t.attached
+  |> Option.map (fun a -> (a.io_base, a.dev.Device.reg_count))
+
+let tick t = List.iter (fun a -> a.dev.Device.tick ()) t.attached

@@ -1,0 +1,84 @@
+(** The simulated machine: physical memory, MMU, trap/interrupt vectors,
+    an I/O register space with attached devices, and the cycle clock.
+
+    This is the hardware Paramecium's nucleus runs on. The nucleus is the
+    only code expected to install vector handlers and the fault handler;
+    everything else goes through the nucleus services. *)
+
+type t
+
+(** Raised when a memory access faults and no handler resolves it. *)
+exception Fatal_fault of Mmu.fault
+
+(** Raised on machine-level protocol violations (bad io address, bad
+    vector number). *)
+exception Machine_check of string
+
+val create : ?costs:Cost.t -> ?frames:int -> ?page_size:int -> unit -> t
+
+val clock : t -> Clock.t
+val costs : t -> Cost.t
+val phys : t -> Physmem.t
+val mmu : t -> Mmu.t
+val page_size : t -> int
+
+(** {1 Processor events}
+
+    Vectors 0–31 are synchronous traps (raised by software), IRQ lines
+    0–15 are asynchronous device interrupts. *)
+
+val trap_vector_count : int
+val irq_line_count : int
+
+(** [set_trap_handler t vec h] installs/removes the handler for trap
+    [vec]. The handler receives the trap argument and produces a result. *)
+val set_trap_handler : t -> int -> (int -> int) option -> unit
+
+(** [raise_trap t vec arg] charges the trap cost and runs the handler.
+    Raises [Machine_check] if no handler is installed. *)
+val raise_trap : t -> int -> int -> int
+
+val set_irq_handler : t -> int -> (unit -> unit) option -> unit
+
+(** [raise_irq t line] charges the interrupt cost and runs the handler;
+    an unhandled interrupt is counted and dropped (spurious). *)
+val raise_irq : t -> int -> unit
+
+(** [set_fault_handler t h] installs the page-fault handler. It returns
+    [true] if the fault was resolved (the access is retried once). *)
+val set_fault_handler : t -> (Mmu.fault -> bool) option -> unit
+
+(** {1 Memory bus}
+
+    Virtual-address access in a given MMU context, charging bus and
+    translation costs; faults go through the fault handler. *)
+
+val read8 : t -> Mmu.context -> int -> int
+val write8 : t -> Mmu.context -> int -> int -> unit
+val read32 : t -> Mmu.context -> int -> int
+val write32 : t -> Mmu.context -> int -> int -> unit
+val read_string : t -> Mmu.context -> int -> int -> string
+val write_string : t -> Mmu.context -> int -> string -> unit
+
+(** {1 I/O space and devices} *)
+
+(** [attach_device t dev] assigns the device a register window and returns
+    its base io address. *)
+val attach_device : t -> Device.t -> int
+
+(** [io_read t addr] / [io_write t addr v] access a device register by io
+    address, charging io costs. Raise [Machine_check] on unmapped
+    addresses. *)
+val io_read : t -> int -> int
+
+val io_write : t -> int -> int -> unit
+
+(** [devices t] lists [(name, io_base, reg_count)] for attached devices. *)
+val devices : t -> (string * int * int) list
+
+(** [find_device t name] is the io window of a named device. *)
+val find_device : t -> string -> (int * int) option
+
+(** [tick t] advances every device model by one tick (DMA progress, timer
+    countdown, interrupt delivery). *)
+val tick : t -> unit

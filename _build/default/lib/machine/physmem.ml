@@ -1,0 +1,84 @@
+type frame = { data : Bytes.t; mutable refcount : int }
+
+type t = {
+  page_size : int;
+  total : int;
+  frames : frame option array;
+  mutable free : int list;
+  mutable free_count : int;
+}
+
+let create ~frames ~page_size =
+  if frames <= 0 || page_size <= 0 then invalid_arg "Physmem.create";
+  {
+    page_size;
+    total = frames;
+    frames = Array.make frames None;
+    free = List.init frames (fun i -> i);
+    free_count = frames;
+  }
+
+let page_size t = t.page_size
+let total_frames t = t.total
+let free_frames t = t.free_count
+
+let alloc t =
+  match t.free with
+  | [] -> raise Out_of_memory
+  | f :: rest ->
+    t.free <- rest;
+    t.free_count <- t.free_count - 1;
+    t.frames.(f) <- Some { data = Bytes.make t.page_size '\000'; refcount = 1 };
+    f
+
+let frame_exn t f =
+  if f < 0 || f >= t.total then invalid_arg "Physmem: frame out of range";
+  match t.frames.(f) with
+  | None -> invalid_arg "Physmem: frame not allocated"
+  | Some fr -> fr
+
+let ref_frame t f =
+  let fr = frame_exn t f in
+  fr.refcount <- fr.refcount + 1
+
+let release t f =
+  let fr = frame_exn t f in
+  fr.refcount <- fr.refcount - 1;
+  if fr.refcount = 0 then begin
+    t.frames.(f) <- None;
+    t.free <- f :: t.free;
+    t.free_count <- t.free_count + 1
+  end
+
+let is_allocated t f = f >= 0 && f < t.total && t.frames.(f) <> None
+
+let locate t addr =
+  if addr < 0 then invalid_arg "Physmem: negative address";
+  let f = addr / t.page_size and off = addr mod t.page_size in
+  (frame_exn t f, off)
+
+let read8 t addr =
+  let fr, off = locate t addr in
+  Char.code (Bytes.get fr.data off)
+
+let write8 t addr v =
+  let fr, off = locate t addr in
+  Bytes.set fr.data off (Char.chr (v land 0xff))
+
+let read32 t addr =
+  read8 t addr
+  lor (read8 t (addr + 1) lsl 8)
+  lor (read8 t (addr + 2) lsl 16)
+  lor (read8 t (addr + 3) lsl 24)
+
+let write32 t addr v =
+  write8 t addr v;
+  write8 t (addr + 1) (v lsr 8);
+  write8 t (addr + 2) (v lsr 16);
+  write8 t (addr + 3) (v lsr 24)
+
+let blit_string t s addr =
+  String.iteri (fun i c -> write8 t (addr + i) (Char.code c)) s
+
+let read_string t addr len =
+  String.init len (fun i -> Char.chr (read8 t (addr + i)))

@@ -1,0 +1,1 @@
+lib/names/namespace.ml: Hashtbl List Path Printexc Printf String

@@ -1,0 +1,1 @@
+lib/names/namespace.mli: Path

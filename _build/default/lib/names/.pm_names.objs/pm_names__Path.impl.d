@@ -1,0 +1,1 @@
+lib/names/path.ml: Format List Printf Stdlib String

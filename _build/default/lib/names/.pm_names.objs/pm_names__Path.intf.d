@@ -1,0 +1,1 @@
+lib/names/path.mli: Format

@@ -1,0 +1,1 @@
+lib/names/view.ml: List Namespace Path Pm_machine Pm_obj

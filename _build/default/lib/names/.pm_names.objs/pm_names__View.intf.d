@@ -1,0 +1,1 @@
+lib/names/view.mli: Namespace Path Pm_obj

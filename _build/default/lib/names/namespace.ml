@@ -1,0 +1,134 @@
+type node = Entry of int | Dir of dir
+and dir = (string, node) Hashtbl.t
+
+type t = { root : dir }
+
+type error =
+  | Not_found of Path.t
+  | Already_bound of Path.t
+  | Not_a_directory of Path.t
+  | Is_a_directory of Path.t
+
+exception Name_error of error
+
+let error_to_string = function
+  | Not_found p -> Printf.sprintf "%s: not found" (Path.to_string p)
+  | Already_bound p -> Printf.sprintf "%s: already bound" (Path.to_string p)
+  | Not_a_directory p -> Printf.sprintf "%s: not a directory" (Path.to_string p)
+  | Is_a_directory p -> Printf.sprintf "%s: is a directory" (Path.to_string p)
+
+let () =
+  Printexc.register_printer (function
+    | Name_error e -> Some ("Namespace.Name_error: " ^ error_to_string e)
+    | _ -> None)
+
+let create () = { root = Hashtbl.create 32 }
+
+(* Walk to the directory holding the last segment, optionally creating
+   intermediate directories. Returns the directory and the final segment. *)
+let walk t path ~create_dirs =
+  match Path.segments path with
+  | [] -> Error (Is_a_directory path)
+  | segs ->
+    let rec go dir prefix = function
+      | [] -> assert false
+      | [ last ] -> Ok (dir, last)
+      | seg :: rest ->
+        let prefix = Path.child prefix seg in
+        (match Hashtbl.find_opt dir seg with
+        | Some (Dir d) -> go d prefix rest
+        | Some (Entry _) -> Error (Not_a_directory prefix)
+        | None ->
+          if create_dirs then begin
+            let d = Hashtbl.create 8 in
+            Hashtbl.add dir seg (Dir d);
+            go d prefix rest
+          end
+          else Error (Not_found prefix))
+    in
+    go t.root Path.root segs
+
+let register t path handle =
+  match walk t path ~create_dirs:true with
+  | Error _ as e -> e
+  | Ok (dir, last) ->
+    (match Hashtbl.find_opt dir last with
+    | Some _ -> Error (Already_bound path)
+    | None ->
+      Hashtbl.add dir last (Entry handle);
+      Ok ())
+
+let unregister t path =
+  match walk t path ~create_dirs:false with
+  | Error _ as e -> e
+  | Ok (dir, last) ->
+    (match Hashtbl.find_opt dir last with
+    | Some (Entry _) ->
+      Hashtbl.remove dir last;
+      Ok ()
+    | Some (Dir _) -> Error (Is_a_directory path)
+    | None -> Error (Not_found path))
+
+let lookup t path =
+  match walk t path ~create_dirs:false with
+  | Error _ as e -> e
+  | Ok (dir, last) ->
+    (match Hashtbl.find_opt dir last with
+    | Some (Entry h) -> Ok h
+    | Some (Dir _) -> Error (Is_a_directory path)
+    | None -> Error (Not_found path))
+
+let replace t path handle =
+  match walk t path ~create_dirs:false with
+  | Error _ as e -> e
+  | Ok (dir, last) ->
+    (match Hashtbl.find_opt dir last with
+    | Some (Entry old) ->
+      Hashtbl.replace dir last (Entry handle);
+      Ok old
+    | Some (Dir _) -> Error (Is_a_directory path)
+    | None -> Error (Not_found path))
+
+let find_dir t path =
+  let rec go dir prefix = function
+    | [] -> Ok dir
+    | seg :: rest ->
+      let prefix = Path.child prefix seg in
+      (match Hashtbl.find_opt dir seg with
+      | Some (Dir d) -> go d prefix rest
+      | Some (Entry _) -> Error (Not_a_directory prefix)
+      | None -> Error (Not_found prefix))
+  in
+  go t.root Path.root (Path.segments path)
+
+let list t path =
+  match find_dir t path with
+  | Error _ as e -> e
+  | Ok dir ->
+    let entries =
+      Hashtbl.fold
+        (fun seg node acc ->
+          match node with
+          | Entry h -> (seg, Some h) :: acc
+          | Dir _ -> (seg, None) :: acc)
+        dir []
+    in
+    Ok (List.sort (fun (a, _) (b, _) -> String.compare a b) entries)
+
+let exists t path =
+  match Path.segments path with
+  | [] -> true
+  | _ ->
+    (match walk t path ~create_dirs:false with
+    | Error _ -> false
+    | Ok (dir, last) -> Hashtbl.mem dir last)
+
+let iter t f =
+  let rec go prefix dir =
+    Hashtbl.fold (fun seg node acc -> (seg, node) :: acc) dir []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.iter (fun (seg, node) ->
+           let p = Path.child prefix seg in
+           match node with Entry h -> f p h | Dir d -> go p d)
+  in
+  go Path.root t.root

@@ -1,0 +1,47 @@
+(** The hierarchical object-instance name space.
+
+    "Each object has its own instance name and is registered in a
+    hierarchical name space together with its object handle." Entries map
+    names to handles; interior nodes are directories. Intermediate
+    directories are created implicitly on registration.
+
+    Interposition is a first-class operation: [replace] swaps the handle
+    stored at a name and returns the old one, so "all further lookups ...
+    will result in a reference to the interposing agent". *)
+
+type t
+
+type error =
+  | Not_found of Path.t
+  | Already_bound of Path.t
+  | Not_a_directory of Path.t
+  | Is_a_directory of Path.t
+
+exception Name_error of error
+
+val error_to_string : error -> string
+
+val create : unit -> t
+
+(** [register t path handle] binds a name. *)
+val register : t -> Path.t -> int -> (unit, error) result
+
+(** [unregister t path] removes a binding (not a directory). *)
+val unregister : t -> Path.t -> (unit, error) result
+
+(** [lookup t path] resolves a name to its handle. *)
+val lookup : t -> Path.t -> (int, error) result
+
+(** [replace t path handle] atomically swaps the handle at [path],
+    returning the previous one — the interposition primitive. *)
+val replace : t -> Path.t -> int -> (int, error) result
+
+(** [list t path] lists a directory's entries as
+    [(segment, handle option)] — [None] marks a subdirectory. *)
+val list : t -> Path.t -> ((string * int option) list, error) result
+
+(** [exists t path] is true for both entries and directories. *)
+val exists : t -> Path.t -> bool
+
+(** [iter t f] applies [f path handle] to every binding, in path order. *)
+val iter : t -> (Path.t -> int -> unit) -> unit

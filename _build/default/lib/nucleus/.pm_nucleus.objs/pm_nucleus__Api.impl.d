@@ -1,0 +1,1 @@
+lib/nucleus/api.ml: Certsvc Directory Domain Events Pm_machine Pm_obj Pm_threads Vmem

@@ -1,0 +1,1 @@
+lib/nucleus/api.mli: Certsvc Directory Domain Events Pm_machine Pm_names Pm_obj Pm_threads Vmem

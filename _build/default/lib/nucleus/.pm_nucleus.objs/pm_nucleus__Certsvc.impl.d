@@ -1,0 +1,1 @@
+lib/nucleus/certsvc.ml: Pm_machine Pm_secure String

@@ -1,0 +1,1 @@
+lib/nucleus/certsvc.mli: Pm_machine Pm_secure

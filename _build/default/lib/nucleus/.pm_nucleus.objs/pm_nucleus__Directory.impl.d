@@ -1,0 +1,1 @@
+lib/nucleus/directory.ml: Domain Hashtbl Pm_machine Pm_names Pm_obj Printf Proxy Vmem

@@ -1,0 +1,1 @@
+lib/nucleus/directory.mli: Domain Pm_machine Pm_names Pm_obj Vmem

@@ -1,0 +1,1 @@
+lib/nucleus/domain.ml: Format Pm_names

@@ -1,0 +1,1 @@
+lib/nucleus/domain.mli: Format Pm_names

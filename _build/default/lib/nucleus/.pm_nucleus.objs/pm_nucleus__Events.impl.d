@@ -1,0 +1,1 @@
+lib/nucleus/events.ml: Domain Fun Hashtbl List Pm_machine Pm_threads

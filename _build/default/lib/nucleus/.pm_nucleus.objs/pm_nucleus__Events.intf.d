@@ -1,0 +1,1 @@
+lib/nucleus/events.mli: Domain Pm_machine Pm_threads

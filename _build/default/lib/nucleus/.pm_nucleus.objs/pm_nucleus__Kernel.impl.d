@@ -1,0 +1,1 @@
+lib/nucleus/kernel.ml: Api Certsvc Directory Domain Events Hashtbl List Loader Option Pm_machine Pm_names Pm_obj Pm_secure Pm_threads Printf Vmem

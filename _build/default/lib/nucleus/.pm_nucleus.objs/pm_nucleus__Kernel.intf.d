@@ -1,0 +1,1 @@
+lib/nucleus/kernel.mli: Api Certsvc Directory Domain Events Loader Pm_machine Pm_names Pm_obj Pm_secure Pm_threads Vmem

@@ -1,0 +1,1 @@
+lib/nucleus/loader.ml: Api Certsvc Directory Domain Hashtbl List Pm_machine Pm_names Pm_obj Pm_secure Printf String

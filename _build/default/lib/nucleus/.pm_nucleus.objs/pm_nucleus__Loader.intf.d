@@ -1,0 +1,1 @@
+lib/nucleus/loader.mli: Api Domain Pm_names Pm_obj Pm_secure

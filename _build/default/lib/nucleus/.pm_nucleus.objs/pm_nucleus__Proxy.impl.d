@@ -1,0 +1,1 @@
+lib/nucleus/proxy.ml: Domain Fun List Pm_machine Pm_obj Printf String Vmem

@@ -1,0 +1,1 @@
+lib/nucleus/proxy.mli: Domain Pm_machine Pm_obj Vmem

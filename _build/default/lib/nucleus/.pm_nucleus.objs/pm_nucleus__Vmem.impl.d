@@ -1,0 +1,1 @@
+lib/nucleus/vmem.ml: Domain Hashtbl List Pm_machine Printf String

@@ -1,0 +1,1 @@
+lib/nucleus/vmem.mli: Domain Pm_machine

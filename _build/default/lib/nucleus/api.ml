@@ -1,0 +1,22 @@
+type t = {
+  machine : Pm_machine.Machine.t;
+  registry : Pm_obj.Instance.t Pm_obj.Registry.t;
+  events : Events.t;
+  vmem : Vmem.t;
+  directory : Directory.t;
+  certification : Certsvc.t;
+  sched : Pm_threads.Scheduler.t;
+  kernel_domain : Domain.t;
+}
+
+let ctx t dom =
+  Pm_obj.Call_ctx.make
+    ~clock:(Pm_machine.Machine.clock t.machine)
+    ~costs:(Pm_machine.Machine.costs t.machine)
+    ~caller_domain:dom.Domain.id
+
+let bind t dom path =
+  Directory.bind t.directory (ctx t dom) ~view:dom.Domain.view ~domain:dom path
+
+let bind_exn t dom path =
+  Directory.bind_exn t.directory (ctx t dom) ~view:dom.Domain.view ~domain:dom path

@@ -1,0 +1,41 @@
+module Machine = Pm_machine.Machine
+module Clock = Pm_machine.Clock
+module Cost = Pm_machine.Cost
+module Validator = Pm_secure.Validator
+
+type t = {
+  machine : Machine.t;
+  validator : Validator.t;
+  mutable validations : int;
+  mutable failures : int;
+}
+
+let create machine ~root =
+  { machine; validator = Validator.create ~root; validations = 0; failures = 0 }
+
+let root t = Validator.root t.validator
+let add_grant t g = Validator.add_grant t.validator g
+let revoke t pid = Validator.revoke t.validator pid
+
+let validate t cert ~code =
+  let clock = Machine.clock t.machine in
+  let costs = Machine.costs t.machine in
+  (* load-time cost: digest the whole component, then verify signatures
+     along the delegation chain *)
+  Clock.advance clock (String.length code * costs.Cost.digest_byte);
+  Clock.advance clock costs.Cost.sig_verify;
+  Clock.count clock "cert_validation";
+  let now = Clock.now clock in
+  let decision = Validator.validate t.validator cert ~code ~now in
+  (match decision with
+  | Validator.Valid { chain_length } ->
+    (* one signature check per grant in the speaks-for chain *)
+    Clock.advance clock (chain_length * costs.Cost.sig_verify);
+    t.validations <- t.validations + 1
+  | Validator.Invalid _ ->
+    Clock.count clock "cert_rejection";
+    t.failures <- t.failures + 1);
+  decision
+
+let validations t = t.validations
+let failures t = t.failures

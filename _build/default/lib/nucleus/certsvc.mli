@@ -1,0 +1,33 @@
+(** Certification service.
+
+    "Objects can be associated with a certificate that is validated by the
+    certification service before mapping it into a protection domain. The
+    certification service uses a message digest function, public key
+    cryptography, and a trusted certification agent to validate
+    credentials."
+
+    This wraps the pure {!Pm_secure.Validator} with load-time cost
+    accounting: digesting the component's code charges per byte, and the
+    signature check charges one public-key verification. These are the
+    one-off costs that certification trades against per-access sandboxing
+    (experiments E4/E5). *)
+
+type t
+
+val create : Pm_machine.Machine.t -> root:Pm_secure.Principal.t -> t
+
+val root : t -> Pm_secure.Principal.t
+
+(** [add_grant t g] teaches the kernel a delegation statement. *)
+val add_grant : t -> Pm_secure.Delegation.t -> unit
+
+(** [revoke t principal_id] bars a principal. *)
+val revoke : t -> string -> unit
+
+(** [validate t cert ~code] runs the full load-time check, charging
+    digest and signature-verification cycles. Uses the machine clock as
+    the logical time for grant expiry. *)
+val validate : t -> Pm_secure.Certificate.t -> code:string -> Pm_secure.Validator.decision
+
+val validations : t -> int
+val failures : t -> int

@@ -1,0 +1,68 @@
+module Namespace = Pm_names.Namespace
+module Path = Pm_names.Path
+module View = Pm_names.View
+module Instance = Pm_obj.Instance
+module Registry = Pm_obj.Registry
+
+type bind_error = Name of Namespace.error | Dangling of int
+
+let bind_error_to_string = function
+  | Name e -> Namespace.error_to_string e
+  | Dangling h -> Printf.sprintf "handle %d is dangling" h
+
+type t = {
+  machine : Pm_machine.Machine.t;
+  vmem : Vmem.t;
+  registry : Instance.t Registry.t;
+  ns : Namespace.t;
+  proxies : (int * int, Instance.t) Hashtbl.t; (* (target oid, importer) -> proxy *)
+}
+
+let create ~machine ~vmem ~registry ~ns =
+  { machine; vmem; registry; ns; proxies = Hashtbl.create 16 }
+
+let namespace t = t.ns
+let registry t = t.registry
+
+let register t path inst = Namespace.register t.ns path (Instance.handle inst)
+
+let unregister t path = Namespace.unregister t.ns path
+
+let replace t path inst =
+  match Namespace.replace t.ns path (Instance.handle inst) with
+  | Error e -> Error (Name e)
+  | Ok old_handle ->
+    (match Registry.get t.registry old_handle with
+    | Some old_inst -> Ok old_inst
+    | None -> Error (Dangling old_handle))
+
+let proxy_for t target importer =
+  let key = (Instance.handle target, importer.Domain.id) in
+  match Hashtbl.find_opt t.proxies key with
+  | Some p when not p.Instance.revoked -> p
+  | _ ->
+    let p =
+      Proxy.make ~machine:t.machine ~vmem:t.vmem ~registry:t.registry ~target
+        ~importer
+    in
+    Hashtbl.replace t.proxies key p;
+    p
+
+let bind t ctx ~view ~domain path =
+  match View.bind ctx view path with
+  | Error e -> Error (Name e)
+  | Ok handle ->
+    (match Registry.get t.registry handle with
+    | None -> Error (Dangling handle)
+    | Some inst ->
+      if inst.Instance.domain = domain.Domain.id then Ok inst
+      else Ok (proxy_for t inst domain))
+
+let bind_exn t ctx ~view ~domain path =
+  match bind t ctx ~view ~domain path with
+  | Ok inst -> inst
+  | Error e -> failwith ("Directory.bind: " ^ bind_error_to_string e)
+
+let resolve_handle t h = Registry.get t.registry h
+
+let proxy_count t = Hashtbl.length t.proxies

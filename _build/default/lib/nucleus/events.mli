@@ -1,0 +1,47 @@
+(** Processor event management.
+
+    "All processor events (traps and interrupts) are handled by this
+    service. Components can register call-backs which are called every
+    time a specified processor event occurs. A call-back consists of a
+    context, and the address of a call-back function."
+
+    The service owns every machine vector; registered call-backs for an
+    event run in registration order. Delivering a call-back into a domain
+    other than the currently running one switches MMU contexts around it.
+
+    [register_popup] is the standard redirection to the thread system:
+    the call-back body runs as a pop-up (proto-)thread. *)
+
+type t
+
+type event = Trap of int | Irq of int
+
+type cb_id
+
+val create : Pm_machine.Machine.t -> t
+
+(** [register t event ~domain f] installs a call-back; [f] receives the
+    trap argument (0 for interrupts). *)
+val register : t -> event -> domain:Domain.t -> (int -> unit) -> cb_id
+
+(** [register_popup t event ~domain ~sched ?priority f] installs a
+    call-back that runs [f] as a pop-up thread on [sched]. *)
+val register_popup :
+  t ->
+  event ->
+  domain:Domain.t ->
+  sched:Pm_threads.Scheduler.t ->
+  ?priority:int ->
+  (int -> unit) ->
+  cb_id
+
+val unregister : t -> cb_id -> unit
+
+(** [remove_domain t dom] drops every call-back registered for [dom]. *)
+val remove_domain : t -> Domain.t -> unit
+
+(** [callbacks t event] is the number of live call-backs on an event. *)
+val callbacks : t -> event -> int
+
+(** [deliveries t] counts call-back invocations since creation. *)
+val deliveries : t -> int

@@ -1,0 +1,100 @@
+module Machine = Pm_machine.Machine
+module Clock = Pm_machine.Clock
+module Cost = Pm_machine.Cost
+module Meta = Pm_secure.Meta
+module Validator = Pm_secure.Validator
+module Namespace = Pm_names.Namespace
+module Instance = Pm_obj.Instance
+
+type constructor = Api.t -> Domain.t -> Instance.t
+
+type image = {
+  meta : Meta.t;
+  code : string;
+  cert : Pm_secure.Certificate.t option;
+  construct : constructor;
+}
+
+type load_error =
+  | Unknown_component of string
+  | Not_certified of string
+  | Validation_failed of Validator.failure
+  | Name_taken of Namespace.error
+
+let load_error_to_string = function
+  | Unknown_component n -> Printf.sprintf "unknown component %S" n
+  | Not_certified n ->
+    Printf.sprintf "component %S has no certificate and no sandbox was offered" n
+  | Validation_failed f -> Validator.failure_to_string f
+  | Name_taken e -> Namespace.error_to_string e
+
+type t = { api : Api.t; repo : (string, image) Hashtbl.t }
+
+let create api = { api; repo = Hashtbl.create 16 }
+
+let publish t image = Hashtbl.replace t.repo image.meta.Meta.name image
+
+let find t name = Hashtbl.find_opt t.repo name
+
+let names t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.repo [] |> List.sort String.compare
+
+(* Gate kernel-domain placement: a valid certificate admits the component
+   as-is; otherwise an explicit sandbox wrapper may admit it with run-time
+   protection; otherwise refuse. *)
+let check_placement t image ~into ~sandbox =
+  if not (Domain.is_kernel into) then Ok `Plain
+  else begin
+    match image.cert with
+    | Some cert ->
+      (match Certsvc.validate t.api.Api.certification cert ~code:image.code with
+      | Validator.Valid _ -> Ok `Plain
+      | Validator.Invalid f ->
+        (* an invalid certificate falls back to the sandbox escape *)
+        (match sandbox with Some _ -> Ok `Sandboxed | None -> Error (Validation_failed f)))
+    | None ->
+      (match sandbox with
+      | Some _ -> Ok `Sandboxed
+      | None -> Error (Not_certified image.meta.Meta.name))
+  end
+
+let load t ~name ~into ~at ?sandbox () =
+  match Hashtbl.find_opt t.repo name with
+  | None -> Error (Unknown_component name)
+  | Some image ->
+    (match check_placement t image ~into ~sandbox with
+    | Error _ as e -> e
+    | Ok mode ->
+      let machine = t.api.Api.machine in
+      let pages =
+        (String.length image.code + Machine.page_size machine - 1)
+        / Machine.page_size machine
+      in
+      Clock.advance (Machine.clock machine)
+        (pages * (Machine.costs machine).Cost.load_page);
+      Clock.count (Machine.clock machine) "component_load";
+      let inst = image.construct t.api into in
+      let inst =
+        match (mode, sandbox) with
+        | `Sandboxed, Some wrap -> wrap inst
+        | `Sandboxed, None -> assert false
+        | `Plain, _ -> inst
+      in
+      (match Directory.register t.api.Api.directory at inst with
+      | Ok () -> Ok inst
+      | Error e ->
+        Instance.revoke inst;
+        Error (Name_taken e)))
+
+let unload t path =
+  let dir = t.api.Api.directory in
+  match Namespace.lookup (Directory.namespace dir) path with
+  | Error e -> Error (Name_taken e)
+  | Ok handle ->
+    (match Directory.unregister dir path with
+    | Error e -> Error (Name_taken e)
+    | Ok () ->
+      (match Directory.resolve_handle dir handle with
+      | Some inst -> Instance.revoke inst
+      | None -> ());
+      Ok ())

@@ -1,0 +1,57 @@
+(** Component repository and dynamic loader.
+
+    "Objects are usually loaded dynamically on demand" from "a repository
+    of system components". An {!image} bundles a component's metadata, its
+    (simulated) object code — the bytes the certificate digests — an
+    optional certificate, and a constructor.
+
+    Placement policy, per the paper's §4: loading into the kernel
+    protection domain requires a certificate that the certification
+    service validates against the code at load time. The [sandbox]
+    escape (used by the Exokernel/SFI baseline) admits an uncertified
+    component into the kernel by wrapping its instance in run-time
+    checks — exactly the software-protection alternative the paper
+    argues certification supersedes. User-domain loads need neither. *)
+
+type constructor = Api.t -> Domain.t -> Pm_obj.Instance.t
+
+type image = {
+  meta : Pm_secure.Meta.t;
+  code : string;  (** simulated object code; what certificates digest *)
+  cert : Pm_secure.Certificate.t option;
+  construct : constructor;
+}
+
+type load_error =
+  | Unknown_component of string
+  | Not_certified of string
+  | Validation_failed of Pm_secure.Validator.failure
+  | Name_taken of Pm_names.Namespace.error
+
+val load_error_to_string : load_error -> string
+
+type t
+
+val create : Api.t -> t
+
+(** [publish t image] adds a component image to the repository,
+    replacing any previous image of the same name. *)
+val publish : t -> image -> unit
+
+val find : t -> string -> image option
+val names : t -> string list
+
+(** [load t ~name ~into ~at ?sandbox ()] validates placement, charges the
+    per-page mapping cost, constructs the instance, and registers it at
+    [at]. *)
+val load :
+  t ->
+  name:string ->
+  into:Domain.t ->
+  at:Pm_names.Path.t ->
+  ?sandbox:(Pm_obj.Instance.t -> Pm_obj.Instance.t) ->
+  unit ->
+  (Pm_obj.Instance.t, load_error) result
+
+(** [unload t path] unregisters and revokes the instance at [path]. *)
+val unload : t -> Pm_names.Path.t -> (unit, load_error) result

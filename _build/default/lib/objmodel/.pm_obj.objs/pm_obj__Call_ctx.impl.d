@@ -1,0 +1,1 @@
+lib/objmodel/call_ctx.ml: Pm_machine

@@ -1,0 +1,1 @@
+lib/objmodel/call_ctx.mli: Pm_machine

@@ -1,0 +1,1 @@
+lib/objmodel/composite.ml: Hashtbl Iface Instance Invoke List Oerror Printf String

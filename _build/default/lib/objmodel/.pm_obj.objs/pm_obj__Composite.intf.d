@@ -1,0 +1,1 @@
+lib/objmodel/composite.mli: Instance Registry

@@ -1,0 +1,1 @@
+lib/objmodel/iface.ml: Call_ctx Hashtbl List Oerror Printf String Value Vtype

@@ -1,0 +1,1 @@
+lib/objmodel/iface.mli: Call_ctx Oerror Value Vtype

@@ -1,0 +1,1 @@
+lib/objmodel/inline.ml: Call_ctx Iface Instance Oerror Pm_machine Printf Value Vtype

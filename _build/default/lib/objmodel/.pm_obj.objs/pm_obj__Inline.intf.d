@@ -1,0 +1,1 @@
+lib/objmodel/inline.mli: Call_ctx Instance Oerror Value

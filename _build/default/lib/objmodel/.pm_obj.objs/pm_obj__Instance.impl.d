@@ -1,0 +1,1 @@
+lib/objmodel/instance.ml: Iface List Oerror Printf Registry String

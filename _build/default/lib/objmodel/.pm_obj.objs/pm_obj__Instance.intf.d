@@ -1,0 +1,1 @@
+lib/objmodel/instance.mli: Iface Oerror Registry

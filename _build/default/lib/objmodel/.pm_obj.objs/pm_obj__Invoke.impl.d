@@ -1,0 +1,1 @@
+lib/objmodel/invoke.ml: Call_ctx Iface Instance Oerror Pm_machine Printf Vtype

@@ -1,0 +1,1 @@
+lib/objmodel/invoke.mli: Call_ctx Instance Oerror Value

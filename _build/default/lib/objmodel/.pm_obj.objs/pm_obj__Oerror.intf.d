@@ -1,0 +1,1 @@
+lib/objmodel/oerror.mli: Format

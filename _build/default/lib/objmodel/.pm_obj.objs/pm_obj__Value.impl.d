@@ -1,0 +1,1 @@
+lib/objmodel/value.ml: Bytes Format List String

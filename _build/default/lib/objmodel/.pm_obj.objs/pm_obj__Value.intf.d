@@ -1,0 +1,1 @@
+lib/objmodel/value.mli: Format

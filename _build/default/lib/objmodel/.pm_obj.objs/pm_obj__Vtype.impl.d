@@ -1,0 +1,1 @@
+lib/objmodel/vtype.ml: Format List Value

@@ -1,0 +1,1 @@
+lib/objmodel/vtype.mli: Format Value

@@ -1,0 +1,42 @@
+type impl = Call_ctx.t -> Value.t list -> (Value.t, Oerror.t) result
+
+type meth = { mname : string; msig : Vtype.signature; impl : impl }
+
+type t = {
+  name : string;
+  version : int;
+  methods : meth list;
+  state : Value.t ref option;
+}
+
+let make ?(version = 1) ?state ~name methods =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem seen m.mname then
+        invalid_arg (Printf.sprintf "Iface.make: duplicate method %S" m.mname);
+      Hashtbl.add seen m.mname ())
+    methods;
+  { name; version; methods; state }
+
+let meth ~name ~args ~ret impl = { mname = name; msig = { Vtype.args; ret }; impl }
+
+let find_method t name = List.find_opt (fun m -> String.equal m.mname name) t.methods
+
+let method_names t = List.map (fun m -> m.mname) t.methods
+
+let type_info t =
+  List.map (fun m -> (m.mname, Vtype.to_string_signature m.msig)) t.methods
+
+let override t ~methods =
+  List.iter
+    (fun m ->
+      if find_method t m.mname = None then
+        invalid_arg (Printf.sprintf "Iface.override: no method %S to override" m.mname))
+    methods;
+  let replace m =
+    match List.find_opt (fun r -> String.equal r.mname m.mname) methods with
+    | Some r -> r
+    | None -> m
+  in
+  { t with methods = List.map replace t.methods }

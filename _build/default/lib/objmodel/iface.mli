@@ -1,0 +1,38 @@
+(** Named interfaces: "a set of methods, state pointers and type
+    information".
+
+    An object exports one or more named interfaces; adding an interface
+    (say a measurement interface on an RPC object) does not disturb
+    existing users, which is the paper's answer to interface evolution.
+    Methods are invoked only through {!Invoke}; the implementation type
+    receives the {!Call_ctx} so every layer charges the same clock. *)
+
+type impl = Call_ctx.t -> Value.t list -> (Value.t, Oerror.t) result
+
+type meth = { mname : string; msig : Vtype.signature; impl : impl }
+
+type t = {
+  name : string;  (** interface name, e.g. "netdev" *)
+  version : int;
+  methods : meth list;
+  state : Value.t ref option;  (** the interface's state pointer *)
+}
+
+val make : ?version:int -> ?state:Value.t ref -> name:string -> meth list -> t
+
+(** [meth ~name ~args ~ret impl] builds a method descriptor. *)
+val meth : name:string -> args:Vtype.t list -> ret:Vtype.t -> impl -> meth
+
+val find_method : t -> string -> meth option
+
+val method_names : t -> string list
+
+(** [type_info t] renders every method signature, the interface's
+    published type information. *)
+val type_info : t -> (string * string) list
+
+(** [override t ~methods] is [t] with the given methods replaced (matched
+    by name) — the building block of interposing agents. Methods not
+    mentioned are kept. Raises [Invalid_argument] if a replacement names a
+    method that does not exist. *)
+val override : t -> methods:meth list -> t

@@ -1,0 +1,30 @@
+(** Run-time inlining of interface methods.
+
+    §2 of the paper: "We are, however, contemplating run time inline
+    techniques in case this might turn out to be a bottleneck." This
+    implements that future work as binding-time specialization: resolving
+    an (interface, method) pair once — paying dispatch and delegation
+    there — and returning a direct closure whose per-call price is a
+    plain procedure call plus a one-cycle revocation guard.
+
+    The closure captures the method implementation at specialization
+    time. Revocation is honored on every call, but later structural
+    changes to the instance (interface overrides, delegate re-wiring,
+    composite child replacement) are NOT seen — exactly the coherence
+    hazard that makes run-time inlining a trade-off. Re-specialize after
+    reconfiguring. *)
+
+type specialized = Value.t list -> (Value.t, Oerror.t) result
+
+(** [specialize ctx obj ~iface ~meth] resolves and type-checks the
+    binding once, returning the direct closure. The per-call closure
+    still validates argument and result types. *)
+val specialize :
+  Call_ctx.t ->
+  Instance.t ->
+  iface:string ->
+  meth:string ->
+  (specialized, Oerror.t) result
+
+val specialize_exn :
+  Call_ctx.t -> Instance.t -> iface:string -> meth:string -> specialized

@@ -1,0 +1,60 @@
+type t = {
+  oid : int;
+  class_name : string;
+  mutable interfaces : Iface.t list;
+  mutable delegate : t option;
+  mutable domain : int;
+  mutable revoked : bool;
+}
+
+let create registry ~class_name ~domain interfaces =
+  let oid = Registry.fresh registry in
+  let t = { oid; class_name; interfaces; delegate = None; domain; revoked = false } in
+  Registry.put registry oid t;
+  t
+
+let handle t = t.oid
+
+let get_interface t name =
+  List.find_opt (fun i -> String.equal i.Iface.name name) t.interfaces
+
+let interface_names t = List.map (fun i -> i.Iface.name) t.interfaces
+
+let add_interface t i =
+  if get_interface t i.Iface.name <> None then
+    invalid_arg (Printf.sprintf "Instance.add_interface: %S already exported" i.Iface.name);
+  t.interfaces <- t.interfaces @ [ i ]
+
+let set_delegate t d =
+  (match d with
+  | Some target ->
+    let rec cycles seen node =
+      match node with
+      | None -> false
+      | Some n -> if List.memq n seen then true else cycles (n :: seen) n.delegate
+    in
+    if target == t || cycles [ t ] (Some target) then
+      invalid_arg "Instance.set_delegate: delegation cycle"
+  | None -> ());
+  t.delegate <- d
+
+let resolve_method t ~iface ~meth =
+  if t.revoked then Error Oerror.Revoked
+  else begin
+    let rec search node hops saw_iface =
+      match node with
+      | None ->
+        if saw_iface then Error (Oerror.No_such_method (iface, meth))
+        else Error (Oerror.No_such_interface iface)
+      | Some n ->
+        (match get_interface n iface with
+        | Some i ->
+          (match Iface.find_method i meth with
+          | Some m -> Ok (m, hops)
+          | None -> search n.delegate (hops + 1) true)
+        | None -> search n.delegate (hops + 1) saw_iface)
+    in
+    search (Some t) 0 false
+  end
+
+let revoke t = t.revoked <- true

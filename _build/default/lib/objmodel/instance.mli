@@ -1,0 +1,47 @@
+(** Object instances.
+
+    An object is "a collection of methods and instance data" exporting one
+    or more named interfaces; objects are relatively coarse grained (a
+    scheduler, an IP layer, a device driver). Instances support method
+    delegation for code sharing: a method missing from this instance's
+    interface is searched along its delegate chain. *)
+
+type t = {
+  oid : int;  (** object handle, assigned by the {!Registry} *)
+  class_name : string;
+  mutable interfaces : Iface.t list;
+  mutable delegate : t option;
+  mutable domain : int;  (** protection domain the instance lives in *)
+  mutable revoked : bool;
+}
+
+(** [create registry ~class_name ~domain interfaces] registers a fresh
+    instance and returns it. *)
+val create :
+  t Registry.t -> class_name:string -> domain:int -> Iface.t list -> t
+
+val handle : t -> int
+
+(** [get_interface t name] finds an exported interface on this instance
+    only (delegation applies to methods, not whole interfaces). *)
+val get_interface : t -> string -> Iface.t option
+
+val interface_names : t -> string list
+
+(** [add_interface t i] exports a new interface; existing users are
+    unaffected ("adding a measurement interface to an RPC object does not
+    require recompilation of its users"). Raises [Invalid_argument] if the
+    name is already exported. *)
+val add_interface : t -> Iface.t -> unit
+
+(** [set_delegate t d] installs a delegation target. Raises
+    [Invalid_argument] on delegation cycles. *)
+val set_delegate : t -> t option -> unit
+
+(** [resolve_method t ~iface ~meth] finds the method, walking the delegate
+    chain; returns the method and the number of delegation hops taken. *)
+val resolve_method : t -> iface:string -> meth:string -> (Iface.meth * int, Oerror.t) result
+
+(** [revoke t] marks the instance dead; subsequent invocations fail with
+    [Revoked]. *)
+val revoke : t -> unit

@@ -1,0 +1,20 @@
+(** Method invocation engine.
+
+    The only sanctioned way to operate on an object: "objects can be
+    operated on only through the methods in the interfaces they export".
+    Charges the interface-dispatch cost, one hop cost per delegation link
+    followed, and validates arguments and result against the method's type
+    information. *)
+
+(** [call ctx obj ~iface ~meth args] dispatches a method. *)
+val call :
+  Call_ctx.t ->
+  Instance.t ->
+  iface:string ->
+  meth:string ->
+  Value.t list ->
+  (Value.t, Oerror.t) result
+
+(** [call_exn] is [call] but raises {!Oerror.Error} on failure. *)
+val call_exn :
+  Call_ctx.t -> Instance.t -> iface:string -> meth:string -> Value.t list -> Value.t

@@ -1,0 +1,46 @@
+type t =
+  | Tunit
+  | Tbool
+  | Tint
+  | Tstr
+  | Tblob
+  | Tpair of t * t
+  | Tlist of t
+  | Thandle
+  | Tany
+
+type signature = { args : t list; ret : t }
+
+let rec check ty v =
+  match (ty, v) with
+  | Tany, _ -> true
+  | Tunit, Value.Unit -> true
+  | Tbool, Value.Bool _ -> true
+  | Tint, Value.Int _ -> true
+  | Tstr, Value.Str _ -> true
+  | Tblob, Value.Blob _ -> true
+  | Tpair (a, b), Value.Pair (x, y) -> check a x && check b y
+  | Tlist ty, Value.List xs -> List.for_all (check ty) xs
+  | Thandle, Value.Handle _ -> true
+  | (Tunit | Tbool | Tint | Tstr | Tblob | Tpair _ | Tlist _ | Thandle), _ -> false
+
+let check_args sg vs =
+  List.length sg.args = List.length vs && List.for_all2 check sg.args vs
+
+let rec pp fmt = function
+  | Tunit -> Format.pp_print_string fmt "unit"
+  | Tbool -> Format.pp_print_string fmt "bool"
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tstr -> Format.pp_print_string fmt "str"
+  | Tblob -> Format.pp_print_string fmt "blob"
+  | Tpair (a, b) -> Format.fprintf fmt "(%a * %a)" pp a pp b
+  | Tlist t -> Format.fprintf fmt "%a list" pp t
+  | Thandle -> Format.pp_print_string fmt "handle"
+  | Tany -> Format.pp_print_string fmt "any"
+
+let pp_signature fmt sg =
+  Format.fprintf fmt "(%a) -> %a"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp)
+    sg.args pp sg.ret
+
+let to_string_signature sg = Format.asprintf "%a" pp_signature sg

@@ -1,0 +1,32 @@
+(** Interface type information.
+
+    Each interface carries "a set of methods, state pointers and type
+    information"; this module is the type-information part. Method
+    signatures are checked on every dynamic invocation, so a component
+    swapped in at run time cannot silently violate its contract. *)
+
+type t =
+  | Tunit
+  | Tbool
+  | Tint
+  | Tstr
+  | Tblob
+  | Tpair of t * t
+  | Tlist of t
+  | Thandle
+  | Tany  (** matches anything; used by generic forwarders *)
+
+type signature = { args : t list; ret : t }
+
+(** [check ty v] is true when [v] inhabits [ty]. *)
+val check : t -> Value.t -> bool
+
+(** [check_args sg vs] validates arity and each argument. *)
+val check_args : signature -> Value.t list -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_signature : Format.formatter -> signature -> unit
+
+(** [to_string_signature sg] is a compact rendering like
+    ["(int, str) -> blob"], used as human-readable type info. *)
+val to_string_signature : signature -> string

@@ -1,0 +1,1 @@
+lib/secure/authority.ml: Certificate Delegation List Meta Pm_crypto Principal

@@ -1,0 +1,1 @@
+lib/secure/authority.mli: Certificate Delegation Meta Pm_crypto Principal

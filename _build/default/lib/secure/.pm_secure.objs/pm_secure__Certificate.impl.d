@@ -1,0 +1,1 @@
+lib/secure/certificate.ml: Format Pm_crypto Principal Printf String

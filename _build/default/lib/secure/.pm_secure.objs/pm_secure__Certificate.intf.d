@@ -1,0 +1,1 @@
+lib/secure/certificate.mli: Format Pm_crypto Principal

@@ -1,0 +1,1 @@
+lib/secure/delegation.ml: Format Pm_crypto Principal Printf String

@@ -1,0 +1,1 @@
+lib/secure/delegation.mli: Format Pm_crypto Principal

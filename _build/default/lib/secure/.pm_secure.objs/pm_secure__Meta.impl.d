@@ -1,0 +1,1 @@
+lib/secure/meta.ml: Format

@@ -1,0 +1,1 @@
+lib/secure/principal.ml: Format Pm_crypto String

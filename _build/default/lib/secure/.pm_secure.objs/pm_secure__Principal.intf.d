@@ -1,0 +1,1 @@
+lib/secure/principal.mli: Format Pm_crypto

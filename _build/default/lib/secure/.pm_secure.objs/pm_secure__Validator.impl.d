@@ -1,0 +1,1 @@
+lib/secure/validator.ml: Certificate Delegation Hashtbl List Principal Printf String

@@ -1,0 +1,1 @@
+lib/secure/validator.mli: Certificate Delegation Principal

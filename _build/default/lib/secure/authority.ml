@@ -1,0 +1,70 @@
+module Rsa = Pm_crypto.Rsa
+module Sha256 = Pm_crypto.Sha256
+
+type verdict = Accept | Reject of string | Cannot_decide
+
+type delegate = {
+  principal : Principal.t;
+  keypair : Rsa.keypair;
+  policy : Meta.t -> verdict;
+  latency : int;
+}
+
+type t = {
+  ca : Principal.t;
+  ca_key : Rsa.keypair;
+  key_bits : int;
+  mutable chain : delegate list; (* preference order *)
+  mutable issued_grants : Delegation.t list;
+}
+
+type outcome = {
+  certificate : Certificate.t option;
+  trail : (string * verdict) list;
+  elapsed : int;
+}
+
+let scope_certification = "kernel-certification"
+
+let create rng ~name ~key_bits =
+  let ca_key = Rsa.generate rng ~bits:key_bits in
+  { ca = Principal.make name ca_key.Rsa.pub; ca_key; key_bits; chain = []; issued_grants = [] }
+
+let ca t = t.ca
+let grants t = t.issued_grants
+let delegates t = t.chain
+
+let add_delegate t rng ~name ~policy ~latency ?expires () =
+  let keypair = Rsa.generate rng ~bits:t.key_bits in
+  let principal = Principal.make name keypair.Rsa.pub in
+  let g =
+    Delegation.grant t.ca_key ~grantor:t.ca ~delegate:principal
+      ~scope:scope_certification ?expires ()
+  in
+  let d = { principal; keypair; policy; latency } in
+  t.chain <- t.chain @ [ d ];
+  t.issued_grants <- g :: t.issued_grants;
+  d
+
+let certify t meta ~code ~now =
+  let digest = Sha256.digest code in
+  let rec walk trail elapsed = function
+    | [] -> { certificate = None; trail = List.rev trail; elapsed }
+    | d :: rest ->
+      let verdict = d.policy meta in
+      let elapsed = elapsed + d.latency in
+      let trail = (d.principal.Principal.name, verdict) :: trail in
+      (match verdict with
+      | Accept ->
+        let cert =
+          Certificate.issue d.keypair ~signer:d.principal ~component:meta.Meta.name
+            ~digest ~issued_at:now
+        in
+        { certificate = Some cert; trail = List.rev trail; elapsed }
+      | Reject _ | Cannot_decide -> walk trail elapsed rest)
+  in
+  walk [] 0 t.chain
+
+let certify_direct ~signer_key ~signer ~meta ~code ~now =
+  Certificate.issue signer_key ~signer ~component:meta.Meta.name
+    ~digest:(Sha256.digest code) ~issued_at:now

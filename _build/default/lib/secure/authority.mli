@@ -1,0 +1,73 @@
+(** The certification authority and its ordered delegates.
+
+    "The certification authority can choose to delegate its certification
+    powers to subordinates ... These subordinates may be ordered in
+    preference and provide an escape hatch if one of the subordinates
+    fails to certify." A delegate is a principal with a policy (a function
+    of the component's {!Meta.t}), a simulated certification latency (a
+    prover is slow, an administrator slower still, a compiler fast), and a
+    key pair to sign with.
+
+    Certification happens off-line: [certify] walks the delegates in
+    preference order, asking each; [Cannot_decide] and [Reject] both fall
+    through to the next delegate (the escape hatch), and the trail of
+    verdicts is returned for inspection. *)
+
+type verdict = Accept | Reject of string | Cannot_decide
+
+type delegate = {
+  principal : Principal.t;
+  keypair : Pm_crypto.Rsa.keypair;
+  policy : Meta.t -> verdict;
+  latency : int;  (** simulated certification time, in cycles *)
+}
+
+type t
+
+(** Outcome of one certification attempt. *)
+type outcome = {
+  certificate : Certificate.t option;
+  trail : (string * verdict) list;  (** delegate name, verdict, in order *)
+  elapsed : int;  (** summed latency of all consulted delegates *)
+}
+
+(** [create rng ~name ~key_bits] makes an authority with a fresh CA key. *)
+val create : Pm_crypto.Prng.t -> name:string -> key_bits:int -> t
+
+val ca : t -> Principal.t
+
+(** [grants t] lists every delegation statement issued so far; the kernel
+    validator needs these to reconstruct speaks-for chains. *)
+val grants : t -> Delegation.t list
+
+(** [add_delegate t rng ~name ~policy ~latency ?expires ()] creates a
+    delegate principal, grants it certification power, and appends it to
+    the preference order. Returns the delegate. *)
+val add_delegate :
+  t ->
+  Pm_crypto.Prng.t ->
+  name:string ->
+  policy:(Meta.t -> verdict) ->
+  latency:int ->
+  ?expires:int ->
+  unit ->
+  delegate
+
+(** [delegates t] in preference order. *)
+val delegates : t -> delegate list
+
+(** [certify t meta ~code ~now] runs the delegate chain over a component.
+    The CA itself never signs components directly — that is what
+    delegates are for — so an empty chain certifies nothing. *)
+val certify : t -> Meta.t -> code:string -> now:int -> outcome
+
+(** [certify_direct t ~signer_key ~signer ~meta ~code ~now] lets a caller
+    holding a delegate key sign without consulting policies (used by
+    baselines, e.g. the trusted compiler signing its own output). *)
+val certify_direct :
+  signer_key:Pm_crypto.Rsa.keypair ->
+  signer:Principal.t ->
+  meta:Meta.t ->
+  code:string ->
+  now:int ->
+  Certificate.t

@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  size : int;
+  author : string;
+  type_safe : bool;
+  proof_annotated : bool;
+  tags : string list;
+}
+
+let make ?(author = "unknown") ?(type_safe = false) ?(proof_annotated = false)
+    ?(tags = []) ~name ~size () =
+  { name; size; author; type_safe; proof_annotated; tags }
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%dB by %s%s%s)" t.name t.size t.author
+    (if t.type_safe then ", type-safe" else "")
+    (if t.proof_annotated then ", annotated" else "")

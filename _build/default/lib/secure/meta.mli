@@ -1,0 +1,28 @@
+(** Component metadata presented to certifiers.
+
+    Certification policies decide from this description whether a
+    component is trustworthy enough for the kernel protection domain:
+    a trusted compiler accepts anything it compiled ([type_safe]), a
+    prover accepts only components it can reason about, an administrator
+    may accept by author or tag. *)
+
+type t = {
+  name : string;
+  size : int;  (** code size in bytes *)
+  author : string;
+  type_safe : bool;  (** produced by the trusted type-safe compiler *)
+  proof_annotated : bool;  (** ships with machine-checkable annotations *)
+  tags : string list;
+}
+
+val make :
+  ?author:string ->
+  ?type_safe:bool ->
+  ?proof_annotated:bool ->
+  ?tags:string list ->
+  name:string ->
+  size:int ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+type t = { name : string; key : Pm_crypto.Rsa.public }
+
+let make name key = { name; key }
+
+let id t = Pm_crypto.Rsa.fingerprint t.key
+
+let equal a b = String.equal (id a) (id b)
+
+let pp fmt t = Format.fprintf fmt "%s<%s>" t.name (id t)

@@ -1,0 +1,1 @@
+lib/threads/scheduler.ml: Array Effect Logs Pm_machine Printexc Queue

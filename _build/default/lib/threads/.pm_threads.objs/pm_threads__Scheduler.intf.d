@@ -1,0 +1,1 @@
+lib/threads/scheduler.mli: Pm_machine

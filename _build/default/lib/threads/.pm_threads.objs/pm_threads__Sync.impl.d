@@ -1,0 +1,1 @@
+lib/threads/sync.ml: Queue Scheduler

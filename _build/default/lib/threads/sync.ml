@@ -1,0 +1,125 @@
+module Waitq = struct
+  type t = Scheduler.resumer Queue.t
+
+  let create () : t = Queue.create ()
+
+  let wait q = Scheduler.suspend (fun r -> Queue.push r q)
+
+  let signal q =
+    match Queue.take_opt q with
+    | Some r ->
+      r.Scheduler.resume ();
+      true
+    | None -> false
+
+  let broadcast q =
+    let n = ref 0 in
+    let rec drain () =
+      if signal q then begin
+        incr n;
+        drain ()
+      end
+    in
+    drain ();
+    !n
+
+  let length = Queue.length
+end
+
+module Mutex = struct
+  type t = { mutable locked : bool; waiters : Waitq.t }
+
+  let create () = { locked = false; waiters = Waitq.create () }
+
+  let lock m =
+    if not m.locked then m.locked <- true
+    else
+      (* hand-off: unlock passes ownership straight to the oldest waiter,
+         so no re-check loop is needed here *)
+      Waitq.wait m.waiters
+
+  let try_lock m =
+    if m.locked then false
+    else begin
+      m.locked <- true;
+      true
+    end
+
+  let unlock m =
+    if not m.locked then invalid_arg "Mutex.unlock: not locked";
+    if not (Waitq.signal m.waiters) then m.locked <- false
+
+  let locked m = m.locked
+
+  let with_lock m f =
+    lock m;
+    match f () with
+    | v ->
+      unlock m;
+      v
+    | exception e ->
+      unlock m;
+      raise e
+end
+
+module Condvar = struct
+  type t = { waiters : Waitq.t }
+
+  let create () = { waiters = Waitq.create () }
+
+  let wait cv m =
+    (* release and park in one step: the resumer is registered before the
+       scheduler runs anyone else, so a signal between unlock and park is
+       impossible in this cooperative setting *)
+    Mutex.unlock m;
+    Waitq.wait cv.waiters;
+    Mutex.lock m
+
+  let signal cv = ignore (Waitq.signal cv.waiters)
+  let broadcast cv = ignore (Waitq.broadcast cv.waiters)
+end
+
+module Semaphore = struct
+  type t = { mutable count : int; waiters : Waitq.t }
+
+  let create n =
+    if n < 0 then invalid_arg "Semaphore.create: negative count";
+    { count = n; waiters = Waitq.create () }
+
+  let acquire s =
+    if s.count > 0 then s.count <- s.count - 1 else Waitq.wait s.waiters
+
+  let try_acquire s =
+    if s.count > 0 then begin
+      s.count <- s.count - 1;
+      true
+    end
+    else false
+
+  (* release hands the unit straight to a waiter when one exists *)
+  let release s = if not (Waitq.signal s.waiters) then s.count <- s.count + 1
+
+  let value s = s.count
+end
+
+module Ivar = struct
+  type 'a t = { mutable contents : 'a option; waiters : Waitq.t }
+
+  let create () = { contents = None; waiters = Waitq.create () }
+
+  let fill iv v =
+    match iv.contents with
+    | Some _ -> invalid_arg "Ivar.fill: already filled"
+    | None ->
+      iv.contents <- Some v;
+      ignore (Waitq.broadcast iv.waiters)
+
+  let rec read iv =
+    match iv.contents with
+    | Some v -> v
+    | None ->
+      Waitq.wait iv.waiters;
+      read iv
+
+  let peek iv = iv.contents
+end

@@ -1,0 +1,90 @@
+(** Synchronization primitives for the thread package.
+
+    All blocking operations must run inside a thread or proto-thread (a
+    blocking proto-thread is promoted, per the pop-up thread design).
+    Wake-ups only mark threads ready; they run at the next
+    {!Scheduler.run} dispatch. *)
+
+(** {1 Wait queues} — the primitive the rest is built on. *)
+
+module Waitq : sig
+  type t
+
+  val create : unit -> t
+
+  (** [wait q] parks the caller on [q]. *)
+  val wait : t -> unit
+
+  (** [signal q] readies the oldest waiter; [false] if [q] was empty. *)
+  val signal : t -> bool
+
+  (** [broadcast q] readies every waiter, returning how many. *)
+  val broadcast : t -> int
+
+  val length : t -> int
+end
+
+(** {1 Mutual exclusion} with direct hand-off to the oldest waiter. *)
+
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+
+  val lock : t -> unit
+
+  (** [try_lock m] never blocks. *)
+  val try_lock : t -> bool
+
+  (** [unlock m] raises [Invalid_argument] if [m] is not locked. *)
+  val unlock : t -> unit
+
+  val locked : t -> bool
+
+  (** [with_lock m f] brackets [f] with lock/unlock. *)
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+(** {1 Condition variables} (Mesa semantics: re-check your predicate). *)
+
+module Condvar : sig
+  type t
+
+  val create : unit -> t
+
+  (** [wait cv m] atomically releases [m], parks, and re-acquires [m]
+      after wake-up. *)
+  val wait : t -> Mutex.t -> unit
+
+  val signal : t -> unit
+  val broadcast : t -> unit
+end
+
+(** {1 Counting semaphores} *)
+
+module Semaphore : sig
+  type t
+
+  val create : int -> t
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+  val value : t -> int
+end
+
+(** {1 Write-once cells} — handy for RPC completion. *)
+
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  (** [fill iv v] wakes all readers. Raises [Invalid_argument] if already
+      filled. *)
+  val fill : 'a t -> 'a -> unit
+
+  (** [read iv] blocks until filled. *)
+  val read : 'a t -> 'a
+
+  val peek : 'a t -> 'a option
+end

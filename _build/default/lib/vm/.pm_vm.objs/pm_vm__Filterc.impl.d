@@ -1,0 +1,1 @@
+lib/vm/filterc.ml: Array Hashtbl List Pm_secure Printf Result String Vm

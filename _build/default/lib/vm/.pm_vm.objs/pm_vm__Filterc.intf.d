@@ -1,0 +1,1 @@
+lib/vm/filterc.mli: Hashtbl Pm_secure Vm

@@ -1,0 +1,1 @@
+lib/vm/sfi_rewrite.mli: Vm

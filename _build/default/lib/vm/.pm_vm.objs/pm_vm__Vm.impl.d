@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Array Buffer Bytes Char Format Pm_machine Pm_obj Printf String

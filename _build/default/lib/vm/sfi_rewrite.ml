@@ -1,0 +1,85 @@
+let reserved = [ 6; 7 ]
+
+let scratch_addr = 6
+let scratch_mask = 7
+
+let padded_size n =
+  let rec go p = if p >= max n 1 then p else go (p * 2) in
+  go 1
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let uses_reserved (ins : Vm.instr) =
+  let rd, a, b, _ =
+    match ins with
+    | Vm.Const (rd, imm) -> (rd, 0, 0, imm)
+    | Vm.Mov (rd, rs) -> (rd, rs, 0, 0)
+    | Vm.Add (rd, a, b) | Vm.Sub (rd, a, b) | Vm.Mul (rd, a, b) | Vm.Div (rd, a, b)
+    | Vm.And (rd, a, b) | Vm.Or (rd, a, b) | Vm.Xor (rd, a, b) ->
+      (rd, a, b, 0)
+    | Vm.Shl (rd, a, k) | Vm.Shr (rd, a, k) -> (rd, a, 0, k)
+    | Vm.Load8 (rd, rs, imm) -> (rd, rs, 0, imm)
+    | Vm.Store8 (rs, ra, imm) -> (rs, ra, 0, imm)
+    | Vm.Jmp _ -> (0, 0, 0, 0)
+    | Vm.Jz (r, _) | Vm.Jnz (r, _) -> (r, 0, 0, 0)
+    | Vm.Jlt (a, b, _) -> (a, b, 0, 0)
+    | Vm.Ret r -> (r, 0, 0, 0)
+  in
+  List.mem rd reserved || List.mem a reserved || List.mem b reserved
+
+(* the mask sequence replacing one memory access:
+     const r7, mask
+     const r6, imm           (collapse the displacement first)
+     add   r6, rs, r6
+     and   r6, r6, r7
+     ld/st ..., [r6+0]                                          *)
+let expansion ~mask ins =
+  match ins with
+  | Vm.Load8 (rd, rs, imm) ->
+    [ Vm.Const (scratch_mask, mask); Vm.Const (scratch_addr, imm);
+      Vm.Add (scratch_addr, rs, scratch_addr);
+      Vm.And (scratch_addr, scratch_addr, scratch_mask);
+      Vm.Load8 (rd, scratch_addr, 0) ]
+  | Vm.Store8 (rs, ra, imm) ->
+    [ Vm.Const (scratch_mask, mask); Vm.Const (scratch_addr, imm);
+      Vm.Add (scratch_addr, ra, scratch_addr);
+      Vm.And (scratch_addr, scratch_addr, scratch_mask);
+      Vm.Store8 (rs, scratch_addr, 0) ]
+  | other -> [ other ]
+
+let rewrite program ~window_size =
+  if not (is_pow2 window_size) then Error "window size must be a power of two"
+  else if Array.exists uses_reserved program then
+    Error "program uses a reserved register (r6/r7)"
+  else begin
+    let mask = window_size - 1 in
+    (* first pass: compute where each original instruction lands *)
+    let n = Array.length program in
+    let new_index = Array.make (n + 1) 0 in
+    let cursor = ref 0 in
+    Array.iteri
+      (fun idx ins ->
+        new_index.(idx) <- !cursor;
+        cursor := !cursor + List.length (expansion ~mask ins))
+      program;
+    new_index.(n) <- !cursor;
+    (* second pass: emit, remapping jump targets through [new_index] *)
+    let remap t =
+      if t < 0 || t > n then t (* leave invalid targets for the VM to fault on *)
+      else new_index.(t)
+    in
+    let out = ref [] in
+    Array.iter
+      (fun ins ->
+        let patched =
+          match ins with
+          | Vm.Jmp t -> Vm.Jmp (remap t)
+          | Vm.Jz (r, t) -> Vm.Jz (r, remap t)
+          | Vm.Jnz (r, t) -> Vm.Jnz (r, remap t)
+          | Vm.Jlt (a, b, t) -> Vm.Jlt (a, b, remap t)
+          | other -> other
+        in
+        out := List.rev_append (expansion ~mask patched) !out)
+      program;
+    Ok (Array.of_list (List.rev !out))
+  end

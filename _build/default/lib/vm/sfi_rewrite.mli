@@ -1,0 +1,25 @@
+(** Software fault isolation by bytecode rewriting (Wahbe et al., SOSP
+    '93 — the technique the paper positions certification against).
+
+    [rewrite] inserts a mask sequence before every [Load8]/[Store8] so
+    the effective address is forced into the (power-of-two-sized) window
+    no matter what the program computes; jump targets are remapped around
+    the inserted code. Two registers (r6, r7) are reserved for the mask
+    sequence, exactly like Wahbe's dedicated registers: programs that use
+    them are rejected (a real implementation would re-allocate; rejection
+    keeps the transformation honest and small).
+
+    The per-access price — 3 extra instructions — is then *measured*
+    execution cost, not a cost-model constant. *)
+
+(** Registers the rewriter reserves. *)
+val reserved : Vm.reg list
+
+(** [padded_size n] is the smallest power of two >= max n 1: the window
+    size a host must provide for masking to be sound. *)
+val padded_size : int -> int
+
+(** [rewrite program ~window_size] returns the sandboxed program.
+    [Error] if the program touches a reserved register or [window_size]
+    is not a power of two. *)
+val rewrite : Vm.program -> window_size:int -> (Vm.program, string) result

@@ -1,0 +1,82 @@
+(** Bytecode virtual machine for downloaded components.
+
+    Everywhere else in this reproduction, "component object code" is a
+    synthetic byte string that certificates digest. This module makes it
+    real for the paper's canonical extension — user code downloaded into
+    a shared kernel component (e.g. "inserting application components for
+    fast protocol processing into a shared network device", §1): programs
+    are actual bytecode, executed against a host-provided memory window
+    (a packet buffer), with every instruction and memory access charged
+    to the machine clock.
+
+    The safety landscape then stops being a modelling assumption:
+    - a {b certified} program runs raw — the certifier (e.g. the
+      {!Filterc} compiler, which only emits bounds-checked access
+      sequences) vouched that it cannot touch memory outside its window;
+    - an {b uncertified} program run raw can issue wild accesses — the
+      interpreter detects the window escape, aborts the program and
+      counts a ["vm_wild_access"], modelling the kernel-corruption risk
+      certification exists to prevent;
+    - the {b SFI} alternative ({!Sfi_rewrite}) inserts real mask
+      instructions before every load/store, making any program safe at a
+      measurable per-access price.
+
+    {b ISA}: 8 registers (r0–r7); fixed 8-byte instructions
+    [opcode rd rs1 rs2 imm32]. By convention r0 = 0 and r1 = window
+    length on entry. Programs return through [Ret]. *)
+
+type reg = int (* 0..7 *)
+
+type instr =
+  | Const of reg * int  (** rd <- imm *)
+  | Mov of reg * reg
+  | Add of reg * reg * reg  (** rd <- rs1 + rs2 *)
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg  (** faults on division by zero *)
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Shl of reg * reg * int
+  | Shr of reg * reg * int
+  | Load8 of reg * reg * int  (** rd <- window[rs1 + imm] *)
+  | Store8 of reg * reg * int  (** window[rs1 + imm] <- rd *)
+  | Jmp of int  (** absolute instruction index *)
+  | Jz of reg * int
+  | Jnz of reg * int
+  | Jlt of reg * reg * int  (** jump when rs1 < rs2 *)
+  | Ret of reg
+
+type program = instr array
+
+(** Host memory window the program may touch. *)
+type mem = {
+  size : int;
+  read8 : int -> int;  (** offsets are window-relative *)
+  write8 : int -> int -> unit;
+}
+
+(** [mem_of_bytes b] wraps a buffer as a window. *)
+val mem_of_bytes : bytes -> mem
+
+type outcome =
+  | Returned of int
+  | Wild_access of int  (** raw program escaped its window at this offset *)
+  | Vm_fault of string  (** bad opcode/register/jump, div0, out of fuel *)
+
+(** [run ctx ~mem ?fuel program] executes. Every instruction charges one
+    cycle; loads/stores additionally charge one {!Pm_obj.Call_ctx.access}
+    (so the cost-model SFI wrapper and this VM agree on what an access
+    is). [fuel] bounds execution (default 10_000 instructions). *)
+val run : Pm_obj.Call_ctx.t -> mem:mem -> ?fuel:int -> program -> outcome
+
+(** {1 Object code} — what certificates digest. *)
+
+val encode : program -> string
+
+(** [decode s] validates opcodes and register numbers. *)
+val decode : string -> (program, string) result
+
+val instr_count : program -> int
+val pp_instr : Format.formatter -> instr -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest List Nat Paramecium QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Lazy List Nat Paramecium Prime Printf Prng QCheck2 QCheck_alcotest Rsa Sha256 String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Char Clock Console Cost Format List Machine Mmu Nic Paramecium Physmem String Timer_dev

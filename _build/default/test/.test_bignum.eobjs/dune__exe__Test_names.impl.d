@@ -1,0 +1,1 @@
+test/test_names.ml: Alcotest Array Call_ctx Clock Cost Format Hashtbl List Namespace Option Paramecium Path QCheck2 QCheck_alcotest String View

@@ -1,0 +1,1 @@
+test/test_obj.ml: Alcotest Bytes Call_ctx Clock Composite Cost Iface Instance Invoke List Oerror Option Paramecium QCheck2 QCheck_alcotest Registry String Value Vtype

@@ -1,0 +1,1 @@
+test/test_secure.ml: Alcotest Authority Certificate Char Delegation Lazy List Meta Paramecium Policies Principal Prng QCheck2 QCheck_alcotest Rsa Sha256 String Validator

@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest Buffer Char Clock Cost Effect List Paramecium Printf QCheck2 QCheck_alcotest Queue Scheduler Sync

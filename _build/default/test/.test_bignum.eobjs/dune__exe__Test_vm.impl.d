@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Bytes Call_ctx Char Clock Cost Filterc Invoke Kernel List Nic Oerror Paramecium Printf QCheck2 QCheck_alcotest Sfi_rewrite Stack String System Value Vm Wire

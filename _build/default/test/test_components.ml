@@ -1,0 +1,714 @@
+(* Tests for the component toolbox: wire formats, allocator, network
+   driver, protocol stack, RPC, interposing agents. *)
+
+open Paramecium
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let sys_fixture () = System.create ~key_bits:384 ()
+
+let ctx_fixture () =
+  let clock = Clock.create () in
+  (clock, Call_ctx.make ~clock ~costs:Cost.unit_costs ~caller_domain:0)
+
+(* --- codegen -------------------------------------------------------------- *)
+
+let test_codegen () =
+  let a = Codegen.synthesize ~name:"x" ~size:100 in
+  let b = Codegen.synthesize ~name:"x" ~size:100 in
+  let c = Codegen.synthesize ~name:"y" ~size:100 in
+  Alcotest.(check int) "size" 100 (String.length a);
+  Alcotest.(check bool) "deterministic" true (String.equal a b);
+  Alcotest.(check bool) "name-dependent" false (String.equal a c);
+  let t = Codegen.tamper a ~at:50 in
+  Alcotest.(check bool) "tamper changes one byte" false (String.equal a t);
+  Alcotest.(check int) "only one byte" 1
+    (List.length
+       (List.filter Fun.id (List.init 100 (fun i -> a.[i] <> t.[i]))))
+
+(* --- wire ------------------------------------------------------------------ *)
+
+let test_frame_round_trip () =
+  let _, ctx = ctx_fixture () in
+  let payload = Bytes.of_string "some payload" in
+  let raw = Wire.Frame.build ctx ~dst:7 ~src:9 payload in
+  (match Wire.Frame.parse ctx raw with
+  | Ok { Wire.Frame.dst; src; payload = p } ->
+    Alcotest.(check int) "dst" 7 dst;
+    Alcotest.(check int) "src" 9 src;
+    Alcotest.(check string) "payload" "some payload" (Bytes.to_string p)
+  | Error e -> Alcotest.fail e)
+
+let test_frame_detects_corruption () =
+  let _, ctx = ctx_fixture () in
+  let raw = Wire.Frame.build ctx ~dst:7 ~src:9 (Bytes.of_string "payload") in
+  Bytes.set raw 8 'X';
+  (match Wire.Frame.parse ctx raw with
+  | Error "frame: bad fcs" -> ()
+  | _ -> Alcotest.fail "corruption must be detected");
+  (match Wire.Frame.parse ctx (Bytes.create 3) with
+  | Error "frame: truncated" -> ()
+  | _ -> Alcotest.fail "truncation must be detected");
+  (match Wire.Frame.parse ctx (Bytes.create 32) with
+  | Error "frame: bad length" -> ()
+  | _ -> Alcotest.fail "length mismatch must be detected")
+
+let test_net_round_trip_and_ttl () =
+  let _, ctx = ctx_fixture () in
+  let raw = Wire.Net.build ctx ~src:1 ~dst:2 ~ttl:5 ~proto:17 (Bytes.of_string "x") in
+  (match Wire.Net.parse ctx raw with
+  | Ok { Wire.Net.src = 1; dst = 2; ttl = 5; proto = 17; _ } -> ()
+  | Ok _ -> Alcotest.fail "fields wrong"
+  | Error e -> Alcotest.fail e);
+  (match Wire.Net.decrement_ttl ctx raw with
+  | Ok () ->
+    (match Wire.Net.parse ctx raw with
+    | Ok { Wire.Net.ttl = 4; _ } -> ()
+    | _ -> Alcotest.fail "ttl not decremented or checksum broken")
+  | Error e -> Alcotest.fail e);
+  let dying = Wire.Net.build ctx ~src:1 ~dst:2 ~ttl:1 ~proto:17 Bytes.empty in
+  (match Wire.Net.decrement_ttl ctx dying with
+  | Error "net: ttl expired" -> ()
+  | _ -> Alcotest.fail "ttl expiry must be caught")
+
+let test_transport_round_trip () =
+  let _, ctx = ctx_fixture () in
+  let raw = Wire.Transport.build ctx ~sport:100 ~dport:200 (Bytes.of_string "data") in
+  (match Wire.Transport.parse ctx raw with
+  | Ok { Wire.Transport.sport = 100; dport = 200; payload } ->
+    Alcotest.(check string) "payload" "data" (Bytes.to_string payload)
+  | Ok _ -> Alcotest.fail "fields wrong"
+  | Error e -> Alcotest.fail e);
+  Bytes.set raw (Bytes.length raw - 1) '!';
+  (match Wire.Transport.parse ctx raw with
+  | Error "transport: bad checksum" -> ()
+  | _ -> Alcotest.fail "payload corruption must be detected")
+
+let test_wire_charges_accesses () =
+  let clock, ctx = ctx_fixture () in
+  let before = Clock.counter clock "component_mem_access" in
+  ignore (Wire.Frame.build ctx ~dst:1 ~src:2 (Bytes.create 100));
+  let accesses = Clock.counter clock "component_mem_access" - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-byte work recorded (%d)" accesses)
+    true (accesses >= 200)
+
+(* --- allocator --------------------------------------------------------------- *)
+
+let alloc_fixture () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let inst = Allocator.create (Kernel.api k) kdom ~heap_pages:2 in
+  (k, Kernel.ctx k kdom, inst)
+
+let test_allocator_alloc_free () =
+  let _, ctx, a = alloc_fixture () in
+  let alloc n = Value.to_int (Invoke.call_exn ctx a ~iface:"allocator" ~meth:"alloc" [ Value.Int n ]) in
+  let free addr = ignore (Invoke.call_exn ctx a ~iface:"allocator" ~meth:"free" [ Value.Int addr ]) in
+  let avail () = Value.to_int (Invoke.call_exn ctx a ~iface:"allocator" ~meth:"avail" []) in
+  let total = avail () in
+  let x = alloc 100 in
+  let y = alloc 100 in
+  Alcotest.(check bool) "disjoint" true (abs (x - y) >= 100);
+  Alcotest.(check bool) "avail dropped" true (avail () < total);
+  free x;
+  free y;
+  Alcotest.(check int) "coalesced back to whole heap" total (avail ());
+  (* after full free, a big allocation fits again *)
+  let z = alloc (total - 8) in
+  Alcotest.(check bool) "big alloc" true (z > 0)
+
+let test_allocator_errors () =
+  let _, ctx, a = alloc_fixture () in
+  (match Invoke.call ctx a ~iface:"allocator" ~meth:"alloc" [ Value.Int 1_000_000 ] with
+  | Error (Oerror.Fault _) -> ()
+  | _ -> Alcotest.fail "exhaustion must fault");
+  (match Invoke.call ctx a ~iface:"allocator" ~meth:"free" [ Value.Int 12345 ] with
+  | Error (Oerror.Fault _) -> ()
+  | _ -> Alcotest.fail "bad free must fault");
+  (match Invoke.call ctx a ~iface:"allocator" ~meth:"alloc" [ Value.Int 0 ] with
+  | Error (Oerror.Type_error _) -> ()
+  | _ -> Alcotest.fail "zero-size alloc rejected")
+
+let test_allocator_reuse_after_free () =
+  let _, ctx, a = alloc_fixture () in
+  let alloc n = Value.to_int (Invoke.call_exn ctx a ~iface:"allocator" ~meth:"alloc" [ Value.Int n ]) in
+  let free addr = ignore (Invoke.call_exn ctx a ~iface:"allocator" ~meth:"free" [ Value.Int addr ]) in
+  let x = alloc 64 in
+  free x;
+  let y = alloc 64 in
+  Alcotest.(check int) "first-fit reuses the hole" x y
+
+(* --- networking fixture -------------------------------------------------------- *)
+
+let net_fixture ?(placement = System.Certified) ?(loopback = false) ?(addr = 42) () =
+  let sys = sys_fixture () in
+  let net = System.setup_networking sys ~placement ~addr ~loopback () in
+  (sys, System.kernel sys, net)
+
+let stack_call k dom stack meth args =
+  Invoke.call_exn (Kernel.ctx k dom) stack ~iface:"stack" ~meth args
+
+let make_packet ctx ~src ~dst ~sport ~dport payload =
+  let tp = Wire.Transport.build ctx ~sport ~dport (Bytes.of_string payload) in
+  let np = Wire.Net.build ctx ~src ~dst ~ttl:8 ~proto:Stack.proto_transport tp in
+  Wire.Frame.build ctx ~dst ~src np
+
+(* --- netdrv ----------------------------------------------------------------------- *)
+
+let test_netdrv_rx_to_stack () =
+  let _, k, net = net_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  ignore (stack_call k kdom net.System.stack "bind_port" [ Value.Int 7 ]);
+  let ctx = Kernel.ctx k kdom in
+  Nic.inject (Kernel.nic k) (Bytes.to_string (make_packet ctx ~src:13 ~dst:42 ~sport:9 ~dport:7 "ping"));
+  Kernel.step k ~ticks:2 ();
+  (match stack_call k kdom net.System.stack "recv" [ Value.Int 7 ] with
+  | Value.List [ Value.Pair (Value.Pair (Value.Int 13, Value.Int 9), Value.Blob b) ] ->
+    Alcotest.(check string) "payload" "ping" (Bytes.to_string b)
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v));
+  (* driver stats *)
+  (match Invoke.call_exn ctx net.System.driver ~iface:"netdev" ~meth:"stats" [] with
+  | Value.Pair (Value.Int rx, Value.Int _) -> Alcotest.(check int) "one rx" 1 rx
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
+
+let test_netdrv_tx () =
+  let _, k, net = net_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  let ctx = Kernel.ctx k kdom in
+  ignore
+    (stack_call k kdom net.System.stack "send"
+       [ Value.Int 13; Value.Int 5; Value.Int 6; Value.Blob (Bytes.of_string "out") ]);
+  Kernel.step k ~ticks:2 ();
+  (match Nic.take_transmitted (Kernel.nic k) with
+  | [ frame ] ->
+    (match Wire.Frame.parse ctx (Bytes.of_string frame) with
+    | Ok { Wire.Frame.dst = 13; src = 42; _ } -> ()
+    | _ -> Alcotest.fail "frame headers wrong")
+  | l -> Alcotest.failf "expected one frame, got %d" (List.length l))
+
+let test_netdrv_mtu_and_errors () =
+  let _, k, net = net_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  let ctx = Kernel.ctx k kdom in
+  (match Invoke.call_exn ctx net.System.driver ~iface:"netdev" ~meth:"mtu" [] with
+  | Value.Int m -> Alcotest.(check int) "mtu" Nic.mtu m
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v));
+  (match
+     Invoke.call ctx net.System.driver ~iface:"netdev" ~meth:"send"
+       [ Value.Blob (Bytes.create (Nic.mtu + 1)) ]
+   with
+  | Error (Oerror.Fault _) -> ()
+  | _ -> Alcotest.fail "oversize frame must fault");
+  (match Invoke.call ctx net.System.driver ~iface:"netdev" ~meth:"attach" [ Value.Str "/nonesuch" ] with
+  | Error (Oerror.Fault _) -> ()
+  | _ -> Alcotest.fail "bad sink path must fault")
+
+let test_netdrv_exclusive_io () =
+  let sys, k, _net = net_fixture () in
+  ignore sys;
+  (* the certified driver holds the NIC exclusively: a second driver
+     cannot claim it *)
+  (match Netdrv.create (Kernel.api k) (Kernel.kernel_domain k) () with
+  | exception Vmem.Vmem_error _ -> ()
+  | _ -> Alcotest.fail "second exclusive grant must fail")
+
+(* --- stack ------------------------------------------------------------------------- *)
+
+let test_stack_filters_wrong_destination () =
+  let _, k, net = net_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  ignore (stack_call k kdom net.System.stack "bind_port" [ Value.Int 7 ]);
+  let ctx = Kernel.ctx k kdom in
+  Nic.inject (Kernel.nic k)
+    (Bytes.to_string (make_packet ctx ~src:13 ~dst:99 ~sport:9 ~dport:7 "not-mine"));
+  Kernel.step k ~ticks:2 ();
+  (match stack_call k kdom net.System.stack "stats" [] with
+  | Value.List [ Value.Int rx_ok; Value.Int dropped; Value.Int _; Value.Int _ ] ->
+    Alcotest.(check int) "nothing accepted" 0 rx_ok;
+    Alcotest.(check int) "dropped" 1 dropped
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
+
+let test_stack_accepts_broadcast () =
+  let _, k, net = net_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  ignore (stack_call k kdom net.System.stack "bind_port" [ Value.Int 7 ]);
+  let ctx = Kernel.ctx k kdom in
+  Nic.inject (Kernel.nic k)
+    (Bytes.to_string (make_packet ctx ~src:13 ~dst:0xffff ~sport:9 ~dport:7 "bcast"));
+  Kernel.step k ~ticks:2 ();
+  Alcotest.check value "broadcast delivered" (Value.Int 1)
+    (stack_call k kdom net.System.stack "pending" [ Value.Int 7 ])
+
+let test_stack_drops_corrupt_and_unbound () =
+  let _, k, net = net_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  let ctx = Kernel.ctx k kdom in
+  ignore (stack_call k kdom net.System.stack "bind_port" [ Value.Int 7 ]);
+  (* corrupt FCS *)
+  let raw = make_packet ctx ~src:13 ~dst:42 ~sport:9 ~dport:7 "x" in
+  Bytes.set raw 10 (Char.chr (Char.code (Bytes.get raw 10) lxor 0xff));
+  Nic.inject (Kernel.nic k) (Bytes.to_string raw);
+  (* port 8 is not bound *)
+  Nic.inject (Kernel.nic k)
+    (Bytes.to_string (make_packet ctx ~src:13 ~dst:42 ~sport:9 ~dport:8 "y"));
+  Kernel.step k ~ticks:4 ();
+  (match stack_call k kdom net.System.stack "stats" [] with
+  | Value.List [ Value.Int 0; Value.Int 2; Value.Int 0; Value.Int 0 ] -> ()
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
+
+let test_stack_send_recv_loopback () =
+  let _, k, net = net_fixture ~loopback:true () in
+  let kdom = Kernel.kernel_domain k in
+  ignore (stack_call k kdom net.System.stack "bind_port" [ Value.Int 30 ]);
+  ignore
+    (stack_call k kdom net.System.stack "send"
+       [ Value.Int 42; Value.Int 31; Value.Int 30; Value.Blob (Bytes.of_string "self") ]);
+  Kernel.step k ~ticks:4 ();
+  (match stack_call k kdom net.System.stack "recv" [ Value.Int 30 ] with
+  | Value.List [ Value.Pair (Value.Pair (Value.Int 42, Value.Int 31), Value.Blob b) ] ->
+    Alcotest.(check string) "self-delivery" "self" (Bytes.to_string b)
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
+
+let test_stack_port_management () =
+  let _, k, net = net_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  ignore (stack_call k kdom net.System.stack "bind_port" [ Value.Int 5 ]);
+  (match
+     Invoke.call (Kernel.ctx k kdom) net.System.stack ~iface:"stack" ~meth:"bind_port"
+       [ Value.Int 5 ]
+   with
+  | Error (Oerror.Fault _) -> ()
+  | _ -> Alcotest.fail "double bind must fault");
+  ignore (stack_call k kdom net.System.stack "unbind_port" [ Value.Int 5 ]);
+  (match
+     Invoke.call (Kernel.ctx k kdom) net.System.stack ~iface:"stack" ~meth:"recv"
+       [ Value.Int 5 ]
+   with
+  | Error (Oerror.Fault _) -> ()
+  | _ -> Alcotest.fail "recv on unbound port must fault")
+
+let test_stack_layer_replacement () =
+  (* swap the transport layer for one that uppercases payloads: dynamic
+     reconfiguration of a running composition *)
+  let sys, k, _net = net_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  let api = Kernel.api k in
+  let comp = Stack.create api kdom ~addr:50 ~driver_path:"/services/netdrv" in
+  let shouting =
+    let encode ctx = function
+      | [ Value.Int sport; Value.Int dport; Value.Blob payload ] ->
+        let upper = Bytes.of_string (String.uppercase_ascii (Bytes.to_string payload)) in
+        Ok (Value.Blob (Wire.Transport.build ctx ~sport ~dport upper))
+      | _ -> Error (Oerror.Type_error "encode")
+    in
+    let decode ctx = function
+      | [ Value.Blob raw ] ->
+        (match Wire.Transport.parse ctx raw with
+        | Ok { Wire.Transport.sport; dport; payload } ->
+          Ok (Value.Pair (Value.Pair (Value.Int sport, Value.Int dport), Value.Blob payload))
+        | Error e -> Error (Oerror.Fault e))
+      | _ -> Error (Oerror.Type_error "decode")
+    in
+    Iface.make ~name:"layer"
+      [
+        Iface.meth ~name:"encode" ~args:[ Vtype.Tint; Vtype.Tint; Vtype.Tblob ]
+          ~ret:Vtype.Tblob encode;
+        Iface.meth ~name:"decode" ~args:[ Vtype.Tblob ]
+          ~ret:(Vtype.Tpair (Vtype.Tpair (Vtype.Tint, Vtype.Tint), Vtype.Tblob))
+          decode;
+      ]
+  in
+  let replacement =
+    Instance.create api.Api.registry ~class_name:"test.shouting" ~domain:kdom.Domain.id
+      [ shouting ]
+  in
+  Stack.replace_layer comp "transport" replacement;
+  let stack = Composite.instance comp in
+  let ctx = Kernel.ctx k kdom in
+  ignore (Invoke.call_exn ctx stack ~iface:"stack" ~meth:"bind_port" [ Value.Int 1 ]);
+  ignore
+    (Invoke.call_exn ctx stack ~iface:"stack" ~meth:"send"
+       [ Value.Int 60; Value.Int 1; Value.Int 2; Value.Blob (Bytes.of_string "quiet") ]);
+  Kernel.step k ~ticks:2 ();
+  (match Nic.take_transmitted (Kernel.nic k) with
+  | [ frame ] ->
+    (* decode with the standard layers: payload must be uppercased *)
+    (match Wire.Frame.parse ctx (Bytes.of_string frame) with
+    | Ok { Wire.Frame.payload = np; _ } ->
+      (match Wire.Net.parse ctx np with
+      | Ok { Wire.Net.payload = tp; _ } ->
+        (match Wire.Transport.parse ctx tp with
+        | Ok { Wire.Transport.payload; _ } ->
+          Alcotest.(check string) "uppercased on the wire" "QUIET"
+            (Bytes.to_string payload)
+        | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail e)
+    | Error e -> Alcotest.fail e)
+  | l -> Alcotest.failf "expected one frame, got %d" (List.length l));
+  ignore sys;
+  (match Stack.replace_layer comp "bogus" replacement with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown layer rejected")
+
+(* --- rpc -------------------------------------------------------------------------- *)
+
+let rpc_fixture () =
+  let sys, k, _net = net_fixture ~loopback:true () in
+  let kdom = Kernel.kernel_domain k in
+  let api = Kernel.api k in
+  let procedures =
+    [
+      ("echo", fun _ctx b -> Ok b);
+      ("upper", fun _ctx b -> Ok (Bytes.of_string (String.uppercase_ascii (Bytes.to_string b))));
+      ("fail", fun _ctx _ -> Error "application exploded");
+    ]
+  in
+  let server = Rpc.create_server api kdom ~stack_path:"/services/stack" ~port:100 ~procedures in
+  let client =
+    Rpc.create_client api kdom ~stack_path:"/services/stack" ~port:200 ~server:(42, 100) ()
+  in
+  (sys, k, server, client)
+
+let run_rpc k body =
+  let result = ref None in
+  let kdom = Kernel.kernel_domain k in
+  ignore
+    (Scheduler.spawn (Kernel.sched k) ~name:"rpc-test" ~domain:kdom.Domain.id (fun () ->
+         result := Some (body ())));
+  (* pump the server alongside *)
+  Kernel.step k ~ticks:100 ();
+  !result
+
+let test_rpc_round_trip () =
+  let _, k, server, client = rpc_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  let ctx = Kernel.ctx k kdom in
+  ignore
+    (Scheduler.spawn (Kernel.sched k) ~name:"server-pump" ~domain:kdom.Domain.id (fun () ->
+         for _ = 1 to 300 do
+           ignore (Invoke.call_exn ctx server ~iface:"rpc.server" ~meth:"poll" []);
+           Scheduler.yield ()
+         done));
+  (match
+     run_rpc k (fun () ->
+         Invoke.call_exn ctx client ~iface:"rpc" ~meth:"call"
+           [ Value.Str "upper"; Value.Blob (Bytes.of_string "shout") ])
+   with
+  | Some (Value.Blob b) -> Alcotest.(check string) "result" "SHOUT" (Bytes.to_string b)
+  | _ -> Alcotest.fail "rpc did not complete");
+  (* server-side counters *)
+  (match Invoke.call_exn ctx server ~iface:"rpc.server" ~meth:"requests" [] with
+  | Value.Int n -> Alcotest.(check int) "one request" 1 n
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
+
+let test_rpc_application_error () =
+  let _, k, server, client = rpc_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  let ctx = Kernel.ctx k kdom in
+  ignore
+    (Scheduler.spawn (Kernel.sched k) ~name:"server-pump" ~domain:kdom.Domain.id (fun () ->
+         for _ = 1 to 300 do
+           ignore (Invoke.call_exn ctx server ~iface:"rpc.server" ~meth:"poll" []);
+           Scheduler.yield ()
+         done));
+  let got = ref None in
+  ignore
+    (Scheduler.spawn (Kernel.sched k) ~name:"client" ~domain:kdom.Domain.id (fun () ->
+         got :=
+           Some
+             (Invoke.call ctx client ~iface:"rpc" ~meth:"call"
+                [ Value.Str "fail"; Value.Blob Bytes.empty ])));
+  Kernel.step k ~ticks:100 ();
+  (match !got with
+  | Some (Error (Oerror.Fault msg)) ->
+    Alcotest.(check bool) "remote error surfaced" true
+      (String.length msg > 0 && String.sub msg 0 4 = "rpc:")
+  | _ -> Alcotest.fail "expected remote fault");
+  (* unknown procedure; the first pump may be exhausted, start another *)
+  ignore
+    (Scheduler.spawn (Kernel.sched k) ~name:"server-pump2" ~domain:kdom.Domain.id (fun () ->
+         for _ = 1 to 300 do
+           ignore (Invoke.call_exn ctx server ~iface:"rpc.server" ~meth:"poll" []);
+           Scheduler.yield ()
+         done));
+  let got2 = ref None in
+  ignore
+    (Scheduler.spawn (Kernel.sched k) ~name:"client2" ~domain:kdom.Domain.id (fun () ->
+         got2 :=
+           Some
+             (Invoke.call ctx client ~iface:"rpc" ~meth:"call"
+                [ Value.Str "nonesuch"; Value.Blob Bytes.empty ])));
+  Kernel.step k ~ticks:100 ();
+  (match !got2 with
+  | Some (Error (Oerror.Fault _)) -> ()
+  | _ -> Alcotest.fail "unknown procedure must fault")
+
+let test_rpc_measurement_interface () =
+  let _, k, server, client = rpc_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  let ctx = Kernel.ctx k kdom in
+  (* interface evolution: users bound to "rpc" are untouched *)
+  Alcotest.(check (list string)) "before" [ "rpc" ] (Instance.interface_names client);
+  Rpc.add_measurement client;
+  Alcotest.(check (list string)) "after" [ "rpc"; "rpc.measure" ]
+    (Instance.interface_names client);
+  ignore
+    (Scheduler.spawn (Kernel.sched k) ~name:"server-pump" ~domain:kdom.Domain.id (fun () ->
+         for _ = 1 to 300 do
+           ignore (Invoke.call_exn ctx server ~iface:"rpc.server" ~meth:"poll" []);
+           Scheduler.yield ()
+         done));
+  ignore
+    (run_rpc k (fun () ->
+         Invoke.call_exn ctx client ~iface:"rpc" ~meth:"call"
+           [ Value.Str "echo"; Value.Blob (Bytes.of_string "m") ]));
+  Alcotest.check value "calls measured" (Value.Int 1)
+    (Invoke.call_exn ctx client ~iface:"rpc.measure" ~meth:"calls" []);
+  (match Invoke.call_exn ctx client ~iface:"rpc.measure" ~meth:"cycles" [] with
+  | Value.Int c -> Alcotest.(check bool) "cycles positive" true (c > 0)
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v));
+  (match Rpc.add_measurement server with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "measurement only fits clients")
+
+(* --- interposition ------------------------------------------------------------------ *)
+
+let test_interpose_forwards_and_counts () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let api = Kernel.api k in
+  let target = Allocator.create api kdom ~heap_pages:1 in
+  let agent = Interpose.wrap api kdom ~target () in
+  let ctx = Kernel.ctx k kdom in
+  (* superset: all original interfaces plus monitor *)
+  Alcotest.(check (list string)) "superset" [ "allocator"; "monitor" ]
+    (Instance.interface_names agent);
+  let addr = Value.to_int (Invoke.call_exn ctx agent ~iface:"allocator" ~meth:"alloc" [ Value.Int 64 ]) in
+  ignore (Invoke.call_exn ctx agent ~iface:"allocator" ~meth:"free" [ Value.Int addr ]);
+  Alcotest.check value "calls counted" (Value.Int 2)
+    (Invoke.call_exn ctx agent ~iface:"monitor" ~meth:"calls" []);
+  ignore (Invoke.call_exn ctx agent ~iface:"monitor" ~meth:"reset" []);
+  Alcotest.check value "reset" (Value.Int 0)
+    (Invoke.call_exn ctx agent ~iface:"monitor" ~meth:"calls" [])
+
+let test_interpose_hooks_and_overrides () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let api = Kernel.api k in
+  let target = Allocator.create api kdom ~heap_pages:1 in
+  let calls = ref [] and results = ref 0 in
+  let deny_free _ctx _args = Error (Oerror.Fault "frees are forbidden here") in
+  let agent =
+    Interpose.wrap api kdom ~target
+      ~on_call:(fun ~iface ~meth _args -> calls := (iface ^ "." ^ meth) :: !calls)
+      ~on_result:(fun ~iface:_ ~meth:_ _ _ -> incr results)
+      ~overrides:[ ("allocator", "free", deny_free) ]
+      ()
+  in
+  let ctx = Kernel.ctx k kdom in
+  let addr = Value.to_int (Invoke.call_exn ctx agent ~iface:"allocator" ~meth:"alloc" [ Value.Int 8 ]) in
+  (match Invoke.call ctx agent ~iface:"allocator" ~meth:"free" [ Value.Int addr ] with
+  | Error (Oerror.Fault "frees are forbidden here") -> ()
+  | _ -> Alcotest.fail "override must replace the method");
+  Alcotest.(check (list string)) "hooks saw both"
+    [ "allocator.alloc"; "allocator.free" ]
+    (List.rev !calls);
+  Alcotest.(check int) "result hook fired" 2 !results
+
+let test_interpose_attach_in_namespace () =
+  (* the paper's /shared/network scenario: a monitor slipped in front of
+     the network device; existing name, new object *)
+  let _, k, net = net_fixture () in
+  let kdom = Kernel.kernel_domain k in
+  let api = Kernel.api k in
+  let agent = Interpose.packet_monitor api kdom ~target:net.System.driver in
+  (match Interpose.attach api ~path:"/shared/network" ~agent with
+  | Ok old -> Alcotest.(check bool) "old instance returned" true (old == net.System.driver)
+  | Error e -> Alcotest.fail e);
+  (* new binds resolve to the agent; traffic through it is observed *)
+  let bound = Kernel.bind k kdom "/shared/network" in
+  Alcotest.(check bool) "bind gets agent" true (bound == agent);
+  let ctx = Kernel.ctx k kdom in
+  ignore
+    (Invoke.call_exn ctx bound ~iface:"netdev" ~meth:"send"
+       [ Value.Blob (Bytes.of_string "0123456789") ]);
+  Alcotest.check value "bytes observed" (Value.Int 10)
+    (Invoke.call_exn ctx bound ~iface:"monitor" ~meth:"blob_bytes" []);
+  (* the send went through to the real driver *)
+  Kernel.step k ~ticks:1 ();
+  Alcotest.(check int) "frame transmitted" 1
+    (List.length (Nic.take_transmitted (Kernel.nic k)))
+
+let test_interpose_stacking () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let api = Kernel.api k in
+  let target = Allocator.create api kdom ~heap_pages:1 in
+  let a1 = Interpose.wrap api kdom ~target () in
+  let a2 = Interpose.wrap api kdom ~target:a1 () in
+  let ctx = Kernel.ctx k kdom in
+  ignore (Invoke.call_exn ctx a2 ~iface:"allocator" ~meth:"avail" []);
+  Alcotest.check value "outer saw it" (Value.Int 1)
+    (Invoke.call_exn ctx a2 ~iface:"monitor" ~meth:"calls" []);
+  Alcotest.check value "inner saw it too" (Value.Int 1)
+    (Invoke.call_exn ctx a1 ~iface:"monitor" ~meth:"calls" [])
+
+
+(* --- allocator model-based property ------------------------------------------ *)
+
+(* random alloc/free sequences against invariants: allocations are
+   aligned, in-heap and pairwise disjoint; freeing everything restores
+   the full heap (perfect coalescing) *)
+let allocator_model_prop =
+  let open QCheck2 in
+  let gen_op =
+    Gen.(
+      frequency
+        [ (3, map (fun n -> `Alloc (8 + n)) (int_bound 600));
+          (2, map (fun i -> `Free i) (int_bound 20)) ])
+  in
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:40 ~name:"alloc/free sequences keep invariants"
+       Gen.(list_size (int_range 1 40) gen_op)
+       (fun ops ->
+         let _, ctx, a = alloc_fixture () in
+         let total =
+           Value.to_int (Invoke.call_exn ctx a ~iface:"allocator" ~meth:"avail" [])
+         in
+         let live = ref [] in
+         let ok = ref true in
+         List.iter
+           (fun op ->
+             match op with
+             | `Alloc size -> (
+               match Invoke.call ctx a ~iface:"allocator" ~meth:"alloc" [ Value.Int size ] with
+               | Ok (Value.Int addr) ->
+                 if addr mod 8 <> 0 then ok := false;
+                 (* no overlap with any live allocation *)
+                 List.iter
+                   (fun (base, sz) ->
+                     if addr < base + sz && base < addr + size then ok := false)
+                   !live;
+                 live := (addr, size) :: !live
+               | Ok _ -> ok := false
+               | Error (Oerror.Fault _) -> () (* exhaustion is legal *)
+               | Error _ -> ok := false)
+             | `Free i ->
+               if !live <> [] then begin
+                 let idx = i mod List.length !live in
+                 let addr, _ = List.nth !live idx in
+                 live := List.filteri (fun j _ -> j <> idx) !live;
+                 match Invoke.call ctx a ~iface:"allocator" ~meth:"free" [ Value.Int addr ] with
+                 | Ok Value.Unit -> ()
+                 | _ -> ok := false
+               end)
+           ops;
+         (* free the rest: heap must coalesce back to one block *)
+         List.iter
+           (fun (addr, _) ->
+             ignore (Invoke.call ctx a ~iface:"allocator" ~meth:"free" [ Value.Int addr ]))
+           !live;
+         let avail =
+           Value.to_int (Invoke.call_exn ctx a ~iface:"allocator" ~meth:"avail" [])
+         in
+         !ok && avail = total))
+
+(* parser totality: random byte strings never raise out of the wire
+   parsers — malformed frames are Errors, not exceptions *)
+let wire_totality_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"wire parsers are total on junk"
+       QCheck2.Gen.(string_size (int_range 0 128))
+       (fun junk ->
+         let _, ctx = ctx_fixture () in
+         let b = Bytes.of_string junk in
+         (match Wire.Frame.parse ctx b with Ok _ | Error _ -> ());
+         (match Wire.Net.parse ctx (Bytes.copy b) with Ok _ | Error _ -> ());
+         (match Wire.Transport.parse ctx (Bytes.copy b) with Ok _ | Error _ -> ());
+         true))
+
+(* wire round-trip property across all three layers *)
+let wire_roundtrip_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"3-layer encapsulation round trips"
+       QCheck2.Gen.(
+         quad (string_size (int_range 0 200)) (int_bound 0xffff) (int_bound 0xffff)
+           (int_bound 0xffff))
+       (fun (payload, dst, sport, dport) ->
+         let _, ctx = ctx_fixture () in
+         let tp = Wire.Transport.build ctx ~sport ~dport (Bytes.of_string payload) in
+         let np = Wire.Net.build ctx ~src:1 ~dst ~ttl:4 ~proto:17 tp in
+         let frame = Wire.Frame.build ctx ~dst ~src:1 np in
+         match Wire.Frame.parse ctx frame with
+         | Error _ -> false
+         | Ok { Wire.Frame.payload = np'; _ } ->
+           (match Wire.Net.parse ctx np' with
+           | Error _ -> false
+           | Ok { Wire.Net.payload = tp'; _ } ->
+             (match Wire.Transport.parse ctx tp' with
+             | Error _ -> false
+             | Ok { Wire.Transport.sport = s'; dport = d'; payload = p' } ->
+               s' = sport && d' = dport && Bytes.to_string p' = payload))))
+
+let () =
+  Alcotest.run "components"
+    [
+      ("codegen", [ Alcotest.test_case "synthesize/tamper" `Quick test_codegen ]);
+      ( "wire",
+        [
+          Alcotest.test_case "frame round trip" `Quick test_frame_round_trip;
+          Alcotest.test_case "frame corruption" `Quick test_frame_detects_corruption;
+          Alcotest.test_case "net + ttl" `Quick test_net_round_trip_and_ttl;
+          Alcotest.test_case "transport" `Quick test_transport_round_trip;
+          Alcotest.test_case "access charging" `Quick test_wire_charges_accesses;
+          wire_totality_prop;
+          wire_roundtrip_prop;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "alloc/free/coalesce" `Quick test_allocator_alloc_free;
+          Alcotest.test_case "errors" `Quick test_allocator_errors;
+          Alcotest.test_case "first-fit reuse" `Quick test_allocator_reuse_after_free;
+          allocator_model_prop;
+        ] );
+      ( "netdrv",
+        [
+          Alcotest.test_case "rx to stack" `Quick test_netdrv_rx_to_stack;
+          Alcotest.test_case "tx" `Quick test_netdrv_tx;
+          Alcotest.test_case "mtu/errors" `Quick test_netdrv_mtu_and_errors;
+          Alcotest.test_case "exclusive io" `Quick test_netdrv_exclusive_io;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "filters wrong dst" `Quick
+            test_stack_filters_wrong_destination;
+          Alcotest.test_case "broadcast" `Quick test_stack_accepts_broadcast;
+          Alcotest.test_case "drops corrupt/unbound" `Quick
+            test_stack_drops_corrupt_and_unbound;
+          Alcotest.test_case "loopback send/recv" `Quick test_stack_send_recv_loopback;
+          Alcotest.test_case "port management" `Quick test_stack_port_management;
+          Alcotest.test_case "layer replacement" `Quick test_stack_layer_replacement;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "round trip" `Quick test_rpc_round_trip;
+          Alcotest.test_case "application error" `Quick test_rpc_application_error;
+          Alcotest.test_case "measurement interface" `Quick
+            test_rpc_measurement_interface;
+        ] );
+      ( "interpose",
+        [
+          Alcotest.test_case "forwards and counts" `Quick
+            test_interpose_forwards_and_counts;
+          Alcotest.test_case "hooks and overrides" `Quick
+            test_interpose_hooks_and_overrides;
+          Alcotest.test_case "attach in namespace" `Quick
+            test_interpose_attach_in_namespace;
+          Alcotest.test_case "stacking" `Quick test_interpose_stacking;
+        ] );
+    ]

@@ -1,0 +1,404 @@
+(* End-to-end integration tests: full-system packet flows under every
+   placement, reconfiguration scenarios from the paper, baseline
+   comparisons, and failure injection. *)
+
+open Paramecium
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let sys_fixture ?costs () = System.create ?costs ~key_bits:384 ()
+
+let stack_call k dom stack meth args =
+  Invoke.call_exn (Kernel.ctx k dom) stack ~iface:"stack" ~meth args
+
+let make_packet ctx ~src ~dst ~sport ~dport payload =
+  let tp = Wire.Transport.build ctx ~sport ~dport (Bytes.of_string payload) in
+  let np = Wire.Net.build ctx ~src ~dst ~ttl:8 ~proto:Stack.proto_transport tp in
+  Wire.Frame.build ctx ~dst ~src np
+
+(* push [n] packets through a configured system; returns cycles consumed
+   and the number delivered *)
+let pump_packets sys net ~n ~payload_size =
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let consume_dom =
+    match net.System.stack_domain with d when Domain.is_kernel d -> kdom | d -> d
+  in
+  ignore (stack_call k consume_dom net.System.stack "bind_port" [ Value.Int 7 ]);
+  let ctx = Kernel.ctx k kdom in
+  let payload = String.make payload_size 'p' in
+  let packet = Bytes.to_string (make_packet ctx ~src:13 ~dst:42 ~sport:9 ~dport:7 payload) in
+  let clock = Kernel.clock k in
+  let start = Clock.now clock in
+  for _ = 1 to n do
+    Nic.inject (Kernel.nic k) packet
+  done;
+  Kernel.step k ~ticks:(n + 4) ();
+  let cycles = Clock.now clock - start in
+  let delivered =
+    match stack_call k consume_dom net.System.stack "recv" [ Value.Int 7 ] with
+    | Value.List items -> List.length items
+    | _ -> 0
+  in
+  (cycles, delivered)
+
+(* --- placements end to end ------------------------------------------------ *)
+
+let test_packet_flow_all_placements () =
+  let run placement =
+    let sys = sys_fixture () in
+    let net =
+      match placement with
+      | `User ->
+        let dom = System.new_domain sys "netuser" in
+        System.setup_networking sys ~placement:(System.User dom) ~addr:42 ()
+      | `Certified -> System.setup_networking sys ~placement:System.Certified ~addr:42 ()
+      | `Sandboxed -> System.setup_networking sys ~placement:System.Sandboxed ~addr:42 ()
+    in
+    pump_packets sys net ~n:10 ~payload_size:256
+  in
+  let c_cert, d_cert = run `Certified in
+  let c_sand, d_sand = run `Sandboxed in
+  let c_user, d_user = run `User in
+  Alcotest.(check int) "certified delivers all" 10 d_cert;
+  Alcotest.(check int) "sandboxed delivers all" 10 d_sand;
+  Alcotest.(check int) "user delivers all" 10 d_user;
+  (* the paper's ordering: certified in-kernel is cheapest, sandboxing
+     pays per-access checks, user space pays cross-domain crossings *)
+  Alcotest.(check bool)
+    (Printf.sprintf "certified (%d) < sandboxed (%d)" c_cert c_sand)
+    true (c_cert < c_sand);
+  Alcotest.(check bool)
+    (Printf.sprintf "certified (%d) < user (%d)" c_cert c_user)
+    true (c_cert < c_user)
+
+let test_interposed_monitor_sees_everything () =
+  (* the paper's monitoring scenario on /shared/network, end to end *)
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let net = System.setup_networking sys ~placement:System.Certified ~addr:42 () in
+  let api = Kernel.api k in
+  let agent = Interpose.packet_monitor api kdom ~target:net.System.driver in
+  (match Interpose.attach api ~path:"/services/netdrv" ~agent with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* the stack binds the driver lazily by name, so its next send goes
+     through the agent *)
+  let ctx = Kernel.ctx k kdom in
+  for i = 1 to 5 do
+    ignore
+      (stack_call k kdom net.System.stack "send"
+         [ Value.Int 13; Value.Int 1; Value.Int 2;
+           Value.Blob (Bytes.make (i * 10) 'x') ])
+  done;
+  Kernel.step k ~ticks:8 ();
+  Alcotest.check value "all sends observed" (Value.Int 5)
+    (Invoke.call_exn ctx agent ~iface:"monitor" ~meth:"calls" []);
+  (match Invoke.call_exn ctx agent ~iface:"monitor" ~meth:"blob_bytes" [] with
+  | Value.Int b ->
+    (* 10+20+30+40+50 payload bytes plus per-frame header overhead *)
+    Alcotest.(check bool) (Printf.sprintf "bytes observed: %d" b) true
+      (b >= 150 + (5 * Wire.stack_overhead))
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v));
+  Alcotest.(check int) "frames still reached the wire" 5
+    (List.length (Nic.take_transmitted (Kernel.nic k)))
+
+let test_namespace_override_isolates_domains () =
+  (* two user domains: one gets the real network, one a monitored view;
+     only the overridden domain's traffic is observed *)
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let net = System.setup_networking sys ~placement:System.Certified ~addr:42 () in
+  let api = Kernel.api k in
+  let agent = Interpose.packet_monitor api kdom ~target:net.System.driver in
+  Kernel.register_at k "/services/monitored-netdrv" agent;
+  let plain = Kernel.create_domain k ~name:"plain" () in
+  let watched =
+    Kernel.create_domain k ~name:"watched"
+      ~overrides:[ (Path.of_string "/shared/network", Instance.handle agent) ]
+      ()
+  in
+  let send dom =
+    let bound = Kernel.bind k dom "/shared/network" in
+    ignore
+      (Invoke.call_exn (Kernel.ctx k dom) bound ~iface:"netdev" ~meth:"send"
+         [ Value.Blob (Bytes.of_string "hello") ])
+  in
+  send plain;
+  send watched;
+  let ctx = Kernel.ctx k kdom in
+  Alcotest.check value "only the watched domain's traffic" (Value.Int 1)
+    (Invoke.call_exn ctx agent ~iface:"monitor" ~meth:"calls" []);
+  Kernel.step k ~ticks:2 ();
+  Alcotest.(check int) "both frames went out" 2
+    (List.length (Nic.take_transmitted (Kernel.nic k)))
+
+(* --- certification failure injection ---------------------------------------- *)
+
+let bad_construct (api : Api.t) (dom : Domain.t) =
+  Instance.create api.Api.registry ~class_name:"evil" ~domain:dom.Domain.id []
+
+let test_tampered_component_cannot_enter_kernel () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let image = Images.image ~name:"evil" ~size:4096 ~type_safe:true bad_construct in
+  let image, _ = Images.certify (System.authority sys) ~now:0 image in
+  (* flip one bit anywhere after certification *)
+  List.iter
+    (fun at ->
+      let tampered = { image with Loader.code = Codegen.tamper image.Loader.code ~at } in
+      Loader.publish (Kernel.loader k) tampered;
+      match
+        Loader.load (Kernel.loader k) ~name:"evil" ~into:(Kernel.kernel_domain k)
+          ~at:(Path.of_string "/svc/evil") ()
+      with
+      | Error (Loader.Validation_failed Validator.Digest_mismatch) -> ()
+      | _ -> Alcotest.failf "tamper at byte %d admitted!" at)
+    [ 0; 1; 2048; 4095 ]
+
+let test_revoked_delegate_stops_admitting () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let auth = System.authority sys in
+  let image = Images.image ~name:"c" ~size:1024 ~type_safe:true bad_construct in
+  let image, _ = Images.certify auth ~now:0 image in
+  (* works before revocation *)
+  Loader.publish (Kernel.loader k) image;
+  (match
+     Loader.load (Kernel.loader k) ~name:"c" ~into:(Kernel.kernel_domain k)
+       ~at:(Path.of_string "/svc/c1") ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "pre-revocation load failed: %s" (Loader.load_error_to_string e));
+  (* revoke the compiler delegate: the same certificate stops working *)
+  (match image.Loader.cert with
+  | Some cert ->
+    Certsvc.revoke (Kernel.certification k)
+      (Principal.id cert.Certificate.signer)
+  | None -> Alcotest.fail "fixture produced no cert");
+  (match
+     Loader.load (Kernel.loader k) ~name:"c" ~into:(Kernel.kernel_domain k)
+       ~at:(Path.of_string "/svc/c2") ()
+   with
+  | Error (Loader.Validation_failed (Validator.Revoked_principal _)) -> ()
+  | _ -> Alcotest.fail "revoked signer must be refused")
+
+let test_unknown_authority_rejected () =
+  (* component certified by a *different* authority: chain check fails *)
+  let sys_a = sys_fixture () in
+  let sys_b = System.create ~seed:999 ~key_bits:384 () in
+  let k = System.kernel sys_a in
+  let image = Images.image ~name:"foreign" ~size:1024 ~type_safe:true bad_construct in
+  let image, _ = Images.certify (System.authority sys_b) ~now:0 image in
+  Loader.publish (Kernel.loader k) image;
+  (match
+     Loader.load (Kernel.loader k) ~name:"foreign" ~into:(Kernel.kernel_domain k)
+       ~at:(Path.of_string "/svc/f") ()
+   with
+  | Error (Loader.Validation_failed (Validator.Untrusted_signer _)) -> ()
+  | _ -> Alcotest.fail "foreign authority must be refused")
+
+let test_spin_model_trusted_compiler () =
+  (* SPIN as the paper describes it: delegate certification to the
+     type-safe-language compiler; its output enters the kernel with no
+     run-time checks *)
+  let sys = sys_fixture () in
+  let spin_image =
+    Images.image ~name:"spin-ext" ~size:2048 ~type_safe:true bad_construct
+  in
+  let inst = System.install_exn sys spin_image ~placement:System.Certified ~at:"/svc/spin" in
+  Alcotest.(check bool) "not sandboxed" false (Sandbox.is_sandboxed inst);
+  (* the same component *without* the compiler's blessing and an untrusted
+     author has no path into the kernel except the sandbox *)
+  let unsafe_image =
+    Images.image ~name:"raw-ext" ~size:2048 ~author:"rando" bad_construct
+  in
+  (match System.install sys unsafe_image ~placement:System.Certified ~at:"/svc/raw" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unvouched component must not enter the kernel");
+  let inst2 = System.install_exn sys unsafe_image ~placement:System.Sandboxed ~at:"/svc/raw" in
+  Alcotest.(check bool) "sandboxed" true (Sandbox.is_sandboxed inst2)
+
+(* --- device-level failure injection ------------------------------------------ *)
+
+let test_rx_ring_overrun_drops_not_crashes () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let config = { Netdrv.default_config with Netdrv.rx_buffers = 2 } in
+  let driver = Netdrv.create (Kernel.api k) kdom ~config () in
+  Kernel.register_at k "/services/netdrv" driver;
+  let ctx = Kernel.ctx k kdom in
+  (* flood: many packets, few buffers, no ticks in between *)
+  for _ = 1 to 20 do
+    Nic.inject (Kernel.nic k) "flood"
+  done;
+  Kernel.step k ~ticks:30 ();
+  (match Invoke.call_exn ctx driver ~iface:"netdev" ~meth:"dropped" [] with
+  | Value.Int d -> Alcotest.(check bool) (Printf.sprintf "drops counted: %d" d) true (d = 0)
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v));
+  (* with interrupts disabled the ring really overruns *)
+  let sys2 = sys_fixture () in
+  let k2 = System.kernel sys2 in
+  (* no driver at all: enable rx via raw io so packets arrive unattended *)
+  let nic2 = Kernel.nic k2 in
+  Machine.io_write (Kernel.machine k2) (Nic.io_base nic2) 1;
+  for _ = 1 to 5 do
+    Nic.inject nic2 "lost"
+  done;
+  for _ = 1 to 6 do
+    Machine.tick (Kernel.machine k2)
+  done;
+  Alcotest.(check int) "unattended packets dropped" 5
+    (Machine.io_read (Kernel.machine k2) (Nic.io_base nic2 + 32))
+
+let test_component_crash_contained () =
+  (* a component whose method raises: the object layer reports Fault-free
+     error handling at the thread level; the kernel survives *)
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let api = Kernel.api k in
+  let crasher =
+    Instance.create api.Api.registry ~class_name:"crasher" ~domain:kdom.Domain.id
+      [
+        Iface.make ~name:"boom"
+          [
+            Iface.meth ~name:"go" ~args:[] ~ret:Vtype.Tunit (fun _ _ ->
+                failwith "component bug");
+          ];
+      ]
+  in
+  Kernel.register_at k "/svc/crasher" crasher;
+  let sched = Kernel.sched k in
+  ignore
+    (Scheduler.spawn sched ~name:"victim" (fun () ->
+         ignore
+           (Invoke.call (Kernel.ctx k kdom) crasher ~iface:"boom" ~meth:"go" [])));
+  ignore (Kernel.run k);
+  Alcotest.(check int) "crash contained to the thread" 1 (Scheduler.stats sched `Crashes);
+  (* the kernel still works *)
+  let ping = Kernel.bind k kdom "/nucleus/directory" in
+  (match
+     Invoke.call_exn (Kernel.ctx k kdom) ping ~iface:"directory" ~meth:"list"
+       [ Value.Str "/svc" ]
+   with
+  | Value.List _ -> ()
+  | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
+
+(* --- scheduling / events integration ------------------------------------------ *)
+
+let test_interrupt_popup_blocking_pipeline () =
+  (* rx interrupt wakes a consumer thread through a semaphore: the popup
+     promotes, the consumer runs, end to end under Kernel.step *)
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let sched = Kernel.sched k in
+  let sem = Sync.Semaphore.create 0 in
+  let handled = ref 0 in
+  ignore
+    (Events.register_popup (Kernel.events k) (Events.Irq 7) ~domain:kdom ~sched
+       (fun _ ->
+         (* blocks: the proto-thread must be promoted *)
+         Sync.Semaphore.acquire sem;
+         incr handled));
+  Machine.raise_irq (Kernel.machine k) 7;
+  Machine.raise_irq (Kernel.machine k) 7;
+  Alcotest.(check int) "both promoted" 2 (Scheduler.stats sched `Promotions);
+  Alcotest.(check int) "nothing handled yet" 0 !handled;
+  Sync.Semaphore.release sem;
+  Sync.Semaphore.release sem;
+  ignore (Kernel.run k);
+  Alcotest.(check int) "both completed" 2 !handled
+
+let test_timer_driven_preemption_signal () =
+  (* the timer device drives periodic events into a popup that feeds a
+     tick counter — the classic clock-tick pipeline *)
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let ticks = ref 0 in
+  ignore
+    (Events.register_popup (Kernel.events k) (Events.Irq 0) ~domain:kdom
+       ~sched:(Kernel.sched k) (fun _ -> incr ticks));
+  let base = Timer_dev.io_base (Kernel.timer k) in
+  Machine.io_write (Kernel.machine k) base 2 (* period *);
+  Machine.io_write (Kernel.machine k) (base + 4) 3 (* enable periodic *);
+  Kernel.step k ~ticks:10 ();
+  Alcotest.(check int) "five timer events" 5 !ticks
+
+(* --- cost-model sanity across the whole system --------------------------------- *)
+
+let test_cross_domain_tax_visible_in_counters () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let dom = System.new_domain sys "u" in
+  let net = System.setup_networking sys ~placement:(System.User dom) ~addr:42 () in
+  ignore (pump_packets sys net ~n:5 ~payload_size:128);
+  let clock = Kernel.clock k in
+  Alcotest.(check bool) "cross-domain calls happened" true
+    (Clock.counter clock "cross_domain_call" >= 5);
+  Alcotest.(check bool) "proxy faults happened" true
+    (Clock.counter clock "proxy_fault" >= 5);
+  Alcotest.(check bool) "context switches happened" true
+    (Clock.counter clock "context_switch" >= 10)
+
+let test_sandbox_tax_scales_with_packet_size () =
+  let run payload_size =
+    let sys = sys_fixture () in
+    let net = System.setup_networking sys ~placement:System.Sandboxed ~addr:42 () in
+    ignore (pump_packets sys net ~n:5 ~payload_size);
+    Clock.counter (Kernel.clock (System.kernel sys)) "sfi_check"
+  in
+  let small = run 64 in
+  let large = run 1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "more checks for bigger packets (%d vs %d)" small large)
+    true
+    (large > small * 4)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "placements",
+        [
+          Alcotest.test_case "packet flow everywhere" `Quick
+            test_packet_flow_all_placements;
+          Alcotest.test_case "interposed monitor" `Quick
+            test_interposed_monitor_sees_everything;
+          Alcotest.test_case "override isolates domains" `Quick
+            test_namespace_override_isolates_domains;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "tampered component barred" `Quick
+            test_tampered_component_cannot_enter_kernel;
+          Alcotest.test_case "revocation" `Quick test_revoked_delegate_stops_admitting;
+          Alcotest.test_case "unknown authority" `Quick test_unknown_authority_rejected;
+          Alcotest.test_case "SPIN-as-delegate model" `Quick
+            test_spin_model_trusted_compiler;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "rx ring overrun" `Quick
+            test_rx_ring_overrun_drops_not_crashes;
+          Alcotest.test_case "component crash contained" `Quick
+            test_component_crash_contained;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "blocking popup pipeline" `Quick
+            test_interrupt_popup_blocking_pipeline;
+          Alcotest.test_case "timer pipeline" `Quick test_timer_driven_preemption_signal;
+        ] );
+      ( "cost-model",
+        [
+          Alcotest.test_case "cross-domain tax" `Quick
+            test_cross_domain_tax_visible_in_counters;
+          Alcotest.test_case "sandbox tax scales" `Quick
+            test_sandbox_tax_scales_with_packet_size;
+        ] );
+    ]

@@ -1,0 +1,294 @@
+(* Tests for instance naming: paths, the hierarchical name space, views
+   with overrides and inheritance. *)
+
+open Paramecium
+
+let ctx_fixture () =
+  let clock = Clock.create () in
+  (clock, Call_ctx.make ~clock ~costs:Cost.unit_costs ~caller_domain:0)
+
+let p = Path.of_string
+
+let ns_err =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (Namespace.error_to_string e))
+    ( = )
+
+(* --- paths ------------------------------------------------------------ *)
+
+let test_path_parse () =
+  Alcotest.(check (list string)) "segments" [ "shared"; "network" ]
+    (Path.segments (p "/shared/network"));
+  Alcotest.(check string) "round trip" "/shared/network"
+    (Path.to_string (p "/shared/network"));
+  Alcotest.(check string) "root" "/" (Path.to_string Path.root);
+  Alcotest.(check int) "length" 2 (Path.length (p "/a/b"));
+  List.iter
+    (fun bad ->
+      match p bad with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "should reject %S" bad)
+    [ ""; "relative"; "/a//b"; "/a/b!"; "/sp ace" ]
+
+let test_path_ops () =
+  Alcotest.(check string) "child" "/a/b" (Path.to_string (Path.child (p "/a") "b"));
+  Alcotest.(check (option string)) "parent" (Some "/a")
+    (Option.map Path.to_string (Path.parent (p "/a/b")));
+  Alcotest.(check (option string)) "parent of root" None
+    (Option.map Path.to_string (Path.parent Path.root));
+  Alcotest.(check (option string)) "basename" (Some "b") (Path.basename (p "/a/b"));
+  Alcotest.(check bool) "prefix" true (Path.is_prefix (p "/a") (p "/a/b"));
+  Alcotest.(check bool) "not prefix" false (Path.is_prefix (p "/a/b") (p "/a"));
+  Alcotest.(check bool) "equal" true (Path.equal (p "/a/b") (p "/a/b"))
+
+(* --- namespace --------------------------------------------------------- *)
+
+let test_ns_register_lookup () =
+  let ns = Namespace.create () in
+  Alcotest.(check (result unit ns_err)) "register" (Ok ())
+    (Namespace.register ns (p "/services/stack") 7);
+  Alcotest.(check (result int ns_err)) "lookup" (Ok 7)
+    (Namespace.lookup ns (p "/services/stack"));
+  Alcotest.(check (result int ns_err)) "missing"
+    (Error (Namespace.Not_found (p "/services/other")))
+    (Namespace.lookup ns (p "/services/other"));
+  Alcotest.(check (result unit ns_err)) "duplicate"
+    (Error (Namespace.Already_bound (p "/services/stack")))
+    (Namespace.register ns (p "/services/stack") 9);
+  Alcotest.(check bool) "exists" true (Namespace.exists ns (p "/services/stack"));
+  Alcotest.(check bool) "dir exists" true (Namespace.exists ns (p "/services"));
+  Alcotest.(check bool) "root exists" true (Namespace.exists ns Path.root)
+
+let test_ns_structure_errors () =
+  let ns = Namespace.create () in
+  ignore (Namespace.register ns (p "/a/leaf") 1);
+  Alcotest.(check (result unit ns_err)) "entry in path"
+    (Error (Namespace.Not_a_directory (p "/a/leaf")))
+    (Namespace.register ns (p "/a/leaf/deeper") 2);
+  Alcotest.(check (result int ns_err)) "lookup dir"
+    (Error (Namespace.Is_a_directory (p "/a")))
+    (Namespace.lookup ns (p "/a"));
+  Alcotest.(check (result unit ns_err)) "unregister dir"
+    (Error (Namespace.Is_a_directory (p "/a")))
+    (Namespace.unregister ns (p "/a"))
+
+let test_ns_unregister () =
+  let ns = Namespace.create () in
+  ignore (Namespace.register ns (p "/x") 1);
+  Alcotest.(check (result unit ns_err)) "unregister" (Ok ())
+    (Namespace.unregister ns (p "/x"));
+  Alcotest.(check bool) "gone" false (Namespace.exists ns (p "/x"));
+  Alcotest.(check (result unit ns_err)) "again"
+    (Error (Namespace.Not_found (p "/x")))
+    (Namespace.unregister ns (p "/x"))
+
+let test_ns_replace_interposition () =
+  let ns = Namespace.create () in
+  ignore (Namespace.register ns (p "/shared/network") 10);
+  Alcotest.(check (result int ns_err)) "replace returns old" (Ok 10)
+    (Namespace.replace ns (p "/shared/network") 99);
+  Alcotest.(check (result int ns_err)) "new handle visible" (Ok 99)
+    (Namespace.lookup ns (p "/shared/network"));
+  Alcotest.(check (result int ns_err)) "replace missing"
+    (Error (Namespace.Not_found (p "/nothing")))
+    (Namespace.replace ns (p "/nothing") 1)
+
+let test_ns_list_iter () =
+  let ns = Namespace.create () in
+  ignore (Namespace.register ns (p "/svc/b") 2);
+  ignore (Namespace.register ns (p "/svc/a") 1);
+  ignore (Namespace.register ns (p "/svc/sub/c") 3);
+  (match Namespace.list ns (p "/svc") with
+  | Ok entries ->
+    Alcotest.(check (list (pair string (option int))))
+      "sorted listing"
+      [ ("a", Some 1); ("b", Some 2); ("sub", None) ]
+      entries
+  | Error _ -> Alcotest.fail "list failed");
+  let all = ref [] in
+  Namespace.iter ns (fun path h -> all := (Path.to_string path, h) :: !all);
+  Alcotest.(check (list (pair string int)))
+    "iter in path order"
+    [ ("/svc/a", 1); ("/svc/b", 2); ("/svc/sub/c", 3) ]
+    (List.rev !all)
+
+(* --- views -------------------------------------------------------------- *)
+
+let test_view_resolution_order () =
+  let ns = Namespace.create () in
+  ignore (Namespace.register ns (p "/shared/net") 1);
+  let root = View.of_namespace ns in
+  let parent = View.derive ~overrides:[ (p "/shared/net", 2) ] root in
+  let child = View.derive parent in
+  let grandchild = View.derive ~overrides:[ (p "/shared/net", 3) ] child in
+  let _, ctx = ctx_fixture () in
+  let bind v = View.bind ctx v (p "/shared/net") in
+  Alcotest.(check (result int ns_err)) "root sees namespace" (Ok 1) (bind root);
+  Alcotest.(check (result int ns_err)) "parent sees own override" (Ok 2) (bind parent);
+  Alcotest.(check (result int ns_err)) "child inherits parent" (Ok 2) (bind child);
+  Alcotest.(check (result int ns_err)) "grandchild overrides again" (Ok 3)
+    (bind grandchild)
+
+let test_view_override_mutation () =
+  let ns = Namespace.create () in
+  ignore (Namespace.register ns (p "/x") 1);
+  let root = View.of_namespace ns in
+  let v = View.derive root in
+  let _, ctx = ctx_fixture () in
+  View.add_override v (p "/x") 5;
+  Alcotest.(check (result int ns_err)) "override added" (Ok 5) (View.bind ctx v (p "/x"));
+  View.add_override v (p "/x") 6;
+  Alcotest.(check (result int ns_err)) "override updated" (Ok 6) (View.bind ctx v (p "/x"));
+  Alcotest.(check int) "no duplicates" 1 (List.length (View.overrides v));
+  View.remove_override v (p "/x");
+  Alcotest.(check (result int ns_err)) "fallthrough after removal" (Ok 1)
+    (View.bind ctx v (p "/x"))
+
+let test_view_charges_costs () =
+  let ns = Namespace.create () in
+  ignore (Namespace.register ns (p "/a/b/c") 1);
+  let root = View.of_namespace ns in
+  let clock, ctx = ctx_fixture () in
+  ignore (View.bind ctx root (p "/a/b/c"));
+  (* unit costs: 3 path components = 3 cycles *)
+  Alcotest.(check int) "3 components charged" 3 (Clock.now clock);
+  Alcotest.(check int) "bind counted" 1 (Clock.counter clock "ns_bind");
+  let v = View.derive ~overrides:[ (p "/zz", 9) ] root in
+  let before = Clock.now clock in
+  ignore (View.bind ctx v (p "/a/b/c"));
+  (* one override consulted + 3 components *)
+  Alcotest.(check int) "override consult charged" (before + 4) (Clock.now clock)
+
+let test_view_binds_missing () =
+  let ns = Namespace.create () in
+  let root = View.of_namespace ns in
+  let _, ctx = ctx_fixture () in
+  (match View.bind_exn ctx root (p "/ghost") with
+  | exception Namespace.Name_error (Namespace.Not_found _) -> ()
+  | _ -> Alcotest.fail "expected Name_error")
+
+(* --- properties ---------------------------------------------------------- *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
+
+let gen_seg =
+  QCheck2.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_range 1 6) (char_range 'a' 'z')))
+
+let gen_path =
+  QCheck2.Gen.(
+    map
+      (fun segs -> List.fold_left Path.child Path.root segs)
+      (list_size (int_range 1 4) gen_seg))
+
+let props =
+  [
+    prop "path string round trip" gen_path (fun path ->
+        Path.equal path (Path.of_string (Path.to_string path)));
+    prop "register then lookup" (QCheck2.Gen.pair gen_path QCheck2.Gen.small_int)
+      (fun (path, h) ->
+        let ns = Namespace.create () in
+        match Namespace.register ns path h with
+        | Ok () -> Namespace.lookup ns path = Ok h
+        | Error _ -> false);
+    prop "register, unregister, lookup fails" gen_path (fun path ->
+        let ns = Namespace.create () in
+        match Namespace.register ns path 1 with
+        | Ok () ->
+          Namespace.unregister ns path = Ok ()
+          && Namespace.lookup ns path = Error (Namespace.Not_found path)
+        | Error _ -> false);
+    prop "child then parent is identity" (QCheck2.Gen.pair gen_path gen_seg)
+      (fun (path, seg) ->
+        match Path.parent (Path.child path seg) with
+        | Some q -> Path.equal path q
+        | None -> false);
+    prop "replace preserves the rest of the namespace"
+      (QCheck2.Gen.pair gen_path gen_path)
+      (fun (p1, p2) ->
+        if Path.equal p1 p2 || Path.is_prefix p1 p2 || Path.is_prefix p2 p1 then true
+        else begin
+          let ns = Namespace.create () in
+          match (Namespace.register ns p1 1, Namespace.register ns p2 2) with
+          | Ok (), Ok () ->
+            Namespace.replace ns p1 10 = Ok 1 && Namespace.lookup ns p2 = Ok 2
+          | _ ->
+            (* structurally conflicting paths (entry inside entry) are fine
+               to skip: the conflict behaviour is tested elsewhere *)
+            true
+        end);
+    prop "random namespace ops match a map model"
+      QCheck2.Gen.(
+        list_size (int_range 1 40)
+          (pair (int_bound 5)
+             (oneofl [ `Register; `Unregister; `Replace; `Lookup ])))
+      (fun ops ->
+        (* a flat pool of names avoids entry-vs-directory conflicts, which
+           are covered by the structural-error unit tests *)
+        let pool = [| "/a"; "/b"; "/c"; "/sub/x"; "/sub/y"; "/sub/z" |] in
+        let ns = Namespace.create () in
+        let model : (string, int) Hashtbl.t = Hashtbl.create 8 in
+        let counter = ref 0 in
+        List.for_all
+          (fun (which, op) ->
+            let name = pool.(which) in
+            let path = p name in
+            incr counter;
+            match op with
+            | `Register -> (
+              match (Namespace.register ns path !counter, Hashtbl.mem model name) with
+              | Ok (), false ->
+                Hashtbl.replace model name !counter;
+                true
+              | Error (Namespace.Already_bound _), true -> true
+              | _ -> false)
+            | `Unregister -> (
+              match (Namespace.unregister ns path, Hashtbl.mem model name) with
+              | Ok (), true ->
+                Hashtbl.remove model name;
+                true
+              | Error (Namespace.Not_found _), false -> true
+              | _ -> false)
+            | `Replace -> (
+              match (Namespace.replace ns path !counter, Hashtbl.find_opt model name) with
+              | Ok old, Some expect when old = expect ->
+                Hashtbl.replace model name !counter;
+                true
+              | Error (Namespace.Not_found _), None -> true
+              | _ -> false)
+            | `Lookup -> (
+              match (Namespace.lookup ns path, Hashtbl.find_opt model name) with
+              | Ok h, Some expect -> h = expect
+              | Error (Namespace.Not_found _), None -> true
+              | _ -> false))
+          ops);
+  ]
+
+let () =
+  Alcotest.run "names"
+    [
+      ( "path",
+        [
+          Alcotest.test_case "parse" `Quick test_path_parse;
+          Alcotest.test_case "operations" `Quick test_path_ops;
+        ] );
+      ( "namespace",
+        [
+          Alcotest.test_case "register/lookup" `Quick test_ns_register_lookup;
+          Alcotest.test_case "structural errors" `Quick test_ns_structure_errors;
+          Alcotest.test_case "unregister" `Quick test_ns_unregister;
+          Alcotest.test_case "replace (interposition)" `Quick
+            test_ns_replace_interposition;
+          Alcotest.test_case "list/iter" `Quick test_ns_list_iter;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "resolution order" `Quick test_view_resolution_order;
+          Alcotest.test_case "override mutation" `Quick test_view_override_mutation;
+          Alcotest.test_case "cost charging" `Quick test_view_charges_costs;
+          Alcotest.test_case "missing name" `Quick test_view_binds_missing;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,332 @@
+(* Tests for the certification architecture: principals, certificates,
+   speaks-for delegation, the authority's escape hatch, and the kernel
+   validator. *)
+
+open Paramecium
+
+let rng () = Prng.create ~seed:2024
+let key_bits = 384 (* smallest width that fits a SHA-256 PKCS block; fast but real *)
+
+(* a fixture: CA + one compiler delegate + one admin delegate *)
+type fixture = {
+  auth : Authority.t;
+  compiler : Authority.delegate;
+  admin : Authority.delegate;
+  r : Prng.t;
+}
+
+let fixture () =
+  let r = rng () in
+  let auth = Authority.create r ~name:"ca" ~key_bits in
+  let compiler =
+    Authority.add_delegate auth r ~name:"compiler" ~policy:Policies.trusted_compiler
+      ~latency:100 ()
+  in
+  let admin =
+    Authority.add_delegate auth r ~name:"admin"
+      ~policy:(Policies.administrator ~trusted_authors:[ "alice" ])
+      ~latency:1000 ()
+  in
+  { auth; compiler; admin; r }
+
+let meta ?(author = "alice") ?(type_safe = false) ?tags name =
+  Meta.make ~author ~type_safe ?tags ~name ~size:1024 ()
+
+let validator_of f =
+  let v = Validator.create ~root:(Authority.ca f.auth) in
+  List.iter (Validator.add_grant v) (Authority.grants f.auth);
+  v
+
+(* --- principals -------------------------------------------------------- *)
+
+let test_principal_identity () =
+  let r = rng () in
+  let k1 = Rsa.generate r ~bits:key_bits in
+  let p1 = Principal.make "alice" k1.Rsa.pub in
+  let p1' = Principal.make "alice-renamed" k1.Rsa.pub in
+  let k2 = Rsa.generate r ~bits:key_bits in
+  let p2 = Principal.make "alice" k2.Rsa.pub in
+  Alcotest.(check bool) "same key, same principal" true (Principal.equal p1 p1');
+  Alcotest.(check bool) "same name, different key" false (Principal.equal p1 p2)
+
+(* --- certificates ------------------------------------------------------- *)
+
+let test_certificate_sign_verify () =
+  let r = rng () in
+  let key = Rsa.generate r ~bits:key_bits in
+  let signer = Principal.make "signer" key.Rsa.pub in
+  let code = "object code bytes" in
+  let cert =
+    Certificate.issue key ~signer ~component:"comp" ~digest:(Sha256.digest code)
+      ~issued_at:5
+  in
+  Alcotest.(check bool) "well signed" true (Certificate.well_signed cert);
+  Alcotest.(check bool) "matches code" true (Certificate.matches_code cert code);
+  Alcotest.(check bool) "detects tampering" false
+    (Certificate.matches_code cert (code ^ "x"));
+  let forged = { cert with Certificate.component = "other" } in
+  Alcotest.(check bool) "field change breaks signature" false
+    (Certificate.well_signed forged)
+
+(* --- delegation ---------------------------------------------------------- *)
+
+let test_delegation_statements () =
+  let r = rng () in
+  let ca_key = Rsa.generate r ~bits:key_bits in
+  let ca = Principal.make "ca" ca_key.Rsa.pub in
+  let del_key = Rsa.generate r ~bits:key_bits in
+  let del = Principal.make "delegate" del_key.Rsa.pub in
+  let g = Delegation.grant ca_key ~grantor:ca ~delegate:del ~scope:"s" () in
+  Alcotest.(check bool) "well signed" true (Delegation.well_signed g);
+  Alcotest.(check bool) "never expires" true (Delegation.live g ~now:max_int);
+  let g2 = Delegation.grant ca_key ~grantor:ca ~delegate:del ~scope:"s" ~expires:100 () in
+  Alcotest.(check bool) "live before" true (Delegation.live g2 ~now:99);
+  Alcotest.(check bool) "dead after" false (Delegation.live g2 ~now:100);
+  let forged = { g with Delegation.scope = "other" } in
+  Alcotest.(check bool) "scope change breaks signature" false
+    (Delegation.well_signed forged)
+
+(* --- authority / escape hatch -------------------------------------------- *)
+
+let test_certify_first_delegate () =
+  let f = fixture () in
+  let outcome = Authority.certify f.auth (meta ~type_safe:true "ts") ~code:"c" ~now:1 in
+  (match outcome.Authority.certificate with
+  | Some cert ->
+    Alcotest.(check bool) "compiler signed" true
+      (Principal.equal cert.Certificate.signer f.compiler.Authority.principal)
+  | None -> Alcotest.fail "expected a certificate");
+  Alcotest.(check int) "only compiler consulted" 1 (List.length outcome.Authority.trail);
+  Alcotest.(check int) "compiler latency" 100 outcome.Authority.elapsed
+
+let test_certify_escape_hatch () =
+  let f = fixture () in
+  (* not type-safe: compiler cannot decide, falls through to admin *)
+  let outcome = Authority.certify f.auth (meta "plain") ~code:"c" ~now:1 in
+  (match outcome.Authority.certificate with
+  | Some cert ->
+    Alcotest.(check bool) "admin signed" true
+      (Principal.equal cert.Certificate.signer f.admin.Authority.principal)
+  | None -> Alcotest.fail "expected a certificate");
+  Alcotest.(check int) "both consulted" 2 (List.length outcome.Authority.trail);
+  Alcotest.(check int) "latencies accumulate" 1100 outcome.Authority.elapsed
+
+let test_certify_all_decline () =
+  let f = fixture () in
+  let outcome = Authority.certify f.auth (meta ~author:"mallory" "bad") ~code:"c" ~now:1 in
+  Alcotest.(check bool) "no certificate" true (outcome.Authority.certificate = None);
+  (match outcome.Authority.trail with
+  | [ ("compiler", Authority.Cannot_decide); ("admin", Authority.Reject _) ] -> ()
+  | _ -> Alcotest.fail "unexpected trail")
+
+let test_policies () =
+  let open Authority in
+  (match Policies.prover (meta "x") with
+  | Cannot_decide -> ()
+  | _ -> Alcotest.fail "prover needs annotations");
+  (match Policies.prover (Meta.make ~proof_annotated:true ~name:"x" ~size:1 ()) with
+  | Accept -> ()
+  | _ -> Alcotest.fail "prover accepts annotated");
+  (match Policies.test_team (meta ~tags:[ "tested" ] "x") with
+  | Accept -> ()
+  | _ -> Alcotest.fail "test team accepts tested");
+  (match Policies.test_team (meta ~tags:[ "known-bad" ] "x") with
+  | Reject _ -> ()
+  | _ -> Alcotest.fail "test team rejects known-bad");
+  (match Policies.graduate_student ~max_size:100 (meta "x") with
+  | Cannot_decide -> ()
+  | _ -> Alcotest.fail "student overwhelmed by 1KB");
+  let r = rng () in
+  let always = Policies.flaky r ~fail_probability:1.0 Policies.trusted_compiler in
+  (match always (meta ~type_safe:true "x") with
+  | Cannot_decide -> ()
+  | _ -> Alcotest.fail "flaky 1.0 never decides")
+
+(* --- validator -------------------------------------------------------------- *)
+
+let certify_exn f m ~code ~now =
+  match (Authority.certify f.auth m ~code ~now).Authority.certificate with
+  | Some c -> c
+  | None -> Alcotest.fail "fixture should certify"
+
+let test_validate_accepts_chain () =
+  let f = fixture () in
+  let v = validator_of f in
+  let code = "good code" in
+  let cert = certify_exn f (meta ~type_safe:true "c") ~code ~now:1 in
+  (match Validator.validate v cert ~code ~now:2 with
+  | Validator.Valid { chain_length } -> Alcotest.(check int) "one hop" 1 chain_length
+  | Validator.Invalid e -> Alcotest.failf "rejected: %s" (Validator.failure_to_string e))
+
+let test_validate_rejects_tampered_code () =
+  let f = fixture () in
+  let v = validator_of f in
+  let cert = certify_exn f (meta ~type_safe:true "c") ~code:"good code" ~now:1 in
+  (match Validator.validate v cert ~code:"evil code" ~now:2 with
+  | Validator.Invalid Validator.Digest_mismatch -> ()
+  | _ -> Alcotest.fail "tampered code must be rejected")
+
+let test_validate_rejects_unknown_signer () =
+  let f = fixture () in
+  let v = Validator.create ~root:(Authority.ca f.auth) in
+  (* no grants taught to the validator *)
+  let code = "code" in
+  let cert = certify_exn f (meta ~type_safe:true "c") ~code ~now:1 in
+  (match Validator.validate v cert ~code ~now:2 with
+  | Validator.Invalid (Validator.Untrusted_signer _) -> ()
+  | _ -> Alcotest.fail "signer without chain must be rejected")
+
+let test_validate_rejects_revoked () =
+  let f = fixture () in
+  let v = validator_of f in
+  let code = "code" in
+  let cert = certify_exn f (meta ~type_safe:true "c") ~code ~now:1 in
+  Validator.revoke v (Principal.id f.compiler.Authority.principal);
+  (match Validator.validate v cert ~code ~now:2 with
+  | Validator.Invalid (Validator.Revoked_principal _) -> ()
+  | _ -> Alcotest.fail "revoked signer must be rejected")
+
+let test_validate_rejects_expired_grant () =
+  let r = rng () in
+  let auth = Authority.create r ~name:"ca" ~key_bits in
+  let d =
+    Authority.add_delegate auth r ~name:"temp" ~policy:(fun _ -> Authority.Accept)
+      ~latency:1 ~expires:50 ()
+  in
+  ignore d;
+  let v = Validator.create ~root:(Authority.ca auth) in
+  List.iter (Validator.add_grant v) (Authority.grants auth);
+  let code = "code" in
+  let cert =
+    match (Authority.certify auth (meta "c") ~code ~now:10).Authority.certificate with
+    | Some c -> c
+    | None -> Alcotest.fail "should certify"
+  in
+  (match Validator.validate v cert ~code ~now:20 with
+  | Validator.Valid _ -> ()
+  | Validator.Invalid e -> Alcotest.failf "live grant rejected: %s" (Validator.failure_to_string e));
+  (match Validator.validate v cert ~code ~now:60 with
+  | Validator.Invalid (Validator.Expired_grant _) -> ()
+  | _ -> Alcotest.fail "expired grant must be rejected")
+
+let test_validate_multi_hop_chain () =
+  (* CA -> dept; dept re-delegates -> lab; lab signs *)
+  let r = rng () in
+  let auth = Authority.create r ~name:"ca" ~key_bits in
+  let dept_key = Rsa.generate r ~bits:key_bits in
+  let dept = Principal.make "dept" dept_key.Rsa.pub in
+  let lab_key = Rsa.generate r ~bits:key_bits in
+  let lab = Principal.make "lab" lab_key.Rsa.pub in
+  (* CA grants to dept via the normal delegate path *)
+  let dept_delegate =
+    Authority.add_delegate auth r ~name:"dept-unused" ~policy:(fun _ -> Authority.Cannot_decide)
+      ~latency:1 ()
+  in
+  ignore dept_delegate;
+  let v = Validator.create ~root:(Authority.ca auth) in
+  List.iter (Validator.add_grant v) (Authority.grants auth);
+  (* hand-build the chain CA -> dept -> lab; we need the CA key, so reuse
+     Authority.certify_direct-style construction via a fresh authority
+     whose ca key we control *)
+  let ca_key = Rsa.generate r ~bits:key_bits in
+  let ca = Principal.make "root2" ca_key.Rsa.pub in
+  let v2 = Validator.create ~root:ca in
+  Validator.add_grant v2
+    (Delegation.grant ca_key ~grantor:ca ~delegate:dept ~scope:"kernel-certification" ());
+  Validator.add_grant v2
+    (Delegation.grant dept_key ~grantor:dept ~delegate:lab ~scope:"kernel-certification" ());
+  let code = "multi hop" in
+  let m = meta "mh" in
+  let cert = Authority.certify_direct ~signer_key:lab_key ~signer:lab ~meta:m ~code ~now:1 in
+  (match Validator.validate v2 cert ~code ~now:2 with
+  | Validator.Valid { chain_length } -> Alcotest.(check int) "two hops" 2 chain_length
+  | Validator.Invalid e -> Alcotest.failf "rejected: %s" (Validator.failure_to_string e));
+  (* revoking the middle principal severs the chain *)
+  Validator.revoke v2 (Principal.id dept);
+  (match Validator.validate v2 cert ~code ~now:2 with
+  | Validator.Invalid _ -> ()
+  | _ -> Alcotest.fail "revoked intermediary must sever the chain")
+
+let test_validate_self_signed_rejected () =
+  (* mallory signs her own cert with her own key: no chain to the root *)
+  let f = fixture () in
+  let v = validator_of f in
+  (* a different seed: reusing the fixture seed would regenerate the CA's
+     own key and make mallory the root *)
+  let r = Prng.create ~seed:666 in
+  let mallory_key = Rsa.generate r ~bits:key_bits in
+  let mallory = Principal.make "mallory" mallory_key.Rsa.pub in
+  let code = "evil" in
+  let cert =
+    Authority.certify_direct ~signer_key:mallory_key ~signer:mallory
+      ~meta:(meta ~author:"mallory" "evil") ~code ~now:1
+  in
+  Alcotest.(check bool) "signature itself is fine" true (Certificate.well_signed cert);
+  (match Validator.validate v cert ~code ~now:2 with
+  | Validator.Invalid (Validator.Untrusted_signer _) -> ()
+  | _ -> Alcotest.fail "self-signed cert must be rejected")
+
+(* --- properties --------------------------------------------------------- *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:30 ~name gen f)
+
+let shared_fixture = lazy (fixture ())
+
+let props =
+  [
+    prop "no tampered component ever validates"
+      QCheck2.Gen.(pair (string_size (int_range 1 64)) (int_bound 63))
+      (fun (code, at) ->
+        let f = Lazy.force shared_fixture in
+        let v = validator_of f in
+        let cert = certify_exn f (meta ~type_safe:true "p") ~code ~now:1 in
+        let at = at mod String.length code in
+        let tampered =
+          String.mapi
+            (fun i c -> if i = at then Char.chr (Char.code c lxor 0x80) else c)
+            code
+        in
+        match Validator.validate v cert ~code:tampered ~now:2 with
+        | Validator.Invalid Validator.Digest_mismatch -> true
+        | _ -> false);
+    prop "certification is deterministic in the metadata"
+      QCheck2.Gen.(pair bool (string_size (int_range 1 16)))
+      (fun (ts, name) ->
+        let f = Lazy.force shared_fixture in
+        let m = meta ~type_safe:ts name in
+        let o1 = Authority.certify f.auth m ~code:"c" ~now:1 in
+        let o2 = Authority.certify f.auth m ~code:"c" ~now:1 in
+        o1.Authority.trail = o2.Authority.trail);
+  ]
+
+let () =
+  Alcotest.run "secure"
+    [
+      ("principal", [ Alcotest.test_case "identity" `Quick test_principal_identity ]);
+      ( "certificate",
+        [ Alcotest.test_case "sign/verify/tamper" `Quick test_certificate_sign_verify ] );
+      ( "delegation",
+        [ Alcotest.test_case "statements" `Quick test_delegation_statements ] );
+      ( "authority",
+        [
+          Alcotest.test_case "first delegate wins" `Quick test_certify_first_delegate;
+          Alcotest.test_case "escape hatch" `Quick test_certify_escape_hatch;
+          Alcotest.test_case "all decline" `Quick test_certify_all_decline;
+          Alcotest.test_case "policy zoo" `Quick test_policies;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "accepts valid chain" `Quick test_validate_accepts_chain;
+          Alcotest.test_case "rejects tampered code" `Quick
+            test_validate_rejects_tampered_code;
+          Alcotest.test_case "rejects unknown signer" `Quick
+            test_validate_rejects_unknown_signer;
+          Alcotest.test_case "rejects revoked" `Quick test_validate_rejects_revoked;
+          Alcotest.test_case "rejects expired grant" `Quick
+            test_validate_rejects_expired_grant;
+          Alcotest.test_case "multi-hop chain" `Quick test_validate_multi_hop_chain;
+          Alcotest.test_case "self-signed rejected" `Quick
+            test_validate_self_signed_rejected;
+        ] );
+      ("properties", props);
+    ]
