@@ -1,0 +1,25 @@
+.PHONY: all build test bench fmt check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# ocamlformat is optional in minimal toolchains; skip gracefully when absent
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+check: fmt build test
+
+clean:
+	dune clean

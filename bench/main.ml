@@ -935,6 +935,129 @@ module E12 = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* E-OBS: tracing overhead and the /nucleus/trace service              *)
+(* ------------------------------------------------------------------ *)
+
+module Eobs = struct
+  let budget = Cost.default.Cost.indirect_call + Cost.default.Cost.mem_write
+
+  (* 1. per-call tracing tax at the E1 grain sizes *)
+  let invoke_overhead () =
+    line "-- method invocation: tracing disabled vs enabled (cycles/call) --";
+    let fx = E1.make_fixture () in
+    let obs = Clock.obs fx.E1.clock in
+    let invoke g () =
+      ignore
+        (Invoke.call fx.E1.ctx fx.E1.plain ~iface:"work" ~meth:"run" [ Value.Int g ])
+    in
+    let rows =
+      List.map
+        (fun g ->
+          Obs.disable obs;
+          let off = E1.cycles_per_call fx (invoke g) in
+          Obs.enable obs;
+          let on = E1.cycles_per_call fx (invoke g) in
+          Obs.disable obs;
+          [ i g; f1 off; f1 on; f1 (on -. off); i budget ])
+        E1.grains
+    in
+    print_table
+      ~columns:
+        [ ("grain(cyc)", ()); ("traced off", ()); ("traced on", ());
+          ("overhead", ()); ("budget", ()) ]
+      rows;
+    line "(budget: one indirect_call + one mem_write = %d cycles per span)" budget
+
+  (* 2. the traced cross-domain path: every layer adds exactly one span *)
+  let crossdomain_overhead () =
+    line "";
+    line "-- cross-domain RPC: spans at each layer (cycles/call, 1-word arg) --";
+    let k, _, udom, _, _, proxy = E3.fixture () in
+    let clock = Kernel.clock k in
+    let obs = Clock.obs clock in
+    Mmu.switch_context (Machine.mmu (Kernel.machine k)) udom.Domain.id;
+    let ctx = Kernel.ctx k udom in
+    let cycles () =
+      let before = Clock.now clock in
+      for _ = 1 to 100 do
+        ignore (Invoke.call ctx proxy ~iface:"echo" ~meth:"echo" [ Value.Int 1 ])
+      done;
+      float_of_int (Clock.now clock - before) /. 100.
+    in
+    let off = cycles () in
+    Obs.enable obs;
+    let snap = Clock.snapshot clock in
+    let on = cycles () in
+    let deltas = Clock.since clock snap in
+    Obs.disable obs;
+    print_table
+      ~columns:[ ("path", ()); ("cycles/call", ()) ]
+      [ [ "untraced"; f1 off ]; [ "traced"; f1 on ];
+        [ "overhead"; f1 (on -. off) ] ];
+    line "(three spans per RPC: client invoke, proxy crossing, server invoke)";
+    line "traced run: %d cycles; counter deltas: %s" deltas.Clock.at
+      (String.concat ", "
+         (List.map (fun (n, d) -> Printf.sprintf "%s=%d" n d) deltas.Clock.counts));
+    (* what the tracer saw *)
+    let tracer = Obs.tracer obs in
+    line "ring: %d spans recorded, %d dropped (capacity %d)" (Tracer.recorded tracer)
+      (Tracer.dropped tracer) (Tracer.capacity tracer);
+    (match Metrics.summary (Obs.metrics obs) ~domain:udom.Domain.id "proxy.call" with
+    | Some s -> line "proxy.call latency: %s" (Metrics.summary_to_text s)
+    | None -> ());
+    match Metrics.summary (Obs.metrics obs) ~domain:udom.Domain.id "invoke.dispatch" with
+    | Some s -> line "invoke.dispatch latency: %s" (Metrics.summary_to_text s)
+    | None -> ()
+
+  (* 3. the whole loop through /nucleus/trace, cross-domain *)
+  let trace_service () =
+    line "";
+    line "-- the trace service, driven from a user domain --";
+    let sys = fresh_sys () in
+    let k = System.kernel sys in
+    let kdom = Kernel.kernel_domain k in
+    let net = System.setup_networking sys ~placement:System.Certified ~addr:42 () in
+    let udom = System.new_domain sys "observer" in
+    let trace = Kernel.bind k udom "/nucleus/trace" in
+    line "bind /nucleus/trace from user domain: %s"
+      (if Proxy.is_proxy trace then "proxy (system call)" else "local");
+    let uctx = Kernel.ctx k udom in
+    let call m args = Invoke.call_exn uctx trace ~iface:"trace" ~meth:m args in
+    ignore (call "start" []);
+    (match call "interpose" [ Value.Str "/shared/network" ] with
+    | Value.Int h -> line "interpose /shared/network -> agent handle %d" h
+    | _ -> ());
+    (* traffic through the agent: re-bind picks up the interposer *)
+    let driver = Kernel.bind k kdom "/shared/network" in
+    let kctx = Kernel.ctx k kdom in
+    Mmu.switch_context (Machine.mmu (Kernel.machine k)) kdom.Domain.id;
+    for _ = 1 to 8 do
+      ignore
+        (Invoke.call_exn kctx driver ~iface:"netdev" ~meth:"send"
+           [ Value.Blob (Bytes.create 64) ])
+    done;
+    Kernel.step k ~ticks:2 ();
+    Mmu.switch_context (Machine.mmu (Kernel.machine k)) udom.Domain.id;
+    (match call "histogram" [ Value.Int kdom.Domain.id; Value.Str "invoke.dispatch" ] with
+    | Value.Str s -> line "histogram(kernel, invoke.dispatch): %s" s
+    | _ -> ());
+    ignore (call "uninterpose" [ Value.Str "/shared/network" ]);
+    ignore (call "stop" []);
+    (* the driver instance behind the name is the original again *)
+    let restored = Kernel.bind k kdom "/shared/network" in
+    line "after uninterpose, /shared/network resolves to the original: %b"
+      (restored == net.System.driver)
+
+  let run () =
+    header "E-OBS  Kernel-wide tracing via interposing agents"
+      "\"an interposing agent [...] can be used for debugging, monitoring\" (§2): \
+       observability is an ordinary object composition, free when disabled";
+    invoke_overhead ();
+    crossdomain_overhead ();
+    trace_service ()
+end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suite                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1063,7 +1186,8 @@ let () =
   let experiments =
     [ ("e1", E1.run); ("e2", E2.run); ("e3", E3.run); ("e4", E4.run);
       ("e5", E5.run); ("e6", E6.run); ("e7", E7.run); ("e8", E8.run);
-      ("e9", E9.run); ("e10", E10.run); ("e11", E11.run); ("e12", E12.run) ]
+      ("e9", E9.run); ("e10", E10.run); ("e11", E11.run); ("e12", E12.run);
+      ("obs", Eobs.run) ]
   in
   line "Paramecium reproduction — experiment suite";
   line "(simulated cycles, deterministic; cost model: SPARC-era defaults)";

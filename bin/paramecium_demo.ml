@@ -92,12 +92,27 @@ let packets_cmd =
   let size_t =
     Arg.(value & opt int 256 & info [ "size" ] ~docv:"BYTES" ~doc:"Payload size.")
   in
-  let run seed placement n size =
+  let trace_t =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Enable kernel-wide tracing, interpose a trace agent on \
+             $(b,/shared/network), and print the span tree at exit.")
+  in
+  let run seed placement n size trace =
     let sys = System.create ~seed () in
     let k = System.kernel sys in
     let net = networking sys placement in
     let kdom = Kernel.kernel_domain k in
     let consume = net.System.stack_domain in
+    let tsvc = Kernel.tracesvc k in
+    if trace then begin
+      Obs.enable (Clock.obs (Kernel.clock k));
+      match Tracesvc.interpose tsvc "/shared/network" with
+      | Ok _ -> ()
+      | Error e -> say "trace interposer: %s" e
+    end;
     ignore
       (Invoke.call_exn (Kernel.ctx k consume) net.System.stack ~iface:"stack"
          ~meth:"bind_port" [ Value.Int 7 ]);
@@ -128,12 +143,37 @@ let packets_cmd =
     say "counters:";
     List.iter
       (fun (name, v) -> say "  %-24s %d" name v)
-      (Clock.counters clock)
+      (Clock.counters clock);
+    if trace then begin
+      (* a couple of sends through the agent: re-binding /shared/network
+         resolves to the interposer now occupying the name *)
+      let agent = Kernel.bind k kdom "/shared/network" in
+      for _ = 1 to 2 do
+        ignore
+          (Invoke.call_exn ctx agent ~iface:"netdev" ~meth:"send"
+             [ Value.Blob (Bytes.create 64) ])
+      done;
+      Kernel.step k ~ticks:1 ();
+      let obs = Clock.obs clock in
+      let tracer = Obs.tracer obs in
+      say "";
+      say "trace: %d spans recorded, %d dropped (ring capacity %d)"
+        (Tracer.recorded tracer) (Tracer.dropped tracer) (Tracer.capacity tracer);
+      say "span tree (most recent %d spans):" (List.length (Tracer.spans tracer));
+      Format.printf "%a%!" Tracer.pp_tree tracer;
+      say "";
+      say "metrics:";
+      print_string (Metrics.to_text (Obs.metrics obs));
+      (match Tracesvc.uninterpose tsvc "/shared/network" with
+      | Ok () -> say "trace agent removed; /shared/network restored"
+      | Error e -> say "uninterpose: %s" e);
+      Obs.disable obs
+    end
   in
   Cmd.v
     (Cmd.info "packets"
        ~doc:"Push a packet workload through a placement and report cycle counters.")
-    Term.(const run $ seed_t $ placement_t $ count_t $ size_t)
+    Term.(const run $ seed_t $ placement_t $ count_t $ size_t $ trace_t)
 
 (* --- certify ---------------------------------------------------------------- *)
 

@@ -20,6 +20,11 @@ module Sha256 = Pm_crypto.Sha256
 module Prime = Pm_crypto.Prime
 module Rsa = Pm_crypto.Rsa
 
+(* observability core *)
+module Tracer = Pm_obs.Tracer
+module Metrics = Pm_obs.Metrics
+module Obs = Pm_obs.Obs
+
 (* simulated machine *)
 module Cost = Pm_machine.Cost
 module Clock = Pm_machine.Clock
@@ -68,6 +73,7 @@ module Vmem = Pm_nucleus.Vmem
 module Proxy = Pm_nucleus.Proxy
 module Directory = Pm_nucleus.Directory
 module Certsvc = Pm_nucleus.Certsvc
+module Tracesvc = Pm_nucleus.Tracesvc
 module Api = Pm_nucleus.Api
 module Loader = Pm_nucleus.Loader
 module Kernel = Pm_nucleus.Kernel
@@ -80,6 +86,7 @@ module Netdrv = Pm_components.Netdrv
 module Stack = Pm_components.Stack
 module Rpc = Pm_components.Rpc
 module Interpose = Pm_components.Interpose
+module Obs_agent = Pm_obs_agent.Obs_agent
 module Pager = Pm_components.Pager
 module Simplefs = Pm_components.Simplefs
 module Images = Pm_components.Images

@@ -10,8 +10,16 @@ module Sandbox = Pm_baselines.Sandbox
 module Images = Pm_components.Images
 module Netdrv = Pm_components.Netdrv
 module Clock = Pm_machine.Clock
+module Tracesvc = Pm_nucleus.Tracesvc
+module Obs_agent = Pm_obs_agent.Obs_agent
 
 type t = { kernel : Kernel.t; authority : Authority.t; rng : Prng.t }
+
+(* close the observability loop: the trace service (inside the nucleus)
+   gets its interposer factory from the agent library (above it) *)
+let wire_tracing kernel =
+  Tracesvc.set_interposer (Kernel.tracesvc kernel)
+    (Obs_agent.installer (Kernel.api kernel))
 
 type placement = Certified | Online_certified | Sandboxed | User of Domain.t
 
@@ -34,6 +42,7 @@ let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?(key_bits = 512)
       ignore (Authority.add_delegate authority rng ~name ~policy ~latency ()))
     delegates;
   let kernel = Kernel.boot ?costs ?frames ?page_size ~root:(Authority.ca authority) () in
+  wire_tracing kernel;
   List.iter
     (Certsvc.add_grant (Kernel.certification kernel))
     (Authority.grants authority);
@@ -42,6 +51,7 @@ let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?(key_bits = 512)
 let with_authority ?costs ?frames ?page_size ~seed authority =
   let rng = Prng.create ~seed in
   let kernel = Kernel.boot ?costs ?frames ?page_size ~root:(Authority.ca authority) () in
+  wire_tracing kernel;
   List.iter
     (Certsvc.add_grant (Kernel.certification kernel))
     (Authority.grants authority);

@@ -1,12 +1,19 @@
-type t = { mutable cycles : int; counters : (string, int ref) Hashtbl.t }
+type t = {
+  mutable cycles : int;
+  counters : (string, int ref) Hashtbl.t;
+  obs : Pm_obs.Obs.t;
+}
 
-let create () = { cycles = 0; counters = Hashtbl.create 16 }
+let create () =
+  { cycles = 0; counters = Hashtbl.create 16; obs = Pm_obs.Obs.create () }
 
 let advance t n =
   assert (n >= 0);
   t.cycles <- t.cycles + n
 
 let now t = t.cycles
+
+let obs t = t.obs
 
 let count_n t name n =
   match Hashtbl.find_opt t.counters name with
@@ -22,6 +29,10 @@ let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let with_counters t entries =
+  Hashtbl.reset t.counters;
+  List.iter (fun (name, v) -> Hashtbl.replace t.counters name (ref v)) entries
+
 let reset t =
   t.cycles <- 0;
   Hashtbl.reset t.counters
@@ -30,3 +41,26 @@ let measure t f =
   let before = now t in
   let result = f () in
   (result, now t - before)
+
+type snapshot = { at : int; counts : (string * int) list }
+
+let snapshot t = { at = t.cycles; counts = counters t }
+
+let diff ~before ~after =
+  let find name l = Option.value ~default:0 (List.assoc_opt name l) in
+  let names =
+    List.sort_uniq String.compare
+      (List.map fst before.counts @ List.map fst after.counts)
+  in
+  {
+    at = after.at - before.at;
+    counts =
+      List.filter_map
+        (fun name ->
+          match find name after.counts - find name before.counts with
+          | 0 -> None
+          | d -> Some (name, d))
+        names;
+  }
+
+let since t before = diff ~before ~after:(snapshot t)

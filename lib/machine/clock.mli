@@ -27,9 +27,36 @@ val counter : t -> string -> int
 (** [counters t] lists all counters, sorted by name. *)
 val counters : t -> (string * int) list
 
+(** [with_counters t entries] bulk-restores the counter table to exactly
+    [entries], dropping every other counter. The inverse of
+    [counters]. *)
+val with_counters : t -> (string * int) list -> unit
+
 (** [reset t] zeroes the clock and all counters. *)
 val reset : t -> unit
 
 (** [measure t f] runs [f ()] and returns its result together with the
     cycles it charged. *)
 val measure : t -> (unit -> 'a) -> 'a * int
+
+(** [obs t] is the observability sink attached to this clock. Tracing is
+    disabled by default; instrumented paths charge no cycles until
+    [Pm_obs.Obs.enable] is called. *)
+val obs : t -> Pm_obs.Obs.t
+
+(** {2 Snapshots}
+
+    [snapshot]/[diff]/[since] replace the hand-rolled
+    before/after counter-list subtraction the benches used to do. *)
+
+type snapshot = { at : int; counts : (string * int) list }
+
+(** [snapshot t] captures the cycle count and every counter. *)
+val snapshot : t -> snapshot
+
+(** [diff ~before ~after] is the elapsed cycles and per-counter deltas
+    (zero deltas omitted). *)
+val diff : before:snapshot -> after:snapshot -> snapshot
+
+(** [since t s] is [diff ~before:s ~after:(snapshot t)]. *)
+val since : t -> snapshot -> snapshot

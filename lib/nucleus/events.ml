@@ -1,6 +1,8 @@
 module Machine = Pm_machine.Machine
 module Mmu = Pm_machine.Mmu
 module Clock = Pm_machine.Clock
+module Cost = Pm_machine.Cost
+module Obs = Pm_obs.Obs
 
 type event = Trap of int | Irq of int
 
@@ -28,10 +30,32 @@ let deliver t cb arg =
     Fun.protect ~finally:(fun () -> Mmu.switch_context mmu before) (fun () -> cb.fn arg)
   end
 
+(* Instrumented delivery: a span plus a dispatch-latency histogram
+   sample per call-back, gated on the tracing flag so the quiescent cost
+   is one boolean test. *)
+let deliver_traced t obs ~kind ~num cb arg =
+  let clock = Machine.clock t.machine in
+  let t0 = Clock.now clock in
+  let tok =
+    Obs.span_begin obs ~now:t0 ~domain:cb.domain.Domain.id ~obj:"nucleus.events"
+      ~iface:kind ~meth:(string_of_int num)
+  in
+  deliver t cb arg;
+  Clock.advance clock (Machine.costs t.machine).Cost.mem_write;
+  let t1 = Clock.now clock in
+  Obs.span_end obs ~now:t1 tok;
+  Obs.observe obs ~domain:cb.domain.Domain.id ("events." ^ kind) (t1 - t0)
+
 let dispatch t event arg =
   match Hashtbl.find_opt t.table event with
   | None -> ()
-  | Some cbs -> List.iter (fun cb -> deliver t cb arg) !cbs
+  | Some cbs ->
+    let obs = Clock.obs (Machine.clock t.machine) in
+    if Obs.enabled obs then begin
+      let kind, num = match event with Trap n -> ("trap", n) | Irq n -> ("irq", n) in
+      List.iter (fun cb -> deliver_traced t obs ~kind ~num cb arg) !cbs
+    end
+    else List.iter (fun cb -> deliver t cb arg) !cbs
 
 let create machine =
   let t =

@@ -31,6 +31,7 @@ type t = {
   console : Console.t;
   disk : Disk.t;
   nucleus : Composite.t;
+  tracesvc : Tracesvc.t;
 }
 
 let machine t = t.machine
@@ -40,6 +41,7 @@ let events t = t.api.Api.events
 let vmem t = t.api.Api.vmem
 let directory t = t.api.Api.directory
 let certification t = t.api.Api.certification
+let tracesvc t = t.tracesvc
 let loader t = t.loader
 let sched t = t.api.Api.sched
 let kernel_domain t = t.kernel_domain
@@ -288,14 +290,16 @@ let boot ?costs ?frames ?page_size ~root () =
   let mem_obj = memory_object t_ref registry kernel_domain in
   let ev_obj = events_object t_ref registry kernel_domain in
   let cert_obj = certification_object t_ref registry kernel_domain in
-  (* the resident kernel: a static (link-time) composition of the four
+  let tracesvc = Tracesvc.create machine in
+  let trace_obj = Tracesvc.service_object tracesvc registry kernel_domain in
+  (* the resident kernel: a static (link-time) composition of the five
      service objects *)
   let nucleus =
     Composite.make registry ~class_name:"paramecium.nucleus"
       ~domain:kernel_domain.Domain.id ~mode:Composite.Static
       ~children:
         [ ("events", ev_obj); ("memory", mem_obj); ("directory", dir_obj);
-          ("certification", cert_obj) ]
+          ("certification", cert_obj); ("trace", trace_obj) ]
       ~exports:
         [
           { Composite.as_name = "events"; child = "events"; iface = "events" };
@@ -303,16 +307,18 @@ let boot ?costs ?frames ?page_size ~root () =
           { Composite.as_name = "directory"; child = "directory"; iface = "directory" };
           { Composite.as_name = "certification"; child = "certification";
             iface = "certification" };
+          { Composite.as_name = "trace"; child = "trace"; iface = "trace" };
         ]
   in
   must_register ns "/nucleus/events" (Instance.handle ev_obj);
   must_register ns "/nucleus/memory" (Instance.handle mem_obj);
   must_register ns "/nucleus/directory" (Instance.handle dir_obj);
   must_register ns "/nucleus/certification" (Instance.handle cert_obj);
+  must_register ns "/nucleus/trace" (Instance.handle trace_obj);
   must_register ns "/nucleus/kernel" (Instance.handle (Composite.instance nucleus));
   let t =
     { machine; registry; ns; root_view; api; loader; kernel_domain;
-      user_domains = []; nic; timer; console; disk; nucleus }
+      user_domains = []; nic; timer; console; disk; nucleus; tracesvc }
   in
   t_ref := Some t;
   t

@@ -22,7 +22,7 @@ let make ~machine ~vmem ~registry ~target ~importer =
   let entry_page = Vmem.alloc_pages vmem importer ~count:1 ~sharing:Vmem.Exclusive in
   Vmem.hook_page vmem importer ~vaddr:entry_page true;
   let forward_method iface_name (m : Iface.meth) =
-    let impl (ctx : Call_ctx.t) args =
+    let forward (ctx : Call_ctx.t) args =
       if ctx.Call_ctx.caller_domain <> importer.Domain.id then
         Error
           (Oerror.Domain_error
@@ -53,6 +53,27 @@ let make ~machine ~vmem ~registry ~target ~importer =
         (match result with
         | Ok v -> Clock.advance clock (Value.words v * costs.Cost.map_word)
         | Error _ -> ());
+        result
+      end
+    in
+    (* span around the whole crossing: fault, argument mapping, context
+       switches and the remote dispatch all land inside it *)
+    let impl (ctx : Call_ctx.t) args =
+      let obs = Clock.obs ctx.Call_ctx.clock in
+      if not (Pm_obs.Obs.enabled obs) then forward ctx args
+      else begin
+        let clock = ctx.Call_ctx.clock in
+        let t0 = Clock.now clock in
+        let tok =
+          Pm_obs.Obs.span_begin obs ~now:t0 ~domain:importer.Domain.id
+            ~obj:(class_prefix ^ target.Instance.class_name)
+            ~iface:iface_name ~meth:m.Iface.mname
+        in
+        let result = forward ctx args in
+        Clock.advance clock ctx.Call_ctx.costs.Cost.mem_write;
+        let t1 = Clock.now clock in
+        Pm_obs.Obs.span_end obs ~now:t1 tok;
+        Pm_obs.Obs.observe obs ~domain:importer.Domain.id "proxy.call" (t1 - t0);
         result
       end
     in

@@ -1,0 +1,119 @@
+module Machine = Pm_machine.Machine
+module Clock = Pm_machine.Clock
+module Instance = Pm_obj.Instance
+module Iface = Pm_obj.Iface
+module Value = Pm_obj.Value
+module Vtype = Pm_obj.Vtype
+module Oerror = Pm_obj.Oerror
+module Obs = Pm_obs.Obs
+module Metrics = Pm_obs.Metrics
+
+type installed = { agent : Instance.t; original : Instance.t }
+
+type interposer = {
+  install : string -> (installed, string) result;
+  uninstall : string -> installed -> (unit, string) result;
+}
+
+type t = {
+  machine : Machine.t;
+  (* the agent factory lives above this library (it needs the component
+     toolbox), so it is injected at system-assembly time *)
+  mutable interposer : interposer option;
+  installed : (string, installed) Hashtbl.t;
+}
+
+let create machine = { machine; interposer = None; installed = Hashtbl.create 8 }
+
+let set_interposer t i = t.interposer <- Some i
+
+let obs t = Clock.obs (Machine.clock t.machine)
+
+let interpose t path =
+  if Hashtbl.mem t.installed path then
+    Error (Printf.sprintf "%s already has a trace agent" path)
+  else begin
+    match t.interposer with
+    | None -> Error "no trace interposer factory installed"
+    | Some i ->
+      (match i.install path with
+      | Ok inst ->
+        Hashtbl.replace t.installed path inst;
+        Ok inst.agent
+      | Error _ as e -> e)
+  end
+
+let uninterpose t path =
+  match Hashtbl.find_opt t.installed path with
+  | None -> Error (Printf.sprintf "%s has no trace agent" path)
+  | Some inst ->
+    (match t.interposer with
+    | None -> Error "no trace interposer factory installed"
+    | Some i ->
+      (match i.uninstall path inst with
+      | Ok () ->
+        Hashtbl.remove t.installed path;
+        Ok ()
+      | Error _ as e -> e))
+
+let interposed t = Hashtbl.fold (fun path _ acc -> path :: acc) t.installed []
+
+let service_object t registry kdom =
+  let unit_m body _ctx = function
+    | [] ->
+      body ();
+      Ok Value.Unit
+    | _ -> Error (Oerror.Type_error "()")
+  in
+  let snapshot_m _ctx = function
+    | [ Value.Str fmt ] ->
+      (match fmt with
+      | "text" -> Ok (Value.Str (Obs.to_text (obs t)))
+      | "json" -> Ok (Value.Str (Obs.to_json (obs t)))
+      | _ -> Error (Oerror.Type_error "snapshot(\"text\"|\"json\")"))
+    | _ -> Error (Oerror.Type_error "snapshot(str)")
+  in
+  let histogram_m _ctx = function
+    | [ Value.Int domain; Value.Str name ] ->
+      (match Metrics.summary (Obs.metrics (obs t)) ~domain name with
+      | Some s -> Ok (Value.Str (Metrics.summary_to_text s))
+      | None -> Error (Oerror.Fault (Printf.sprintf "no samples for %d/%s" domain name)))
+    | _ -> Error (Oerror.Type_error "histogram(int, str)")
+  in
+  let interpose_m _ctx = function
+    | [ Value.Str path ] ->
+      (match interpose t path with
+      | Ok agent -> Ok (Value.Int (Instance.handle agent))
+      | Error e -> Error (Oerror.Fault e))
+    | _ -> Error (Oerror.Type_error "interpose(str)")
+  in
+  let uninterpose_m _ctx = function
+    | [ Value.Str path ] ->
+      (match uninterpose t path with
+      | Ok () -> Ok Value.Unit
+      | Error e -> Error (Oerror.Fault e))
+    | _ -> Error (Oerror.Type_error "uninterpose(str)")
+  in
+  let enabled_m _ctx = function
+    | [] -> Ok (Value.Bool (Obs.enabled (obs t)))
+    | _ -> Error (Oerror.Type_error "enabled()")
+  in
+  let iface =
+    Iface.make ~name:"trace"
+      [
+        Iface.meth ~name:"start" ~args:[] ~ret:Vtype.Tunit
+          (unit_m (fun () -> Obs.enable (obs t)));
+        Iface.meth ~name:"stop" ~args:[] ~ret:Vtype.Tunit
+          (unit_m (fun () -> Obs.disable (obs t)));
+        Iface.meth ~name:"reset" ~args:[] ~ret:Vtype.Tunit
+          (unit_m (fun () -> Obs.reset (obs t)));
+        Iface.meth ~name:"enabled" ~args:[] ~ret:Vtype.Tbool enabled_m;
+        Iface.meth ~name:"snapshot" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tstr snapshot_m;
+        Iface.meth ~name:"histogram" ~args:[ Vtype.Tint; Vtype.Tstr ] ~ret:Vtype.Tstr
+          histogram_m;
+        Iface.meth ~name:"interpose" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tint interpose_m;
+        Iface.meth ~name:"uninterpose" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tunit
+          uninterpose_m;
+      ]
+  in
+  Instance.create registry ~class_name:"nucleus.trace" ~domain:kdom.Domain.id [ iface ]

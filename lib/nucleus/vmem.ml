@@ -1,6 +1,9 @@
 module Machine = Pm_machine.Machine
 module Mmu = Pm_machine.Mmu
 module Physmem = Pm_machine.Physmem
+module Clock = Pm_machine.Clock
+module Cost = Pm_machine.Cost
+module Obs = Pm_obs.Obs
 
 type sharing = Exclusive | Shared
 
@@ -43,7 +46,24 @@ let create machine =
        (fun (fault : Mmu.fault) ->
          let vpage = fault.Mmu.vaddr / Machine.page_size machine in
          match Hashtbl.find_opt t.fault_cbs (fault.Mmu.ctx, vpage) with
-         | Some cb -> cb fault
+         | Some cb ->
+           let clock = Machine.clock machine in
+           let obs = Clock.obs clock in
+           if Obs.enabled obs then begin
+             (* page-fault handling latency: the whole user callback *)
+             let t0 = Clock.now clock in
+             let tok =
+               Obs.span_begin obs ~now:t0 ~domain:fault.Mmu.ctx ~obj:"nucleus.vmem"
+                 ~iface:"fault" ~meth:(string_of_int vpage)
+             in
+             let resolved = cb fault in
+             Clock.advance clock (Machine.costs machine).Cost.mem_write;
+             let t1 = Clock.now clock in
+             Obs.span_end obs ~now:t1 tok;
+             Obs.observe obs ~domain:fault.Mmu.ctx "vmem.fault" (t1 - t0);
+             resolved
+           end
+           else cb fault
          | None -> false));
   t
 

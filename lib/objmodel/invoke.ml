@@ -1,7 +1,8 @@
 module Cost = Pm_machine.Cost
 module Clock = Pm_machine.Clock
+module Obs = Pm_obs.Obs
 
-let call (ctx : Call_ctx.t) obj ~iface ~meth args =
+let dispatch (ctx : Call_ctx.t) obj ~iface ~meth args =
   Clock.advance ctx.clock ctx.costs.Cost.indirect_call;
   Clock.count ctx.clock "method_invocation";
   match Instance.resolve_method obj ~iface ~meth with
@@ -26,6 +27,24 @@ let call (ctx : Call_ctx.t) obj ~iface ~meth args =
             (Oerror.Type_error
                (Printf.sprintf "%s.%s returned an ill-typed value" iface meth))
     end
+
+let call (ctx : Call_ctx.t) obj ~iface ~meth args =
+  let obs = Clock.obs ctx.clock in
+  if not (Obs.enabled obs) then dispatch ctx obj ~iface ~meth args
+  else begin
+    let t0 = Clock.now ctx.clock in
+    let tok =
+      Obs.span_begin obs ~now:t0 ~domain:ctx.caller_domain
+        ~obj:obj.Instance.class_name ~iface ~meth
+    in
+    let result = dispatch ctx obj ~iface ~meth args in
+    (* one simulated store books the completed span into the ring *)
+    Clock.advance ctx.clock ctx.costs.Cost.mem_write;
+    let t1 = Clock.now ctx.clock in
+    Obs.span_end obs ~now:t1 tok;
+    Obs.observe obs ~domain:ctx.caller_domain "invoke.dispatch" (t1 - t0);
+    result
+  end
 
 let call_exn ctx obj ~iface ~meth args =
   match call ctx obj ~iface ~meth args with

@@ -1,0 +1,36 @@
+(** The observability sink: one span {!Tracer} plus one {!Metrics}
+    registry behind a single cheap [enabled] flag.
+
+    Every virtual clock owns one of these; instrumented hot paths —
+    method dispatch, event delivery, page-fault handling, cross-domain
+    proxies, the scheduler — test {!enabled} and skip everything
+    (including all cycle charges) when tracing is off, so a quiescent
+    tracer costs nothing in simulated cycles. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val enabled : t -> bool
+val enable : t -> unit
+val disable : t -> unit
+
+val tracer : t -> Tracer.t
+val metrics : t -> Metrics.t
+
+(** {2 Conveniences forwarding to the tracer / metrics} *)
+
+val span_begin :
+  t -> now:int -> domain:int -> obj:string -> iface:string -> meth:string -> Tracer.token
+
+val span_end : t -> now:int -> Tracer.token -> unit
+val observe : t -> domain:int -> string -> int -> unit
+val incr : t -> domain:int -> string -> unit
+val add : t -> domain:int -> string -> int -> unit
+val set_gauge : t -> domain:int -> string -> int -> unit
+
+(** Clears spans and metrics; leaves [enabled] untouched. *)
+val reset : t -> unit
+
+val to_text : t -> string
+val to_json : t -> string

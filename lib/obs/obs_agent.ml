@@ -1,0 +1,82 @@
+module Api = Pm_nucleus.Api
+module Domain = Pm_nucleus.Domain
+module Directory = Pm_nucleus.Directory
+module Interpose = Pm_components.Interpose
+module Machine = Pm_machine.Machine
+module Clock = Pm_machine.Clock
+module Cost = Pm_machine.Cost
+module Instance = Pm_obj.Instance
+module Path = Pm_names.Path
+module Namespace = Pm_names.Namespace
+module Obs = Pm_obs.Obs
+
+(* The trace agent is an ordinary interposer whose call/result hooks
+   bracket every forwarded method in a span.  Tokens for in-flight calls
+   live on a stack: hooks fire strictly LIFO (the forward is a plain
+   nested invocation), so pop pairs with the matching push even when
+   interposed methods call back through the same agent. *)
+let trace_agent api dom ~target =
+  let machine = api.Api.machine in
+  let clock = Machine.clock machine in
+  let obs = Clock.obs clock in
+  let open_tokens = Stack.create () in
+  let on_call ~iface ~meth _args =
+    if Obs.enabled obs then
+      Stack.push
+        (Obs.span_begin obs ~now:(Clock.now clock) ~domain:dom.Domain.id
+           ~obj:("trace:" ^ target.Instance.class_name)
+           ~iface ~meth)
+        open_tokens
+  in
+  let on_result ~iface:_ ~meth:_ _args result =
+    (* pop even if tracing was flipped off mid-call, so the stack cannot
+       grow stale tokens; record only when still enabled *)
+    match Stack.pop_opt open_tokens with
+    | None -> ()
+    | Some tok ->
+      if Obs.enabled obs then begin
+        Clock.advance clock (Machine.costs machine).Cost.mem_write;
+        let now = Clock.now clock in
+        Obs.span_end obs ~now tok;
+        match result with
+        | Ok _ -> ()
+        | Error _ -> Obs.incr obs ~domain:dom.Domain.id "trace.errors"
+      end
+  in
+  Interpose.wrap api dom ~target ~on_call ~on_result ()
+
+let interpose api ~path =
+  let dir = api.Api.directory in
+  match Namespace.lookup (Directory.namespace dir) (Path.of_string path) with
+  | Error e -> Error (Namespace.error_to_string e)
+  | Ok handle ->
+    (match Directory.resolve_handle dir handle with
+    | None -> Error (Printf.sprintf "handle %d at %s is dangling" handle path)
+    | Some target ->
+      let agent = trace_agent api api.Api.kernel_domain ~target in
+      (match Interpose.attach api ~path ~agent with
+      | Ok original -> Ok (agent, original)
+      | Error e -> Error e))
+
+let remove api ~path ~agent ~original =
+  match Directory.replace api.Api.directory (Path.of_string path) original with
+  | Error e -> Error (Directory.bind_error_to_string e)
+  | Ok prev ->
+    if prev == agent then Ok ()
+    else begin
+      (* someone interposed over us since; put their entry back *)
+      ignore (Directory.replace api.Api.directory (Path.of_string path) prev);
+      Error (Printf.sprintf "entry at %s is not the trace agent" path)
+    end
+
+let installer api =
+  {
+    Pm_nucleus.Tracesvc.install =
+      (fun path ->
+        match interpose api ~path with
+        | Ok (agent, original) -> Ok { Pm_nucleus.Tracesvc.agent; original }
+        | Error e -> Error e);
+    uninstall =
+      (fun path { Pm_nucleus.Tracesvc.agent; original } ->
+        remove api ~path ~agent ~original);
+  }

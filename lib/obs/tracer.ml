@@ -1,0 +1,122 @@
+type span = {
+  seq : int;
+  domain : int;
+  obj : string;
+  iface : string;
+  meth : string;
+  t_start : int;
+  t_end : int;
+  depth : int;
+}
+
+type token = {
+  tk_domain : int;
+  tk_obj : string;
+  tk_iface : string;
+  tk_meth : string;
+  tk_start : int;
+  tk_depth : int;
+}
+
+type t = {
+  capacity : int;
+  buf : span option array;
+  mutable written : int; (* completed spans ever recorded *)
+  mutable depth : int; (* current begin/end nesting depth *)
+}
+
+let default_capacity = 1024
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  { capacity; buf = Array.make capacity None; written = 0; depth = 0 }
+
+let capacity t = t.capacity
+let recorded t = t.written
+let dropped t = max 0 (t.written - t.capacity)
+let depth t = t.depth
+
+let begin_span t ~now ~domain ~obj ~iface ~meth =
+  let tok =
+    { tk_domain = domain; tk_obj = obj; tk_iface = iface; tk_meth = meth;
+      tk_start = now; tk_depth = t.depth }
+  in
+  t.depth <- t.depth + 1;
+  tok
+
+let end_span t ~now tok =
+  t.depth <- max 0 (t.depth - 1);
+  let s =
+    { seq = t.written; domain = tok.tk_domain; obj = tok.tk_obj;
+      iface = tok.tk_iface; meth = tok.tk_meth; t_start = tok.tk_start;
+      t_end = now; depth = tok.tk_depth }
+  in
+  t.buf.(t.written mod t.capacity) <- Some s;
+  t.written <- t.written + 1
+
+(* surviving spans, oldest first *)
+let spans t =
+  let n = min t.written t.capacity in
+  let first = if t.written <= t.capacity then 0 else t.written mod t.capacity in
+  List.init n (fun k -> t.buf.((first + k) mod t.capacity))
+  |> List.filter_map Fun.id
+
+let reset t =
+  Array.fill t.buf 0 t.capacity None;
+  t.written <- 0;
+  t.depth <- 0
+
+let duration s = s.t_end - s.t_start
+
+let span_to_text s =
+  Printf.sprintf "#%-5d dom %-2d %s%s.%s [%s]  %d..%d (%d cyc)" s.seq s.domain
+    (String.make (2 * s.depth) ' ')
+    s.iface s.meth s.obj s.t_start s.t_end (duration s)
+
+let to_text t =
+  let header =
+    Printf.sprintf "tracer: %d recorded, %d dropped, capacity %d" t.written
+      (dropped t) t.capacity
+  in
+  String.concat "\n" (header :: List.map span_to_text (spans t))
+
+(* minimal JSON string escaping; names here are identifiers but be safe *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let span_to_json s =
+  Printf.sprintf
+    "{\"seq\":%d,\"domain\":%d,\"obj\":\"%s\",\"iface\":\"%s\",\"meth\":\"%s\",\"start\":%d,\"end\":%d,\"depth\":%d}"
+    s.seq s.domain (json_escape s.obj) (json_escape s.iface) (json_escape s.meth)
+    s.t_start s.t_end s.depth
+
+let to_json t =
+  Printf.sprintf "{\"recorded\":%d,\"dropped\":%d,\"capacity\":%d,\"spans\":[%s]}"
+    t.written (dropped t) t.capacity
+    (String.concat "," (List.map span_to_json (spans t)))
+
+(* The call tree: spans are recorded at [end_span] time (post-order), so
+   sort by start time — ties broken by depth — to recover pre-order. *)
+let pp_tree fmt t =
+  let by_start =
+    List.sort
+      (fun a b ->
+        match compare a.t_start b.t_start with 0 -> compare a.depth b.depth | c -> c)
+      (spans t)
+  in
+  List.iter
+    (fun (s : span) ->
+      Format.fprintf fmt "%s[dom %d] %s.%s  %d..%d (%d cyc)  %s@."
+        (String.make (2 * s.depth) ' ')
+        s.domain s.iface s.meth s.t_start s.t_end (duration s) s.obj)
+    by_start

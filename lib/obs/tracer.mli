@@ -1,0 +1,70 @@
+(** Fixed-capacity ring-buffer span tracer.
+
+    A span is one bracketed operation — a method invocation, an event
+    dispatch, a cross-domain call — stamped with the virtual-cycle clock
+    at begin and end plus the protection domain, object class, interface,
+    method and nesting depth. The buffer holds the most recent
+    [capacity] completed spans; older ones are overwritten (counted in
+    [dropped]), so tracing never allocates past its fixed footprint — the
+    kernel-friendly design point.
+
+    The tracer takes timestamps as plain integers so this library stays
+    dependency-free; callers pass [Clock.now]. *)
+
+type span = {
+  seq : int;  (** completion order, monotonically increasing *)
+  domain : int;  (** protection domain the operation ran on behalf of *)
+  obj : string;  (** class name of the object involved *)
+  iface : string;
+  meth : string;
+  t_start : int;  (** cycle timestamps from the virtual clock *)
+  t_end : int;
+  depth : int;  (** begin/end nesting depth at [begin_span] time *)
+}
+
+(** An open span returned by {!begin_span}, closed by {!end_span}. *)
+type token
+
+type t
+
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** [recorded t] is the count of spans ever completed (including ones
+    overwritten since). *)
+val recorded : t -> int
+
+(** [dropped t] is how many completed spans the ring has overwritten. *)
+val dropped : t -> int
+
+(** [depth t] is the current nesting depth (open spans). *)
+val depth : t -> int
+
+val begin_span :
+  t -> now:int -> domain:int -> obj:string -> iface:string -> meth:string -> token
+
+val end_span : t -> now:int -> token -> unit
+
+(** [spans t] lists the surviving spans, oldest first. *)
+val spans : t -> span list
+
+val reset : t -> unit
+
+val duration : span -> int
+
+(** One line per surviving span, prefixed by a summary header. *)
+val to_text : t -> string
+
+(** [{"recorded":..,"dropped":..,"capacity":..,"spans":[..]}] *)
+val to_json : t -> string
+
+(** Minimal JSON string escaping, shared by the exporters here and in
+    {!Metrics}. *)
+val json_escape : string -> string
+
+(** Render the surviving spans as an indented call tree (pre-order by
+    start time, indented by nesting depth). *)
+val pp_tree : Format.formatter -> t -> unit

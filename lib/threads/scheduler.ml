@@ -249,6 +249,8 @@ let take_ready t =
   | Fifo -> take_fifo t
   | Lottery _ -> take_lottery t
 
+let ready_count t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.ready
+
 let run t ?budget () =
   let dispatches = ref 0 in
   let exhausted () =
@@ -264,6 +266,12 @@ let run t ?budget () =
         t.switches <- t.switches + 1;
         Clock.advance t.clock t.costs.Cost.thread_switch;
         Clock.count t.clock "thread_switch";
+        let obs = Clock.obs t.clock in
+        if Pm_obs.Obs.enabled obs then begin
+          (* scheduler metrics are system-wide: keyed to domain 0 *)
+          Pm_obs.Obs.set_gauge obs ~domain:0 "sched.ready" (ready_count t);
+          Pm_obs.Obs.incr obs ~domain:0 "sched.switches"
+        end;
         (match (th.domain, t.mmu) with
         | Some d, Some mmu -> Pm_machine.Mmu.switch_context mmu d
         | _ -> ());
@@ -283,7 +291,6 @@ let suspend register = Effect.perform (Suspend register)
 let self () = Effect.perform Self
 
 let live t = t.live
-let ready_count t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.ready
 let current t = t.cur
 
 let stats t = function

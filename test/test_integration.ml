@@ -360,6 +360,50 @@ let test_sandbox_tax_scales_with_packet_size () =
     true
     (large > small * 4)
 
+(* --- observability end to end -------------------------------------------------- *)
+
+let test_tracing_whole_workload () =
+  (* a user domain drives /nucleus/trace (through a proxy), a full packet
+     workload runs traced, and the numbers it reports are consistent *)
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let net = System.setup_networking sys ~placement:System.Certified ~addr:42 () in
+  let udom = System.new_domain sys "observer" in
+  let trace = Kernel.bind k udom "/nucleus/trace" in
+  Alcotest.(check bool) "trace service proxied" true (Proxy.is_proxy trace);
+  Mmu.switch_context (Machine.mmu (Kernel.machine k)) udom.Domain.id;
+  let uctx = Kernel.ctx k udom in
+  (match Invoke.call uctx trace ~iface:"trace" ~meth:"start" [] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "start");
+  ignore (pump_packets sys net ~n:5 ~payload_size:128);
+  let obs = Clock.obs (Kernel.clock k) in
+  Alcotest.(check bool) "spans were recorded" true
+    (Tracer.recorded (Obs.tracer obs) > 5);
+  (* the per-packet dispatch latency histogram exists and is sane *)
+  (match
+     Metrics.summary (Obs.metrics obs)
+       ~domain:(Kernel.kernel_domain k).Domain.id "invoke.dispatch"
+   with
+  | Some s ->
+    Alcotest.(check bool) "dispatch samples" true (s.Metrics.count >= 5);
+    Alcotest.(check bool) "latency ordering" true
+      (s.Metrics.min <= s.Metrics.p50 && s.Metrics.p50 <= s.Metrics.max)
+  | None -> Alcotest.fail "no invoke.dispatch histogram");
+  Alcotest.(check bool) "event delivery histogram" true
+    (Metrics.summary (Obs.metrics obs) ~domain:(Kernel.kernel_domain k).Domain.id
+       "events.irq"
+    <> None);
+  Mmu.switch_context (Machine.mmu (Kernel.machine k)) udom.Domain.id;
+  (match Invoke.call uctx trace ~iface:"trace" ~meth:"snapshot" [ Value.Str "text" ] with
+  | Ok (Value.Str text) ->
+    Alcotest.(check bool) "snapshot crosses the domain boundary" true
+      (String.length text > 0)
+  | _ -> Alcotest.fail "snapshot");
+  match Invoke.call uctx trace ~iface:"trace" ~meth:"stop" [] with
+  | Ok Value.Unit -> Alcotest.(check bool) "stopped" false (Obs.enabled obs)
+  | _ -> Alcotest.fail "stop"
+
 let () =
   Alcotest.run "integration"
     [
@@ -400,5 +444,10 @@ let () =
             test_cross_domain_tax_visible_in_counters;
           Alcotest.test_case "sandbox tax scales" `Quick
             test_sandbox_tax_scales_with_packet_size;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "traced workload end to end" `Quick
+            test_tracing_whole_workload;
         ] );
     ]

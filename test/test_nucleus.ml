@@ -483,7 +483,7 @@ let test_kernel_namespace_conventions () =
     (fun path ->
       Alcotest.(check bool) path true (Namespace.exists ns (Path.of_string path)))
     [ "/nucleus/events"; "/nucleus/memory"; "/nucleus/directory";
-      "/nucleus/certification"; "/nucleus/kernel" ]
+      "/nucleus/certification"; "/nucleus/trace"; "/nucleus/kernel" ]
 
 let test_kernel_service_objects () =
   let k = kernel_fixture () in
@@ -506,7 +506,7 @@ let test_kernel_service_objects () =
      Invoke.call_exn ctx dir_obj ~iface:"directory" ~meth:"list" [ Value.Str "/nucleus" ]
    with
   | Value.List entries ->
-    Alcotest.(check int) "five nucleus entries" 5 (List.length entries)
+    Alcotest.(check int) "six nucleus entries" 6 (List.length entries)
   | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
 
 let test_kernel_memory_object_syscall () =
@@ -538,7 +538,7 @@ let test_kernel_static_composition_sealed () =
   (* the composition exports the service interfaces *)
   Alcotest.(check (list string))
     "exports"
-    [ "events"; "memory"; "directory"; "certification" ]
+    [ "events"; "memory"; "directory"; "certification"; "trace" ]
     (Instance.interface_names nucleus_obj)
 
 let test_kernel_domain_listing () =

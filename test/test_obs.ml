@@ -1,0 +1,366 @@
+(* Tests for the observability subsystem: the ring-buffer tracer, the
+   metrics registry, zero-cost-when-disabled instrumentation, the trace
+   interposer's transparency, and the /nucleus/trace service. *)
+
+open Paramecium
+
+(* --- tracer ring buffer ---------------------------------------------- *)
+
+let record tracer ~seq:_ n =
+  let tok =
+    Tracer.begin_span tracer ~now:(n * 10) ~domain:0 ~obj:"o" ~iface:"i"
+      ~meth:(string_of_int n)
+  in
+  Tracer.end_span tracer ~now:((n * 10) + 5) tok
+
+let test_ring_wraparound () =
+  let tracer = Tracer.create ~capacity:8 () in
+  for n = 0 to 19 do
+    record tracer ~seq:n n
+  done;
+  Alcotest.(check int) "recorded counts everything" 20 (Tracer.recorded tracer);
+  Alcotest.(check int) "overwritten spans are dropped" 12 (Tracer.dropped tracer);
+  let spans = Tracer.spans tracer in
+  Alcotest.(check int) "capacity survivors" 8 (List.length spans);
+  (match spans with
+  | oldest :: _ -> Alcotest.(check int) "oldest survivor" 12 oldest.Tracer.seq
+  | [] -> Alcotest.fail "no spans");
+  let seqs = List.map (fun s -> s.Tracer.seq) spans in
+  Alcotest.(check (list int)) "oldest-first order" [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    seqs;
+  Tracer.reset tracer;
+  Alcotest.(check int) "reset empties" 0 (List.length (Tracer.spans tracer));
+  Alcotest.(check int) "reset zeroes recorded" 0 (Tracer.recorded tracer)
+
+let test_ring_nesting_depth () =
+  let tracer = Tracer.create () in
+  let a = Tracer.begin_span tracer ~now:0 ~domain:0 ~obj:"a" ~iface:"i" ~meth:"m" in
+  let b = Tracer.begin_span tracer ~now:1 ~domain:0 ~obj:"b" ~iface:"i" ~meth:"m" in
+  Alcotest.(check int) "two open" 2 (Tracer.depth tracer);
+  Tracer.end_span tracer ~now:2 b;
+  Tracer.end_span tracer ~now:3 a;
+  Alcotest.(check int) "all closed" 0 (Tracer.depth tracer);
+  match Tracer.spans tracer with
+  | [ inner; outer ] ->
+    Alcotest.(check int) "inner depth" 1 inner.Tracer.depth;
+    Alcotest.(check int) "outer depth" 0 outer.Tracer.depth;
+    Alcotest.(check string) "inner first (post-order completion)" "b" inner.Tracer.obj
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+(* --- metrics ---------------------------------------------------------- *)
+
+let test_histogram_percentiles () =
+  let m = Metrics.create () in
+  for v = 1 to 100 do
+    Metrics.observe m ~domain:0 "lat" v
+  done;
+  match Metrics.summary m ~domain:0 "lat" with
+  | None -> Alcotest.fail "no summary"
+  | Some s ->
+    Alcotest.(check int) "count" 100 s.Metrics.count;
+    Alcotest.(check int) "sum" 5050 s.Metrics.sum;
+    Alcotest.(check int) "min" 1 s.Metrics.min;
+    Alcotest.(check int) "max" 100 s.Metrics.max;
+    (* rank 50 lands in bucket [32,64); rank 90 and 99 in [64,128) *)
+    Alcotest.(check int) "p50 bucket floor" 32 s.Metrics.p50;
+    Alcotest.(check int) "p90 bucket floor" 64 s.Metrics.p90;
+    Alcotest.(check int) "p99 bucket floor" 64 s.Metrics.p99
+
+let test_bucket_scheme () =
+  Alcotest.(check int) "0 -> bucket 0" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "1 -> bucket 0" 0 (Metrics.bucket_of 1);
+  Alcotest.(check int) "2 -> bucket 1" 1 (Metrics.bucket_of 2);
+  Alcotest.(check int) "3 -> bucket 1" 1 (Metrics.bucket_of 3);
+  Alcotest.(check int) "4 -> bucket 2" 2 (Metrics.bucket_of 4);
+  Alcotest.(check int) "1024 -> bucket 10" 10 (Metrics.bucket_of 1024);
+  Alcotest.(check int) "floor of bucket 0" 0 (Metrics.bucket_floor 0);
+  Alcotest.(check int) "floor of bucket 10" 1024 (Metrics.bucket_floor 10)
+
+let test_counters_and_gauges () =
+  let m = Metrics.create () in
+  Metrics.incr m ~domain:1 "calls";
+  Metrics.add m ~domain:1 "calls" 4;
+  Metrics.incr m ~domain:2 "calls";
+  Metrics.set_gauge m ~domain:0 "ready" 7;
+  Metrics.set_gauge m ~domain:0 "ready" 3;
+  Alcotest.(check int) "counter keyed by domain" 5 (Metrics.counter m ~domain:1 "calls");
+  Alcotest.(check int) "other domain separate" 1 (Metrics.counter m ~domain:2 "calls");
+  Alcotest.(check int) "gauge keeps last value" 3 (Metrics.gauge m ~domain:0 "ready");
+  Alcotest.(check int) "absent counter is 0" 0 (Metrics.counter m ~domain:9 "nope")
+
+(* --- zero-cost-when-disabled instrumentation -------------------------- *)
+
+let echo_registry () =
+  let registry = Registry.create () in
+  let iface =
+    Iface.make ~name:"echo"
+      [
+        Iface.meth ~name:"echo" ~args:[ Vtype.Tany ] ~ret:Vtype.Tany
+          (fun _ctx -> function [ v ] -> Ok v | _ -> Error (Oerror.Type_error "echo"));
+        Iface.meth ~name:"boom" ~args:[] ~ret:Vtype.Tunit
+          (fun _ctx _ -> Error (Oerror.Fault "boom"));
+      ]
+  in
+  (registry, Instance.create registry ~class_name:"test.echo" ~domain:0 [ iface ])
+
+let test_disabled_costs_nothing () =
+  let clock = Clock.create () in
+  let ctx = Call_ctx.make ~clock ~costs:Cost.default ~caller_domain:0 in
+  let _, echo = echo_registry () in
+  let cost body =
+    let before = Clock.now clock in
+    body ();
+    Clock.now clock - before
+  in
+  let obs = Clock.obs clock in
+  Alcotest.(check bool) "tracing starts disabled" false (Obs.enabled obs);
+  let off =
+    cost (fun () ->
+        ignore (Invoke.call ctx echo ~iface:"echo" ~meth:"echo" [ Value.Int 1 ]))
+  in
+  Alcotest.(check int) "disabled call = indirect_call only"
+    Cost.default.Cost.indirect_call off;
+  Obs.enable obs;
+  let on =
+    cost (fun () ->
+        ignore (Invoke.call ctx echo ~iface:"echo" ~meth:"echo" [ Value.Int 1 ]))
+  in
+  Alcotest.(check int) "enabled call adds exactly one mem_write"
+    (Cost.default.Cost.indirect_call + Cost.default.Cost.mem_write)
+    on;
+  Alcotest.(check int) "the span is in the ring" 1
+    (Tracer.recorded (Obs.tracer obs));
+  Obs.disable obs;
+  let off2 =
+    cost (fun () ->
+        ignore (Invoke.call ctx echo ~iface:"echo" ~meth:"echo" [ Value.Int 1 ]))
+  in
+  Alcotest.(check int) "disabling restores the exact cost"
+    Cost.default.Cost.indirect_call off2
+
+(* --- trace interposer transparency ------------------------------------ *)
+
+let sys_fixture () = System.create ~seed:0xBEEF ()
+
+let test_interposer_transparent () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let api = Kernel.api k in
+  let registry = api.Api.registry in
+  let iface =
+    Iface.make ~name:"echo"
+      [
+        Iface.meth ~name:"echo" ~args:[ Vtype.Tany ] ~ret:Vtype.Tany
+          (fun _ctx -> function [ v ] -> Ok v | _ -> Error (Oerror.Type_error "echo"));
+        Iface.meth ~name:"boom" ~args:[] ~ret:Vtype.Tunit
+          (fun _ctx _ -> Error (Oerror.Fault "boom"));
+      ]
+  in
+  let target =
+    Instance.create registry ~class_name:"test.echo" ~domain:kdom.Domain.id [ iface ]
+  in
+  Kernel.register_at k "/svc/echo" target;
+  let ctx = Kernel.ctx k kdom in
+  let blob = Value.Blob (Bytes.init 64 (fun b -> Char.chr (b * 3 mod 256))) in
+  let direct = Invoke.call ctx target ~iface:"echo" ~meth:"echo" [ blob ] in
+  let direct_err = Invoke.call ctx target ~iface:"echo" ~meth:"boom" [] in
+  (* tracing on, so the agent actually records while we compare results *)
+  Obs.enable (Clock.obs (Kernel.clock k));
+  match Obs_agent.interpose api ~path:"/svc/echo" with
+  | Error e -> Alcotest.fail e
+  | Ok (agent, original) ->
+    Alcotest.(check bool) "original is the target" true (original == target);
+    let via_agent = Kernel.bind k kdom "/svc/echo" in
+    Alcotest.(check bool) "rebinding resolves to the agent" true (via_agent == agent);
+    let traced = Invoke.call ctx agent ~iface:"echo" ~meth:"echo" [ blob ] in
+    (match (direct, traced) with
+    | Ok a, Ok b ->
+      Alcotest.(check bool) "byte-identical result through the agent" true
+        (Value.equal a b)
+    | _ -> Alcotest.fail "echo failed");
+    let traced_err = Invoke.call ctx agent ~iface:"echo" ~meth:"boom" [] in
+    (match (direct_err, traced_err) with
+    | Error a, Error b ->
+      Alcotest.(check string) "identical error through the agent"
+        (Oerror.to_string a) (Oerror.to_string b)
+    | _ -> Alcotest.fail "boom must fail identically");
+    Alcotest.(check bool) "agent errors are counted" true
+      (Metrics.counter (Obs.metrics (Clock.obs (Kernel.clock k)))
+         ~domain:kdom.Domain.id "trace.errors"
+      >= 1);
+    (match Obs_agent.remove api ~path:"/svc/echo" ~agent ~original with
+    | Error e -> Alcotest.fail e
+    | Ok () ->
+      let restored = Kernel.bind k kdom "/svc/echo" in
+      Alcotest.(check bool) "original binding restored" true (restored == target));
+    Obs.disable (Clock.obs (Kernel.clock k))
+
+let test_remove_refuses_foreign_entry () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let api = Kernel.api k in
+  let _, target = echo_registry () in
+  let target =
+    (* re-home the instance into the system registry *)
+    ignore target;
+    let iface =
+      Iface.make ~name:"echo"
+        [
+          Iface.meth ~name:"echo" ~args:[ Vtype.Tany ] ~ret:Vtype.Tany
+            (fun _ctx -> function [ v ] -> Ok v | _ -> Error (Oerror.Type_error "e"));
+        ]
+    in
+    Instance.create api.Api.registry ~class_name:"test.echo" ~domain:kdom.Domain.id
+      [ iface ]
+  in
+  Kernel.register_at k "/svc/echo2" target;
+  match Obs_agent.interpose api ~path:"/svc/echo2" with
+  | Error e -> Alcotest.fail e
+  | Ok (agent, original) ->
+    (* someone else interposes over the trace agent *)
+    let usurper = Interpose.packet_monitor api kdom ~target:agent in
+    (match Interpose.attach api ~path:"/svc/echo2" ~agent:usurper with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e);
+    (match Obs_agent.remove api ~path:"/svc/echo2" ~agent ~original with
+    | Ok () -> Alcotest.fail "remove must refuse when not on top"
+    | Error _ ->
+      (* the usurper's binding is untouched *)
+      let bound = Kernel.bind k kdom "/svc/echo2" in
+      Alcotest.(check bool) "foreign entry left in place" true (bound == usurper))
+
+(* --- the /nucleus/trace service ---------------------------------------- *)
+
+let test_trace_service_cross_domain () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let net = System.setup_networking sys ~placement:System.Certified ~addr:42 () in
+  let udom = System.new_domain sys "observer" in
+  let trace = Kernel.bind k udom "/nucleus/trace" in
+  Alcotest.(check bool) "user domain reaches the service via proxy" true
+    (Proxy.is_proxy trace);
+  let uctx = Kernel.ctx k udom in
+  Mmu.switch_context (Machine.mmu (Kernel.machine k)) udom.Domain.id;
+  let call m args = Invoke.call uctx trace ~iface:"trace" ~meth:m args in
+  (match call "enabled" [] with
+  | Ok (Value.Bool false) -> ()
+  | _ -> Alcotest.fail "tracing must start disabled");
+  (match call "start" [] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "start");
+  Alcotest.(check bool) "start flips the clock's sink" true
+    (Obs.enabled (Clock.obs (Kernel.clock k)));
+  (* install an agent over the shared network driver, by name *)
+  (match call "interpose" [ Value.Str "/shared/network" ] with
+  | Ok (Value.Int h) -> Alcotest.(check bool) "agent handle" true (h > 0)
+  | _ -> Alcotest.fail "interpose");
+  (* duplicate interpose refused *)
+  (match call "interpose" [ Value.Str "/shared/network" ] with
+  | Error (Oerror.Fault _) -> ()
+  | _ -> Alcotest.fail "double interpose must fail");
+  (* drive traffic through the agent from the kernel side *)
+  Mmu.switch_context (Machine.mmu (Kernel.machine k)) kdom.Domain.id;
+  let kctx = Kernel.ctx k kdom in
+  let agent = Kernel.bind k kdom "/shared/network" in
+  for _ = 1 to 4 do
+    ignore
+      (Invoke.call_exn kctx agent ~iface:"netdev" ~meth:"send"
+         [ Value.Blob (Bytes.create 32) ])
+  done;
+  Mmu.switch_context (Machine.mmu (Kernel.machine k)) udom.Domain.id;
+  (match call "snapshot" [ Value.Str "json" ] with
+  | Ok (Value.Str json) ->
+    Alcotest.(check bool) "snapshot mentions the agent" true
+      (let sub = "trace:toolbox.netdrv" in
+       let rec find i =
+         i + String.length sub <= String.length json
+         && (String.sub json i (String.length sub) = sub || find (i + 1))
+       in
+       find 0)
+  | _ -> Alcotest.fail "snapshot json");
+  (match call "histogram" [ Value.Int kdom.Domain.id; Value.Str "invoke.dispatch" ] with
+  | Ok (Value.Str text) ->
+    Alcotest.(check bool) "histogram has samples" true
+      (String.length text > 0 && String.sub text 0 6 = "count=")
+  | _ -> Alcotest.fail "histogram");
+  (match call "uninterpose" [ Value.Str "/shared/network" ] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "uninterpose");
+  Mmu.switch_context (Machine.mmu (Kernel.machine k)) kdom.Domain.id;
+  let restored = Kernel.bind k kdom "/shared/network" in
+  Alcotest.(check bool) "uninterpose restores the driver" true
+    (restored == net.System.driver);
+  Mmu.switch_context (Machine.mmu (Kernel.machine k)) udom.Domain.id;
+  (match call "stop" [] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "stop");
+  Alcotest.(check bool) "stop disables" false (Obs.enabled (Clock.obs (Kernel.clock k)))
+
+(* --- clock snapshot helpers -------------------------------------------- *)
+
+let test_clock_snapshot_diff () =
+  let clock = Clock.create () in
+  Clock.advance clock 100;
+  Clock.count clock "a";
+  Clock.count clock "a";
+  Clock.count clock "b";
+  let before = Clock.snapshot clock in
+  Clock.advance clock 50;
+  Clock.count clock "a";
+  Clock.count clock "c";
+  let d = Clock.since clock before in
+  Alcotest.(check int) "elapsed cycles" 50 d.Clock.at;
+  Alcotest.(check (list (pair string int)))
+    "per-counter deltas, zeroes omitted"
+    [ ("a", 1); ("c", 1) ]
+    (List.sort compare d.Clock.counts)
+
+let test_clock_with_counters () =
+  let clock = Clock.create () in
+  Clock.count clock "x";
+  Clock.count clock "y";
+  Clock.with_counters clock [ ("x", 10); ("z", 3) ];
+  Alcotest.(check int) "restored" 10 (Clock.counter clock "x");
+  Alcotest.(check int) "fresh entry" 3 (Clock.counter clock "z");
+  Alcotest.(check int) "old entries cleared" 0 (Clock.counter clock "y")
+
+(* ----------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "nesting depth" `Quick test_ring_nesting_depth;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "bucket scheme" `Quick test_bucket_scheme;
+          Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "disabled costs nothing" `Quick test_disabled_costs_nothing;
+        ] );
+      ( "interposer",
+        [
+          Alcotest.test_case "transparent" `Quick test_interposer_transparent;
+          Alcotest.test_case "remove refuses foreign entry" `Quick
+            test_remove_refuses_foreign_entry;
+        ] );
+      ( "trace-service",
+        [
+          Alcotest.test_case "cross-domain via proxy" `Quick
+            test_trace_service_cross_domain;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "snapshot/diff" `Quick test_clock_snapshot_diff;
+          Alcotest.test_case "with_counters" `Quick test_clock_with_counters;
+        ] );
+    ]
