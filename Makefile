@@ -1,4 +1,4 @@
-.PHONY: all build test bench fmt check clean
+.PHONY: all build test bench bench-output fmt check clean
 
 all: build
 
@@ -10,6 +10,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# regenerate the committed reference run (simulated cycles, deterministic)
+bench-output:
+	dune exec bench/main.exe > bench_output.txt
 
 # ocamlformat is optional in minimal toolchains; skip gracefully when absent
 fmt:

@@ -935,11 +935,155 @@ module E12 = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* E13: batched RPC over shared-memory channels                        *)
+(* ------------------------------------------------------------------ *)
+
+module E13 = struct
+  let batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+  let rounds = 8
+
+  let echo_iface =
+    Iface.make ~name:"echo"
+      [
+        Iface.meth ~name:"echo" ~args:[ Vtype.Tany ] ~ret:Vtype.Tunit
+          (fun _ctx _ -> Ok Value.Unit);
+      ]
+
+  let fixture () =
+    let sys = fresh_sys () in
+    let k = System.kernel sys in
+    let kdom = Kernel.kernel_domain k in
+    let udom = System.new_domain sys "rpc-client" in
+    let api = Kernel.api k in
+    (* the E3 baseline: one proxy crossing per call *)
+    let target =
+      Instance.create api.Api.registry ~class_name:"e13.echo" ~domain:kdom.Domain.id
+        [ echo_iface ]
+    in
+    Kernel.register_at k "/svc/echo13" target;
+    let proxy = Kernel.bind k udom "/svc/echo13" in
+    (* the channel transport: one crossing per batch *)
+    let conn = Rpc_chan.connect api ~client:udom ~server:kdom () in
+    Rpc_chan.serve api conn ~procedures:[ ("e", fun _ctx _args -> Ok Bytes.empty) ] ();
+    let client = Rpc_chan.client api conn () in
+    (k, udom, proxy, client)
+
+  let run () =
+    header "E13  Batched calls over shared-memory channels"
+      "shared pages + doorbells amortise the cross-domain crossing over a batch; \
+       the per-call proxy fault becomes a per-batch trap";
+    let k, udom, proxy, client = fixture () in
+    let clock = Kernel.clock k in
+    Mmu.switch_context (Machine.mmu (Kernel.machine k)) udom.Domain.id;
+    let ctx = Kernel.ctx k udom in
+    (* proxy baseline, E3's 0-arg point *)
+    let proxy_per_call =
+      let warm () =
+        ignore
+          (Invoke.call_exn ctx proxy ~iface:"echo" ~meth:"echo"
+             [ Value.Blob Bytes.empty ])
+      in
+      warm ();
+      let before = Clock.now clock in
+      for _ = 1 to 50 do
+        warm ()
+      done;
+      float_of_int (Clock.now clock - before) /. 50.
+    in
+    let chan_per_call b =
+      let batch =
+        Value.List
+          (List.init b (fun _ -> Value.Pair (Value.Str "e", Value.Blob Bytes.empty)))
+      in
+      let once () =
+        ignore
+          (Invoke.call_exn ctx client ~iface:"rpc.batch" ~meth:"call_many" [ batch ])
+      in
+      once ();
+      (* warm-up round *)
+      let before = Clock.now clock in
+      for _ = 1 to rounds do
+        once ()
+      done;
+      float_of_int (Clock.now clock - before) /. float_of_int (rounds * b)
+    in
+    let measured = List.map (fun b -> (b, chan_per_call b)) batch_sizes in
+    let rows =
+      List.map
+        (fun (b, per_call) ->
+          [ i b; f1 proxy_per_call; f1 per_call; f2 (proxy_per_call /. per_call) ^ "x" ])
+        measured
+    in
+    print_table
+      ~columns:
+        [ ("batch", ()); ("proxy cyc/call", ()); ("channel cyc/call", ());
+          ("speedup", ()) ]
+      rows;
+    (match List.find_opt (fun (_, c) -> c < proxy_per_call) measured with
+    | Some (b, _) ->
+      line "=> crossover at batch %d: the channel beats the per-call proxy from" b;
+      line "   there on; the fixed doorbell crossing (%d cycles with default costs)"
+        (Cost.doorbell_crossing Cost.default);
+      line "   is amortised while marshalling stays linear in calls"
+    | None -> line "=> no crossover measured (proxy faster at every batch size)");
+    (* the same trade on the E4 receive path: per-frame proxy hop vs a
+       channel bridge draining bursts into one rx_batch invocation *)
+    let rx_cycles ~channel payload_size =
+      let sys = fresh_sys () in
+      let k = System.kernel sys in
+      let kdom = Kernel.kernel_domain k in
+      let dom = System.new_domain sys "netuser" in
+      let net = System.setup_networking sys ~placement:(System.User dom) ~addr:42 () in
+      if channel then ignore (System.channel_rx sys net ());
+      let ctx = Kernel.ctx k kdom in
+      ignore
+        (Invoke.call_exn (Kernel.ctx k dom) net.System.stack ~iface:"stack"
+           ~meth:"bind_port" [ Value.Int 7 ]);
+      let packet = Bytes.to_string (E4.make_packet ctx ~dst:42 payload_size) in
+      Nic.inject (Kernel.nic k) packet;
+      Kernel.step k ~ticks:2 ();
+      let clock = Kernel.clock k in
+      let before = Clock.now clock in
+      for _ = 1 to E4.packets do
+        Nic.inject (Kernel.nic k) packet;
+        Kernel.step k ~ticks:1 ()
+      done;
+      Kernel.step k ~ticks:4 ();
+      let delivered =
+        match
+          Invoke.call_exn (Kernel.ctx k dom) net.System.stack ~iface:"stack"
+            ~meth:"pending" [ Value.Int 7 ]
+        with
+        | Value.Int n -> n
+        | _ -> 0
+      in
+      assert (delivered >= E4.packets);
+      float_of_int (Clock.now clock - before) /. float_of_int E4.packets
+    in
+    let rx_rows =
+      List.map
+        (fun size ->
+          let p = rx_cycles ~channel:false size in
+          let c = rx_cycles ~channel:true size in
+          [ i size; f1 p; f1 c; f2 (p /. c) ^ "x" ])
+        [ 64; 256; 1024 ]
+    in
+    line "";
+    line "-- E4 user-space stack, rx path: per-frame proxy vs channel bridge --";
+    print_table
+      ~columns:
+        [ ("payload B", ()); ("proxy rx", ()); ("channel rx", ()); ("speedup", ()) ]
+      rx_rows;
+    line "(cycles per packet; the bridge replaces the driver->stack proxy hop with";
+    line " a ring enqueue and one doorbell-driven rx_batch per burst)"
+end
+
+(* ------------------------------------------------------------------ *)
 (* E-OBS: tracing overhead and the /nucleus/trace service              *)
 (* ------------------------------------------------------------------ *)
 
 module Eobs = struct
-  let budget = Cost.default.Cost.indirect_call + Cost.default.Cost.mem_write
+  let budget = Cost.traced_dispatch Cost.default
 
   (* 1. per-call tracing tax at the E1 grain sizes *)
   let invoke_overhead () =
@@ -1187,7 +1331,7 @@ let () =
     [ ("e1", E1.run); ("e2", E2.run); ("e3", E3.run); ("e4", E4.run);
       ("e5", E5.run); ("e6", E6.run); ("e7", E7.run); ("e8", E8.run);
       ("e9", E9.run); ("e10", E10.run); ("e11", E11.run); ("e12", E12.run);
-      ("obs", Eobs.run) ]
+      ("e13", E13.run); ("obs", Eobs.run) ]
   in
   line "Paramecium reproduction — experiment suite";
   line "(simulated cycles, deterministic; cost model: SPARC-era defaults)";

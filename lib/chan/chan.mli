@@ -1,0 +1,149 @@
+(** Zero-copy shared-memory channels.
+
+    A channel is a bounded single-producer/single-consumer ring laid out
+    in pages that {!Pm_nucleus.Vmem} allocates [Shared] in the producer's
+    domain and {!Pm_nucleus.Vmem.map_shared} maps into the consumer's —
+    the paper's "pages can be allocated exclusively or shared among
+    different protection domains" put to work as a data path. Both
+    endpoints address the same physical frames, so a message is written
+    once by the producer and read once by the consumer; no proxy fault,
+    no per-word argument mapping.
+
+    {2 Cycle-accounted wire format}
+
+    The ring starts with a 32-byte header of 32-bit words:
+
+    {v
+    word 0  magic      0xC4A70001
+    word 1  slots      ring capacity (messages)
+    word 2  slot_size  payload bytes per slot
+    word 3  tail       free-running producer index (producer-written)
+    word 4  head       free-running consumer index (consumer-written)
+    word 5  armed      doorbell request flag (consumer arms, producer clears)
+    v}
+
+    followed by [slots] slots of [4 + slot_size] bytes, each a length
+    word plus payload. Each side keeps its own index in private memory
+    and reads only the word owned by the other side, so per message the
+    producer pays one shared-word read (head), the payload store, and
+    two shared-word writes (length, tail) plus the armed-flag read; the
+    consumer pays one shared-word read (tail), the length read, the
+    payload load, and one shared-word write (head). Shared-word traffic
+    is charged at [mem_read]/[mem_write]; payload bytes are charged one
+    bus access per byte on each side. Callers whose bytes were already
+    charged by a marshalling layer (e.g. {!Wire} build/parse in
+    {!Rpc_chan}) pass [~account:false] to avoid double-charging the
+    copy — that is the zero-copy contract: every payload byte is paid
+    for exactly once per side, wherever it was materialised.
+
+    {2 Doorbell vs polling}
+
+    In [Doorbell] mode the consumer arms the doorbell whenever it runs
+    dry; the next enqueue clears the flag and raises the channel trap
+    vector with the channel id as argument, which {!Pm_nucleus.Events}
+    delivers into the consumer's domain — typically as a proto-thread
+    pop-up registered with {!on_doorbell}. While the ring is non-empty
+    the flag stays clear and enqueues skip the trap entirely, so a
+    loaded channel degenerates to pure polling. [Poll] mode never rings.
+
+    {2 Back-pressure}
+
+    [send] on a full ring and [recv] on an empty one park the caller on
+    a {!Pm_threads.Sync.Waitq} (so they must run inside a thread or
+    proto-thread); the opposite endpoint signals the queue on progress.
+    [try_send]/[try_recv] never block. *)
+
+type mode = Doorbell | Poll
+
+type t
+
+(** Default trap vector shared by channel doorbells; the trap argument
+    carries the channel id. *)
+val default_doorbell_vec : int
+
+val header_bytes : int
+
+type stats = {
+  sends : int;
+  recvs : int;
+  doorbells : int;
+  full_blocks : int;  (** sends that had to park on a full ring *)
+  empty_blocks : int;  (** recvs that had to park on an empty ring *)
+  drops : int;  (** non-blocking sends refused on a full ring *)
+}
+
+(** [create machine vmem ~producer ()] allocates the ring [Shared] in
+    [producer]'s domain. [slots] defaults to 64, [slot_size] (bytes,
+    multiple of 4) to 1024, [mode] to [Doorbell]. *)
+val create :
+  Pm_machine.Machine.t ->
+  Pm_nucleus.Vmem.t ->
+  ?name:string ->
+  ?slots:int ->
+  ?slot_size:int ->
+  ?mode:mode ->
+  ?doorbell_vec:int ->
+  producer:Pm_nucleus.Domain.t ->
+  unit ->
+  t
+
+(** [accept t ~into] maps the ring's pages into the consumer domain and
+    returns the base virtual address there. Raises [Invalid_argument] if
+    the channel already has a consumer. *)
+val accept : t -> into:Pm_nucleus.Domain.t -> int
+
+val name : t -> string
+val id : t -> int
+val slots : t -> int
+val slot_size : t -> int
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+val producer : t -> Pm_nucleus.Domain.t
+val consumer : t -> Pm_nucleus.Domain.t option
+
+(** Base virtual address of the ring in the producer's address space. *)
+val producer_base : t -> int
+
+(** Number of pages backing the ring. *)
+val pages : t -> int
+
+(** Messages currently enqueued (bookkeeping view, uncharged). *)
+val pending : t -> int
+
+val stats : t -> stats
+
+(** [try_send t msg] enqueues without blocking; [false] when full.
+    Raises [Invalid_argument] if [msg] exceeds the slot size. *)
+val try_send : ?account:bool -> t -> bytes -> bool
+
+(** [send t msg] blocks on a full ring until the consumer makes room. *)
+val send : ?account:bool -> t -> bytes -> unit
+
+(** [send_or_drop t msg] is [try_send] but counts a refused message as a
+    drop — the behaviour a NIC bridge wants. *)
+val send_or_drop : ?account:bool -> t -> bytes -> bool
+
+(** [try_recv t] dequeues without blocking. *)
+val try_recv : ?account:bool -> t -> bytes option
+
+(** [recv t] blocks on an empty ring until the producer enqueues. *)
+val recv : ?account:bool -> t -> bytes
+
+(** [recv_batch t ()] drains up to [max] messages (default: everything),
+    then re-arms the doorbell when in [Doorbell] mode and dry. *)
+val recv_batch : ?account:bool -> ?max:int -> t -> unit -> bytes list
+
+(** [arm t] requests a doorbell for the next enqueue (consumer side). *)
+val arm : t -> unit
+
+(** [on_doorbell t ~events ~sched f] registers [f] to run as a pop-up
+    proto-thread in the consumer's domain whenever this channel rings.
+    The underlying trap vector is shared between channels; the callback
+    fires only for this channel's id. Requires a consumer. *)
+val on_doorbell :
+  t ->
+  events:Pm_nucleus.Events.t ->
+  sched:Pm_threads.Scheduler.t ->
+  ?priority:int ->
+  (unit -> unit) ->
+  Pm_nucleus.Events.cb_id

@@ -1,0 +1,217 @@
+module Api = Pm_nucleus.Api
+module Domain = Pm_nucleus.Domain
+module Directory = Pm_nucleus.Directory
+module Iface = Pm_obj.Iface
+module Instance = Pm_obj.Instance
+module Value = Pm_obj.Value
+module Vtype = Pm_obj.Vtype
+module Oerror = Pm_obj.Oerror
+module Invoke = Pm_obj.Invoke
+module Call_ctx = Pm_obj.Call_ctx
+module Path = Pm_names.Path
+module Nic = Pm_machine.Nic
+module Images = Pm_components.Images
+
+let fault msg = Error (Oerror.Fault msg)
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint objects                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stats_value chan =
+  let s = Chan.stats chan in
+  Ok
+    (Value.List
+       [
+         Value.Int s.Chan.sends;
+         Value.Int s.Chan.recvs;
+         Value.Int s.Chan.doorbells;
+         Value.Int s.Chan.full_blocks;
+         Value.Int s.Chan.empty_blocks;
+         Value.Int s.Chan.drops;
+       ])
+
+let tx_endpoint api chan =
+  let send_m _ctx = function
+    | [ Value.Blob msg ] ->
+      Chan.send chan msg;
+      Ok Value.Unit
+    | _ -> Error (Oerror.Type_error "send(blob)")
+  in
+  let try_send_m _ctx = function
+    | [ Value.Blob msg ] -> Ok (Value.Bool (Chan.try_send chan msg))
+    | _ -> Error (Oerror.Type_error "try_send(blob)")
+  in
+  let pending_m _ctx = function
+    | [] -> Ok (Value.Int (Chan.pending chan))
+    | _ -> Error (Oerror.Type_error "pending()")
+  in
+  let stats_m _ctx = function
+    | [] -> stats_value chan
+    | _ -> Error (Oerror.Type_error "stats()")
+  in
+  let tx_iface =
+    Iface.make ~name:"chan.tx"
+      [
+        Iface.meth ~name:"send" ~args:[ Vtype.Tblob ] ~ret:Vtype.Tunit send_m;
+        Iface.meth ~name:"try_send" ~args:[ Vtype.Tblob ] ~ret:Vtype.Tbool try_send_m;
+        Iface.meth ~name:"pending" ~args:[] ~ret:Vtype.Tint pending_m;
+        Iface.meth ~name:"stats" ~args:[] ~ret:(Vtype.Tlist Vtype.Tint) stats_m;
+      ]
+  in
+  (* a tx endpoint can pose as a receive sink ("stack".rx): what a NIC
+     driver attaches to; a refused frame is dropped like a real NIC's *)
+  let rx_m _ctx = function
+    | [ Value.Blob frame ] ->
+      ignore (Chan.send_or_drop chan frame);
+      Ok Value.Unit
+    | _ -> Error (Oerror.Type_error "rx(blob)")
+  in
+  let stack_iface =
+    Iface.make ~name:"stack"
+      [ Iface.meth ~name:"rx" ~args:[ Vtype.Tblob ] ~ret:Vtype.Tunit rx_m ]
+  in
+  Instance.create api.Api.registry ~class_name:"chan.tx"
+    ~domain:(Chan.producer chan).Domain.id
+    [ tx_iface; stack_iface ]
+
+let rx_endpoint api chan =
+  let dom =
+    match Chan.consumer chan with
+    | Some d -> d
+    | None -> invalid_arg "Chan_svc.rx_endpoint: channel has no consumer"
+  in
+  let recv_m _ctx = function
+    | [] ->
+      Ok (Value.List (List.map (fun b -> Value.Blob b) (Chan.recv_batch chan ())))
+    | _ -> Error (Oerror.Type_error "recv()")
+  in
+  let arm_m _ctx = function
+    | [] ->
+      Chan.arm chan;
+      Ok Value.Unit
+    | _ -> Error (Oerror.Type_error "arm()")
+  in
+  let pending_m _ctx = function
+    | [] -> Ok (Value.Int (Chan.pending chan))
+    | _ -> Error (Oerror.Type_error "pending()")
+  in
+  let stats_m _ctx = function
+    | [] -> stats_value chan
+    | _ -> Error (Oerror.Type_error "stats()")
+  in
+  let iface =
+    Iface.make ~name:"chan.rx"
+      [
+        Iface.meth ~name:"recv" ~args:[] ~ret:(Vtype.Tlist Vtype.Tblob) recv_m;
+        Iface.meth ~name:"arm" ~args:[] ~ret:Vtype.Tunit arm_m;
+        Iface.meth ~name:"pending" ~args:[] ~ret:Vtype.Tint pending_m;
+        Iface.meth ~name:"stats" ~args:[] ~ret:(Vtype.Tlist Vtype.Tint) stats_m;
+      ]
+  in
+  Instance.create api.Api.registry ~class_name:"chan.rx" ~domain:dom.Domain.id
+    [ iface ]
+
+(* ------------------------------------------------------------------ *)
+(* Factory                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let create api ?doorbell_vec ~domain_of_id () =
+  let machine = api.Api.machine and vmem = api.Api.vmem in
+  let chans : (string, Chan.t) Hashtbl.t = Hashtbl.create 8 in
+  let origin (ctx : Call_ctx.t) =
+    match domain_of_id ctx.Call_ctx.origin_domain with
+    | Some d -> Ok d
+    | None ->
+      fault (Printf.sprintf "chan factory: unknown domain %d" ctx.Call_ctx.origin_domain)
+  in
+  let register_endpoint name kind inst =
+    let path = Path.of_string (Printf.sprintf "/chan/%s/%s" name kind) in
+    match Directory.register api.Api.directory path inst with
+    | Ok () -> Ok ()
+    | Error e -> fault ("chan factory: " ^ Pm_names.Namespace.error_to_string e)
+  in
+  let ( let* ) = Result.bind in
+  let create_m ctx = function
+    | [ Value.Str name; Value.Int slots; Value.Int slot_size ] ->
+      if Hashtbl.mem chans name then fault ("chan factory: " ^ name ^ " exists")
+      else
+        let* dom = origin ctx in
+        let chan =
+          Chan.create machine vmem ~name ~slots ~slot_size ?doorbell_vec
+            ~producer:dom ()
+        in
+        let tx = tx_endpoint api chan in
+        let* () = register_endpoint name "tx" tx in
+        Hashtbl.replace chans name chan;
+        Ok (Value.Handle (Instance.handle tx))
+    | _ -> Error (Oerror.Type_error "create(str, int, int)")
+  in
+  let accept_m ctx = function
+    | [ Value.Str name ] ->
+      (match Hashtbl.find_opt chans name with
+      | None -> fault ("chan factory: no such channel " ^ name)
+      | Some chan ->
+        let* dom = origin ctx in
+        (match Chan.accept chan ~into:dom with
+        | exception Invalid_argument m -> fault m
+        | _base ->
+          let rx = rx_endpoint api chan in
+          let* () = register_endpoint name "rx" rx in
+          Ok (Value.Handle (Instance.handle rx))))
+    | _ -> Error (Oerror.Type_error "accept(str)")
+  in
+  let list_m _ctx = function
+    | [] ->
+      Ok
+        (Value.List
+           (Hashtbl.fold (fun name _ acc -> Value.Str name :: acc) chans []
+           |> List.sort compare))
+    | _ -> Error (Oerror.Type_error "list()")
+  in
+  let iface =
+    Iface.make ~name:"chanfactory"
+      [
+        Iface.meth ~name:"create" ~args:[ Vtype.Tstr; Vtype.Tint; Vtype.Tint ]
+          ~ret:Vtype.Thandle create_m;
+        Iface.meth ~name:"accept" ~args:[ Vtype.Tstr ] ~ret:Vtype.Thandle accept_m;
+        Iface.meth ~name:"list" ~args:[] ~ret:(Vtype.Tlist Vtype.Tstr) list_m;
+      ]
+  in
+  Instance.create api.Api.registry ~class_name:"chan.factory"
+    ~domain:api.Api.kernel_domain.Domain.id [ iface ]
+
+let image ?doorbell_vec ~domain_of_id () =
+  Images.image ~name:"chan-factory" ~size:12_288 ~author:"kernel-team"
+    ~type_safe:true
+    (fun api _dom -> create api ?doorbell_vec ~domain_of_id ())
+
+(* ------------------------------------------------------------------ *)
+(* Channel-backed receive path                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bridge api ?(slots = 64) ?slot_size ?doorbell_vec ~producer ~consumer ~stack () =
+  let slot_size =
+    match slot_size with Some s -> s | None -> (Nic.mtu + 3) / 4 * 4
+  in
+  let chan =
+    Chan.create api.Api.machine api.Api.vmem ~name:"rx-bridge" ~slots ~slot_size
+      ?doorbell_vec ~producer ()
+  in
+  ignore (Chan.accept chan ~into:consumer);
+  let tx = tx_endpoint api chan in
+  let ctx = Api.ctx api consumer in
+  ignore
+    (Chan.on_doorbell chan ~events:api.Api.events ~sched:api.Api.sched (fun () ->
+         (* frames were paid for on enqueue; the stack's own parsing
+            charges the consumer-side reads *)
+         match Chan.recv_batch ~account:false chan () with
+         | [] -> ()
+         | frames ->
+           let args = [ Value.List (List.map (fun f -> Value.Blob f) frames) ] in
+           (match Invoke.call ctx stack ~iface:"stack" ~meth:"rx_batch" args with
+           | Ok _ -> ()
+           | Error e ->
+             Logs.warn (fun m ->
+                 m "chan bridge: rx_batch failed: %s" (Oerror.to_string e)))));
+  (tx, chan)

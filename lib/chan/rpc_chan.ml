@@ -1,0 +1,330 @@
+module Api = Pm_nucleus.Api
+module Domain = Pm_nucleus.Domain
+module Iface = Pm_obj.Iface
+module Instance = Pm_obj.Instance
+module Value = Pm_obj.Value
+module Vtype = Pm_obj.Vtype
+module Oerror = Pm_obj.Oerror
+module Call_ctx = Pm_obj.Call_ctx
+module Machine = Pm_machine.Machine
+module Clock = Pm_machine.Clock
+module Cost = Pm_machine.Cost
+module Obs = Pm_obs.Obs
+module Scheduler = Pm_threads.Scheduler
+module Wire = Pm_components.Wire
+
+let fault msg = Error (Oerror.Fault msg)
+
+let get16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let set16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let status_ok = 0
+
+type conn = {
+  api : Api.t;
+  client_dom : Domain.t;
+  server_dom : Domain.t;
+  req : Chan.t;
+  resp : Chan.t;
+  mutable drain : (unit -> int) option;
+}
+
+let request_chan conn = conn.req
+let response_chan conn = conn.resp
+
+let connect api ~client ~server ?(slots = 64) ?(slot_size = 4096) ?doorbell_vec () =
+  let machine = api.Api.machine and vmem = api.Api.vmem in
+  let req =
+    Chan.create machine vmem ~name:"rpc.req" ~slots ~slot_size ~mode:Chan.Doorbell
+      ?doorbell_vec ~producer:client ()
+  in
+  ignore (Chan.accept req ~into:server);
+  let resp =
+    Chan.create machine vmem ~name:"rpc.resp" ~slots ~slot_size ~mode:Chan.Poll
+      ?doorbell_vec ~producer:server ()
+  in
+  ignore (Chan.accept resp ~into:client);
+  { api; client_dom = client; server_dom = server; req; resp; drain = None }
+
+(* ------------------------------------------------------------------ *)
+(* Batch assembly: [count(2)] then per call [len(2)][segment].         *)
+(* Prefix words are charged as component accesses; the segments'       *)
+(* bytes were charged by Wire build/parse, and the rings run           *)
+(* unaccounted, so each byte is paid for once per side.                *)
+(* ------------------------------------------------------------------ *)
+
+let assemble ctx segs =
+  let n = List.length segs in
+  let total = List.fold_left (fun acc s -> acc + 2 + Bytes.length s) 2 segs in
+  let b = Bytes.create total in
+  set16 b 0 n;
+  let off = ref 2 in
+  List.iter
+    (fun s ->
+      let len = Bytes.length s in
+      set16 b !off len;
+      Bytes.blit s 0 b (!off + 2) len;
+      off := !off + 2 + len)
+    segs;
+  Call_ctx.access ctx (2 * (n + 1));
+  b
+
+(* Split segments into chunks that fit one ring slot, preserving order. *)
+let chunk ~slot_size segs =
+  let seg_room s = 2 + Bytes.length s in
+  List.fold_left
+    (fun (chunks, cur, used) s ->
+      let need = seg_room s in
+      if 2 + need > slot_size then
+        invalid_arg "Rpc_chan: marshalled call exceeds the channel slot size";
+      if used + need > slot_size then (List.rev cur :: chunks, [ s ], 2 + need)
+      else (chunks, s :: cur, used + need))
+    ([], [], 2) segs
+  |> fun (chunks, cur, _) ->
+  List.rev (match cur with [] -> chunks | _ -> List.rev cur :: chunks)
+
+let iter_segments ctx batch f =
+  let count = get16 batch 0 in
+  Call_ctx.access ctx 2;
+  let off = ref 2 in
+  for _ = 1 to count do
+    let len = get16 batch !off in
+    Call_ctx.access ctx 2;
+    f (Bytes.sub batch (!off + 2) len);
+    off := !off + 2 + len
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_handler h ctx args =
+  match h ctx args with
+  | Ok r -> (status_ok, r)
+  | Error e -> (1, Bytes.of_string e)
+
+let serve_batch conn ctx ~procedures ~raw batch =
+  let responses = ref [] in
+  let served = ref 0 in
+  iter_segments ctx batch (fun seg ->
+      match Wire.Transport.parse ctx seg with
+      | Error e -> Logs.warn (fun m -> m "rpc_chan server: %s" e)
+      | Ok { Wire.Transport.sport = id; dport = _; payload } ->
+        if Bytes.length payload < 1 then
+          Logs.warn (fun m -> m "rpc_chan server: empty request payload")
+        else begin
+          let nlen = Char.code (Bytes.get payload 0) in
+          if Bytes.length payload < 1 + nlen then
+            Logs.warn (fun m -> m "rpc_chan server: truncated procedure name")
+          else begin
+            (* payload bytes were materialised (and charged) by the
+               transport parse; slicing them is free *)
+            let name = Bytes.sub_string payload 1 nlen in
+            let args = Bytes.sub payload (1 + nlen) (Bytes.length payload - 1 - nlen) in
+            (* procedure-table dispatch *)
+            Call_ctx.charge ctx ctx.Call_ctx.costs.Cost.indirect_call;
+            let status, result =
+              if nlen = 0 then
+                match raw with
+                | Some h -> run_handler h ctx args
+                | None -> (1, Bytes.of_string "rpc_chan: no raw handler")
+              else
+                match List.assoc_opt name procedures with
+                | Some h -> run_handler h ctx args
+                | None -> (1, Bytes.of_string ("no such procedure " ^ name))
+            in
+            incr served;
+            responses :=
+              Wire.Transport.build ctx ~sport:id ~dport:status result :: !responses
+          end
+        end);
+  (match List.rev !responses with
+  | [] -> ()
+  | segs ->
+    List.iter
+      (fun group -> Chan.send ~account:false conn.resp (assemble ctx group))
+      (chunk ~slot_size:(Chan.slot_size conn.resp) segs));
+  !served
+
+let serve api conn ~procedures ?raw () =
+  let ctx = Api.ctx api conn.server_dom in
+  let drain () =
+    List.fold_left
+      (fun acc batch -> acc + serve_batch conn ctx ~procedures ~raw batch)
+      0
+      (Chan.recv_batch ~account:false conn.req ())
+  in
+  conn.drain <- Some drain;
+  ignore
+    (Chan.on_doorbell conn.req ~events:api.Api.events ~sched:api.Api.sched (fun () ->
+         ignore (drain ())));
+  (* catch up with anything flushed before the pop-up existed; the dry
+     drain re-arms the doorbell *)
+  ignore (drain ())
+
+let drain_server conn =
+  match conn.drain with
+  | Some d -> d ()
+  | None -> invalid_arg "Rpc_chan.drain_server: serve has not been called"
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type client_state = {
+  mutable next_id : int;
+  mutable buffered : bytes list; (* marshalled request segments, newest first *)
+  pending : (int, int * bytes) Hashtbl.t; (* id -> status, payload *)
+}
+
+let with_flush_span conn f =
+  let clock = Machine.clock conn.api.Api.machine in
+  let obs = Clock.obs clock in
+  if not (Obs.enabled obs) then f ()
+  else begin
+    let tok =
+      Obs.span_begin obs ~now:(Clock.now clock) ~domain:conn.client_dom.Domain.id
+        ~obj:("chan." ^ Chan.name conn.req) ~iface:"chan" ~meth:"batch_flush"
+    in
+    let r = f () in
+    Clock.advance clock (Machine.costs conn.api.Api.machine).Cost.mem_write;
+    Obs.span_end obs ~now:(Clock.now clock) tok;
+    r
+  end
+
+let client api conn ?(max_polls = 10_000) () =
+  let st = { next_id = 1; buffered = []; pending = Hashtbl.create 16 } in
+  let submit ctx ~name ~args =
+    let nlen = String.length name in
+    if nlen > 255 then invalid_arg "Rpc_chan: procedure name too long";
+    let id = st.next_id land 0xffff in
+    st.next_id <- st.next_id + 1;
+    let payload = Bytes.create (1 + nlen + Bytes.length args) in
+    Bytes.set payload 0 (Char.chr nlen);
+    Bytes.blit_string name 0 payload 1 nlen;
+    Bytes.blit args 0 payload (1 + nlen) (Bytes.length args);
+    (* the segment's bytes — header and payload — are charged here, by
+       the transport build, directly into the batch under assembly *)
+    let seg = Wire.Transport.build ctx ~sport:id ~dport:0 payload in
+    st.buffered <- seg :: st.buffered;
+    id
+  in
+  let drain_responses ctx =
+    List.iter
+      (fun batch ->
+        iter_segments ctx batch (fun seg ->
+            match Wire.Transport.parse ctx seg with
+            | Error e -> Logs.warn (fun m -> m "rpc_chan client: %s" e)
+            | Ok { Wire.Transport.sport = id; dport = status; payload } ->
+              Hashtbl.replace st.pending id (status, payload)))
+      (Chan.recv_batch ~account:false conn.resp ())
+  in
+  let flush ctx =
+    match List.rev st.buffered with
+    | [] -> 0
+    | segs ->
+      st.buffered <- [];
+      with_flush_span conn (fun () ->
+          List.iter
+            (fun group -> Chan.send ~account:false conn.req (assemble ctx group))
+            (chunk ~slot_size:(Chan.slot_size conn.req) segs);
+          (* the doorbell pop-up normally served the batch synchronously
+             inside the enqueue; collect whatever is already back *)
+          drain_responses ctx;
+          List.length segs)
+  in
+  let take ctx id =
+    let rec await polls =
+      match Hashtbl.find_opt st.pending id with
+      | Some (status, payload) ->
+        Hashtbl.remove st.pending id;
+        if status = status_ok then Ok (Value.Blob payload)
+        else fault ("rpc_chan: remote error: " ^ Bytes.to_string payload)
+      | None ->
+        drain_responses ctx;
+        if Hashtbl.mem st.pending id then await polls
+        else if polls >= max_polls then fault "rpc_chan: timed out awaiting response"
+        else begin
+          (* a blocked server handler finishes under the scheduler *)
+          Scheduler.yield ();
+          await (polls + 1)
+        end
+    in
+    await 0
+  in
+  let submit_m ctx = function
+    | [ Value.Str name; Value.Blob args ] -> Ok (Value.Int (submit ctx ~name ~args))
+    | _ -> Error (Oerror.Type_error "submit(str, blob)")
+  in
+  let flush_m ctx = function
+    | [] -> Ok (Value.Int (flush ctx))
+    | _ -> Error (Oerror.Type_error "flush()")
+  in
+  let take_m ctx = function
+    | [ Value.Int id ] -> take ctx id
+    | _ -> Error (Oerror.Type_error "take(int)")
+  in
+  let call_m ctx = function
+    | [ Value.Str name; Value.Blob args ] ->
+      let id = submit ctx ~name ~args in
+      ignore (flush ctx);
+      take ctx id
+    | _ -> Error (Oerror.Type_error "call(str, blob)")
+  in
+  let call_many_m ctx = function
+    | [ Value.List calls ] ->
+      let ids =
+        List.map
+          (function
+            | Value.Pair (Value.Str name, Value.Blob args) ->
+              Ok (submit ctx ~name ~args)
+            | _ -> Error (Oerror.Type_error "call_many([(str, blob); ...])"))
+          calls
+      in
+      (match
+         List.find_opt (function Error _ -> true | Ok _ -> false) ids
+       with
+      | Some (Error e) -> Error e
+      | _ ->
+        ignore (flush ctx);
+        let rec collect acc = function
+          | [] -> Ok (Value.List (List.rev acc))
+          | Ok id :: rest ->
+            (match take ctx id with
+            | Ok v -> collect (v :: acc) rest
+            | Error e -> Error e)
+          | Error e :: _ -> Error e
+        in
+        collect [] ids)
+    | _ -> Error (Oerror.Type_error "call_many(list)")
+  in
+  let transport_call_m ctx = function
+    | [ Value.Blob req ] ->
+      let id = submit ctx ~name:"" ~args:req in
+      ignore (flush ctx);
+      take ctx id
+    | _ -> Error (Oerror.Type_error "call(blob)")
+  in
+  let batch_iface =
+    Iface.make ~name:"rpc.batch"
+      [
+        Iface.meth ~name:"submit" ~args:[ Vtype.Tstr; Vtype.Tblob ] ~ret:Vtype.Tint
+          submit_m;
+        Iface.meth ~name:"flush" ~args:[] ~ret:Vtype.Tint flush_m;
+        Iface.meth ~name:"take" ~args:[ Vtype.Tint ] ~ret:Vtype.Tblob take_m;
+        Iface.meth ~name:"call" ~args:[ Vtype.Tstr; Vtype.Tblob ] ~ret:Vtype.Tblob
+          call_m;
+        Iface.meth ~name:"call_many" ~args:[ Vtype.Tlist Vtype.Tany ]
+          ~ret:(Vtype.Tlist Vtype.Tblob) call_many_m;
+      ]
+  in
+  let transport_iface =
+    Iface.make ~name:"rpc.transport"
+      [ Iface.meth ~name:"call" ~args:[ Vtype.Tblob ] ~ret:Vtype.Tblob transport_call_m ]
+  in
+  Instance.create api.Api.registry ~class_name:"chan.rpc_client"
+    ~domain:conn.client_dom.Domain.id
+    [ batch_iface; transport_iface ]

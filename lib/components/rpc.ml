@@ -231,6 +231,51 @@ let create_client api dom ~stack_path ~port ~server ?(max_polls = 10_000) () =
   Hashtbl.replace client_states (Instance.handle inst) st;
   inst
 
+(* A client whose requests ride an arbitrary transport object — e.g. a
+   shared-memory channel's ["rpc.transport"] (Rpc_chan) — instead of the
+   protocol stack. Same wire format, same failure propagation; only the
+   carrier differs. *)
+let create_client_via api dom ~transport () =
+  let st = { next_id = 1; pending = Hashtbl.create 8; calls = 0; cycles = 0 } in
+  let call_m (ctx : Call_ctx.t) = function
+    | [ Value.Str name; Value.Blob args ] ->
+      let started = Clock.now ctx.Call_ctx.clock in
+      let id = st.next_id in
+      st.next_id <- id + 1;
+      let req = encode_request ~id ~rport:0 ~name args in
+      (match
+         Invoke.call ctx transport ~iface:"rpc.transport" ~meth:"call"
+           [ Value.Blob req ]
+       with
+      | Error e -> Error e
+      | Ok (Value.Blob resp) ->
+        (match decode_response resp with
+        | Error e -> fault e
+        | Ok (rid, status, payload) ->
+          if rid <> id then fault "rpc: response id mismatch"
+          else begin
+            st.calls <- st.calls + 1;
+            st.cycles <- st.cycles + (Clock.now ctx.Call_ctx.clock - started);
+            if status = status_ok then Ok (Value.Blob payload)
+            else fault ("rpc: remote error: " ^ Bytes.to_string payload)
+          end)
+      | Ok _ -> fault "rpc: transport shape")
+    | _ -> Error (Oerror.Type_error "call(str, blob)")
+  in
+  let iface =
+    Iface.make ~name:"rpc"
+      [
+        Iface.meth ~name:"call" ~args:[ Vtype.Tstr; Vtype.Tblob ] ~ret:Vtype.Tblob
+          call_m;
+      ]
+  in
+  let inst =
+    Instance.create api.Api.registry ~class_name:"toolbox.rpc_client"
+      ~domain:dom.Domain.id [ iface ]
+  in
+  Hashtbl.replace client_states (Instance.handle inst) st;
+  inst
+
 let add_measurement client =
   match Hashtbl.find_opt client_states (Instance.handle client) with
   | None -> invalid_arg "Rpc.add_measurement: not an rpc client"

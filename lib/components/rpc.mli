@@ -20,6 +20,22 @@
     an application error string. *)
 type handler = Pm_obj.Call_ctx.t -> bytes -> (bytes, string) result
 
+(** {2 Wire codecs}
+
+    Exposed so alternative carriers (channels) and tests can speak the
+    protocol without a stack in the loop. *)
+
+val encode_request : id:int -> rport:int -> name:string -> bytes -> bytes
+
+val decode_request : bytes -> (int * int * string * bytes, string) result
+
+val status_ok : int
+val status_error : int
+
+val encode_response : id:int -> status:int -> bytes -> bytes
+
+val decode_response : bytes -> (int * int * bytes, string) result
+
 (** [create_server api dom ~stack_path ~port ~procedures] binds [port] on
     the stack and serves the given procedures. *)
 val create_server :
@@ -40,6 +56,19 @@ val create_client :
   port:int ->
   server:int * int ->
   ?max_polls:int ->
+  unit ->
+  Pm_obj.Instance.t
+
+(** [create_client_via api dom ~transport ()] makes a client whose
+    requests ride [transport] — any instance exporting ["rpc.transport"]
+    with [call(blob) -> blob], e.g. a shared-memory channel endpoint
+    ({!Pm_chan.Rpc_chan.client}) — instead of the protocol stack. Wire
+    format and failure propagation are identical; only the carrier
+    differs. *)
+val create_client_via :
+  Pm_nucleus.Api.t ->
+  Pm_nucleus.Domain.t ->
+  transport:Pm_obj.Instance.t ->
   unit ->
   Pm_obj.Instance.t
 

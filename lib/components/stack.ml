@@ -256,6 +256,22 @@ let controller api dom st =
     | [ Value.Blob raw ] -> rx st ctx raw
     | _ -> Error (Oerror.Type_error "rx(blob)")
   in
+  (* a burst of raw frames in one invocation: what a channel-backed
+     receive path hands over per doorbell, amortising the crossing *)
+  let rx_batch_m ctx = function
+    | [ Value.List frames ] ->
+      let ok =
+        List.fold_left
+          (fun acc v ->
+            match v with
+            | Value.Blob raw -> (
+              match rx st ctx raw with Ok _ -> acc + 1 | Error _ -> acc)
+            | _ -> acc)
+          0 frames
+      in
+      Ok (Value.Int ok)
+    | _ -> Error (Oerror.Type_error "rx_batch(list)")
+  in
   let send_m ctx = function
     | [ Value.Int dst; Value.Int sport; Value.Int dport; Value.Blob payload ] ->
       send st ctx ~dst ~sport ~dport payload
@@ -341,6 +357,8 @@ let controller api dom st =
     Iface.make ~name:"stack"
       [
         Iface.meth ~name:"rx" ~args:[ Vtype.Tblob ] ~ret:Vtype.Tunit rx_m;
+        Iface.meth ~name:"rx_batch" ~args:[ Vtype.Tlist Vtype.Tblob ] ~ret:Vtype.Tint
+          rx_batch_m;
         Iface.meth ~name:"send"
           ~args:[ Vtype.Tint; Vtype.Tint; Vtype.Tint; Vtype.Tblob ] ~ret:Vtype.Tunit
           send_m;

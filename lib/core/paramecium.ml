@@ -91,6 +91,11 @@ module Pager = Pm_components.Pager
 module Simplefs = Pm_components.Simplefs
 module Images = Pm_components.Images
 
+(* shared-memory channels *)
+module Chan = Pm_chan.Chan
+module Chan_svc = Pm_chan.Chan_svc
+module Rpc_chan = Pm_chan.Rpc_chan
+
 (* downloaded-code substrate *)
 module Vm = Pm_vm.Vm
 module Sfi_rewrite = Pm_vm.Sfi_rewrite

@@ -12,6 +12,7 @@ module Netdrv = Pm_components.Netdrv
 module Clock = Pm_machine.Clock
 module Tracesvc = Pm_nucleus.Tracesvc
 module Obs_agent = Pm_obs_agent.Obs_agent
+module Chan_svc = Pm_chan.Chan_svc
 
 type t = { kernel : Kernel.t; authority : Authority.t; rng : Prng.t }
 
@@ -23,6 +24,12 @@ let wire_tracing kernel =
 
 type placement = Certified | Online_certified | Sandboxed | User of Domain.t
 
+type networking = {
+  driver : Pm_obj.Instance.t;
+  stack : Pm_obj.Instance.t;
+  stack_domain : Domain.t;
+}
+
 let standard_delegates =
   [
     ("trusted-compiler", Policies.trusted_compiler, Policies.latency_compiler);
@@ -32,6 +39,14 @@ let standard_delegates =
       Policies.administrator ~trusted_authors:[ "kernel-team" ],
       Policies.latency_administrator );
   ]
+
+(* the channel factory is published at its conventional name straight
+   from boot, like /shared/network; Chan_svc.image exists for loading it
+   through the certified-component path as well *)
+let wire_chan kernel =
+  Kernel.register_at kernel "/shared/chan"
+    (Chan_svc.create (Kernel.api kernel)
+       ~domain_of_id:(Kernel.domain_of_id kernel) ())
 
 let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?(key_bits = 512)
     ?(delegates = standard_delegates) () =
@@ -43,6 +58,7 @@ let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?(key_bits = 512)
     delegates;
   let kernel = Kernel.boot ?costs ?frames ?page_size ~root:(Authority.ca authority) () in
   wire_tracing kernel;
+  wire_chan kernel;
   List.iter
     (Certsvc.add_grant (Kernel.certification kernel))
     (Authority.grants authority);
@@ -52,6 +68,7 @@ let with_authority ?costs ?frames ?page_size ~seed authority =
   let rng = Prng.create ~seed in
   let kernel = Kernel.boot ?costs ?frames ?page_size ~root:(Authority.ca authority) () in
   wire_tracing kernel;
+  wire_chan kernel;
   List.iter
     (Certsvc.add_grant (Kernel.certification kernel))
     (Authority.grants authority);
@@ -128,12 +145,6 @@ let install_exn t image ~placement ~at =
   | Ok inst -> inst
   | Error e -> failwith ("System.install: " ^ e)
 
-type networking = {
-  driver : Pm_obj.Instance.t;
-  stack : Pm_obj.Instance.t;
-  stack_domain : Domain.t;
-}
-
 let new_domain t name = Kernel.create_domain t.kernel ~name ()
 
 let setup_networking t ~placement ~addr ?(loopback = false) () =
@@ -168,3 +179,25 @@ let setup_networking t ~placement ~addr ?(loopback = false) () =
   | Error e ->
     failwith ("System.setup_networking: attach failed: " ^ Pm_obj.Oerror.to_string e));
   { driver; stack; stack_domain }
+
+(* Rewire the receive path over a shared-memory channel: the driver's
+   per-frame sink becomes a same-domain ring enqueue and the stack gets
+   bursts through one rx_batch invocation per doorbell — the E4 mailbox
+   hop without a proxy crossing per frame. *)
+let channel_rx t net ?slots ?slot_size () =
+  let kdom = Kernel.kernel_domain t.kernel in
+  let api = Kernel.api t.kernel in
+  let tx, chan =
+    Chan_svc.bridge api ?slots ?slot_size ~producer:kdom ~consumer:net.stack_domain
+      ~stack:net.stack ()
+  in
+  Kernel.register_at t.kernel "/services/chan-rx" tx;
+  let ctx = Kernel.ctx t.kernel kdom in
+  (match
+     Pm_obj.Invoke.call ctx net.driver ~iface:"netdev" ~meth:"attach"
+       [ Pm_obj.Value.Str "/services/chan-rx" ]
+   with
+  | Ok _ -> ()
+  | Error e ->
+    failwith ("System.channel_rx: attach failed: " ^ Pm_obj.Oerror.to_string e));
+  chan

@@ -79,5 +79,15 @@ type networking = {
 val setup_networking :
   t -> placement:placement -> addr:int -> ?loopback:bool -> unit -> networking
 
+(** [channel_rx t net ()] rewires the driver→stack receive path over a
+    shared-memory channel ({!Pm_chan.Chan_svc.bridge}): the driver
+    enqueues frames into a ring in its own domain (at
+    [/services/chan-rx]) and a doorbell pop-up in the stack's domain
+    drains each burst into one [rx_batch] invocation — replacing the
+    per-frame proxy hop of a [User]-placed stack. Returns the ring for
+    inspection. *)
+val channel_rx :
+  t -> networking -> ?slots:int -> ?slot_size:int -> unit -> Pm_chan.Chan.t
+
 (** [new_domain t name] is a fresh user protection domain. *)
 val new_domain : t -> string -> Pm_nucleus.Domain.t

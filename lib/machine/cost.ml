@@ -59,6 +59,15 @@ let default =
     load_page = 90;
   }
 
+(* Derived figures. Instrumentation and the channel subsystem compose
+   their charges out of the base table; naming the sums here lets tests
+   and benchmarks assert against the model instead of re-deriving the
+   arithmetic in each call site. *)
+let dispatch t = t.indirect_call
+let span_store t = t.mem_write
+let traced_dispatch t = dispatch t + span_store t
+let doorbell_crossing t = t.trap + (2 * t.context_switch) + t.proto_thread
+
 let unit_costs =
   {
     cycle = 1;

@@ -41,5 +41,25 @@ type t = {
 (** SPARC-era-flavoured defaults. *)
 val default : t
 
+(** {2 Derived figures}
+
+    Sums that recur across subsystems, named once so tests and
+    benchmarks share the model's arithmetic instead of copying it. *)
+
+(** Cost of one uninstrumented interface dispatch ([indirect_call]). *)
+val dispatch : t -> int
+
+(** Cost of recording one trace span when tracing is enabled: a single
+    ring-buffer store ([mem_write]). *)
+val span_store : t -> int
+
+(** [dispatch] + [span_store]: an interface dispatch with tracing on. *)
+val traced_dispatch : t -> int
+
+(** Fixed cost of a channel doorbell that crosses domains: the trap,
+    the MMU context switch into the consumer and back, and the pop-up
+    proto-thread that drains the ring. *)
+val doorbell_crossing : t -> int
+
 (** A uniform all-ones table, useful in tests to count abstract events. *)
 val unit_costs : t

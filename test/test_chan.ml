@@ -1,0 +1,336 @@
+(* Tests for the shared-memory channel subsystem: ring wrap-around,
+   back-pressure, doorbell pop-up delivery, the /shared/chan factory,
+   interposing on a channel endpoint, and batched RPC over a ring pair
+   (including cross-domain failure propagation through
+   Rpc.create_client_via). *)
+
+open Paramecium
+
+let fixture () =
+  let sys = System.create ~seed:0xBEEF () in
+  let k = System.kernel sys in
+  (sys, k, Kernel.kernel_domain k)
+
+let switch_to k dom = Mmu.switch_context (Machine.mmu (Kernel.machine k)) dom.Domain.id
+
+(* --- ring ------------------------------------------------------------- *)
+
+let test_ring_wraparound () =
+  let _, k, kdom = fixture () in
+  let api = Kernel.api k in
+  let udom = Kernel.create_domain k ~name:"wrap-consumer" () in
+  let chan =
+    Chan.create (Kernel.machine k) api.Api.vmem ~name:"wrap" ~slots:4 ~slot_size:8
+      ~mode:Chan.Poll ~producer:kdom ()
+  in
+  ignore (Chan.accept chan ~into:udom);
+  (* 30 messages through a 4-slot ring: the free-running indices lap the
+     ring many times *)
+  for round = 0 to 9 do
+    for j = 0 to 2 do
+      let msg = Printf.sprintf "%02d-%d" round j in
+      Alcotest.(check bool) "enqueue" true (Chan.try_send chan (Bytes.of_string msg))
+    done;
+    for j = 0 to 2 do
+      match Chan.try_recv chan with
+      | Some m ->
+        Alcotest.(check string) "fifo across wrap"
+          (Printf.sprintf "%02d-%d" round j)
+          (Bytes.to_string m)
+      | None -> Alcotest.fail "ring unexpectedly empty"
+    done
+  done;
+  let s = Chan.stats chan in
+  Alcotest.(check int) "sends" 30 s.Chan.sends;
+  Alcotest.(check int) "recvs" 30 s.Chan.recvs;
+  (* capacity boundary: a 4-slot ring holds exactly 4 *)
+  for _ = 1 to 4 do
+    Alcotest.(check bool) "fills" true (Chan.try_send chan (Bytes.of_string "x"))
+  done;
+  Alcotest.(check bool) "refuses when full" false
+    (Chan.try_send chan (Bytes.of_string "x"));
+  Alcotest.(check int) "pending" 4 (Chan.pending chan);
+  Alcotest.(check int) "drained" 4 (List.length (Chan.recv_batch chan ()));
+  Alcotest.(check bool) "empty again" true (Chan.try_recv chan = None);
+  (* oversized message rejected, bad geometry rejected *)
+  (match Chan.try_send chan (Bytes.create 9) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized message must be rejected");
+  match
+    Chan.create (Kernel.machine k) api.Api.vmem ~slots:4 ~slot_size:6 ~producer:kdom
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "slot_size must be a multiple of 4"
+
+let test_full_ring_backpressure () =
+  let _, k, kdom = fixture () in
+  let api = Kernel.api k in
+  let udom = Kernel.create_domain k ~name:"bp-consumer" () in
+  let chan =
+    Chan.create (Kernel.machine k) api.Api.vmem ~name:"bp" ~slots:2 ~slot_size:8
+      ~mode:Chan.Poll ~producer:kdom ()
+  in
+  ignore (Chan.accept chan ~into:udom);
+  let sched = Kernel.sched k in
+  let got = ref [] in
+  let producer =
+    Scheduler.spawn sched ~name:"bp-producer" ~domain:kdom.Domain.id (fun () ->
+        for n = 1 to 5 do
+          Chan.send chan (Bytes.of_string (string_of_int n))
+        done)
+  in
+  let consumer =
+    Scheduler.spawn sched ~name:"bp-consumer" ~domain:udom.Domain.id (fun () ->
+        for _ = 1 to 5 do
+          got := Bytes.to_string (Chan.recv chan) :: !got
+        done)
+  in
+  ignore (Scheduler.run sched ());
+  Alcotest.(check bool) "producer finished" true
+    (producer.Scheduler.state = Scheduler.Finished);
+  Alcotest.(check bool) "consumer finished" true
+    (consumer.Scheduler.state = Scheduler.Finished);
+  Alcotest.(check (list string)) "in order, none lost" [ "1"; "2"; "3"; "4"; "5" ]
+    (List.rev !got);
+  let s = Chan.stats chan in
+  Alcotest.(check bool) "producer parked on the full ring" true (s.Chan.full_blocks >= 1);
+  Alcotest.(check bool) "consumer parked on the empty ring" true
+    (s.Chan.empty_blocks >= 1)
+
+(* --- doorbells --------------------------------------------------------- *)
+
+let test_doorbell_popup_delivery () =
+  let _, k, kdom = fixture () in
+  let api = Kernel.api k in
+  let udom = Kernel.create_domain k ~name:"bell-consumer" () in
+  let chan =
+    Chan.create (Kernel.machine k) api.Api.vmem ~name:"bell" ~slots:8 ~slot_size:8
+      ~producer:kdom ()
+  in
+  ignore (Chan.accept chan ~into:udom);
+  (* armed at creation: the first enqueue rings; the second, with the
+     ring non-empty and the flag cleared, must not — load skips doorbells *)
+  ignore (Chan.try_send chan (Bytes.of_string "m1"));
+  ignore (Chan.try_send chan (Bytes.of_string "m2"));
+  Alcotest.(check int) "only the first enqueue rings" 1 (Chan.stats chan).Chan.doorbells;
+  Alcotest.(check int) "both queued" 2 (List.length (Chan.recv_batch chan ()));
+  (* the dry drain re-armed; now deliver through the event service *)
+  let received = ref [] in
+  let ran_in = ref (-1) in
+  ignore
+    (Chan.on_doorbell chan ~events:api.Api.events ~sched:(Kernel.sched k) (fun () ->
+         ran_in := Mmu.current_context (Machine.mmu (Kernel.machine k));
+         received :=
+           !received @ List.map Bytes.to_string (Chan.recv_batch chan ())));
+  ignore (Chan.try_send chan (Bytes.of_string "m3"));
+  Alcotest.(check (list string)) "pop-up drained the enqueue" [ "m3" ] !received;
+  Alcotest.(check int) "pop-up ran in the consumer's domain" udom.Domain.id !ran_in;
+  Alcotest.(check int) "second doorbell" 2 (Chan.stats chan).Chan.doorbells;
+  (* drained dry again, so the next enqueue rings again *)
+  ignore (Chan.try_send chan (Bytes.of_string "m4"));
+  Alcotest.(check (list string)) "re-armed after dry drain" [ "m3"; "m4" ] !received
+
+(* --- the /shared/chan factory and endpoint interposition --------------- *)
+
+let test_factory_and_interposed_monitor () =
+  let _, k, kdom = fixture () in
+  let api = Kernel.api k in
+  let udom = Kernel.create_domain k ~name:"chan-user" () in
+  (* the producer drives the factory through the name space, via proxy *)
+  let factory = Kernel.bind k udom "/shared/chan" in
+  Alcotest.(check bool) "factory reached via proxy" true (Proxy.is_proxy factory);
+  switch_to k udom;
+  let uctx = Kernel.ctx k udom in
+  (match
+     Invoke.call_exn uctx factory ~iface:"chanfactory" ~meth:"create"
+       [ Value.Str "pipe"; Value.Int 8; Value.Int 64 ]
+   with
+  | Value.Handle _ -> ()
+  | v -> Alcotest.failf "create returned %s" (Value.to_string v));
+  (match
+     Invoke.call uctx factory ~iface:"chanfactory" ~meth:"create"
+       [ Value.Str "pipe"; Value.Int 8; Value.Int 64 ]
+   with
+  | Error (Oerror.Fault _) -> ()
+  | _ -> Alcotest.fail "duplicate channel name must fault");
+  (* the consumer accepts from its own domain *)
+  switch_to k kdom;
+  let kctx = Kernel.ctx k kdom in
+  let kfactory = Kernel.bind k kdom "/shared/chan" in
+  (match
+     Invoke.call_exn kctx kfactory ~iface:"chanfactory" ~meth:"list" []
+   with
+  | Value.List [ Value.Str "pipe" ] -> ()
+  | v -> Alcotest.failf "list returned %s" (Value.to_string v));
+  (match
+     Invoke.call_exn kctx kfactory ~iface:"chanfactory" ~meth:"accept"
+       [ Value.Str "pipe" ]
+   with
+  | Value.Handle _ -> ()
+  | v -> Alcotest.failf "accept returned %s" (Value.to_string v));
+  (* interpose a monitor over the tx endpoint, like any agent *)
+  let tx = Kernel.bind k udom "/chan/pipe/tx" in
+  let seen = ref [] in
+  let agent =
+    Interpose.wrap api udom ~target:tx
+      ~on_call:(fun ~iface ~meth _args -> seen := (iface ^ "." ^ meth) :: !seen)
+      ()
+  in
+  (match Interpose.attach api ~path:"/chan/pipe/tx" ~agent with
+  | Ok prev -> Alcotest.(check bool) "previous binding was the endpoint" true (prev == tx)
+  | Error e -> Alcotest.fail e);
+  let bound = Kernel.bind k udom "/chan/pipe/tx" in
+  Alcotest.(check bool) "rebinding resolves to the agent" true (bound == agent);
+  switch_to k udom;
+  ignore
+    (Invoke.call_exn uctx bound ~iface:"chan.tx" ~meth:"send"
+       [ Value.Blob (Bytes.of_string "ping") ]);
+  Alcotest.(check (list string)) "monitor saw the send" [ "chan.tx.send" ] !seen;
+  (* the message still crossed: the consumer's rx endpoint drains it *)
+  switch_to k kdom;
+  let rx = Kernel.bind k kdom "/chan/pipe/rx" in
+  (match Invoke.call_exn kctx rx ~iface:"chan.rx" ~meth:"recv" [] with
+  | Value.List [ Value.Blob b ] ->
+    Alcotest.(check string) "payload intact through the agent" "ping"
+      (Bytes.to_string b)
+  | v -> Alcotest.failf "recv returned %s" (Value.to_string v))
+
+(* --- batched RPC over a ring pair -------------------------------------- *)
+
+let rpc_fixture () =
+  let _, k, kdom = fixture () in
+  let api = Kernel.api k in
+  let udom = Kernel.create_domain k ~name:"rpc-client" () in
+  let conn = Rpc_chan.connect api ~client:udom ~server:kdom () in
+  let procedures =
+    [
+      ("echo", fun _ctx b -> Ok b);
+      ( "upper",
+        fun _ctx b -> Ok (Bytes.of_string (String.uppercase_ascii (Bytes.to_string b)))
+      );
+      ("fail", fun _ctx _ -> Error "application exploded");
+    ]
+  in
+  (* raw requests carry the classic Rpc wire format over the channel:
+     decode, dispatch to the same procedure table, encode the response *)
+  let raw ctx req =
+    match Rpc.decode_request req with
+    | Error e -> Error e
+    | Ok (id, _rport, name, args) ->
+      let status, payload =
+        match List.assoc_opt name procedures with
+        | Some h -> (
+          match h ctx args with
+          | Ok r -> (Rpc.status_ok, r)
+          | Error e -> (Rpc.status_error, Bytes.of_string e))
+        | None -> (Rpc.status_error, Bytes.of_string ("no such procedure " ^ name))
+      in
+      Ok (Rpc.encode_response ~id ~status payload)
+  in
+  Rpc_chan.serve api conn ~procedures ~raw ();
+  let client = Rpc_chan.client api conn () in
+  switch_to k udom;
+  (k, udom, conn, client)
+
+let test_rpc_chan_round_trip () =
+  let k, udom, conn, client = rpc_fixture () in
+  let ctx = Kernel.ctx k udom in
+  (match
+     Invoke.call_exn ctx client ~iface:"rpc.batch" ~meth:"call"
+       [ Value.Str "upper"; Value.Blob (Bytes.of_string "shout") ]
+   with
+  | Value.Blob b -> Alcotest.(check string) "result" "SHOUT" (Bytes.to_string b)
+  | v -> Alcotest.failf "call returned %s" (Value.to_string v));
+  let sends_before = (Chan.stats (Rpc_chan.request_chan conn)).Chan.sends in
+  let batch =
+    Value.List
+      (List.init 8 (fun n ->
+           Value.Pair
+             (Value.Str "echo", Value.Blob (Bytes.of_string (string_of_int n)))))
+  in
+  (match Invoke.call_exn ctx client ~iface:"rpc.batch" ~meth:"call_many" [ batch ] with
+  | Value.List results ->
+    Alcotest.(check int) "all results back" 8 (List.length results);
+    List.iteri
+      (fun n v ->
+        match v with
+        | Value.Blob b -> Alcotest.(check string) "echoed in order" (string_of_int n) (Bytes.to_string b)
+        | _ -> Alcotest.fail "blob expected")
+      results
+  | v -> Alcotest.failf "call_many returned %s" (Value.to_string v));
+  let sends_after = (Chan.stats (Rpc_chan.request_chan conn)).Chan.sends in
+  Alcotest.(check int) "8 calls crossed in one ring message" 1
+    (sends_after - sends_before);
+  (* remote application errors surface as faults, across the domains *)
+  match
+    Invoke.call ctx client ~iface:"rpc.batch" ~meth:"call"
+      [ Value.Str "fail"; Value.Blob Bytes.empty ]
+  with
+  | Error (Oerror.Fault msg) ->
+    Alcotest.(check string) "remote error text"
+      "rpc_chan: remote error: application exploded" msg
+  | _ -> Alcotest.fail "remote error must fault"
+
+let test_rpc_chan_unknown_procedure () =
+  let k, udom, _conn, client = rpc_fixture () in
+  let ctx = Kernel.ctx k udom in
+  match
+    Invoke.call ctx client ~iface:"rpc.batch" ~meth:"call"
+      [ Value.Str "nope"; Value.Blob Bytes.empty ]
+  with
+  | Error (Oerror.Fault msg) ->
+    Alcotest.(check string) "unknown procedure"
+      "rpc_chan: remote error: no such procedure nope" msg
+  | _ -> Alcotest.fail "unknown procedure must fault"
+
+let test_rpc_over_channel_transport () =
+  let k, udom, _conn, client = rpc_fixture () in
+  let api = Kernel.api k in
+  (* the classic Rpc client, riding the channel instead of the stack *)
+  let rpc = Rpc.create_client_via api udom ~transport:client () in
+  let ctx = Kernel.ctx k udom in
+  (match
+     Invoke.call_exn ctx rpc ~iface:"rpc" ~meth:"call"
+       [ Value.Str "upper"; Value.Blob (Bytes.of_string "quiet") ]
+   with
+  | Value.Blob b -> Alcotest.(check string) "result via channel" "QUIET" (Bytes.to_string b)
+  | v -> Alcotest.failf "call returned %s" (Value.to_string v));
+  (* Rpc's own failure propagation is carrier-independent *)
+  match
+    Invoke.call ctx rpc ~iface:"rpc" ~meth:"call"
+      [ Value.Str "fail"; Value.Blob Bytes.empty ]
+  with
+  | Error (Oerror.Fault msg) ->
+    Alcotest.(check bool) "remote error prefixed" true
+      (String.length msg >= 4 && String.sub msg 0 4 = "rpc:")
+  | _ -> Alcotest.fail "remote failure must fault through both layers"
+
+(* ----------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "chan"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "wrap-around" `Quick test_ring_wraparound;
+          Alcotest.test_case "full-ring back-pressure" `Quick
+            test_full_ring_backpressure;
+        ] );
+      ( "doorbell",
+        [
+          Alcotest.test_case "pop-up delivery" `Quick test_doorbell_popup_delivery;
+        ] );
+      ( "factory",
+        [
+          Alcotest.test_case "namespace + interposed monitor" `Quick
+            test_factory_and_interposed_monitor;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "round trip + batching" `Quick test_rpc_chan_round_trip;
+          Alcotest.test_case "unknown procedure" `Quick test_rpc_chan_unknown_procedure;
+          Alcotest.test_case "Rpc over channel transport" `Quick
+            test_rpc_over_channel_transport;
+        ] );
+    ]

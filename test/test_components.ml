@@ -84,6 +84,62 @@ let test_transport_round_trip () =
   | Error "transport: bad checksum" -> ()
   | _ -> Alcotest.fail "payload corruption must be detected")
 
+let test_net_error_paths () =
+  let _, ctx = ctx_fixture () in
+  (match Wire.Net.parse ctx (Bytes.create 3) with
+  | Error "net: truncated" -> ()
+  | _ -> Alcotest.fail "short net packet must be rejected");
+  let raw = Wire.Net.build ctx ~src:1 ~dst:2 ~ttl:5 ~proto:17 (Bytes.of_string "xy") in
+  (* lying length word *)
+  let lying = Bytes.cat raw (Bytes.of_string "extra") in
+  (match Wire.Net.parse ctx lying with
+  | Error "net: bad length" -> ()
+  | _ -> Alcotest.fail "length mismatch must be rejected");
+  (* flipped header byte lands on the checksum *)
+  Bytes.set raw 0 (Char.chr (Char.code (Bytes.get raw 0) lxor 0xff));
+  (match Wire.Net.parse ctx raw with
+  | Error "net: bad checksum" -> ()
+  | _ -> Alcotest.fail "header corruption must be rejected");
+  match Wire.Net.decrement_ttl ctx (Bytes.create 2) with
+  | Error "net: truncated" -> ()
+  | _ -> Alcotest.fail "ttl decrement on a stub must be rejected"
+
+let test_transport_error_paths () =
+  let _, ctx = ctx_fixture () in
+  (match Wire.Transport.parse ctx (Bytes.create 5) with
+  | Error "transport: truncated" -> ()
+  | _ -> Alcotest.fail "short segment must be rejected");
+  let raw = Wire.Transport.build ctx ~sport:1 ~dport:2 (Bytes.of_string "data") in
+  (match Wire.Transport.parse ctx (Bytes.sub raw 0 (Bytes.length raw - 1)) with
+  | Error "transport: bad length" -> ()
+  | _ -> Alcotest.fail "truncated payload must be rejected");
+  match Wire.Transport.parse ctx (Bytes.cat raw (Bytes.of_string "!")) with
+  | Error "transport: bad length" -> ()
+  | _ -> Alcotest.fail "trailing garbage must be rejected"
+
+let test_rpc_codec_errors () =
+  (* the codecs reject malformed frames rather than misparsing them *)
+  (match Rpc.decode_request (Bytes.create 3) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short request must be rejected");
+  let req = Rpc.encode_request ~id:7 ~rport:9 ~name:"proc" (Bytes.of_string "args") in
+  (* cut inside the procedure name: header promises more than is there *)
+  (match Rpc.decode_request (Bytes.sub req 0 9) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated request must be rejected");
+  (match Rpc.decode_request req with
+  | Ok (7, 9, "proc", args) -> Alcotest.(check string) "args" "args" (Bytes.to_string args)
+  | _ -> Alcotest.fail "well-formed request must decode");
+  (match Rpc.decode_response (Bytes.create 2) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short response must be rejected");
+  let resp = Rpc.encode_response ~id:7 ~status:Rpc.status_error (Bytes.of_string "boom") in
+  match Rpc.decode_response resp with
+  | Ok (7, status, payload) ->
+    Alcotest.(check int) "status" Rpc.status_error status;
+    Alcotest.(check string) "payload" "boom" (Bytes.to_string payload)
+  | _ -> Alcotest.fail "well-formed response must decode"
+
 let test_wire_charges_accesses () =
   let clock, ctx = ctx_fixture () in
   let before = Clock.counter clock "component_mem_access" in
@@ -665,6 +721,9 @@ let () =
           Alcotest.test_case "frame corruption" `Quick test_frame_detects_corruption;
           Alcotest.test_case "net + ttl" `Quick test_net_round_trip_and_ttl;
           Alcotest.test_case "transport" `Quick test_transport_round_trip;
+          Alcotest.test_case "net error paths" `Quick test_net_error_paths;
+          Alcotest.test_case "transport error paths" `Quick test_transport_error_paths;
+          Alcotest.test_case "rpc codec errors" `Quick test_rpc_codec_errors;
           Alcotest.test_case "access charging" `Quick test_wire_charges_accesses;
           wire_totality_prop;
           wire_roundtrip_prop;

@@ -119,14 +119,14 @@ let test_disabled_costs_nothing () =
         ignore (Invoke.call ctx echo ~iface:"echo" ~meth:"echo" [ Value.Int 1 ]))
   in
   Alcotest.(check int) "disabled call = indirect_call only"
-    Cost.default.Cost.indirect_call off;
+    (Cost.dispatch Cost.default) off;
   Obs.enable obs;
   let on =
     cost (fun () ->
         ignore (Invoke.call ctx echo ~iface:"echo" ~meth:"echo" [ Value.Int 1 ]))
   in
   Alcotest.(check int) "enabled call adds exactly one mem_write"
-    (Cost.default.Cost.indirect_call + Cost.default.Cost.mem_write)
+    (Cost.traced_dispatch Cost.default)
     on;
   Alcotest.(check int) "the span is in the ring" 1
     (Tracer.recorded (Obs.tracer obs));
@@ -136,7 +136,7 @@ let test_disabled_costs_nothing () =
         ignore (Invoke.call ctx echo ~iface:"echo" ~meth:"echo" [ Value.Int 1 ]))
   in
   Alcotest.(check int) "disabling restores the exact cost"
-    Cost.default.Cost.indirect_call off2
+    (Cost.dispatch Cost.default) off2
 
 (* --- trace interposer transparency ------------------------------------ *)
 
