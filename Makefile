@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-output fmt check clean
+.PHONY: all build test bench bench-smoke bench-output fmt check clean
 
 all: build
 
@@ -10,6 +10,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# the assertion-bearing experiments at reduced iteration counts, for CI
+bench-smoke:
+	dune exec bench/main.exe -- obs e14 --quick
 
 # regenerate the committed reference run (simulated cycles, deterministic)
 bench-output:

@@ -41,6 +41,9 @@ let f2 x = Printf.sprintf "%.2f" x
 
 let fresh_sys () = System.create ~seed:0xBEEF ()
 
+(* --quick shrinks iteration counts for CI smoke runs *)
+let quick = ref false
+
 (* ------------------------------------------------------------------ *)
 (* E1: method invocation overhead vs object grain size                 *)
 (* ------------------------------------------------------------------ *)
@@ -1078,6 +1081,236 @@ module E13 = struct
     line " a ring enqueue and one doorbell-driven rx_batch per burst)"
 end
 
+
+(* ------------------------------------------------------------------ *)
+(* E14: the adaptive placement agent converging on static-best          *)
+(* ------------------------------------------------------------------ *)
+
+module E14 = struct
+  (* Margin the converged adaptive configuration must reach, relative to
+     the static-best one from E4/E13. *)
+  let margin = 0.10
+
+  let epochs () = if !quick then 6 else 12
+  let per_epoch () = if !quick then 10 else 30
+  let tail () = if !quick then 2 else 3
+
+  let mean = function
+    | [] -> 0.
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+  (* mean of the last [tail] epochs: the converged steady state, with the
+     migration epoch (if any) excluded *)
+  let converged epoch_costs =
+    (* epoch_costs is accumulated newest-first *)
+    let t = tail () in
+    mean (List.filteri (fun i _ -> i < t) epoch_costs)
+
+  let action_to_string = function
+    | Placer.Hold -> ""
+    | Placer.Migrated p -> "-> " ^ Placer.placement_to_string p
+    | Placer.Flipped Chan.Doorbell -> "-> doorbell"
+    | Placer.Flipped Chan.Poll -> "-> poll"
+
+  let verdict label adaptive best =
+    let m = (adaptive -. best) /. best in
+    line "%s: adaptive %.1f vs static-best %.1f cyc => margin %+.1f%% (limit %.0f%%)"
+      label adaptive best (m *. 100.) (margin *. 100.);
+    assert (m <= margin)
+
+  (* -- the E4 rx workload under the placer ----------------------------- *)
+
+  (* [grain] adds compute cycles per packet outside the stack, turning the
+     crossing-dominated rx path into a compute-dominated one. [adaptive]
+     runs the placer; otherwise the placement stays fixed. *)
+  let rx_run ~start ~grain ~adaptive =
+    let sys = fresh_sys () in
+    let k = System.kernel sys in
+    let kdom = Kernel.kernel_domain k in
+    let udom = System.new_domain sys "netuser" in
+    let placement =
+      match start with `User -> System.User udom | `Certified -> System.Certified
+    in
+    let net = System.setup_networking sys ~placement ~addr:42 () in
+    let stack = ref net.System.stack in
+    let consume = ref net.System.stack_domain in
+    let bind_port () =
+      ignore
+        (Invoke.call_exn (Kernel.ctx k !consume) !stack ~iface:"stack"
+           ~meth:"bind_port" [ Value.Int 7 ])
+    in
+    bind_port ();
+    let clock = Kernel.clock k in
+    (* the placer consumes per-domain accounting, so tracing is on *)
+    Obs.enable (Clock.obs clock);
+    let migration_cost = ref 0 in
+    (* the migration path is the ordinary unload + loader/certsvc reload,
+       followed by re-attaching the driver's rx sink to the new instance *)
+    let migrate (p : Placer.placement) =
+      let before = Clock.now clock in
+      match Loader.unload (Kernel.loader k) (Path.of_string "/services/stack") with
+      | Error _ -> false
+      | Ok () ->
+        let image =
+          Images.image ~name:"protostack" ~size:24_576 ~author:"kernel-team"
+            ~type_safe:true
+            (Images.stack_construct ~addr:42 ~driver_path:"/services/netdrv")
+        in
+        let placement, dom =
+          match p with
+          | Placer.Certified -> (System.Certified, kdom)
+          | Placer.User -> (System.User udom, udom)
+        in
+        (match System.install sys image ~placement ~at:"/services/stack" with
+        | Error _ -> false
+        | Ok inst ->
+          stack := inst;
+          consume := dom;
+          ignore
+            (Invoke.call_exn (Kernel.ctx k kdom) net.System.driver ~iface:"netdev"
+               ~meth:"attach" [ Value.Str "/services/stack" ]);
+          bind_port ();
+          migration_cost := !migration_cost + (Clock.now clock - before);
+          true)
+    in
+    let placer =
+      Placer.create ~clock ~costs:Cost.default ~confirm:2 ~cooldown:1 ()
+    in
+    if adaptive then
+      Placer.manage placer ~watch:[ kdom.Domain.id ]
+        ~placement:(match start with `User -> Placer.User | `Certified -> Placer.Certified)
+        ~migrate;
+    let ctx = Kernel.ctx k kdom in
+    let packet = Bytes.to_string (E4.make_packet ctx ~dst:42 64) in
+    (* warm up so the lazy binds don't pollute epoch 1 *)
+    Nic.inject (Kernel.nic k) packet;
+    Kernel.step k ~ticks:2 ();
+    ignore (Placer.epoch placer);
+    let rows = ref [] and costs = ref [] in
+    for e = 1 to epochs () do
+      let before = Clock.now clock in
+      for _ = 1 to per_epoch () do
+        Nic.inject (Kernel.nic k) packet;
+        Kernel.step k ~ticks:1 ();
+        if grain > 0 then Call_ctx.work ctx grain
+      done;
+      Kernel.step k ~ticks:2 ();
+      let cyc =
+        float_of_int (Clock.now clock - before) /. float_of_int (per_epoch ())
+      in
+      costs := cyc :: !costs;
+      let actions = if adaptive then Placer.epoch placer else [ Placer.Hold ] in
+      rows :=
+        [ i e;
+          (match Placer.placement placer with
+          | Some p -> Placer.placement_to_string p
+          | None -> Placer.placement_to_string (match start with `User -> Placer.User | `Certified -> Placer.Certified));
+          Printf.sprintf "%.3f" (Placer.crossing_share placer);
+          f1 cyc;
+          String.concat " " (List.map action_to_string actions) ]
+        :: !rows
+    done;
+    let delivered =
+      match
+        Invoke.call_exn (Kernel.ctx k !consume) !stack ~iface:"stack" ~meth:"pending"
+          [ Value.Int 7 ]
+      with
+      | Value.Int n -> n
+      | _ -> 0
+    in
+    assert (delivered >= per_epoch ());
+    (List.rev !rows, converged !costs, placer, !migration_cost)
+
+  let rx_workload label ~grain =
+    line "";
+    line "-- %s workload (64B packets%s) --" label
+      (if grain > 0 then Printf.sprintf " + %d compute cyc/packet" grain else "");
+    let rows, adaptive, placer, migration = rx_run ~start:`User ~grain ~adaptive:true in
+    print_table
+      ~columns:
+        [ ("epoch", ()); ("placement", ()); ("cross share", ()); ("cyc/pkt", ());
+          ("action", ()) ]
+      rows;
+    let _, static_user, _, _ = rx_run ~start:`User ~grain ~adaptive:false in
+    let _, static_cert, _, _ = rx_run ~start:`Certified ~grain ~adaptive:false in
+    line "static: user %.1f, certified %.1f cyc/pkt; placer made %d move(s)%s"
+      static_user static_cert (Placer.moves placer)
+      (if migration > 0 then
+         Printf.sprintf " (migration cost %d cyc, amortized across epochs)" migration
+       else "");
+    verdict label adaptive (Float.min static_user static_cert)
+
+  (* -- the E13 doorbell/poll trade under the placer -------------------- *)
+
+  let chan_run ~start ~adaptive =
+    let sys = fresh_sys () in
+    let k = System.kernel sys in
+    let kdom = Kernel.kernel_domain k in
+    let udom = System.new_domain sys "chan-consumer" in
+    let chan =
+      Chan.create (Kernel.machine k) (Kernel.vmem k) ~slots:64 ~slot_size:64
+        ~mode:start ~producer:kdom ()
+    in
+    ignore (Chan.accept chan ~into:udom);
+    ignore
+      (Chan.on_doorbell chan ~events:(Kernel.events k) ~sched:(Kernel.sched k)
+         (fun () -> ignore (Chan.recv_batch chan ())));
+    let clock = Kernel.clock k in
+    Obs.enable (Clock.obs clock);
+    let placer =
+      Placer.create ~clock ~costs:Cost.default ~confirm:2 ~cooldown:1 ()
+    in
+    if adaptive then Placer.manage_channel placer chan;
+    let msg = Bytes.make 32 'm' in
+    let msgs = 4 * per_epoch () in
+    let rows = ref [] and costs = ref [] in
+    for e = 1 to epochs () do
+      let before = Clock.now clock in
+      for _ = 1 to msgs do
+        (* one message per burst: the doorbell-dominated shape *)
+        Chan.send chan msg;
+        if Chan.mode chan = Chan.Poll then ignore (Chan.recv_batch chan ())
+      done;
+      let cyc = float_of_int (Clock.now clock - before) /. float_of_int msgs in
+      costs := cyc :: !costs;
+      let actions = if adaptive then Placer.epoch placer else [ Placer.Hold ] in
+      rows :=
+        [ i e;
+          (match Chan.mode chan with Chan.Doorbell -> "doorbell" | Chan.Poll -> "poll");
+          Printf.sprintf "%.3f" (Placer.doorbell_share placer);
+          f1 cyc;
+          String.concat " " (List.map action_to_string actions) ]
+        :: !rows
+    done;
+    assert (Chan.pending chan = 0);
+    (List.rev !rows, converged !costs, placer)
+
+  let chan_workload () =
+    line "";
+    line "-- doorbell-dominated channel (1 msg/burst, 32B) --";
+    let rows, adaptive, placer = chan_run ~start:Chan.Doorbell ~adaptive:true in
+    print_table
+      ~columns:
+        [ ("epoch", ()); ("mode", ()); ("bell share", ()); ("cyc/msg", ());
+          ("action", ()) ]
+      rows;
+    let _, static_bell, _ = chan_run ~start:Chan.Doorbell ~adaptive:false in
+    let _, static_poll, _ = chan_run ~start:Chan.Poll ~adaptive:false in
+    line "static: doorbell %.1f, poll %.1f cyc/msg; placer made %d flip(s)"
+      static_bell static_poll (Placer.flips placer);
+    verdict "channel" adaptive (Float.min static_bell static_poll)
+
+  let run () =
+    header "E14  Adaptive placement driven by per-domain accounting"
+      "close the observability loop: an agent watching crossing-cost share and \
+       doorbell cost migrates components between User and Certified placement and \
+       flips channels between Doorbell and Poll, converging on static-best";
+    if !quick then line "(--quick: reduced epochs/iterations)";
+    rx_workload "crossing-dominated" ~grain:0;
+    rx_workload "compute-dominated" ~grain:30_000;
+    chan_workload ()
+end
+
 (* ------------------------------------------------------------------ *)
 (* E-OBS: tracing overhead and the /nucleus/trace service              *)
 (* ------------------------------------------------------------------ *)
@@ -1102,6 +1335,10 @@ module Eobs = struct
           Obs.enable obs;
           let on = E1.cycles_per_call fx (invoke g) in
           Obs.disable obs;
+          (* enabled-path regression guard: the tax over an untraced dispatch
+             stays exactly traced_dispatch - dispatch, accounting included *)
+          let tax = budget - Cost.dispatch Cost.default in
+          assert (Float.abs (on -. off -. float_of_int tax) < 0.001);
           [ i g; f1 off; f1 on; f1 (on -. off); i budget ])
         E1.grains
     in
@@ -1110,7 +1347,8 @@ module Eobs = struct
         [ ("grain(cyc)", ()); ("traced off", ()); ("traced on", ());
           ("overhead", ()); ("budget", ()) ]
       rows;
-    line "(budget: one indirect_call + one mem_write = %d cycles per span)" budget
+    line "(budget: one indirect_call + one mem_write = %d cycles per span)" budget;
+    assert (Tracer.dropped (Obs.tracer obs) = 0)
 
   (* 2. the traced cross-domain path: every layer adds exactly one span *)
   let crossdomain_overhead () =
@@ -1146,6 +1384,7 @@ module Eobs = struct
     let tracer = Obs.tracer obs in
     line "ring: %d spans recorded, %d dropped (capacity %d)" (Tracer.recorded tracer)
       (Tracer.dropped tracer) (Tracer.capacity tracer);
+    assert (Tracer.dropped tracer = 0);
     (match Metrics.summary (Obs.metrics obs) ~domain:udom.Domain.id "proxy.call" with
     | Some s -> line "proxy.call latency: %s" (Metrics.summary_to_text s)
     | None -> ());
@@ -1323,15 +1562,16 @@ let wall_clock_suite () =
 
 let () =
   let wall = Array.exists (fun a -> a = "--wall") Sys.argv in
+  quick := Array.exists (fun a -> a = "--quick") Sys.argv;
   let only =
     Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> a <> "--wall")
+    |> List.filter (fun a -> a <> "--wall" && a <> "--quick")
   in
   let experiments =
     [ ("e1", E1.run); ("e2", E2.run); ("e3", E3.run); ("e4", E4.run);
       ("e5", E5.run); ("e6", E6.run); ("e7", E7.run); ("e8", E8.run);
       ("e9", E9.run); ("e10", E10.run); ("e11", E11.run); ("e12", E12.run);
-      ("e13", E13.run); ("obs", Eobs.run) ]
+      ("e13", E13.run); ("e14", E14.run); ("obs", Eobs.run) ]
   in
   line "Paramecium reproduction — experiment suite";
   line "(simulated cycles, deterministic; cost model: SPARC-era defaults)";

@@ -100,13 +100,23 @@ let packets_cmd =
             "Enable kernel-wide tracing, interpose a trace agent on \
              $(b,/shared/network), and print the span tree at exit.")
   in
-  let run seed placement n size trace =
+  let stats_t =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Enable per-domain accounting and print the $(b,/stats) snapshot \
+             plus the flight-recorder dump at exit (read through \
+             $(b,/stats/kernel) like any client would).")
+  in
+  let run seed placement n size trace stats =
     let sys = System.create ~seed () in
     let k = System.kernel sys in
     let net = networking sys placement in
     let kdom = Kernel.kernel_domain k in
     let consume = net.System.stack_domain in
     let tsvc = Kernel.tracesvc k in
+    if stats then Obs.enable (Clock.obs (Kernel.clock k));
     if trace then begin
       Obs.enable (Clock.obs (Kernel.clock k));
       match Tracesvc.interpose tsvc "/shared/network" with
@@ -168,12 +178,32 @@ let packets_cmd =
       | Ok () -> say "trace agent removed; /shared/network restored"
       | Error e -> say "uninterpose: %s" e);
       Obs.disable obs
+    end;
+    if stats then begin
+      (* read the accounting the way any client would: bind /stats/kernel
+         in the name space and invoke its exported methods *)
+      let stats_obj = Kernel.bind k kdom "/stats/kernel" in
+      let call meth =
+        match
+          Invoke.call_exn ctx stats_obj ~iface:"stats" ~meth [ Value.Str "text" ]
+        with
+        | Value.Str s -> s
+        | _ -> ""
+      in
+      say "";
+      say "%s" (call "snapshot");
+      say "";
+      say "flight recorder:";
+      (match Invoke.call_exn ctx stats_obj ~iface:"stats" ~meth:"flight" [] with
+      | Value.Str s -> say "%s" s
+      | _ -> ());
+      Obs.disable (Clock.obs (Kernel.clock k))
     end
   in
   Cmd.v
     (Cmd.info "packets"
        ~doc:"Push a packet workload through a placement and report cycle counters.")
-    Term.(const run $ seed_t $ placement_t $ count_t $ size_t $ trace_t)
+    Term.(const run $ seed_t $ placement_t $ count_t $ size_t $ trace_t $ stats_t)
 
 (* --- certify ---------------------------------------------------------------- *)
 

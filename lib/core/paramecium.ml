@@ -23,6 +23,8 @@ module Rsa = Pm_crypto.Rsa
 (* observability core *)
 module Tracer = Pm_obs.Tracer
 module Metrics = Pm_obs.Metrics
+module Acct = Pm_obs.Acct
+module Flightrec = Pm_obs.Flightrec
 module Obs = Pm_obs.Obs
 
 (* simulated machine *)
@@ -87,6 +89,8 @@ module Stack = Pm_components.Stack
 module Rpc = Pm_components.Rpc
 module Interpose = Pm_components.Interpose
 module Obs_agent = Pm_obs_agent.Obs_agent
+module Stats_svc = Pm_obs_agent.Stats_svc
+module Placer = Pm_obs_agent.Placer
 module Pager = Pm_components.Pager
 module Simplefs = Pm_components.Simplefs
 module Images = Pm_components.Images

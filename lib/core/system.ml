@@ -13,8 +13,14 @@ module Clock = Pm_machine.Clock
 module Tracesvc = Pm_nucleus.Tracesvc
 module Obs_agent = Pm_obs_agent.Obs_agent
 module Chan_svc = Pm_chan.Chan_svc
+module Stats_svc = Pm_obs_agent.Stats_svc
 
-type t = { kernel : Kernel.t; authority : Authority.t; rng : Prng.t }
+type t = {
+  kernel : Kernel.t;
+  authority : Authority.t;
+  rng : Prng.t;
+  stats : Stats_svc.t;
+}
 
 (* close the observability loop: the trace service (inside the nucleus)
    gets its interposer factory from the agent library (above it) *)
@@ -48,6 +54,27 @@ let wire_chan kernel =
     (Chan_svc.create (Kernel.api kernel)
        ~domain_of_id:(Kernel.domain_of_id kernel) ())
 
+(* the /stats namespace: kernel-wide accounting at /stats/kernel, one
+   directory object per user domain published as domains appear *)
+let wire_stats kernel =
+  let stats =
+    Stats_svc.create (Kernel.api kernel) ~domains:(fun () -> Kernel.domains kernel) ()
+  in
+  Kernel.register_at kernel "/stats/kernel" (Stats_svc.kernel_object stats);
+  stats
+
+(* an uncaught object error dumps the flight recorder's tail — the
+   black-box readout the always-on ring exists for *)
+let wire_crash_dump kernel =
+  let clock = Kernel.clock kernel in
+  Pm_obj.Oerror.set_fail_hook (fun e ->
+      Logs.debug (fun m ->
+          m "Oerror (%s); flight recorder (last 16 events):@\n%s"
+            (Pm_obj.Oerror.to_string e)
+            (Pm_obs.Flightrec.tail_to_text
+               (Pm_obs.Obs.flight (Clock.obs clock))
+               16)))
+
 let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?(key_bits = 512)
     ?(delegates = standard_delegates) () =
   let rng = Prng.create ~seed in
@@ -62,7 +89,9 @@ let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?(key_bits = 512)
   List.iter
     (Certsvc.add_grant (Kernel.certification kernel))
     (Authority.grants authority);
-  { kernel; authority; rng }
+  let stats = wire_stats kernel in
+  wire_crash_dump kernel;
+  { kernel; authority; rng; stats }
 
 let with_authority ?costs ?frames ?page_size ~seed authority =
   let rng = Prng.create ~seed in
@@ -72,13 +101,16 @@ let with_authority ?costs ?frames ?page_size ~seed authority =
   List.iter
     (Certsvc.add_grant (Kernel.certification kernel))
     (Authority.grants authority);
-  { kernel; authority; rng }
+  let stats = wire_stats kernel in
+  wire_crash_dump kernel;
+  { kernel; authority; rng; stats }
 
 let kernel t = t.kernel
 let authority t = t.authority
 let rng t = t.rng
 let api t = Kernel.api t.kernel
 let clock t = Kernel.clock t.kernel
+let stats t = t.stats
 
 let install t image ~placement ~at =
   let loader = Kernel.loader t.kernel in
@@ -145,7 +177,10 @@ let install_exn t image ~placement ~at =
   | Ok inst -> inst
   | Error e -> failwith ("System.install: " ^ e)
 
-let new_domain t name = Kernel.create_domain t.kernel ~name ()
+let new_domain t name =
+  let dom = Kernel.create_domain t.kernel ~name () in
+  ignore (Stats_svc.publish t.stats);
+  dom
 
 let setup_networking t ~placement ~addr ?(loopback = false) () =
   let config = { Netdrv.default_config with Netdrv.loopback } in

@@ -53,6 +53,10 @@ val rng : t -> Pm_crypto.Prng.t
 val api : t -> Pm_nucleus.Api.t
 val clock : t -> Pm_machine.Clock.t
 
+(** The /stats service wired at boot ([/stats/kernel] plus per-domain
+    objects published by {!new_domain}). *)
+val stats : t -> Pm_obs_agent.Stats_svc.t
+
 (** [install t image ~placement ~at] publishes the image, certifies it
     when [placement] is [Certified] (failing if no delegate accepts),
     sandbox-wraps it when [Sandboxed], and loads it at path [at]. *)

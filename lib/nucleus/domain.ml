@@ -5,6 +5,7 @@ type t = {
   name : string;
   kind : kind;
   view : Pm_names.View.t;
+  acct : Pm_obs.Acct.slot;
   mutable alive : bool;
 }
 
@@ -14,4 +15,6 @@ let pp fmt t =
   Format.fprintf fmt "%s#%d(%s)" t.name t.id
     (match t.kind with Kernel -> "kernel" | User -> "user")
 
-let make ~id ~name ~kind ~view = { id; name; kind; view; alive = true }
+let make ?acct ~id ~name ~kind ~view () =
+  let acct = match acct with Some a -> a | None -> Pm_obs.Acct.fresh () in
+  { id; name; kind; view; acct; alive = true }

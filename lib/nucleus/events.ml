@@ -44,17 +44,29 @@ let deliver_traced t obs ~kind ~num cb arg =
   Clock.advance clock (Machine.costs t.machine).Cost.mem_write;
   let t1 = Clock.now clock in
   Obs.span_end obs ~now:t1 tok;
-  Obs.observe obs ~domain:cb.domain.Domain.id ("events." ^ kind) (t1 - t0)
+  Obs.observe obs ~domain:cb.domain.Domain.id ("events." ^ kind) (t1 - t0);
+  let acct = Obs.acct obs in
+  if String.equal kind "trap" then Pm_obs.Acct.trap acct ~domain:cb.domain.Domain.id (t1 - t0)
+  else Pm_obs.Acct.irq acct ~domain:cb.domain.Domain.id (t1 - t0)
 
 let dispatch t event arg =
+  let clock = Machine.clock t.machine in
+  let obs = Clock.obs clock in
+  let fkind, kind, num =
+    match event with
+    | Trap n -> (Pm_obs.Flightrec.Trap, "trap", n)
+    | Irq n -> (Pm_obs.Flightrec.Irq, "irq", n)
+  in
+  (* always-on flight record — plain stores, no cycle charges; recorded
+     before the table lookup so even an unhandled event leaves a trace *)
+  Pm_obs.Flightrec.record (Obs.flight obs) ~kind:fkind
+    ~domain:(Mmu.current_context (Machine.mmu t.machine))
+    ~at:(Clock.now clock) ~info:num;
   match Hashtbl.find_opt t.table event with
   | None -> ()
   | Some cbs ->
-    let obs = Clock.obs (Machine.clock t.machine) in
-    if Obs.enabled obs then begin
-      let kind, num = match event with Trap n -> ("trap", n) | Irq n -> ("irq", n) in
+    if Obs.enabled obs then
       List.iter (fun cb -> deliver_traced t obs ~kind ~num cb arg) !cbs
-    end
     else List.iter (fun cb -> deliver t cb arg) !cbs
 
 let create machine =

@@ -31,6 +31,11 @@ let make ~machine ~vmem ~registry ~target ~importer =
       else if target.Instance.revoked then Error Oerror.Revoked
       else begin
         let clock = ctx.Call_ctx.clock and costs = ctx.Call_ctx.costs in
+        (* always-on flight record of the crossing, charged nothing *)
+        Pm_obs.Flightrec.record
+          (Pm_obs.Obs.flight (Clock.obs clock))
+          ~kind:Pm_obs.Flightrec.Crossing ~domain:importer.Domain.id
+          ~at:(Clock.now clock) ~info:target.Instance.domain;
         (* referencing the interface entry faults into the kernel *)
         Clock.advance clock costs.Cost.page_fault;
         Clock.count clock "proxy_fault";
@@ -74,6 +79,7 @@ let make ~machine ~vmem ~registry ~target ~importer =
         let t1 = Clock.now clock in
         Pm_obs.Obs.span_end obs ~now:t1 tok;
         Pm_obs.Obs.observe obs ~domain:importer.Domain.id "proxy.call" (t1 - t0);
+        Pm_obs.Acct.crossing (Pm_obs.Obs.acct obs) ~domain:importer.Domain.id (t1 - t0);
         result
       end
     in

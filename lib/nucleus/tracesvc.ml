@@ -98,6 +98,10 @@ let service_object t registry kdom =
     | [] -> Ok (Value.Bool (Obs.enabled (obs t)))
     | _ -> Error (Oerror.Type_error "enabled()")
   in
+  let dropped_m _ctx = function
+    | [] -> Ok (Value.Int (Pm_obs.Tracer.dropped (Obs.tracer (obs t))))
+    | _ -> Error (Oerror.Type_error "dropped()")
+  in
   let iface =
     Iface.make ~name:"trace"
       [
@@ -108,6 +112,7 @@ let service_object t registry kdom =
         Iface.meth ~name:"reset" ~args:[] ~ret:Vtype.Tunit
           (unit_m (fun () -> Obs.reset (obs t)));
         Iface.meth ~name:"enabled" ~args:[] ~ret:Vtype.Tbool enabled_m;
+        Iface.meth ~name:"dropped" ~args:[] ~ret:Vtype.Tint dropped_m;
         Iface.meth ~name:"snapshot" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tstr snapshot_m;
         Iface.meth ~name:"histogram" ~args:[ Vtype.Tint; Vtype.Tstr ] ~ret:Vtype.Tstr
           histogram_m;

@@ -45,6 +45,13 @@ let create machine =
     (Some
        (fun (fault : Mmu.fault) ->
          let vpage = fault.Mmu.vaddr / Machine.page_size machine in
+         let fclock = Machine.clock machine in
+         (* always-on flight record: unresolved faults are exactly what
+            the black box is for *)
+         Pm_obs.Flightrec.record
+           (Obs.flight (Clock.obs fclock))
+           ~kind:Pm_obs.Flightrec.Fault ~domain:fault.Mmu.ctx ~at:(Clock.now fclock)
+           ~info:vpage;
          match Hashtbl.find_opt t.fault_cbs (fault.Mmu.ctx, vpage) with
          | Some cb ->
            let clock = Machine.clock machine in
@@ -61,6 +68,7 @@ let create machine =
              let t1 = Clock.now clock in
              Obs.span_end obs ~now:t1 tok;
              Obs.observe obs ~domain:fault.Mmu.ctx "vmem.fault" (t1 - t0);
+             Pm_obs.Acct.fault (Obs.acct obs) ~domain:fault.Mmu.ctx (t1 - t0);
              resolved
            end
            else cb fault

@@ -43,6 +43,7 @@ let call (ctx : Call_ctx.t) obj ~iface ~meth args =
     let t1 = Clock.now ctx.clock in
     Obs.span_end obs ~now:t1 tok;
     Obs.observe obs ~domain:ctx.caller_domain "invoke.dispatch" (t1 - t0);
+    Pm_obs.Acct.dispatch (Obs.acct obs) ~domain:ctx.caller_domain (t1 - t0);
     result
   end
 

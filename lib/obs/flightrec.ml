@@ -1,0 +1,76 @@
+(* The flight recorder is the always-on half of the observability layer:
+   a fixed ring of tiny constant-size event records written with plain
+   stores and no simulated-cycle charges, so it is cheap enough to never
+   turn off. When a domain crashes, the last few entries are the black
+   box. *)
+
+type kind = Trap | Irq | Fault | Crossing | Sched
+
+type event = {
+  seq : int;
+  kind : kind;
+  domain : int;
+  at : int; (* virtual-cycle timestamp *)
+  info : int; (* vector / irq line / vpage / target domain / tid *)
+}
+
+type t = {
+  capacity : int;
+  buf : event option array;
+  mutable written : int;
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Flightrec.create: capacity must be positive";
+  { capacity; buf = Array.make capacity None; written = 0 }
+
+let capacity t = t.capacity
+let recorded t = t.written
+
+let record t ~kind ~domain ~at ~info =
+  t.buf.(t.written mod t.capacity) <- Some { seq = t.written; kind; domain; at; info };
+  t.written <- t.written + 1
+
+(* surviving events, oldest first *)
+let events t =
+  let n = min t.written t.capacity in
+  let first = if t.written <= t.capacity then 0 else t.written mod t.capacity in
+  List.init n (fun k -> t.buf.((first + k) mod t.capacity))
+  |> List.filter_map Fun.id
+
+let reset t =
+  Array.fill t.buf 0 t.capacity None;
+  t.written <- 0
+
+let kind_to_string = function
+  | Trap -> "trap"
+  | Irq -> "irq"
+  | Fault -> "fault"
+  | Crossing -> "crossing"
+  | Sched -> "sched"
+
+let event_to_text e =
+  Printf.sprintf "#%-6d %8d cyc  dom %-2d %-8s %d" e.seq e.at e.domain
+    (kind_to_string e.kind) e.info
+
+let to_text t =
+  let header =
+    Printf.sprintf "flight: %d recorded, capacity %d" t.written t.capacity
+  in
+  String.concat "\n" (header :: List.map event_to_text (events t))
+
+let tail_to_text t n =
+  let evs = events t in
+  let len = List.length evs in
+  let tail = if len <= n then evs else List.filteri (fun i _ -> i >= len - n) evs in
+  String.concat "\n" (List.map event_to_text tail)
+
+let event_to_json e =
+  Printf.sprintf "{\"seq\":%d,\"at\":%d,\"domain\":%d,\"kind\":\"%s\",\"info\":%d}" e.seq
+    e.at e.domain (kind_to_string e.kind) e.info
+
+let to_json t =
+  Printf.sprintf "{\"recorded\":%d,\"capacity\":%d,\"events\":[%s]}" t.written t.capacity
+    (String.concat "," (List.map event_to_json (events t)))

@@ -1,0 +1,46 @@
+(** Always-on flight recorder: a fixed-capacity ring of tiny event
+    records — traps, interrupts, page faults, cross-domain proxy
+    crossings and scheduler dispatches.
+
+    Unlike the span {!Tracer}, recording here is *not* gated on
+    {!Obs.enabled} and charges no simulated cycles: each record is a
+    couple of plain stores into a preallocated ring, cheap enough to
+    never turn off. Its purpose is post-mortem: the last events before
+    an [Oerror] or an uncaught fault are dumped automatically, and
+    [/stats/kernel.flight] exposes the ring on demand. *)
+
+type kind = Trap | Irq | Fault | Crossing | Sched
+
+type event = {
+  seq : int;  (** recording order, monotonically increasing *)
+  kind : kind;
+  domain : int;  (** domain the event concerns (see [info] per kind) *)
+  at : int;  (** virtual-cycle timestamp *)
+  info : int;
+      (** kind-specific detail: trap vector, irq line, faulting vpage,
+          crossing target domain, or dispatched thread id *)
+}
+
+type t
+
+val default_capacity : int
+val create : ?capacity:int -> unit -> t
+val capacity : t -> int
+
+(** [recorded t] counts events ever written (including overwritten). *)
+val recorded : t -> int
+
+val record : t -> kind:kind -> domain:int -> at:int -> info:int -> unit
+
+(** Surviving events, oldest first. *)
+val events : t -> event list
+
+val reset : t -> unit
+val kind_to_string : kind -> string
+val to_text : t -> string
+
+(** [tail_to_text t n] renders only the [n] most recent events — the
+    crash-dump format. *)
+val tail_to_text : t -> int -> string
+
+val to_json : t -> string

@@ -1,13 +1,27 @@
-type t = { mutable enabled : bool; tracer : Tracer.t; metrics : Metrics.t }
+type t = {
+  mutable enabled : bool;
+  tracer : Tracer.t;
+  metrics : Metrics.t;
+  acct : Acct.t;
+  flight : Flightrec.t;
+}
 
-let create ?capacity () =
-  { enabled = false; tracer = Tracer.create ?capacity (); metrics = Metrics.create () }
+let create ?capacity ?flight_capacity () =
+  {
+    enabled = false;
+    tracer = Tracer.create ?capacity ();
+    metrics = Metrics.create ();
+    acct = Acct.create ();
+    flight = Flightrec.create ?capacity:flight_capacity ();
+  }
 
 let enabled t = t.enabled
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let tracer t = t.tracer
 let metrics t = t.metrics
+let acct t = t.acct
+let flight t = t.flight
 
 let span_begin t ~now ~domain ~obj ~iface ~meth =
   Tracer.begin_span t.tracer ~now ~domain ~obj ~iface ~meth
@@ -21,7 +35,9 @@ let set_gauge t ~domain name v = Metrics.set_gauge t.metrics ~domain name v
 
 let reset t =
   Tracer.reset t.tracer;
-  Metrics.reset t.metrics
+  Metrics.reset t.metrics;
+  Acct.reset t.acct;
+  Flightrec.reset t.flight
 
 let to_text t = Tracer.to_text t.tracer ^ "\n" ^ Metrics.to_text t.metrics
 

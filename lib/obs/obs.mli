@@ -1,15 +1,18 @@
-(** The observability sink: one span {!Tracer} plus one {!Metrics}
-    registry behind a single cheap [enabled] flag.
+(** The observability sink: one span {!Tracer}, one {!Metrics} registry
+    and one per-domain {!Acct} table behind a single cheap [enabled]
+    flag, plus an always-on {!Flightrec}.
 
     Every virtual clock owns one of these; instrumented hot paths —
     method dispatch, event delivery, page-fault handling, cross-domain
     proxies, the scheduler — test {!enabled} and skip everything
-    (including all cycle charges) when tracing is off, so a quiescent
-    tracer costs nothing in simulated cycles. *)
+    (including all cycle charges and accounting updates) when tracing is
+    off, so a quiescent tracer costs nothing in simulated cycles. The
+    flight recorder is the one exception: it records regardless of the
+    flag, but with plain stores and no cycle charges. *)
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?flight_capacity:int -> unit -> t
 
 val enabled : t -> bool
 val enable : t -> unit
@@ -17,6 +20,8 @@ val disable : t -> unit
 
 val tracer : t -> Tracer.t
 val metrics : t -> Metrics.t
+val acct : t -> Acct.t
+val flight : t -> Flightrec.t
 
 (** {2 Conveniences forwarding to the tracer / metrics} *)
 
@@ -29,7 +34,8 @@ val incr : t -> domain:int -> string -> unit
 val add : t -> domain:int -> string -> int -> unit
 val set_gauge : t -> domain:int -> string -> int -> unit
 
-(** Clears spans and metrics; leaves [enabled] untouched. *)
+(** Clears spans, metrics, accounting and the flight recorder; leaves
+    [enabled] untouched. *)
 val reset : t -> unit
 
 val to_text : t -> string

@@ -1,0 +1,183 @@
+(* The adaptive placement agent: the control loop that closes the
+   observability story. It watches the per-domain accounting the
+   instrumentation points maintain — crossing-cost share for a managed
+   component, doorbell cost for a managed channel — and acts through the
+   existing mechanisms: the loader/certsvc path for User<->Certified
+   migration (via a caller-supplied migrate closure, since loading
+   involves policy the agent does not own) and [Chan.set_mode] for
+   Doorbell<->Poll flips. Decisions are epoch-based with confirmation
+   streaks and a post-move cooldown, so the loop converges instead of
+   flapping. *)
+
+module Clock = Pm_machine.Clock
+module Cost = Pm_machine.Cost
+module Obs = Pm_obs.Obs
+module Acct = Pm_obs.Acct
+module Chan = Pm_chan.Chan
+
+type placement = User | Certified
+
+let placement_to_string = function User -> "user" | Certified -> "certified"
+
+type action = Hold | Migrated of placement | Flipped of Chan.mode
+
+type comp = {
+  watch : int list; (* domains paying the crossings for this component *)
+  migrate : placement -> bool;
+  mutable placement : placement;
+  mutable base : (int * Acct.slot) list;
+  mutable streak : int;
+  mutable cool : int;
+  mutable moves : int;
+}
+
+type chan_ctl = {
+  chan : Chan.t;
+  mutable cbase : Chan.stats;
+  mutable cstreak : int;
+  mutable ccool : int;
+  mutable flips : int;
+}
+
+type t = {
+  clock : Clock.t;
+  costs : Cost.t;
+  up_share : float;
+  fault_demote : int;
+  ring_share : float;
+  idle_sends : int;
+  confirm : int;
+  cooldown : int;
+  mutable last_now : int;
+  mutable comp : comp option;
+  mutable chan : chan_ctl option;
+  mutable epochs : int;
+  mutable last_share : float;
+  mutable last_ring_share : float;
+}
+
+let create ~clock ~costs ?(up_share = 0.2) ?(fault_demote = 3) ?(ring_share = 0.25)
+    ?(idle_sends = 0) ?(confirm = 2) ?(cooldown = 1) () =
+  {
+    clock; costs; up_share; fault_demote; ring_share; idle_sends; confirm; cooldown;
+    last_now = Clock.now clock;
+    comp = None;
+    chan = None;
+    epochs = 0;
+    last_share = 0.;
+    last_ring_share = 0.;
+  }
+
+let snapshot_watch clock watch =
+  let acct = Obs.acct (Clock.obs clock) in
+  List.map (fun d -> (d, Acct.copy (Acct.slot acct d))) watch
+
+let manage t ~watch ~placement ~migrate =
+  t.comp <-
+    Some
+      { watch; migrate; placement; base = snapshot_watch t.clock watch; streak = 0;
+        cool = 0; moves = 0 }
+
+let manage_channel t chan =
+  t.chan <- Some { chan; cbase = Chan.stats chan; cstreak = 0; ccool = 0; flips = 0 }
+
+let placement t = Option.map (fun c -> c.placement) t.comp
+let moves t = match t.comp with Some c -> c.moves | None -> 0
+let flips t = match t.chan with Some c -> c.flips | None -> 0
+let epochs t = t.epochs
+let crossing_share t = t.last_share
+let doorbell_share t = t.last_ring_share
+
+let comp_epoch t dt (c : comp) actions =
+  let cur = snapshot_watch t.clock c.watch in
+  let delta f =
+    List.fold_left2 (fun acc (_, before) (_, after) -> acc + (f after - f before)) 0
+      c.base cur
+  in
+  let dcross = delta (fun (s : Acct.slot) -> s.Acct.crossing_cycles) in
+  let dfaults = delta (fun (s : Acct.slot) -> s.Acct.faults) in
+  c.base <- cur;
+  let share = float_of_int dcross /. float_of_int dt in
+  t.last_share <- share;
+  if c.cool > 0 then c.cool <- c.cool - 1
+  else begin
+    let want =
+      match c.placement with
+      (* crossings dominate: pull the component into the kernel *)
+      | User when share >= t.up_share -> Some Certified
+      (* the component faults: push it back behind a protection wall *)
+      | Certified when dfaults >= t.fault_demote -> Some User
+      | _ -> None
+    in
+    match want with
+    | None -> c.streak <- 0
+    | Some target ->
+      c.streak <- c.streak + 1;
+      if c.streak >= t.confirm then begin
+        c.streak <- 0;
+        if c.migrate target then begin
+          c.placement <- target;
+          c.moves <- c.moves + 1;
+          c.cool <- t.cooldown;
+          (* the migration itself (certification, reloading) perturbs the
+             rates; re-baseline so the next epoch measures steady state *)
+          c.base <- snapshot_watch t.clock c.watch;
+          actions := Migrated target :: !actions
+        end
+      end
+  end
+
+let chan_epoch t dt (cc : chan_ctl) actions =
+  let s = Chan.stats cc.chan in
+  let dbells = s.Chan.doorbells - cc.cbase.Chan.doorbells in
+  let dsends = s.Chan.sends - cc.cbase.Chan.sends in
+  cc.cbase <- s;
+  let share =
+    float_of_int (dbells * Cost.doorbell_crossing t.costs) /. float_of_int dt
+  in
+  t.last_ring_share <- share;
+  if cc.ccool > 0 then cc.ccool <- cc.ccool - 1
+  else begin
+    let want =
+      match Chan.mode cc.chan with
+      (* each message rings: the trap + switches dominate, so spin *)
+      | Chan.Doorbell when share >= t.ring_share -> Some Chan.Poll
+      (* idle channel: go back to sleeping on the doorbell *)
+      | Chan.Poll when dsends <= t.idle_sends -> Some Chan.Doorbell
+      | _ -> None
+    in
+    match want with
+    | None -> cc.cstreak <- 0
+    | Some m ->
+      cc.cstreak <- cc.cstreak + 1;
+      if cc.cstreak >= t.confirm then begin
+        cc.cstreak <- 0;
+        Chan.set_mode cc.chan m;
+        cc.flips <- cc.flips + 1;
+        cc.ccool <- t.cooldown;
+        actions := Flipped m :: !actions
+      end
+  end
+
+let epoch t =
+  t.epochs <- t.epochs + 1;
+  let now = Clock.now t.clock in
+  let dt = max 1 (now - t.last_now) in
+  t.last_now <- now;
+  let actions = ref [] in
+  (match t.comp with Some c -> comp_epoch t dt c actions | None -> ());
+  (match t.chan with Some cc -> chan_epoch t dt cc actions | None -> ());
+  match List.rev !actions with [] -> [ Hold ] | acts -> acts
+
+let status t =
+  Printf.sprintf
+    "placer: epoch %d, placement %s (share %.3f, %d moves), channel %s (bell share %.3f, %d flips)"
+    t.epochs
+    (match t.comp with
+    | Some c -> placement_to_string c.placement
+    | None -> "-")
+    t.last_share (moves t)
+    (match t.chan with
+    | Some cc -> ( match Chan.mode cc.chan with Chan.Doorbell -> "doorbell" | Chan.Poll -> "poll")
+    | None -> "-")
+    t.last_ring_share (flips t)

@@ -1,0 +1,73 @@
+(** Obs-driven adaptive placement agent.
+
+    Closes the loop between the per-domain accounting ({!Pm_obs.Acct})
+    and the placement trade quantified by experiments E4/E13: every
+    {!epoch}, the agent measures
+
+    - the managed component's *crossing-cost share* — proxy-crossing
+      cycles charged to the watched domains divided by the epoch's total
+      cycles — and migrates the component [User] → [Certified] (via the
+      caller's migrate closure, which goes through the normal
+      loader/certsvc path) when the share stays above [up_share] for
+      [confirm] consecutive epochs; a fault burst ([fault_demote] page
+      faults in one epoch) demotes a [Certified] component back to
+      [User];
+    - the managed channel's *doorbell-cost share* — doorbells times
+      {!Pm_machine.Cost.doorbell_crossing} over the epoch's cycles — and
+      flips it [Doorbell] → [Poll] when ringing dominates, or back to
+      [Doorbell] when the channel goes idle ([idle_sends] or fewer sends
+      per epoch).
+
+    Confirmation streaks plus a post-move cooldown (during which no
+    decisions are taken and the baseline is re-captured, so certification
+    spikes are not misread as load) give the loop hysteresis: it
+    converges to the static-best configuration instead of flapping.
+
+    Accounting only advances while tracing is enabled, so the agent is
+    only meaningful with [Obs.enabled] on — matching its role as an
+    observability consumer. *)
+
+type placement = User | Certified
+
+val placement_to_string : placement -> string
+
+type action = Hold | Migrated of placement | Flipped of Pm_chan.Chan.mode
+
+type t
+
+val create :
+  clock:Pm_machine.Clock.t ->
+  costs:Pm_machine.Cost.t ->
+  ?up_share:float ->
+  ?fault_demote:int ->
+  ?ring_share:float ->
+  ?idle_sends:int ->
+  ?confirm:int ->
+  ?cooldown:int ->
+  unit ->
+  t
+
+(** [manage t ~watch ~placement ~migrate] puts one component under
+    control. [watch] lists the domain ids paying the proxy crossings
+    (for a [User]-placed service, the importing domains). [migrate p]
+    performs the actual move and returns whether it succeeded. *)
+val manage :
+  t -> watch:int list -> placement:placement -> migrate:(placement -> bool) -> unit
+
+(** Puts one channel's Doorbell/Poll mode under control. *)
+val manage_channel : t -> Pm_chan.Chan.t -> unit
+
+(** Evaluate one epoch; performs at most one migration and one flip.
+    Returns the actions taken ([[Hold]] when none). *)
+val epoch : t -> action list
+
+val placement : t -> placement option
+val moves : t -> int
+val flips : t -> int
+val epochs : t -> int
+
+(** Crossing-cost / doorbell-cost share measured in the last epoch. *)
+val crossing_share : t -> float
+
+val doorbell_share : t -> float
+val status : t -> string

@@ -22,6 +22,7 @@ type t = {
   capacity : int;
   buf : span option array;
   mutable written : int; (* completed spans ever recorded *)
+  mutable dropped : int; (* completed spans the ring has overwritten *)
   mutable depth : int; (* current begin/end nesting depth *)
 }
 
@@ -29,11 +30,11 @@ let default_capacity = 1024
 
 let create ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
-  { capacity; buf = Array.make capacity None; written = 0; depth = 0 }
+  { capacity; buf = Array.make capacity None; written = 0; dropped = 0; depth = 0 }
 
 let capacity t = t.capacity
 let recorded t = t.written
-let dropped t = max 0 (t.written - t.capacity)
+let dropped t = t.dropped
 let depth t = t.depth
 
 let begin_span t ~now ~domain ~obj ~iface ~meth =
@@ -51,7 +52,9 @@ let end_span t ~now tok =
       iface = tok.tk_iface; meth = tok.tk_meth; t_start = tok.tk_start;
       t_end = now; depth = tok.tk_depth }
   in
-  t.buf.(t.written mod t.capacity) <- Some s;
+  let cell = t.written mod t.capacity in
+  if t.buf.(cell) <> None then t.dropped <- t.dropped + 1;
+  t.buf.(cell) <- Some s;
   t.written <- t.written + 1
 
 (* surviving spans, oldest first *)
@@ -64,6 +67,7 @@ let spans t =
 let reset t =
   Array.fill t.buf 0 t.capacity None;
   t.written <- 0;
+  t.dropped <- 0;
   t.depth <- 0
 
 let duration s = s.t_end - s.t_start

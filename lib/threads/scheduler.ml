@@ -77,6 +77,13 @@ let fresh_thread t ?(priority = priorities / 2) ?(name = "thread") ?domain ~is_p
   t.next_tid <- tid + 1;
   { tid; name; priority; state = Ready; is_popup; domain }
 
+(* A crashing thread dumps the flight recorder's tail: the last few
+   traps, faults, crossings and dispatches before the crash. *)
+let dump_flight t =
+  Logs.warn (fun m ->
+      m "flight recorder (last 8 events):@\n%s"
+        (Pm_obs.Flightrec.tail_to_text (Pm_obs.Obs.flight (Clock.obs t.clock)) 8))
+
 (* Handler shared by full threads and promoted proto-threads: bookkeeping
    on return/crash, and the Yield/Suspend/Self protocol. *)
 let thread_handler t th : (unit, unit) Effect.Deep.handler =
@@ -93,7 +100,8 @@ let thread_handler t th : (unit, unit) Effect.Deep.handler =
         t.crashes <- t.crashes + 1;
         Clock.count t.clock "thread_crash";
         Logs.warn (fun m ->
-            m "thread %d (%s) crashed: %s" th.tid th.name (Printexc.to_string exn)));
+            m "thread %d (%s) crashed: %s" th.tid th.name (Printexc.to_string exn));
+        dump_flight t);
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
@@ -159,7 +167,8 @@ let popup t ?(priority = 1) ?(name = "popup") ?domain body =
           t.crashes <- t.crashes + 1;
           Clock.count t.clock "thread_crash";
           Logs.warn (fun m ->
-              m "popup %d (%s) crashed: %s" th.tid th.name (Printexc.to_string exn)));
+              m "popup %d (%s) crashed: %s" th.tid th.name (Printexc.to_string exn));
+          dump_flight t);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -267,10 +276,15 @@ let run t ?budget () =
         Clock.advance t.clock t.costs.Cost.thread_switch;
         Clock.count t.clock "thread_switch";
         let obs = Clock.obs t.clock in
+        let th_dom = Option.value th.domain ~default:0 in
+        (* always-on flight record of the dispatch *)
+        Pm_obs.Flightrec.record (Pm_obs.Obs.flight obs) ~kind:Pm_obs.Flightrec.Sched
+          ~domain:th_dom ~at:(Clock.now t.clock) ~info:th.tid;
         if Pm_obs.Obs.enabled obs then begin
           (* scheduler metrics are system-wide: keyed to domain 0 *)
           Pm_obs.Obs.set_gauge obs ~domain:0 "sched.ready" (ready_count t);
-          Pm_obs.Obs.incr obs ~domain:0 "sched.switches"
+          Pm_obs.Obs.incr obs ~domain:0 "sched.switches";
+          Pm_obs.Acct.sched (Pm_obs.Obs.acct obs) ~domain:th_dom
         end;
         (match (th.domain, t.mmu) with
         | Some d, Some mmu -> Pm_machine.Mmu.switch_context mmu d

@@ -299,6 +299,311 @@ let test_trace_service_cross_domain () =
   | _ -> Alcotest.fail "stop");
   Alcotest.(check bool) "stop disables" false (Obs.enabled (Clock.obs (Kernel.clock k)))
 
+(* --- histogram edge cases ---------------------------------------------- *)
+
+let test_histogram_empty () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "no samples -> no summary" true
+    (Metrics.summary m ~domain:0 "lat" = None);
+  Metrics.observe m ~domain:0 "lat" 7;
+  Alcotest.(check bool) "one sample -> summary" true
+    (Metrics.summary m ~domain:0 "lat" <> None);
+  Metrics.reset m;
+  Alcotest.(check bool) "reset empties the histogram" true
+    (Metrics.summary m ~domain:0 "lat" = None)
+
+let test_histogram_single_sample () =
+  let m = Metrics.create () in
+  Metrics.observe m ~domain:0 "lat" 100;
+  match Metrics.summary m ~domain:0 "lat" with
+  | None -> Alcotest.fail "no summary"
+  | Some s ->
+    Alcotest.(check int) "count" 1 s.Metrics.count;
+    Alcotest.(check int) "exact min" 100 s.Metrics.min;
+    Alcotest.(check int) "exact max" 100 s.Metrics.max;
+    (* every percentile is the lone sample's bucket floor: 100 lives in
+       [64,128) *)
+    let floor = Metrics.bucket_floor (Metrics.bucket_of 100) in
+    Alcotest.(check int) "expected floor" 64 floor;
+    Alcotest.(check int) "p50" floor s.Metrics.p50;
+    Alcotest.(check int) "p90" floor s.Metrics.p90;
+    Alcotest.(check int) "p99" floor s.Metrics.p99
+
+let test_bucket_power_boundaries () =
+  (* bucket b >= 1 holds [2^b, 2^(b+1)): the boundary value opens the next
+     bucket, one below stays *)
+  Alcotest.(check int) "1023 stays in bucket 9" 9 (Metrics.bucket_of 1023);
+  Alcotest.(check int) "1024 opens bucket 10" 10 (Metrics.bucket_of 1024);
+  Alcotest.(check int) "1025 stays in bucket 10" 10 (Metrics.bucket_of 1025);
+  Alcotest.(check int) "2047 tops bucket 10" 10 (Metrics.bucket_of 2047);
+  Alcotest.(check int) "2048 opens bucket 11" 11 (Metrics.bucket_of 2048);
+  (* floor(bucket_of v) <= v for all positive v *)
+  List.iter
+    (fun v ->
+      let f = Metrics.bucket_floor (Metrics.bucket_of v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "floor %d <= %d" f v)
+        true (f <= v))
+    [ 1; 2; 3; 4; 5; 1023; 1024; 1025; 123_456 ]
+
+(* --- per-domain accounting and its zero-cost-when-off contract -------- *)
+
+(* S6: the E1/E3/E4-shaped workloads must cost exactly the same cycles
+   with accounting compiled in but disabled — before AND after an enabled
+   interval, so the instrumentation leaves no residue. *)
+
+let cycles_of clock body =
+  let before = Clock.now clock in
+  body ();
+  Clock.now clock - before
+
+let test_accounting_zero_cost_invoke () =
+  (* E1 shape: repeated same-domain dispatch *)
+  let clock = Clock.create () in
+  let ctx = Call_ctx.make ~clock ~costs:Cost.default ~caller_domain:0 in
+  let _, echo = echo_registry () in
+  let call () =
+    ignore (Invoke.call ctx echo ~iface:"echo" ~meth:"echo" [ Value.Int 1 ])
+  in
+  let obs = Clock.obs clock in
+  let off_before = cycles_of clock (fun () -> for _ = 1 to 50 do call () done) in
+  Alcotest.(check int) "disabled = 50 bare dispatches"
+    (50 * Cost.dispatch Cost.default) off_before;
+  Obs.enable obs;
+  ignore (cycles_of clock (fun () -> for _ = 1 to 50 do call () done));
+  Alcotest.(check int) "enabled interval filled the accounting" 50
+    (Acct.slot (Obs.acct obs) 0).Acct.dispatches;
+  Obs.disable obs;
+  let off_after = cycles_of clock (fun () -> for _ = 1 to 50 do call () done) in
+  Alcotest.(check int) "cost identical after the enabled interval" off_before
+    off_after;
+  Alcotest.(check int) "disabled interval charged nothing" 50
+    (Acct.slot (Obs.acct obs) 0).Acct.dispatches
+
+let test_accounting_zero_cost_cross_domain () =
+  (* E3/E4 shape: user-placed stack, kernel-side packet injection crossing
+     the proxy, driven twice disabled around an enabled interval *)
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let udom = System.new_domain sys "netuser" in
+  let net = System.setup_networking sys ~placement:(System.User udom) ~addr:42 () in
+  ignore
+    (Invoke.call_exn (Kernel.ctx k udom) net.System.stack ~iface:"stack"
+       ~meth:"bind_port" [ Value.Int 7 ]);
+  let ctx = Kernel.ctx k (Kernel.kernel_domain k) in
+  let payload = String.make 64 'p' in
+  let tp = Wire.Transport.build ctx ~sport:9 ~dport:7 (Bytes.of_string payload) in
+  let np = Wire.Net.build ctx ~src:13 ~dst:42 ~ttl:8 ~proto:Stack.proto_transport tp in
+  let packet = Bytes.to_string (Wire.Frame.build ctx ~dst:42 ~src:13 np) in
+  let clock = Kernel.clock k in
+  let round () =
+    Nic.inject (Kernel.nic k) packet;
+    Kernel.step k ~ticks:1 ()
+  in
+  (* warm up lazy binds *)
+  round ();
+  Kernel.step k ~ticks:2 ();
+  let burst () = cycles_of clock (fun () -> for _ = 1 to 5 do round () done) in
+  let off_before = burst () in
+  let obs = Clock.obs clock in
+  Obs.enable obs;
+  ignore (burst ());
+  let kslot = Acct.slot (Obs.acct obs) 0 in
+  Alcotest.(check bool) "enabled interval charged crossings" true
+    (kslot.Acct.crossings >= 5);
+  Alcotest.(check bool) "crossing cycles accumulate" true
+    (kslot.Acct.crossing_cycles > 0);
+  Alcotest.(check bool) "irqs charged to the kernel domain" true
+    (kslot.Acct.irqs >= 5);
+  Obs.disable obs;
+  let off_after = burst () in
+  Alcotest.(check int) "packet cost identical after the enabled interval"
+    off_before off_after
+
+(* the domain's accounting slot IS the clock-side slot: one record, two
+   readers *)
+let test_acct_slot_shared () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let udom = System.new_domain sys "tenant" in
+  let slot = Acct.slot (Obs.acct (Clock.obs (Kernel.clock k))) udom.Domain.id in
+  Alcotest.(check bool) "Domain.t.acct aliases the obs table" true
+    (udom.Domain.acct == slot)
+
+(* --- flight recorder ---------------------------------------------------- *)
+
+let test_flightrec_ring () =
+  let f = Flightrec.create ~capacity:4 () in
+  for n = 1 to 10 do
+    Flightrec.record f ~kind:Flightrec.Trap ~domain:0 ~at:(n * 10) ~info:n
+  done;
+  Alcotest.(check int) "recorded counts everything" 10 (Flightrec.recorded f);
+  let evs = Flightrec.events f in
+  Alcotest.(check int) "only capacity survive" 4 (List.length evs);
+  Alcotest.(check (list int)) "oldest-first survivors" [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Flightrec.info) evs);
+  Flightrec.reset f;
+  Alcotest.(check int) "reset empties" 0 (List.length (Flightrec.events f))
+
+let test_flightrec_always_on () =
+  (* the black box records with tracing OFF — that is its whole point *)
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  ignore (System.setup_networking sys ~placement:System.Certified ~addr:42 ());
+  let obs = Clock.obs (Kernel.clock k) in
+  Alcotest.(check bool) "tracing disabled" false (Obs.enabled obs);
+  let before = Flightrec.recorded (Obs.flight obs) in
+  let ctx = Kernel.ctx k (Kernel.kernel_domain k) in
+  let payload = Bytes.of_string (String.make 32 'x') in
+  let tp = Wire.Transport.build ctx ~sport:9 ~dport:7 payload in
+  let np = Wire.Net.build ctx ~src:13 ~dst:42 ~ttl:8 ~proto:Stack.proto_transport tp in
+  let packet = Bytes.to_string (Wire.Frame.build ctx ~dst:42 ~src:13 np) in
+  Nic.inject (Kernel.nic k) packet;
+  Kernel.step k ~ticks:2 ();
+  let evs = Flightrec.events (Obs.flight obs) in
+  Alcotest.(check bool) "events recorded while disabled" true
+    (Flightrec.recorded (Obs.flight obs) > before);
+  Alcotest.(check bool) "an interrupt is among them" true
+    (List.exists (fun e -> e.Flightrec.kind = Flightrec.Irq) evs)
+
+(* --- the /stats namespace ----------------------------------------------- *)
+
+let test_stats_namespace () =
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let udom = System.new_domain sys "muncher" in
+  Alcotest.(check bool) "new_domain published /stats/<name>" true
+    (List.mem "/stats/muncher" (Stats_svc.published (System.stats sys)));
+  Obs.enable (Clock.obs (Kernel.clock k));
+  (* the user domain reads its own accounting through the proxy path *)
+  let mine = Kernel.bind k udom "/stats/muncher" in
+  Alcotest.(check bool) "cross-domain binding is a proxy" true (Proxy.is_proxy mine);
+  Mmu.switch_context (Machine.mmu (Kernel.machine k)) udom.Domain.id;
+  let uctx = Kernel.ctx k udom in
+  (match
+     Invoke.call uctx mine ~iface:"stats.domain" ~meth:"read" [ Value.Str "text" ]
+   with
+  | Ok (Value.Str s) ->
+    Alcotest.(check bool) "readout names the domain" true
+      (String.length s > 0
+      && (let sub = "muncher" in
+          let rec find i =
+            i + String.length sub <= String.length s
+            && (String.sub s i (String.length sub) = sub || find (i + 1))
+          in
+          find 0))
+  | _ -> Alcotest.fail "read text");
+  (match
+     Invoke.call uctx mine ~iface:"stats.domain" ~meth:"value"
+       [ Value.Str "dispatches" ]
+   with
+  | Ok (Value.Int n) -> Alcotest.(check bool) "dispatches counted" true (n >= 1)
+  | _ -> Alcotest.fail "value dispatches");
+  (match
+     Invoke.call uctx mine ~iface:"stats.domain" ~meth:"value" [ Value.Str "nope" ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown field must fail");
+  (* kernel-wide service: snapshot, mark, diff *)
+  let ksvc = Kernel.bind k udom "/stats/kernel" in
+  let call meth args = Invoke.call uctx ksvc ~iface:"stats" ~meth args in
+  (match call "snapshot" [ Value.Str "json" ] with
+  | Ok (Value.Str s) ->
+    Alcotest.(check bool) "snapshot json has domains" true
+      (String.length s > 0 && s.[0] = '{')
+  | _ -> Alcotest.fail "snapshot");
+  (match call "mark" [] with
+  | Ok Value.Unit -> ()
+  | _ -> Alcotest.fail "mark");
+  (match call "diff" [ Value.Str "text" ] with
+  | Ok (Value.Str s) ->
+    Alcotest.(check bool) "diff header" true
+      (String.length s >= 11 && String.sub s 0 11 = "/stats diff")
+  | _ -> Alcotest.fail "diff");
+  (match call "flight" [] with
+  | Ok (Value.Str s) ->
+    Alcotest.(check bool) "flight dump" true
+      (String.length s >= 7 && String.sub s 0 7 = "flight:")
+  | _ -> Alcotest.fail "flight");
+  Mmu.switch_context (Machine.mmu (Kernel.machine k)) 0;
+  Obs.disable (Clock.obs (Kernel.clock k))
+
+let test_stats_interposable () =
+  (* /stats objects are ordinary instances: a monitor agent interposes on
+     /stats/kernel like on anything else *)
+  let sys = sys_fixture () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let api = Kernel.api k in
+  Obs.enable (Clock.obs (Kernel.clock k));
+  match Obs_agent.interpose api ~path:"/stats/kernel" with
+  | Error e -> Alcotest.fail e
+  | Ok (agent, original) ->
+    let bound = Kernel.bind k kdom "/stats/kernel" in
+    Alcotest.(check bool) "binding resolves to the agent" true (bound == agent);
+    let ctx = Kernel.ctx k kdom in
+    (match
+       Invoke.call ctx agent ~iface:"stats" ~meth:"snapshot" [ Value.Str "text" ]
+     with
+    | Ok (Value.Str s) ->
+      Alcotest.(check bool) "snapshot flows through the agent" true
+        (String.length s > 0)
+    | _ -> Alcotest.fail "snapshot via agent");
+    Alcotest.(check bool) "the monitored call left a span" true
+      (Tracer.recorded (Obs.tracer (Clock.obs (Kernel.clock k))) >= 1);
+    (match Obs_agent.remove api ~path:"/stats/kernel" ~agent ~original with
+    | Error e -> Alcotest.fail e
+    | Ok () ->
+      let restored = Kernel.bind k kdom "/stats/kernel" in
+      Alcotest.(check bool) "original restored" true (restored == original));
+    Obs.disable (Clock.obs (Kernel.clock k))
+
+(* --- the placement agent's hysteresis ----------------------------------- *)
+
+let test_placer_hysteresis () =
+  let clock = Clock.create () in
+  let obs = Clock.obs clock in
+  let acct = Obs.acct obs in
+  let placer = Placer.create ~clock ~costs:Cost.default ~confirm:2 ~cooldown:1 () in
+  let migrated = ref [] in
+  Placer.manage placer ~watch:[ 1 ] ~placement:Placer.User
+    ~migrate:(fun p ->
+      migrated := p :: !migrated;
+      true);
+  let epoch_with ~cross ~faults =
+    Clock.advance clock 1_000;
+    if cross > 0 then Acct.crossing acct ~domain:1 cross;
+    for _ = 1 to faults do
+      Acct.fault acct ~domain:1 0
+    done;
+    Placer.epoch placer
+  in
+  (* share 0.5 >= 0.2: first epoch only starts the streak *)
+  Alcotest.(check bool) "first hot epoch holds" true
+    (epoch_with ~cross:500 ~faults:0 = [ Placer.Hold ]);
+  Alcotest.(check bool) "no move yet" true (!migrated = []);
+  (* second consecutive hot epoch confirms and migrates *)
+  (match epoch_with ~cross:500 ~faults:0 with
+  | [ Placer.Migrated Placer.Certified ] -> ()
+  | _ -> Alcotest.fail "expected migration to certified");
+  Alcotest.(check bool) "migrate closure ran" true
+    (!migrated = [ Placer.Certified ]);
+  Alcotest.(check int) "one move" 1 (Placer.moves placer);
+  (* cooldown epoch: even a hot epoch decides nothing *)
+  Alcotest.(check bool) "cooldown holds" true
+    (epoch_with ~cross:900 ~faults:0 = [ Placer.Hold ]);
+  (* a cold epoch resets the streak; a single hot one does not move *)
+  ignore (epoch_with ~cross:0 ~faults:0);
+  ignore (epoch_with ~cross:500 ~faults:0);
+  Alcotest.(check int) "still one move (hysteresis)" 1 (Placer.moves placer);
+  (* fault bursts demote certified back to user after confirm epochs *)
+  ignore (epoch_with ~cross:0 ~faults:5);
+  (match epoch_with ~cross:0 ~faults:5 with
+  | [ Placer.Migrated Placer.User ] -> ()
+  | _ -> Alcotest.fail "expected demotion to user");
+  Alcotest.(check bool) "demotion ran the closure" true
+    (List.hd !migrated = Placer.User)
+
 (* --- clock snapshot helpers -------------------------------------------- *)
 
 let test_clock_snapshot_diff () =
@@ -346,6 +651,36 @@ let () =
       ( "instrumentation",
         [
           Alcotest.test_case "disabled costs nothing" `Quick test_disabled_costs_nothing;
+        ] );
+      ( "histogram-edges",
+        [
+          Alcotest.test_case "empty and reset" `Quick test_histogram_empty;
+          Alcotest.test_case "single sample" `Quick test_histogram_single_sample;
+          Alcotest.test_case "power-of-two boundaries" `Quick
+            test_bucket_power_boundaries;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "zero-cost invoke (E1 shape)" `Quick
+            test_accounting_zero_cost_invoke;
+          Alcotest.test_case "zero-cost cross-domain (E3/E4 shape)" `Quick
+            test_accounting_zero_cost_cross_domain;
+          Alcotest.test_case "domain slot shared with obs" `Quick
+            test_acct_slot_shared;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "fixed-capacity ring" `Quick test_flightrec_ring;
+          Alcotest.test_case "always on" `Quick test_flightrec_always_on;
+        ] );
+      ( "stats-namespace",
+        [
+          Alcotest.test_case "cross-domain reads" `Quick test_stats_namespace;
+          Alcotest.test_case "interposable" `Quick test_stats_interposable;
+        ] );
+      ( "placer",
+        [
+          Alcotest.test_case "hysteresis" `Quick test_placer_hysteresis;
         ] );
       ( "interposer",
         [
