@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-output fmt check clean
+.PHONY: all build test bench bench-smoke bench-output lint fmt check clean
 
 all: build
 
@@ -13,7 +13,15 @@ bench:
 
 # the assertion-bearing experiments at reduced iteration counts, for CI
 bench-smoke:
-	dune exec bench/main.exe -- obs e14 --quick
+	dune exec bench/main.exe -- obs e14 e15 --quick
+
+# composition lint: the demo system must lint clean, and the linter must
+# catch each seeded violation (non-zero exit inverted with !)
+lint:
+	dune build @all
+	dune exec bin/pm_lint.exe
+	! dune exec bin/pm_lint.exe -- --seed non-superset --quiet
+	! dune exec bin/pm_lint.exe -- --seed spsc --quiet
 
 # regenerate the committed reference run (simulated cycles, deterministic)
 bench-output:

@@ -1159,6 +1159,8 @@ module E14 = struct
         let placement, dom =
           match p with
           | Placer.Certified -> (System.Certified, kdom)
+          (* E14 manages without [verified_ok], so this arm never fires *)
+          | Placer.Verified -> (System.Certified, kdom)
           | Placer.User -> (System.User udom, udom)
         in
         (match System.install sys image ~placement ~at:"/services/stack" with
@@ -1179,7 +1181,7 @@ module E14 = struct
     if adaptive then
       Placer.manage placer ~watch:[ kdom.Domain.id ]
         ~placement:(match start with `User -> Placer.User | `Certified -> Placer.Certified)
-        ~migrate;
+        ~migrate ();
     let ctx = Kernel.ctx k kdom in
     let packet = Bytes.to_string (E4.make_packet ctx ~dst:42 64) in
     (* warm up so the lazy binds don't pollute epoch 1 *)
@@ -1309,6 +1311,122 @@ module E14 = struct
     rx_workload "crossing-dominated" ~grain:0;
     rx_workload "compute-dominated" ~grain:30_000;
     chan_workload ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* E15: load-time verification vs SFI vs certification                 *)
+(* ------------------------------------------------------------------ *)
+
+module E15 = struct
+  (* The third trust mechanism measured against the other two: a
+     bytecode-verified component runs exactly the raw program (zero
+     per-access overhead, like a certified one) for a one-off abstract
+     interpretation charged per instruction — no signer anywhere on the
+     trust path. *)
+
+  let filter_src = "byte[19] == 7 && byte[18] == 0"
+
+  let program () =
+    match Filterc.compile_string filter_src with
+    | Ok p -> p
+    | Error e -> failwith e
+
+  let run () =
+    header "E15  Bytecode verification: the third trust mechanism"
+      "a static proof admits downloaded code into the kernel with zero \
+       per-access overhead like certification, but without a signer; the \
+       one-off analysis cost amortizes against SFI's per-run tax";
+    let program = program () in
+    let code = Vm.encode program in
+    let rewritten =
+      match
+        Sfi_rewrite.rewrite program
+          ~window_size:(Sfi_rewrite.padded_size Pm_machine.Nic.mtu)
+      with
+      | Ok p -> p
+      | Error e -> failwith e
+    in
+    (* per-run execution, measured on the standalone VM *)
+    let clock = Clock.create () in
+    let ctx = Call_ctx.make ~clock ~costs:Cost.default ~caller_domain:0 in
+    let pkt = Bytes.make 2048 'p' in
+    Bytes.set pkt 18 '\000';
+    Bytes.set pkt 19 '\007';
+    let cost_of prog =
+      let before = Clock.now clock in
+      for _ = 1 to 100 do
+        ignore (Vm.run ctx ~mem:(Vm.mem_of_bytes pkt) prog)
+      done;
+      float_of_int (Clock.now clock - before) /. 100.
+    in
+    let raw_run = cost_of program in
+    let sfi_run = cost_of rewritten in
+    let verified_run = cost_of program in
+    (* acceptance: verified execution IS raw execution *)
+    assert (verified_run = raw_run);
+    (* one-off admission costs, measured through the certification service *)
+    let sys = fresh_sys () in
+    let k = System.kernel sys in
+    let certsvc = Kernel.certification k in
+    let kclock = Kernel.clock k in
+    let before = Clock.now kclock in
+    (match Certsvc.verify certsvc ~code with
+    | Ok () -> ()
+    | Error e -> failwith ("E15: verifier rejected the filter: " ^ e));
+    let verify_cost = Clock.now kclock - before in
+    let cert_cost =
+      let image =
+        Images.image ~name:"e15-filter" ~size:(String.length code)
+          ~author:"kernel-team" ~type_safe:true (fun _ _ ->
+            failwith "never constructed")
+      in
+      let image, _trail =
+        Images.certify (System.authority sys) ~now:(Clock.now kclock) image
+      in
+      match image.Loader.cert with
+      | None -> failwith "E15: no delegate certified the filter image"
+      | Some cert ->
+        let before = Clock.now kclock in
+        (match Certsvc.validate certsvc cert ~code:image.Loader.code with
+        | Validator.Valid _ -> ()
+        | Validator.Invalid _ -> failwith "E15: certificate did not validate");
+        Clock.now kclock - before
+    in
+    (* end-to-end: a Verified placement admits unsigned real bytecode *)
+    let vimage =
+      let base =
+        Images.image ~name:"vfilter" ~size:(String.length code)
+          ~author:"anyone" ~type_safe:false (fun api dom ->
+            Instance.create api.Api.registry ~class_name:"verified.filter"
+              ~domain:dom.Domain.id [])
+      in
+      { base with Loader.code }
+    in
+    (match
+       System.install sys vimage ~placement:System.Verified
+         ~at:"/services/vfilter"
+     with
+    | Ok _ -> ()
+    | Error e -> failwith ("E15: Verified install failed: " ^ e));
+    assert (Certsvc.verifications certsvc = 2);
+    let overhead = sfi_run -. raw_run in
+    print_table
+      ~columns:
+        [ ("admission", ()); ("one-off cycles", ()); ("cycles/run", ());
+          ("per-run overhead", ()) ]
+      [
+        [ "certified (signature)"; i cert_cost; f1 raw_run; "0.0" ];
+        [ "verified (static proof)"; i verify_cost; f1 verified_run; "0.0" ];
+        [ "SFI-rewritten"; "0"; f1 sfi_run; f1 overhead ];
+      ];
+    line "filter: %s (%d instructions; verify = %d cyc/instr)" filter_src
+      (Vm.instr_count program) Cost.default.Cost.verify_instr;
+    line "crossover vs SFI: verification pays for itself after %.0f runs,"
+      (Float.of_int verify_cost /. overhead |> Float.ceil);
+    line "certification after %.0f runs — and needs a signer on the trust path"
+      (Float.of_int cert_cost /. overhead |> Float.ceil);
+    line "=> verified placement executed identically to raw (%.1f = %.1f cyc/run)"
+      verified_run raw_run
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1571,7 +1689,7 @@ let () =
     [ ("e1", E1.run); ("e2", E2.run); ("e3", E3.run); ("e4", E4.run);
       ("e5", E5.run); ("e6", E6.run); ("e7", E7.run); ("e8", E8.run);
       ("e9", E9.run); ("e10", E10.run); ("e11", E11.run); ("e12", E12.run);
-      ("e13", E13.run); ("e14", E14.run); ("obs", Eobs.run) ]
+      ("e13", E13.run); ("e14", E14.run); ("e15", E15.run); ("obs", Eobs.run) ]
   in
   line "Paramecium reproduction — experiment suite";
   line "(simulated cycles, deterministic; cost model: SPARC-era defaults)";

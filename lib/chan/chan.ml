@@ -1,4 +1,5 @@
 module Machine = Pm_machine.Machine
+module Mmu = Pm_machine.Mmu
 module Physmem = Pm_machine.Physmem
 module Clock = Pm_machine.Clock
 module Cost = Pm_machine.Cost
@@ -60,9 +61,17 @@ type t = {
   mutable full_blocks : int;
   mutable empty_blocks : int;
   mutable drops : int;
+  mutable send_ctxs : int list;
+      (* distinct MMU contexts observed sending, newest first — a plain
+         store per new context, read by the composition linter's SPSC
+         ownership check *)
 }
 
 let next_id = ref 1
+
+(* every live channel, for the composition linter's whole-system pass;
+   filtered per machine so concurrent test systems stay independent *)
+let all_channels : t list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Shared-memory access: addresses resolve through the frame table     *)
@@ -167,8 +176,10 @@ let create machine vmem ?name ?(slots = 64) ?(slot_size = 1024) ?(mode = Doorbel
       full_blocks = 0;
       empty_blocks = 0;
       drops = 0;
+      send_ctxs = [];
     }
   in
+  all_channels := t :: !all_channels;
   write_word t off_magic magic;
   write_word t off_slots slots;
   write_word t off_slot_size slot_size;
@@ -213,6 +224,26 @@ let stats t =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Linter introspection — plain reads, no cycle charges                *)
+(* ------------------------------------------------------------------ *)
+
+let iter_all ~machine f =
+  List.iter (fun c -> if c.machine == machine then f c) (List.rev !all_channels)
+
+let senders_seen t = List.rev t.send_ctxs
+
+let domains_of_waitq q =
+  Sync.Waitq.waiters q
+  |> List.filter_map (fun th -> th.Scheduler.domain)
+  |> List.sort_uniq compare
+
+(* threads parked in [send] waiting for the consumer to make room *)
+let blocked_senders t = domains_of_waitq t.not_full
+
+(* threads parked in [recv] waiting for the producer to enqueue *)
+let blocked_receivers t = domains_of_waitq t.not_empty
+
+(* ------------------------------------------------------------------ *)
 (* Doorbell                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -251,7 +282,9 @@ let try_send ?(account = true) t msg =
          t.sz_slot);
   let head = read_word t off_head in
   if t.tail_local - head >= t.n_slots then false
-  else
+  else begin
+    let ctx = Mmu.current_context (Machine.mmu t.machine) in
+    if not (List.mem ctx t.send_ctxs) then t.send_ctxs <- ctx :: t.send_ctxs;
     with_span t ~domain:t.producer.Domain.id ~meth:"enqueue" (fun () ->
         let off = slot_off t t.tail_local in
         write_word t off len;
@@ -263,6 +296,7 @@ let try_send ?(account = true) t msg =
         if t.chan_mode = Doorbell && read_word t off_armed = 1 then ring_doorbell t;
         ignore (Sync.Waitq.signal t.not_empty);
         true)
+  end
 
 let send_or_drop ?(account = true) t msg =
   let sent = try_send ~account t msg in

@@ -147,3 +147,25 @@ val on_doorbell :
   ?priority:int ->
   (unit -> unit) ->
   Pm_nucleus.Events.cb_id
+
+(** {2 Linter introspection}
+
+    Plain bookkeeping reads for the composition linter ({!Pm_check});
+    none of these charge simulated cycles. *)
+
+(** [iter_all ~machine f] visits every channel created on [machine], in
+    creation order. *)
+val iter_all : machine:Pm_machine.Machine.t -> (t -> unit) -> unit
+
+(** [senders_seen t] lists the distinct MMU contexts that have enqueued
+    on [t], in first-seen order — more than one is an SPSC ownership
+    violation. *)
+val senders_seen : t -> int list
+
+(** Domains of threads currently parked in a blocking [send] (full
+    ring): they wait on the consumer's progress. *)
+val blocked_senders : t -> int list
+
+(** Domains of threads currently parked in a blocking [recv] (empty
+    ring): they wait on the producer's progress. *)
+val blocked_receivers : t -> int list

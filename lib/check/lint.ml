@@ -1,0 +1,239 @@
+(* Whole-system composition linter: a pass over the live object graph
+   that checks the properties the object model promises but never
+   enforces at assembly time. Each rule reads existing bookkeeping
+   (namespace bindings, the directory's interposition log, event
+   call-back tables, channel headers and wait queues) with plain
+   OCaml reads — the pass charges no simulated cycles, like the flight
+   recorder it reports into. *)
+
+module Machine = Pm_machine.Machine
+module Subsume = Pm_check.Subsume
+module Namespace = Pm_names.Namespace
+module Path = Pm_names.Path
+module Instance = Pm_obj.Instance
+module Directory = Pm_nucleus.Directory
+module Events = Pm_nucleus.Events
+module Domain = Pm_nucleus.Domain
+module Chan = Pm_chan.Chan
+
+type severity = Error | Warning
+
+type finding = {
+  rule : string;  (** e.g. "superset", "spsc", "wait-cycle" *)
+  subject : string;  (** the path / channel / handler concerned *)
+  detail : string;
+  severity : severity;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let finding_to_string f =
+  Printf.sprintf "%-7s %-12s %s: %s" (severity_to_string f.severity) f.rule
+    f.subject f.detail
+
+(* ------------------------------------------------------------------ *)
+(* Rule: interposer supersets                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Every recorded Directory.replace must have installed a superset of
+   what it displaced — re-checked against the live instances, so an
+   interface removed *after* interposition is caught too. *)
+let check_supersets directory =
+  List.filter_map
+    (fun (path, old_h, new_h) ->
+      let subject = Path.to_string path in
+      match (Directory.resolve_handle directory old_h, Directory.resolve_handle directory new_h) with
+      | None, _ ->
+        (* the displaced object is gone entirely; nothing to compare *)
+        None
+      | _, None ->
+        Some
+          {
+            rule = "superset";
+            subject;
+            detail = Printf.sprintf "replacement handle %d is dead" new_h;
+            severity = Error;
+          }
+      | Some wrapped, Some agent -> (
+        match Subsume.check_instances ~wrapped ~agent with
+        | Ok () -> None
+        | Error detail -> Some { rule = "superset"; subject; detail; severity = Error }))
+    (Directory.replacements directory)
+
+(* ------------------------------------------------------------------ *)
+(* Rule: dangling namespace bindings                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_bindings directory =
+  let ns = Directory.namespace directory in
+  let findings = ref [] in
+  Namespace.iter ns (fun path handle ->
+      let problem =
+        match Directory.resolve_handle directory handle with
+        | None -> Some (Printf.sprintf "bound to dead handle %d" handle)
+        | Some inst ->
+          if inst.Instance.revoked then
+            Some (Printf.sprintf "bound to revoked instance %d" handle)
+          else None
+      in
+      match problem with
+      | None -> ()
+      | Some detail ->
+        findings :=
+          { rule = "dangling"; subject = Path.to_string path; detail; severity = Error }
+          :: !findings);
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Rule: event handlers with dead context                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_handlers events =
+  List.filter_map
+    (fun (event, (dom : Domain.t), _id) ->
+      if dom.Domain.alive then None
+      else
+        let subject =
+          match event with
+          | Events.Trap n -> Printf.sprintf "trap %d" n
+          | Events.Irq n -> Printf.sprintf "irq %d" n
+        in
+        Some
+          {
+            rule = "dead-handler";
+            subject;
+            detail =
+              Printf.sprintf "call-back registered for destroyed domain %d (%s)"
+                dom.Domain.id dom.Domain.name;
+            severity = Error;
+          })
+    (Events.registrations events)
+
+(* ------------------------------------------------------------------ *)
+(* Rule: channel SPSC ownership                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A channel ring has exactly one free-running tail: two senders from
+   different MMU contexts silently corrupt each other's slots. The
+   receive side is legitimately plural (inline drains plus pop-up
+   consumers run in different contexts), so only senders are policed. *)
+let check_spsc ~machine =
+  let findings = ref [] in
+  Chan.iter_all ~machine (fun c ->
+      match Chan.senders_seen c with
+      | [] | [ _ ] -> ()
+      | ctxs ->
+        findings :=
+          {
+            rule = "spsc";
+            subject = Chan.name c;
+            detail =
+              Printf.sprintf "%d distinct sending contexts: %s" (List.length ctxs)
+                (String.concat ", " (List.map string_of_int ctxs));
+            severity = Error;
+          }
+          :: !findings);
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Rule: wait-for cycles across channel endpoints                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A domain parked in a blocking recv waits for the producer domain to
+   enqueue; one parked in a blocking send waits for the consumer domain
+   to drain. Those edges form the wait-for graph; a cycle means no
+   domain on it can ever run again — deadlock. *)
+let check_wait_cycles ~machine =
+  let edges = ref [] in
+  Chan.iter_all ~machine (fun c ->
+      let producer = (Chan.producer c).Domain.id in
+      let consumer =
+        match Chan.consumer c with Some d -> Some d.Domain.id | None -> None
+      in
+      List.iter
+        (fun waiter ->
+          if waiter <> producer then edges := (waiter, producer, Chan.name c) :: !edges)
+        (Chan.blocked_receivers c);
+      match consumer with
+      | None -> ()
+      | Some consumer ->
+        List.iter
+          (fun waiter ->
+            if waiter <> consumer then edges := (waiter, consumer, Chan.name c) :: !edges)
+          (Chan.blocked_senders c));
+  let edges = List.rev !edges in
+  let successors d = List.filter (fun (s, _, _) -> s = d) edges in
+  (* DFS from every node; report each cycle once by its smallest member *)
+  let cycles = ref [] in
+  let index_of x l =
+    let rec go i = function
+      | [] -> None
+      | y :: _ when y = x -> Some i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 l
+  in
+  let rec dfs trail d =
+    match index_of d trail with
+    | Some i ->
+      let cycle = List.filteri (fun j _ -> j <= i) trail in
+      let key = List.sort compare cycle in
+      if not (List.mem key !cycles) then cycles := key :: !cycles
+    | None -> List.iter (fun (_, t, _) -> dfs (d :: trail) t) (successors d)
+  in
+  List.iter (fun (s, _, _) -> dfs [] s) edges;
+  List.rev_map
+    (fun cycle ->
+      {
+        rule = "wait-cycle";
+        subject =
+          String.concat " -> " (List.map (fun d -> Printf.sprintf "dom %d" d) cycle);
+        detail =
+          Printf.sprintf "wait-for cycle across %d channel edge(s): every domain waits on the next"
+            (List.length edges);
+        severity = Error;
+      })
+    !cycles
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* The whole-system pass                                               *)
+(* ------------------------------------------------------------------ *)
+
+type report = { findings : finding list; rules_run : int }
+
+let rules = [ "superset"; "dangling"; "dead-handler"; "spsc"; "wait-cycle" ]
+
+let run ~machine ~directory ~events () =
+  let findings =
+    check_supersets directory @ check_bindings directory @ check_handlers events
+    @ check_spsc ~machine @ check_wait_cycles ~machine
+  in
+  { findings; rules_run = List.length rules }
+
+let errors report =
+  List.filter (fun f -> f.severity = Error) report.findings
+
+let report_to_string report =
+  match report.findings with
+  | [] -> Printf.sprintf "clean: %d rules, no findings" report.rules_run
+  | fs ->
+    Printf.sprintf "%d finding(s) from %d rules:\n%s" (List.length fs)
+      report.rules_run
+      (String.concat "\n" (List.map finding_to_string fs))
+
+(* Explain a rule by name — the /nucleus/check "explain" method. *)
+let explain = function
+  | "superset" ->
+    "every Directory.replace must install an object whose interfaces subsume \
+     the displaced object's, method for method (the paper's interposition rule)"
+  | "dangling" -> "every namespace binding must resolve to a live, unrevoked instance"
+  | "dead-handler" ->
+    "every registered event call-back must belong to a live domain"
+  | "spsc" ->
+    "a channel ring has one producer: enqueues from more than one MMU context \
+     corrupt the single free-running tail"
+  | "wait-cycle" ->
+    "domains blocked on channel ends must not form a cycle of mutual waiting — \
+     that is a deadlock no doorbell can break"
+  | r -> Printf.sprintf "unknown rule %S" r

@@ -1,0 +1,54 @@
+(** Whole-system composition linter.
+
+    A pass over the live object graph checking the properties the object
+    model promises but does not enforce at assembly time:
+
+    - {b superset}: every recorded {!Pm_nucleus.Directory.replace}
+      installed an object whose interfaces subsume the displaced
+      object's ({!Subsume}), re-checked against the live instances;
+    - {b dangling}: every namespace binding resolves to a live,
+      unrevoked instance;
+    - {b dead-handler}: every registered event call-back belongs to a
+      live domain;
+    - {b spsc}: each channel has been fed from at most one MMU context
+      (the single-producer half of the SPSC contract — the receive side
+      is legitimately plural: inline drains and pop-up consumers run in
+      different contexts);
+    - {b wait-cycle}: domains blocked on channel operations do not form
+      a cycle of mutual waiting (deadlock detection over
+      recv-waits-for-producer / send-waits-for-consumer edges).
+
+    The pass reads existing bookkeeping with plain OCaml reads and
+    charges no simulated cycles. *)
+
+type severity = Error | Warning
+
+type finding = {
+  rule : string;
+  subject : string;
+  detail : string;
+  severity : severity;
+}
+
+val severity_to_string : severity -> string
+val finding_to_string : finding -> string
+
+type report = { findings : finding list; rules_run : int }
+
+(** The rule names, in the order they run. *)
+val rules : string list
+
+val run :
+  machine:Pm_machine.Machine.t ->
+  directory:Pm_nucleus.Directory.t ->
+  events:Pm_nucleus.Events.t ->
+  unit ->
+  report
+
+(** The [Error]-severity findings of a report. *)
+val errors : report -> finding list
+
+val report_to_string : report -> string
+
+(** [explain rule] is a one-sentence statement of what a rule checks. *)
+val explain : string -> string

@@ -1,0 +1,343 @@
+(* Load-time bytecode verifier: an abstract interpreter over the VM ISA
+   proving that a program is memory-safe without running it.
+
+   The abstract domain is an interval whose bounds are affine in the one
+   runtime unknown, the data-window length L (the value the VM places in
+   r1 at entry, L >= 0): a bound is either a known integer, L + k for a
+   known k, or an infinity. That is exactly enough to follow the
+   bounds-bracketed load pattern the filter compiler emits — compare
+   against r0 (= 0) and r1 (= L), then dereference — and prove every
+   Load8/Store8 lands inside [0, L).
+
+   Control flow is restricted to forward jumps. That makes the CFG
+   acyclic, so one pass in pc order (all predecessors of an instruction
+   precede it) computes the fixpoint with no widening, and it doubles as
+   the termination proof: each instruction executes at most once, so a
+   program of n instructions needs at most n fuel. Programs with
+   backward jumps are rejected — a conservative but honest trade: the
+   sandbox can still run them under per-access checks. *)
+
+module Vm = Pm_vm.Vm
+module Sfi_rewrite = Pm_vm.Sfi_rewrite
+
+type bound =
+  | NegInf
+  | Fin of int  (* the known integer *)
+  | Len of int  (* L + k, where L = window length at entry, L >= 0 *)
+  | PosInf
+
+type interval = { lo : bound; hi : bound }
+
+let top = { lo = NegInf; hi = PosInf }
+let const k = { lo = Fin k; hi = Fin k }
+
+(* [le a b]: is a <= b guaranteed for every L >= 0? Len vs Fin is
+   unknowable in one direction (L is unbounded) and decided by L >= 0 in
+   the other. *)
+let le a b =
+  match (a, b) with
+  | NegInf, _ | _, PosInf -> true
+  | _, NegInf | PosInf, _ -> false
+  | Fin a, Fin b | Fin a, Len b | Len a, Len b -> a <= b
+  | Len _, Fin _ -> false
+
+(* Join: sound min of lower bounds / max of upper bounds over the union.
+   min(k, L+j) can reach min(k, j) (at L = 0); max(k, L+j) stays under
+   L + max(k, j). *)
+let join_lo a b =
+  match (a, b) with
+  | NegInf, _ | _, NegInf -> NegInf
+  | PosInf, x | x, PosInf -> x
+  | Fin a, Fin b -> Fin (min a b)
+  | Len a, Len b -> Len (min a b)
+  | Fin a, Len b | Len b, Fin a -> Fin (min a b)
+
+let join_hi a b =
+  match (a, b) with
+  | PosInf, _ | _, PosInf -> PosInf
+  | NegInf, x | x, NegInf -> x
+  | Fin a, Fin b -> Fin (max a b)
+  | Len a, Len b -> Len (max a b)
+  | Fin a, Len b | Len b, Fin a -> Len (max a b)
+
+(* Refinement meets keep one of two facts both known true; when a
+   constant and a window-relative fact are incomparable, prefer the one
+   the window checks need (a constant lower bound, a window-relative
+   upper bound). *)
+let meet_lo a b =
+  match (a, b) with
+  | NegInf, x | x, NegInf -> x
+  | PosInf, _ | _, PosInf -> PosInf
+  | Fin a, Fin b -> Fin (max a b)
+  | Len a, Len b -> Len (max a b)
+  | Fin a, Len b | Len b, Fin a -> if a <= b then Len b else Fin a
+
+let meet_hi a b =
+  match (a, b) with
+  | PosInf, x | x, PosInf -> x
+  | NegInf, _ | _, NegInf -> NegInf
+  | Fin a, Fin b -> Fin (min a b)
+  | Len a, Len b -> Len (min a b)
+  | Fin a, Len b | Len b, Fin a -> if a <= b then Fin a else Len b
+
+(* A refined interval can become impossible (e.g. the "< 0" arm of a
+   constant index); such paths are unreachable and not propagated. Only
+   like-for-like bounds decide emptiness — Fin vs Len depends on L. *)
+let empty iv =
+  match (iv.lo, iv.hi) with
+  | Fin a, Fin b | Len a, Len b -> a > b
+  | PosInf, _ | _, NegInf -> true
+  | _ -> false
+
+(* Direction-specific affine arithmetic. L + L collapses to an infinity
+   in the widening direction (coefficient 2 is outside the domain), and
+   Len - Len cancels exactly: both name the same L. *)
+let add_lo a b =
+  match (a, b) with
+  | NegInf, _ | _, NegInf -> NegInf
+  | PosInf, _ | _, PosInf -> PosInf
+  | Fin a, Fin b -> Fin (a + b)
+  | Fin a, Len b | Len a, Fin b -> Len (a + b)
+  | Len a, Len b -> Len (a + b)
+
+let add_hi a b =
+  match (a, b) with
+  | PosInf, _ | _, PosInf -> PosInf
+  | NegInf, _ | _, NegInf -> NegInf
+  | Fin a, Fin b -> Fin (a + b)
+  | Fin a, Len b | Len a, Fin b -> Len (a + b)
+  | Len _, Len _ -> PosInf
+
+let sub_lo a b =
+  (* lower bound of x - y from x's lower and y's upper bound *)
+  match (a, b) with
+  | NegInf, _ | _, PosInf -> NegInf
+  | PosInf, _ | _, NegInf -> PosInf
+  | Fin a, Fin b -> Fin (a - b)
+  | Len a, Len b -> Fin (a - b)
+  | Len a, Fin b -> Len (a - b)
+  | Fin _, Len _ -> NegInf
+
+let sub_hi a b =
+  (* upper bound of x - y from x's upper and y's lower bound *)
+  match (a, b) with
+  | PosInf, _ | _, NegInf -> PosInf
+  | NegInf, _ | _, PosInf -> NegInf
+  | Fin a, Fin b -> Fin (a - b)
+  | Len a, Len b -> Fin (a - b)
+  | Len a, Fin b -> Len (a - b)
+  | Fin a, Len b -> Fin (a - b)
+
+let pred = function
+  | Fin k -> Fin (k - 1)
+  | Len k -> Len (k - 1)
+  | (NegInf | PosInf) as b -> b
+
+let succ = function
+  | Fin k -> Fin (k + 1)
+  | Len k -> Len (k + 1)
+  | (NegInf | PosInf) as b -> b
+
+let nonneg iv = le (Fin 0) iv.lo
+
+let add iv jv = { lo = add_lo iv.lo jv.lo; hi = add_hi iv.hi jv.hi }
+let sub iv jv = { lo = sub_lo iv.lo jv.hi; hi = sub_hi iv.hi jv.lo }
+
+let mul iv jv =
+  match (iv, jv) with
+  | { lo = Fin a; hi = Fin b }, { lo = Fin c; hi = Fin d } ->
+    let products = [ a * c; a * d; b * c; b * d ] in
+    {
+      lo = Fin (List.fold_left min max_int products);
+      hi = Fin (List.fold_left max min_int products);
+    }
+  | _ -> if nonneg iv && nonneg jv then { lo = Fin 0; hi = PosInf } else top
+
+(* land of non-negatives is bounded by either operand *)
+let band iv jv =
+  if nonneg iv && nonneg jv then { lo = Fin 0; hi = meet_hi iv.hi jv.hi } else top
+
+(* lor/lxor of non-negatives below 2^k stays below 2^k *)
+let bits_mask a b =
+  let m = max a b in
+  let rec go p = if p > m then p - 1 else go (p * 2) in
+  go 1
+
+let bor_like iv jv =
+  match (iv, jv) with
+  | { lo = Fin la; hi = Fin a }, { lo = Fin lb; hi = Fin b }
+    when la >= 0 && lb >= 0 ->
+    { lo = Fin 0; hi = Fin (bits_mask a b) }
+  | _ -> if nonneg iv && nonneg jv then { lo = Fin 0; hi = PosInf } else top
+
+let shl iv k =
+  let k = min 62 (max 0 k) in
+  if k = 0 then iv
+  else
+    match iv with
+    | { lo = Fin a; hi = Fin b } when a >= 0 && b <= max_int lsr k ->
+      { lo = Fin (a lsl k); hi = Fin (b lsl k) }
+    | _ -> if nonneg iv then { lo = Fin 0; hi = PosInf } else top
+
+let shr iv k =
+  let k = min 62 (max 0 k) in
+  if k = 0 then iv
+  else
+    (* lsr of anything by k >= 1 is non-negative in OCaml *)
+    match iv with
+    | { lo = Fin a; hi = Fin b } when a >= 0 -> { lo = Fin (a lsr k); hi = Fin (b lsr k) }
+    | _ -> { lo = Fin 0; hi = PosInf }
+
+(* ------------------------------------------------------------------ *)
+(* The verifier proper                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Verified of { instrs : int; fuel_needed : int }
+  | Rejected of { pc : int; reason : string }
+      (** [pc] = -1 for whole-program defects *)
+
+let default_fuel = 10_000
+
+type state = interval array (* one interval per register *)
+
+let entry_state () =
+  let st = Array.make Vm.nregs (const 0) in
+  st.(1) <- { lo = Len 0; hi = Len 0 };
+  st
+
+let join_states (a : state) (b : state) : state =
+  Array.init Vm.nregs (fun r ->
+      { lo = join_lo a.(r).lo b.(r).lo; hi = join_hi a.(r).hi b.(r).hi })
+
+let regs_of = function
+  | Vm.Const (rd, _) -> [ rd ]
+  | Vm.Mov (rd, rs) -> [ rd; rs ]
+  | Vm.Add (rd, a, b) | Vm.Sub (rd, a, b) | Vm.Mul (rd, a, b) | Vm.Div (rd, a, b)
+  | Vm.And (rd, a, b) | Vm.Or (rd, a, b) | Vm.Xor (rd, a, b) ->
+    [ rd; a; b ]
+  | Vm.Shl (rd, a, _) | Vm.Shr (rd, a, _) -> [ rd; a ]
+  | Vm.Load8 (rd, rs, _) -> [ rd; rs ]
+  | Vm.Store8 (rs, ra, _) -> [ rs; ra ]
+  | Vm.Jmp _ -> []
+  | Vm.Jz (r, _) | Vm.Jnz (r, _) -> [ r ]
+  | Vm.Jlt (a, b, _) -> [ a; b ]
+  | Vm.Ret r -> [ r ]
+
+exception Reject of int * string
+
+let verify ?(fuel = default_fuel) (program : Vm.program) =
+  let n = Array.length program in
+  try
+    if n = 0 then raise (Reject (-1, "empty program"));
+    if n > fuel then
+      raise
+        (Reject
+           (-1, Printf.sprintf "%d instructions exceed the fuel bound %d" n fuel));
+    (* static well-formedness first, over every instruction, reachable or
+       not — same discipline as the SFI rewriter's whole-program scan *)
+    Array.iteri
+      (fun pc ins ->
+        if List.exists (fun r -> r < 0 || r >= Vm.nregs) (regs_of ins) then
+          raise (Reject (pc, "register out of range"));
+        if Sfi_rewrite.uses_reserved ins then
+          raise (Reject (pc, "uses a reserved register (r6/r7)")))
+      program;
+    let states : state option array = Array.make n None in
+    states.(0) <- Some (entry_state ());
+    (* every jump must target a real, later instruction — checked even
+       when refinement proves the branch dead, so the static claim holds
+       program-wide *)
+    let check_target pc target =
+      if target < 0 || target >= n then raise (Reject (pc, "jump out of program"));
+      if target <= pc then raise (Reject (pc, "backward jump"))
+    in
+    let flow_to pc target st =
+      check_target pc target;
+      states.(target) <-
+        (match states.(target) with
+        | None -> Some st
+        | Some old -> Some (join_states old st))
+    in
+    let fall_through pc st =
+      if pc + 1 >= n then raise (Reject (pc, "falls off the end of the program"));
+      flow_to pc (pc + 1) st
+    in
+    let with_reg st r iv =
+      let st' = Array.copy st in
+      st'.(r) <- iv;
+      st'
+    in
+    for pc = 0 to n - 1 do
+      match states.(pc) with
+      | None -> () (* unreachable on every admitted path *)
+      | Some st -> (
+        match program.(pc) with
+        | Vm.Const (rd, imm) -> fall_through pc (with_reg st rd (const imm))
+        | Vm.Mov (rd, rs) -> fall_through pc (with_reg st rd st.(rs))
+        | Vm.Add (rd, a, b) -> fall_through pc (with_reg st rd (add st.(a) st.(b)))
+        | Vm.Sub (rd, a, b) -> fall_through pc (with_reg st rd (sub st.(a) st.(b)))
+        | Vm.Mul (rd, a, b) -> fall_through pc (with_reg st rd (mul st.(a) st.(b)))
+        | Vm.Div (rd, _, _) ->
+          (* division by zero is a clean, contained Vm_fault at run time —
+             like a certified component's own failure, not a safety hole *)
+          fall_through pc (with_reg st rd top)
+        | Vm.And (rd, a, b) -> fall_through pc (with_reg st rd (band st.(a) st.(b)))
+        | Vm.Or (rd, a, b) | Vm.Xor (rd, a, b) ->
+          fall_through pc (with_reg st rd (bor_like st.(a) st.(b)))
+        | Vm.Shl (rd, a, k) -> fall_through pc (with_reg st rd (shl st.(a) k))
+        | Vm.Shr (rd, a, k) -> fall_through pc (with_reg st rd (shr st.(a) k))
+        | Vm.Load8 (rd, rs, imm) ->
+          let addr = add st.(rs) (const imm) in
+          if not (le (Fin 0) addr.lo) then
+            raise (Reject (pc, "load address may be below the data window"));
+          if not (le addr.hi (Len (-1))) then
+            raise (Reject (pc, "load address may be past the data window"));
+          fall_through pc (with_reg st rd { lo = Fin 0; hi = Fin 255 })
+        | Vm.Store8 (_, ra, imm) ->
+          let addr = add st.(ra) (const imm) in
+          if not (le (Fin 0) addr.lo) then
+            raise (Reject (pc, "store address may be below the data window"));
+          if not (le addr.hi (Len (-1))) then
+            raise (Reject (pc, "store address may be past the data window"));
+          fall_through pc st
+        | Vm.Jmp t -> flow_to pc t st
+        | Vm.Jz (r, t) ->
+          (* taken: r = 0; fallthrough: no interval-expressible fact *)
+          let zero =
+            { lo = meet_lo st.(r).lo (Fin 0); hi = meet_hi st.(r).hi (Fin 0) }
+          in
+          if empty zero then check_target pc t
+          else flow_to pc t (with_reg st r zero);
+          fall_through pc st
+        | Vm.Jnz (r, t) ->
+          (* taken: no fact; fallthrough: r = 0 *)
+          flow_to pc t st;
+          let zero =
+            { lo = meet_lo st.(r).lo (Fin 0); hi = meet_hi st.(r).hi (Fin 0) }
+          in
+          if not (empty zero) then fall_through pc (with_reg st r zero)
+        | Vm.Jlt (a, b, t) ->
+          (* taken: a < b, so a <= b.hi - 1 and b >= a.lo + 1;
+             fallthrough: a >= b, so a >= b.lo and b <= a.hi *)
+          let ivt_a = { st.(a) with hi = meet_hi st.(a).hi (pred st.(b).hi) } in
+          let ivt_b = { st.(b) with lo = meet_lo st.(b).lo (succ st.(a).lo) } in
+          if empty ivt_a || empty ivt_b then check_target pc t
+          else flow_to pc t (with_reg (with_reg st a ivt_a) b ivt_b);
+          let ivf_a = { st.(a) with lo = meet_lo st.(a).lo st.(b).lo } in
+          let ivf_b = { st.(b) with hi = meet_hi st.(b).hi st.(a).hi } in
+          if not (empty ivf_a || empty ivf_b) then
+            fall_through pc (with_reg (with_reg st a ivf_a) b ivf_b)
+        | Vm.Ret _ -> ())
+    done;
+    Verified { instrs = n; fuel_needed = n }
+  with Reject (pc, reason) -> Rejected { pc; reason }
+
+let verdict_to_string = function
+  | Verified { instrs; fuel_needed } ->
+    Printf.sprintf "verified: %d instructions, fuel bound %d" instrs fuel_needed
+  | Rejected { pc; reason } ->
+    if pc < 0 then Printf.sprintf "rejected: %s" reason
+    else Printf.sprintf "rejected at pc %d: %s" pc reason
+
+let ok = function Verified _ -> true | Rejected _ -> false

@@ -1,0 +1,48 @@
+(** Load-time bytecode verifier.
+
+    An abstract interpreter over the {!Vm} ISA that proves a program
+    memory-safe without running it: every [Load8]/[Store8] stays inside
+    the data window [\[0, L)] (where [L] is the window length the VM
+    passes in [r1]), every jump targets a real instruction, the reserved
+    SFI registers [r6]/[r7] are untouched, and execution terminates
+    within the fuel bound.
+
+    The abstract domain is an interval whose bounds are affine in [L],
+    which is exactly enough to follow the bounds-bracketed load pattern
+    {!Filterc} emits (compare against [r0 = 0] and [r1 = L], then
+    dereference). Control flow is restricted to forward jumps: the CFG
+    is then acyclic, one pass in pc order reaches the fixpoint, and a
+    program of [n] instructions provably needs at most [n] fuel.
+    Programs with backward jumps are rejected — conservatively; the
+    sandbox can still run them under per-access SFI checks.
+
+    The analysis itself is pure and free. Charging its one-off cost
+    ([Cost.verify_instr] per instruction) against the simulated clock is
+    the caller's job — {!Pm_nucleus.Certsvc.verify} does so for the
+    loader path, mirroring how certification charges its digest. *)
+
+type verdict =
+  | Verified of {
+      instrs : int;  (** program length = abstract interpretation steps *)
+      fuel_needed : int;
+          (** proven execution bound: forward-only control flow executes
+              each instruction at most once *)
+    }
+  | Rejected of { pc : int; reason : string }
+      (** [pc] = -1 for whole-program defects (empty, over the fuel
+          bound) *)
+
+(** The VM's default fuel allowance, against which the termination bound
+    is checked. *)
+val default_fuel : int
+
+(** [verify ?fuel program] runs the abstract interpreter. A [Verified]
+    program cannot make a wild access, jump out of the program, touch
+    [r6]/[r7], or run out of fuel — division by zero remains possible
+    but is a cleanly contained [Vm_fault], like any certified
+    component's own failure. *)
+val verify : ?fuel:int -> Pm_vm.Vm.program -> verdict
+
+val verdict_to_string : verdict -> string
+
+val ok : verdict -> bool

@@ -8,6 +8,8 @@ module Vtype = Pm_obj.Vtype
 module Oerror = Pm_obj.Oerror
 module Invoke = Pm_obj.Invoke
 module Path = Pm_names.Path
+module Namespace = Pm_names.Namespace
+module Subsume = Pm_check.Subsume
 
 type call_hook = iface:string -> meth:string -> Value.t list -> unit
 
@@ -78,7 +80,21 @@ let wrap api dom ~target ?on_call ?on_result ?(overrides = []) () =
     (List.map agent_iface target.Instance.interfaces @ [ monitor ])
 
 let attach api ~path ~agent =
-  match Directory.replace api.Api.directory (Path.of_string path) agent with
+  let dir = api.Api.directory in
+  let p = Path.of_string path in
+  (* the paper's superset rule, enforced: the agent must re-export every
+     interface (method by method, argument by argument) of the object it
+     replaces — anything less would break existing importers silently *)
+  (match Namespace.lookup (Directory.namespace dir) p with
+  | Error _ -> () (* a missing path is reported by [replace] below *)
+  | Ok handle ->
+    (match Directory.resolve_handle dir handle with
+    | None -> ()
+    | Some current ->
+      (match Subsume.check_instances ~wrapped:current ~agent with
+      | Ok () -> ()
+      | Error detail -> Oerror.fail (Oerror.Not_superset detail))));
+  match Directory.replace dir p agent with
   | Ok old -> Ok old
   | Error e -> Error (Directory.bind_error_to_string e)
 

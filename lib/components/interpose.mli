@@ -41,7 +41,13 @@ val wrap :
 
 (** [attach api ~path ~agent] replaces the handle at [path] with the
     agent, returning the previous instance. All future binds resolve to
-    the agent. *)
+    the agent.
+
+    The paper's superset rule is enforced: the agent must re-export
+    every interface of the instance currently at [path] with compatible
+    method signatures ({!Pm_check.Subsume}); a non-superset agent raises
+    {!Pm_obj.Oerror.Error} with [Not_superset] before anything is
+    swapped. Path errors still come back as [Error _]. *)
 val attach :
   Pm_nucleus.Api.t ->
   path:string ->

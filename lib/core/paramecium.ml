@@ -105,6 +105,12 @@ module Vm = Pm_vm.Vm
 module Sfi_rewrite = Pm_vm.Sfi_rewrite
 module Filterc = Pm_vm.Filterc
 
+(* static checking: bytecode verifier + composition linter *)
+module Verify = Pm_check.Verify
+module Subsume = Pm_check.Subsume
+module Lint = Pm_check_lint.Lint
+module Check_svc = Pm_check_lint.Check_svc
+
 (* baselines *)
 module Sandbox = Pm_baselines.Sandbox
 module Policies = Pm_baselines.Policies

@@ -14,12 +14,14 @@ module Tracesvc = Pm_nucleus.Tracesvc
 module Obs_agent = Pm_obs_agent.Obs_agent
 module Chan_svc = Pm_chan.Chan_svc
 module Stats_svc = Pm_obs_agent.Stats_svc
+module Check_svc = Pm_check_lint.Check_svc
 
 type t = {
   kernel : Kernel.t;
   authority : Authority.t;
   rng : Prng.t;
   stats : Stats_svc.t;
+  check : Check_svc.t;
 }
 
 (* close the observability loop: the trace service (inside the nucleus)
@@ -28,7 +30,12 @@ let wire_tracing kernel =
   Tracesvc.set_interposer (Kernel.tracesvc kernel)
     (Obs_agent.installer (Kernel.api kernel))
 
-type placement = Certified | Online_certified | Sandboxed | User of Domain.t
+type placement =
+  | Certified
+  | Online_certified
+  | Verified
+  | Sandboxed
+  | User of Domain.t
 
 type networking = {
   driver : Pm_obj.Instance.t;
@@ -63,6 +70,18 @@ let wire_stats kernel =
   Kernel.register_at kernel "/stats/kernel" (Stats_svc.kernel_object stats);
   stats
 
+(* the composition linter as /nucleus/check, beside /nucleus/trace: any
+   domain can bind it and ask for a whole-system consistency pass *)
+let wire_check kernel =
+  let check =
+    Check_svc.create ~machine:(Kernel.machine kernel)
+      ~directory:(Kernel.directory kernel) ~events:(Kernel.events kernel) ()
+  in
+  Kernel.register_at kernel "/nucleus/check"
+    (Check_svc.service_object check (Kernel.api kernel).Api.registry
+       (Kernel.kernel_domain kernel));
+  check
+
 (* an uncaught object error dumps the flight recorder's tail — the
    black-box readout the always-on ring exists for *)
 let wire_crash_dump kernel =
@@ -90,8 +109,9 @@ let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?(key_bits = 512)
     (Certsvc.add_grant (Kernel.certification kernel))
     (Authority.grants authority);
   let stats = wire_stats kernel in
+  let check = wire_check kernel in
   wire_crash_dump kernel;
-  { kernel; authority; rng; stats }
+  { kernel; authority; rng; stats; check }
 
 let with_authority ?costs ?frames ?page_size ~seed authority =
   let rng = Prng.create ~seed in
@@ -102,8 +122,9 @@ let with_authority ?costs ?frames ?page_size ~seed authority =
     (Certsvc.add_grant (Kernel.certification kernel))
     (Authority.grants authority);
   let stats = wire_stats kernel in
+  let check = wire_check kernel in
   wire_crash_dump kernel;
-  { kernel; authority; rng; stats }
+  { kernel; authority; rng; stats; check }
 
 let kernel t = t.kernel
 let authority t = t.authority
@@ -111,6 +132,7 @@ let rng t = t.rng
 let api t = Kernel.api t.kernel
 let clock t = Kernel.clock t.kernel
 let stats t = t.stats
+let check t = t.check
 
 let install t image ~placement ~at =
   let loader = Kernel.loader t.kernel in
@@ -155,6 +177,15 @@ let install t image ~placement ~at =
            ~into:(Kernel.kernel_domain t.kernel)
            ~at:(Pm_names.Path.of_string at) ())
     end
+  | Verified ->
+    (* the third trust mechanism: no certificate attached, no signer
+       consulted — the loader's bytecode verifier must prove the code *)
+    Loader.publish loader { image with Loader.cert = None };
+    Result.map_error Loader.load_error_to_string
+      (Loader.load loader
+         ~name:image.Loader.meta.Pm_secure.Meta.name
+         ~into:(Kernel.kernel_domain t.kernel)
+         ~at:(Pm_names.Path.of_string at) ~verify:true ())
   | Sandboxed ->
     Loader.publish loader image;
     let registry = (api t).Api.registry in
@@ -195,7 +226,8 @@ let setup_networking t ~placement ~addr ?(loopback = false) () =
   let stack_domain =
     match placement with
     | User dom -> dom
-    | Certified | Online_certified | Sandboxed -> Kernel.kernel_domain t.kernel
+    | Certified | Online_certified | Verified | Sandboxed ->
+      Kernel.kernel_domain t.kernel
   in
   let stack_image =
     Images.image ~name:"protostack" ~size:24_576 ~author:"kernel-team"

@@ -17,6 +17,11 @@ type placement =
           while the delegate chain certifies at load time ("this does not
           exclude on-line certification by the kernel", §4) — the
           delegates' latency is charged to the machine clock *)
+  | Verified
+      (** kernel domain, no certificate: the {!Pm_check.Verify} bytecode
+          verifier must statically prove the object code safe — the
+          third trust mechanism, zero per-access overhead like
+          [Certified] but with no signer in the loop *)
   | Sandboxed  (** kernel domain, uncertified, SFI run-time checks *)
   | User of Pm_nucleus.Domain.t  (** the given user domain, via proxies *)
 
@@ -56,6 +61,9 @@ val clock : t -> Pm_machine.Clock.t
 (** The /stats service wired at boot ([/stats/kernel] plus per-domain
     objects published by {!new_domain}). *)
 val stats : t -> Pm_obs_agent.Stats_svc.t
+
+(** The composition-linter service wired at boot ([/nucleus/check]). *)
+val check : t -> Pm_check_lint.Check_svc.t
 
 (** [install t image ~placement ~at] publishes the image, certifies it
     when [placement] is [Certified] (failing if no delegate accepts),

@@ -23,6 +23,7 @@ type t = {
   ns_override : int;
   digest_byte : int;
   sig_verify : int;
+  verify_instr : int;
   load_page : int;
 }
 
@@ -56,6 +57,7 @@ let default =
     ns_override = 12;
     digest_byte = 12;
     sig_verify = 180_000;
+    verify_instr = 40;
     load_page = 90;
   }
 
@@ -94,5 +96,6 @@ let unit_costs =
     ns_override = 1;
     digest_byte = 1;
     sig_verify = 1;
+    verify_instr = 1;
     load_page = 1;
   }

@@ -35,6 +35,7 @@ type t = {
   ns_override : int;  (** consulting one override entry *)
   digest_byte : int;  (** certification digest, per byte *)
   sig_verify : int;  (** one public-key signature verification *)
+  verify_instr : int;  (** bytecode verification, per abstract-interpreted instruction *)
   load_page : int;  (** mapping one page of a component image *)
 }
 

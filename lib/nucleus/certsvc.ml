@@ -8,10 +8,19 @@ type t = {
   validator : Validator.t;
   mutable validations : int;
   mutable failures : int;
+  mutable verifications : int;
+  mutable verify_failures : int;
 }
 
 let create machine ~root =
-  { machine; validator = Validator.create ~root; validations = 0; failures = 0 }
+  {
+    machine;
+    validator = Validator.create ~root;
+    validations = 0;
+    failures = 0;
+    verifications = 0;
+    verify_failures = 0;
+  }
 
 let root t = Validator.root t.validator
 let add_grant t g = Validator.add_grant t.validator g
@@ -39,3 +48,30 @@ let validate t cert ~code =
 
 let validations t = t.validations
 let failures t = t.failures
+
+(* The third trust mechanism: statically prove the bytecode safe instead
+   of trusting a signer (validate) or paying per access (SFI). One-off
+   cost is the abstract interpretation, charged per instruction like the
+   digest is charged per byte — no signature verification anywhere. *)
+let verify t ~code =
+  let clock = Machine.clock t.machine in
+  let costs = Machine.costs t.machine in
+  match Pm_vm.Vm.decode code with
+  | Error e ->
+    Clock.count clock "bytecode_rejection";
+    t.verify_failures <- t.verify_failures + 1;
+    Error ("undecodable object code: " ^ e)
+  | Ok program -> (
+    Clock.advance clock (Array.length program * costs.Cost.verify_instr);
+    Clock.count clock "bytecode_verification";
+    match Pm_check.Verify.verify program with
+    | Pm_check.Verify.Verified _ ->
+      t.verifications <- t.verifications + 1;
+      Ok ()
+    | Pm_check.Verify.Rejected _ as v ->
+      Clock.count clock "bytecode_rejection";
+      t.verify_failures <- t.verify_failures + 1;
+      Error (Pm_check.Verify.verdict_to_string v))
+
+let verifications t = t.verifications
+let verify_failures t = t.verify_failures

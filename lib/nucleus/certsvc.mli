@@ -31,3 +31,17 @@ val validate : t -> Pm_secure.Certificate.t -> code:string -> Pm_secure.Validato
 
 val validations : t -> int
 val failures : t -> int
+
+(** [verify t ~code] runs the {!Pm_check.Verify} bytecode verifier over
+    the component's object code — the third trust mechanism beside
+    signature certification and SFI sandboxing. Charges
+    [Cost.verify_instr] cycles per decoded instruction (the one-off
+    analysis, analogous to the digest's per-byte charge); no signature
+    is involved. [Error] carries the decode failure or the verifier's
+    rejection, rendered. *)
+val verify : t -> code:string -> (unit, string) result
+
+(** Successful / failed bytecode verifications since creation. *)
+val verifications : t -> int
+
+val verify_failures : t -> int

@@ -16,10 +16,13 @@ type t = {
   registry : Instance.t Registry.t;
   ns : Namespace.t;
   proxies : (int * int, Instance.t) Hashtbl.t; (* (target oid, importer) -> proxy *)
+  mutable replacements : (Path.t * int * int) list;
+      (* interposition log, newest first: (path, old handle, new handle) —
+         plain stores, read by the composition linter *)
 }
 
 let create ~machine ~vmem ~registry ~ns =
-  { machine; vmem; registry; ns; proxies = Hashtbl.create 16 }
+  { machine; vmem; registry; ns; proxies = Hashtbl.create 16; replacements = [] }
 
 let namespace t = t.ns
 let registry t = t.registry
@@ -32,9 +35,12 @@ let replace t path inst =
   match Namespace.replace t.ns path (Instance.handle inst) with
   | Error e -> Error (Name e)
   | Ok old_handle ->
+    t.replacements <- (path, old_handle, Instance.handle inst) :: t.replacements;
     (match Registry.get t.registry old_handle with
     | Some old_inst -> Ok old_inst
     | None -> Error (Dangling old_handle))
+
+let replacements t = List.rev t.replacements
 
 let proxy_for t target importer =
   let key = (Instance.handle target, importer.Domain.id) in

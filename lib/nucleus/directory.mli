@@ -64,3 +64,8 @@ val resolve_handle : t -> int -> Pm_obj.Instance.t option
 (** [proxy_count t] is the number of live cached proxies (observability
     for tests and benches). *)
 val proxy_count : t -> int
+
+(** [replacements t] is the interposition log, oldest first: every
+    successful {!replace} as [(path, old handle, new handle)].
+    Introspection for the composition linter's superset check. *)
+val replacements : t -> (Pm_names.Path.t * int * int) list

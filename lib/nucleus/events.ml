@@ -124,4 +124,11 @@ let remove_domain t dom =
 let callbacks t event =
   match Hashtbl.find_opt t.table event with Some cbs -> List.length !cbs | None -> 0
 
+let registrations t =
+  Hashtbl.fold
+    (fun event cbs acc ->
+      List.fold_left (fun acc cb -> (event, cb.domain, cb.id) :: acc) acc !cbs)
+    t.table []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+
 let deliveries t = t.deliveries

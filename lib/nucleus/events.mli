@@ -43,5 +43,10 @@ val remove_domain : t -> Domain.t -> unit
 (** [callbacks t event] is the number of live call-backs on an event. *)
 val callbacks : t -> event -> int
 
+(** [registrations t] lists every live call-back with its event and
+    registering domain, in registration order — introspection for the
+    composition linter's dead-handler check. *)
+val registrations : t -> (event * Domain.t * cb_id) list
+
 (** [deliveries t] counts call-back invocations since creation. *)
 val deliveries : t -> int

@@ -19,6 +19,7 @@ type load_error =
   | Unknown_component of string
   | Not_certified of string
   | Validation_failed of Validator.failure
+  | Verification_failed of string
   | Name_taken of Namespace.error
 
 let load_error_to_string = function
@@ -26,6 +27,7 @@ let load_error_to_string = function
   | Not_certified n ->
     Printf.sprintf "component %S has no certificate and no sandbox was offered" n
   | Validation_failed f -> Validator.failure_to_string f
+  | Verification_failed r -> Printf.sprintf "bytecode verification failed: %s" r
   | Name_taken e -> Namespace.error_to_string e
 
 type t = { api : Api.t; repo : (string, image) Hashtbl.t }
@@ -39,30 +41,43 @@ let find t name = Hashtbl.find_opt t.repo name
 let names t =
   Hashtbl.fold (fun n _ acc -> n :: acc) t.repo [] |> List.sort String.compare
 
-(* Gate kernel-domain placement: a valid certificate admits the component
-   as-is; otherwise an explicit sandbox wrapper may admit it with run-time
-   protection; otherwise refuse. *)
-let check_placement t image ~into ~sandbox =
+(* Gate kernel-domain placement. Three trust mechanisms admit a
+   component: bytecode verification (requested with [verify]; a static
+   proof, no signer involved), a valid certificate, or an explicit
+   sandbox wrapper paying per-access run-time checks. A failed
+   verification falls back to the certificate, then the sandbox. *)
+let check_placement t image ~into ~sandbox ~verify =
   if not (Domain.is_kernel into) then Ok `Plain
   else begin
-    match image.cert with
-    | Some cert ->
-      (match Certsvc.validate t.api.Api.certification cert ~code:image.code with
-      | Validator.Valid _ -> Ok `Plain
-      | Validator.Invalid f ->
-        (* an invalid certificate falls back to the sandbox escape *)
-        (match sandbox with Some _ -> Ok `Sandboxed | None -> Error (Validation_failed f)))
-    | None ->
-      (match sandbox with
-      | Some _ -> Ok `Sandboxed
-      | None -> Error (Not_certified image.meta.Meta.name))
+    let certified () =
+      match image.cert with
+      | Some cert ->
+        (match Certsvc.validate t.api.Api.certification cert ~code:image.code with
+        | Validator.Valid _ -> Ok `Plain
+        | Validator.Invalid f ->
+          (* an invalid certificate falls back to the sandbox escape *)
+          (match sandbox with Some _ -> Ok `Sandboxed | None -> Error (Validation_failed f)))
+      | None ->
+        (match sandbox with
+        | Some _ -> Ok `Sandboxed
+        | None -> Error (Not_certified image.meta.Meta.name))
+    in
+    if not verify then certified ()
+    else begin
+      match Certsvc.verify t.api.Api.certification ~code:image.code with
+      | Ok () -> Ok `Verified
+      | Error reason ->
+        (match certified () with
+        | Error (Not_certified _) -> Error (Verification_failed reason)
+        | other -> other)
+    end
   end
 
-let load t ~name ~into ~at ?sandbox () =
+let load t ~name ~into ~at ?sandbox ?(verify = false) () =
   match Hashtbl.find_opt t.repo name with
   | None -> Error (Unknown_component name)
   | Some image ->
-    (match check_placement t image ~into ~sandbox with
+    (match check_placement t image ~into ~sandbox ~verify with
     | Error _ as e -> e
     | Ok mode ->
       let machine = t.api.Api.machine in
@@ -78,7 +93,9 @@ let load t ~name ~into ~at ?sandbox () =
         match (mode, sandbox) with
         | `Sandboxed, Some wrap -> wrap inst
         | `Sandboxed, None -> assert false
-        | `Plain, _ -> inst
+        (* a verified component maps exactly like a certified one: no
+           wrapper, no run-time checks — the proof already happened *)
+        | (`Plain | `Verified), _ -> inst
       in
       (match Directory.register t.api.Api.directory at inst with
       | Ok () -> Ok inst

@@ -26,6 +26,9 @@ type load_error =
   | Unknown_component of string
   | Not_certified of string
   | Validation_failed of Pm_secure.Validator.failure
+  | Verification_failed of string
+      (** bytecode verification was requested and failed, and no
+          certificate or sandbox could admit the component either *)
   | Name_taken of Pm_names.Namespace.error
 
 val load_error_to_string : load_error -> string
@@ -41,15 +44,24 @@ val publish : t -> image -> unit
 val find : t -> string -> image option
 val names : t -> string list
 
-(** [load t ~name ~into ~at ?sandbox ()] validates placement, charges the
-    per-page mapping cost, constructs the instance, and registers it at
-    [at]. *)
+(** [load t ~name ~into ~at ?sandbox ?verify ()] validates placement,
+    charges the per-page mapping cost, constructs the instance, and
+    registers it at [at].
+
+    [verify] (default [false]) requests the third trust mechanism for a
+    kernel-domain load: the {!Certsvc.verify} bytecode verifier proves
+    the object code safe statically, admitting the component exactly
+    like a certified one — mapped plain, zero per-access overhead — but
+    with no signature required. When verification fails the loader falls
+    back to the certificate, then the sandbox; when nothing admits the
+    component the error is [Verification_failed]. *)
 val load :
   t ->
   name:string ->
   into:Domain.t ->
   at:Pm_names.Path.t ->
   ?sandbox:(Pm_obj.Instance.t -> Pm_obj.Instance.t) ->
+  ?verify:bool ->
   unit ->
   (Pm_obj.Instance.t, load_error) result
 

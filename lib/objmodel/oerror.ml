@@ -5,6 +5,7 @@ type t =
   | Domain_error of string
   | Revoked
   | Fault of string
+  | Not_superset of string
 
 exception Error of t
 
@@ -15,6 +16,7 @@ let to_string = function
   | Domain_error s -> Printf.sprintf "domain error: %s" s
   | Revoked -> "object revoked"
   | Fault s -> Printf.sprintf "fault: %s" s
+  | Not_superset s -> Printf.sprintf "interposer is not a superset: %s" s
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

@@ -4,7 +4,7 @@
    turn off. When a domain crashes, the last few entries are the black
    box. *)
 
-type kind = Trap | Irq | Fault | Crossing | Sched
+type kind = Trap | Irq | Fault | Crossing | Sched | Check
 
 type event = {
   seq : int;
@@ -50,6 +50,7 @@ let kind_to_string = function
   | Fault -> "fault"
   | Crossing -> "crossing"
   | Sched -> "sched"
+  | Check -> "check"
 
 let event_to_text e =
   Printf.sprintf "#%-6d %8d cyc  dom %-2d %-8s %d" e.seq e.at e.domain

@@ -9,7 +9,7 @@
     an [Oerror] or an uncaught fault are dumped automatically, and
     [/stats/kernel.flight] exposes the ring on demand. *)
 
-type kind = Trap | Irq | Fault | Crossing | Sched
+type kind = Trap | Irq | Fault | Crossing | Sched | Check
 
 type event = {
   seq : int;  (** recording order, monotonically increasing *)
@@ -18,7 +18,8 @@ type event = {
   at : int;  (** virtual-cycle timestamp *)
   info : int;
       (** kind-specific detail: trap vector, irq line, faulting vpage,
-          crossing target domain, or dispatched thread id *)
+          crossing target domain, dispatched thread id, or linter
+          finding count *)
 }
 
 type t

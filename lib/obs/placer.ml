@@ -15,15 +15,19 @@ module Obs = Pm_obs.Obs
 module Acct = Pm_obs.Acct
 module Chan = Pm_chan.Chan
 
-type placement = User | Certified
+type placement = User | Certified | Verified
 
-let placement_to_string = function User -> "user" | Certified -> "certified"
+let placement_to_string = function
+  | User -> "user"
+  | Certified -> "certified"
+  | Verified -> "verified"
 
 type action = Hold | Migrated of placement | Flipped of Chan.mode
 
 type comp = {
   watch : int list; (* domains paying the crossings for this component *)
   migrate : placement -> bool;
+  verified_ok : bool; (* may the up-migration target be [Verified]? *)
   mutable placement : placement;
   mutable base : (int * Acct.slot) list;
   mutable streak : int;
@@ -49,7 +53,7 @@ type t = {
   confirm : int;
   cooldown : int;
   mutable last_now : int;
-  mutable comp : comp option;
+  mutable comps : comp list; (* in manage order *)
   mutable chan : chan_ctl option;
   mutable epochs : int;
   mutable last_share : float;
@@ -61,7 +65,7 @@ let create ~clock ~costs ?(up_share = 0.2) ?(fault_demote = 3) ?(ring_share = 0.
   {
     clock; costs; up_share; fault_demote; ring_share; idle_sends; confirm; cooldown;
     last_now = Clock.now clock;
-    comp = None;
+    comps = [];
     chan = None;
     epochs = 0;
     last_share = 0.;
@@ -72,17 +76,22 @@ let snapshot_watch clock watch =
   let acct = Obs.acct (Clock.obs clock) in
   List.map (fun d -> (d, Acct.copy (Acct.slot acct d))) watch
 
-let manage t ~watch ~placement ~migrate =
-  t.comp <-
-    Some
-      { watch; migrate; placement; base = snapshot_watch t.clock watch; streak = 0;
-        cool = 0; moves = 0 }
+let manage t ~watch ~placement ?(verified_ok = false) ~migrate () =
+  t.comps <-
+    t.comps
+    @ [
+        { watch; migrate; verified_ok; placement;
+          base = snapshot_watch t.clock watch; streak = 0; cool = 0; moves = 0 };
+      ]
 
 let manage_channel t chan =
   t.chan <- Some { chan; cbase = Chan.stats chan; cstreak = 0; ccool = 0; flips = 0 }
 
-let placement t = Option.map (fun c -> c.placement) t.comp
-let moves t = match t.comp with Some c -> c.moves | None -> 0
+let placement t =
+  match t.comps with c :: _ -> Some c.placement | [] -> None
+
+let placements t = List.map (fun c -> c.placement) t.comps
+let moves t = List.fold_left (fun acc c -> acc + c.moves) 0 t.comps
 let flips t = match t.chan with Some c -> c.flips | None -> 0
 let epochs t = t.epochs
 let crossing_share t = t.last_share
@@ -103,10 +112,13 @@ let comp_epoch t dt (c : comp) actions =
   else begin
     let want =
       match c.placement with
-      (* crossings dominate: pull the component into the kernel *)
-      | User when share >= t.up_share -> Some Certified
+      (* crossings dominate: pull the component into the kernel. When
+         the component's bytecode is verifiable, prefer the [Verified]
+         admission — same zero per-access cost, no signer needed. *)
+      | User when share >= t.up_share ->
+        Some (if c.verified_ok then Verified else Certified)
       (* the component faults: push it back behind a protection wall *)
-      | Certified when dfaults >= t.fault_demote -> Some User
+      | (Certified | Verified) when dfaults >= t.fault_demote -> Some User
       | _ -> None
     in
     match want with
@@ -115,7 +127,15 @@ let comp_epoch t dt (c : comp) actions =
       c.streak <- c.streak + 1;
       if c.streak >= t.confirm then begin
         c.streak <- 0;
-        if c.migrate target then begin
+        let moved, target =
+          if c.migrate target then (true, target)
+          else if target = Verified && c.migrate Certified then
+            (* the verifier balked at this code: certification is the
+               next-cheapest admission with the same per-access cost *)
+            (true, Certified)
+          else (false, target)
+        in
+        if moved then begin
           c.placement <- target;
           c.moves <- c.moves + 1;
           c.cool <- t.cooldown;
@@ -165,7 +185,7 @@ let epoch t =
   let dt = max 1 (now - t.last_now) in
   t.last_now <- now;
   let actions = ref [] in
-  (match t.comp with Some c -> comp_epoch t dt c actions | None -> ());
+  List.iter (fun c -> comp_epoch t dt c actions) t.comps;
   (match t.chan with Some cc -> chan_epoch t dt cc actions | None -> ());
   match List.rev !actions with [] -> [ Hold ] | acts -> acts
 
@@ -173,9 +193,10 @@ let status t =
   Printf.sprintf
     "placer: epoch %d, placement %s (share %.3f, %d moves), channel %s (bell share %.3f, %d flips)"
     t.epochs
-    (match t.comp with
-    | Some c -> placement_to_string c.placement
-    | None -> "-")
+    (match t.comps with
+    | comps when comps <> [] ->
+      String.concat "," (List.map (fun c -> placement_to_string c.placement) comps)
+    | _ -> "-")
     t.last_share (moves t)
     (match t.chan with
     | Some cc -> ( match Chan.mode cc.chan with Chan.Doorbell -> "doorbell" | Chan.Poll -> "poll")

@@ -27,7 +27,7 @@
     only meaningful with [Obs.enabled] on — matching its role as an
     observability consumer. *)
 
-type placement = User | Certified
+type placement = User | Certified | Verified
 
 val placement_to_string : placement -> string
 
@@ -48,11 +48,23 @@ val create :
   t
 
 (** [manage t ~watch ~placement ~migrate] puts one component under
-    control. [watch] lists the domain ids paying the proxy crossings
-    (for a [User]-placed service, the importing domains). [migrate p]
-    performs the actual move and returns whether it succeeded. *)
+    control; calling it again adds further components, all sharing the
+    agent's epoch cadence and hysteresis parameters (each keeps its own
+    streak, cooldown, and baseline). [watch] lists the domain ids paying
+    the proxy crossings (for a [User]-placed service, the importing
+    domains). [verified_ok] (default [false]) declares the component's
+    bytecode verifiable, making [Verified] the preferred up-migration
+    target (with [Certified] as fallback when the migrate closure
+    refuses it). [migrate p] performs the actual move and returns
+    whether it succeeded. *)
 val manage :
-  t -> watch:int list -> placement:placement -> migrate:(placement -> bool) -> unit
+  t ->
+  watch:int list ->
+  placement:placement ->
+  ?verified_ok:bool ->
+  migrate:(placement -> bool) ->
+  unit ->
+  unit
 
 (** Puts one channel's Doorbell/Poll mode under control. *)
 val manage_channel : t -> Pm_chan.Chan.t -> unit
@@ -62,6 +74,11 @@ val manage_channel : t -> Pm_chan.Chan.t -> unit
 val epoch : t -> action list
 
 val placement : t -> placement option
+
+(** Placements of all managed components, in [manage] order. *)
+val placements : t -> placement list
+
+(** Total migrations across all managed components. *)
 val moves : t -> int
 val flips : t -> int
 val epochs : t -> int

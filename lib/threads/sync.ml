@@ -24,6 +24,10 @@ module Waitq = struct
     !n
 
   let length = Queue.length
+
+  (* introspection for the composition linter: who is parked here *)
+  let waiters (q : t) =
+    Queue.fold (fun acc r -> r.Scheduler.thread :: acc) [] q |> List.rev
 end
 
 module Mutex = struct

@@ -22,6 +22,10 @@ module Waitq : sig
   val broadcast : t -> int
 
   val length : t -> int
+
+  (** [waiters q] lists the parked threads, oldest first — introspection
+      for the composition linter's wait-for graph; does not dequeue. *)
+  val waiters : t -> Scheduler.thread list
 end
 
 (** {1 Mutual exclusion} with direct hand-off to the oldest waiter. *)

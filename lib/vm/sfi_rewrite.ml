@@ -65,7 +65,13 @@ let rewrite program ~window_size =
     new_index.(n) <- !cursor;
     (* second pass: emit, remapping jump targets through [new_index] *)
     let remap t =
-      if t < 0 || t > n then t (* leave invalid targets for the VM to fault on *)
+      if t < 0 then t (* still negative, still a fault *)
+      else if t > n then
+        (* an out-of-range target must stay out of range: the rewritten
+           program is longer, so leaving [t] unmapped could turn it into
+           a valid index (landing mid-mask-sequence) and silently un-fault
+           a program that faults when run raw *)
+        !cursor + (t - n)
       else new_index.(t)
     in
     let out = ref [] in

@@ -15,6 +15,12 @@
 (** Registers the rewriter reserves. *)
 val reserved : Vm.reg list
 
+(** [uses_reserved ins] is true when the instruction names a reserved
+    register — the predicate both {!rewrite} and the bytecode verifier
+    ({!Pm_check.Verify}) reject on, so "sandboxable" and "verifiable"
+    agree on the register discipline. *)
+val uses_reserved : Vm.instr -> bool
+
 (** [padded_size n] is the smallest power of two >= max n 1: the window
     size a host must provide for masking to be sound. *)
 val padded_size : int -> int

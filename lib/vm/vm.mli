@@ -59,6 +59,9 @@ type mem = {
 (** [mem_of_bytes b] wraps a buffer as a window. *)
 val mem_of_bytes : bytes -> mem
 
+(** Register-file size (8). *)
+val nregs : int
+
 type outcome =
   | Returned of int
   | Wild_access of int  (** raw program escaped its window at this offset *)

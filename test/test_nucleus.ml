@@ -483,7 +483,8 @@ let test_kernel_namespace_conventions () =
     (fun path ->
       Alcotest.(check bool) path true (Namespace.exists ns (Path.of_string path)))
     [ "/nucleus/events"; "/nucleus/memory"; "/nucleus/directory";
-      "/nucleus/certification"; "/nucleus/trace"; "/nucleus/kernel" ]
+      "/nucleus/certification"; "/nucleus/trace"; "/nucleus/check";
+      "/nucleus/kernel" ]
 
 let test_kernel_service_objects () =
   let k = kernel_fixture () in
@@ -506,7 +507,7 @@ let test_kernel_service_objects () =
      Invoke.call_exn ctx dir_obj ~iface:"directory" ~meth:"list" [ Value.Str "/nucleus" ]
    with
   | Value.List entries ->
-    Alcotest.(check int) "six nucleus entries" 6 (List.length entries)
+    Alcotest.(check int) "seven nucleus entries" 7 (List.length entries)
   | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
 
 let test_kernel_memory_object_syscall () =

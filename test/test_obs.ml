@@ -569,7 +569,8 @@ let test_placer_hysteresis () =
   Placer.manage placer ~watch:[ 1 ] ~placement:Placer.User
     ~migrate:(fun p ->
       migrated := p :: !migrated;
-      true);
+      true)
+    ();
   let epoch_with ~cross ~faults =
     Clock.advance clock 1_000;
     if cross > 0 then Acct.crossing acct ~domain:1 cross;
@@ -603,6 +604,74 @@ let test_placer_hysteresis () =
   | _ -> Alcotest.fail "expected demotion to user");
   Alcotest.(check bool) "demotion ran the closure" true
     (List.hd !migrated = Placer.User)
+
+(* two components under one agent: each keeps its own streak and
+   cooldown, and a verifiable one migrates up to Verified *)
+let test_placer_multi_component () =
+  let clock = Clock.create () in
+  let obs = Clock.obs clock in
+  let acct = Obs.acct obs in
+  let placer = Placer.create ~clock ~costs:Cost.default ~confirm:2 ~cooldown:1 () in
+  let moved_a = ref [] and moved_b = ref [] in
+  Placer.manage placer ~watch:[ 1 ] ~placement:Placer.User
+    ~migrate:(fun p ->
+      moved_a := p :: !moved_a;
+      true)
+    ();
+  Placer.manage placer ~watch:[ 2 ] ~placement:Placer.User ~verified_ok:true
+    ~migrate:(fun p ->
+      moved_b := p :: !moved_b;
+      true)
+    ();
+  Alcotest.(check int) "two components" 2 (List.length (Placer.placements placer));
+  let epoch_with ~cross1 ~cross2 =
+    Clock.advance clock 1_000;
+    if cross1 > 0 then Acct.crossing acct ~domain:1 cross1;
+    if cross2 > 0 then Acct.crossing acct ~domain:2 cross2;
+    Placer.epoch placer
+  in
+  (* only component B runs hot: A must hold while B confirms and moves —
+     and because B is verifiable, the up-target is Verified *)
+  ignore (epoch_with ~cross1:0 ~cross2:500);
+  (match epoch_with ~cross1:0 ~cross2:500 with
+  | [ Placer.Migrated Placer.Verified ] -> ()
+  | acts ->
+    Alcotest.failf "expected one Verified migration, got %d action(s)"
+      (List.length acts));
+  Alcotest.(check bool) "A untouched" true (!moved_a = []);
+  Alcotest.(check bool) "B moved to Verified" true (!moved_b = [ Placer.Verified ]);
+  Alcotest.(check (list string)) "placements reflect both" [ "user"; "verified" ]
+    (List.map Placer.placement_to_string (Placer.placements placer));
+  (* now A runs hot while B cools down; A converges independently *)
+  ignore (epoch_with ~cross1:500 ~cross2:0);
+  (match epoch_with ~cross1:500 ~cross2:0 with
+  | [ Placer.Migrated Placer.Certified ] -> ()
+  | _ -> Alcotest.fail "expected A to migrate to Certified");
+  Alcotest.(check int) "two moves total" 2 (Placer.moves placer);
+  Alcotest.(check (list string)) "both converged" [ "certified"; "verified" ]
+    (List.map Placer.placement_to_string (Placer.placements placer))
+
+(* a verifiable component whose migrate closure refuses Verified falls
+   back to the certificate path *)
+let test_placer_verified_fallback () =
+  let clock = Clock.create () in
+  let acct = Obs.acct (Clock.obs clock) in
+  let placer = Placer.create ~clock ~costs:Cost.default ~confirm:1 ~cooldown:0 () in
+  let attempts = ref [] in
+  Placer.manage placer ~watch:[ 1 ] ~placement:Placer.User ~verified_ok:true
+    ~migrate:(fun p ->
+      attempts := p :: !attempts;
+      p = Placer.Certified)
+    ();
+  Clock.advance clock 1_000;
+  Acct.crossing acct ~domain:1 500;
+  (match Placer.epoch placer with
+  | [ Placer.Migrated Placer.Certified ] -> ()
+  | _ -> Alcotest.fail "expected fallback migration to Certified");
+  Alcotest.(check bool) "tried Verified first" true
+    (List.rev !attempts = [ Placer.Verified; Placer.Certified ]);
+  Alcotest.(check bool) "placement is Certified" true
+    (Placer.placement placer = Some Placer.Certified)
 
 (* --- clock snapshot helpers -------------------------------------------- *)
 
@@ -681,6 +750,8 @@ let () =
       ( "placer",
         [
           Alcotest.test_case "hysteresis" `Quick test_placer_hysteresis;
+          Alcotest.test_case "multi-component" `Quick test_placer_multi_component;
+          Alcotest.test_case "verified fallback" `Quick test_placer_verified_fallback;
         ] );
       ( "interposer",
         [

@@ -334,6 +334,64 @@ let test_sfi_rejections () =
   Alcotest.(check int) "padded_size exact" 32 (Sfi_rewrite.padded_size 32);
   Alcotest.(check int) "padded_size zero" 1 (Sfi_rewrite.padded_size 0)
 
+let rewrite_exn p ~window_size =
+  match Sfi_rewrite.rewrite p ~window_size with Ok p -> p | Error e -> failwith e
+
+let test_sfi_jump_remap_across_masks () =
+  (* two expanded accesses sit between the jump and its target: the
+     remap must account for both inserted mask sequences *)
+  let program =
+    [|
+      Vm.Const (2, 1);
+      Vm.Jnz (2, 5) (* over both loads *);
+      Vm.Load8 (3, 0, 0);
+      Vm.Load8 (3, 0, 1);
+      Vm.Ret 3;
+      Vm.Const (4, 9);
+      Vm.Ret 4;
+    |]
+  in
+  let rewritten = rewrite_exn program ~window_size:16 in
+  check_returned "raw" 9 (run_prog program);
+  check_returned "rewritten follows the remapped jump" 9 (run_prog rewritten)
+
+let test_sfi_window_boundaries () =
+  let pkt () =
+    let b = Bytes.make 16 '\000' in
+    Bytes.set b 0 'A';
+    Bytes.set b 15 'Z';
+    b
+  in
+  let first = [| Vm.Load8 (3, 0, 0); Vm.Ret 3 |] in
+  let last = [| Vm.Const (2, 15); Vm.Load8 (3, 2, 0); Vm.Ret 3 |] in
+  let past = [| Vm.Const (2, 16); Vm.Load8 (3, 2, 0); Vm.Ret 3 |] in
+  check_returned "first byte under masking" (Char.code 'A')
+    (run_prog ~pkt:(pkt ()) (rewrite_exn first ~window_size:16));
+  check_returned "last byte under masking" (Char.code 'Z')
+    (run_prog ~pkt:(pkt ()) (rewrite_exn last ~window_size:16));
+  (* one past the end: the raw program escapes; the mask wraps the
+     address back to offset 0 — contained, by construction *)
+  (match run_prog ~pkt:(pkt ()) past with
+  | Vm.Wild_access 16 -> ()
+  | _ -> Alcotest.fail "raw access at 16 must escape");
+  check_returned "one-past-the-end wraps inside" (Char.code 'A')
+    (run_prog ~pkt:(pkt ()) (rewrite_exn past ~window_size:16))
+
+let test_sfi_out_of_range_jump_stays_out () =
+  (* regression: [Jmp 5] in a 3-instruction program faults when run raw.
+     The rewrite grows the program to 7 instructions, so leaving the
+     target unmapped would turn it into a valid index mid-mask-sequence
+     and silently un-fault the program *)
+  let program = [| Vm.Store8 (0, 0, 0); Vm.Jmp 5; Vm.Ret 0 |] in
+  let rewritten = rewrite_exn program ~window_size:16 in
+  (match run_prog program with
+  | Vm.Vm_fault "jump out of program" -> ()
+  | _ -> Alcotest.fail "raw out-of-range jump must fault");
+  match run_prog rewritten with
+  | Vm.Vm_fault "jump out of program" -> ()
+  | Vm.Returned v -> Alcotest.failf "rewritten program silently returned %d" v
+  | _ -> Alcotest.fail "rewritten out-of-range jump must fault identically"
+
 (* --- stack filter hook --------------------------------------------------------- *)
 
 let make_packet ctx ~dst ~dport payload =
@@ -486,6 +544,11 @@ let () =
       ( "sfi",
         [
           Alcotest.test_case "rejections" `Quick test_sfi_rejections;
+          Alcotest.test_case "jump remap across masks" `Quick
+            test_sfi_jump_remap_across_masks;
+          Alcotest.test_case "window boundaries" `Quick test_sfi_window_boundaries;
+          Alcotest.test_case "out-of-range jump stays out" `Quick
+            test_sfi_out_of_range_jump_stays_out;
           sfi_preserves_semantics_prop;
           sfi_containment_prop;
         ] );
