@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-output lint fmt check clean
+.PHONY: all build test bench bench-smoke demo-smoke bench-output lint fmt check clean
 
 all: build
 
@@ -13,7 +13,11 @@ bench:
 
 # the assertion-bearing experiments at reduced iteration counts, for CI
 bench-smoke:
-	dune exec bench/main.exe -- obs e14 e15 --quick
+	dune exec bench/main.exe -- obs e14 e15 e16 --quick
+
+# the channel-backed data path exercised through the demo binary
+demo-smoke:
+	dune exec bin/paramecium_demo.exe -- packets --net-chan -n 10
 
 # composition lint: the demo system must lint clean, and the linter must
 # catch each seeded violation (non-zero exit inverted with !)

@@ -109,7 +109,16 @@ let packets_cmd =
              plus the flight-recorder dump at exit (read through \
              $(b,/stats/kernel) like any client would).")
   in
-  let run seed placement n size trace stats =
+  let net_chan_t =
+    Arg.(
+      value & flag
+      & info [ "net-chan" ]
+          ~doc:
+            "Carry the workload over the channel-backed data path (Pm_net): \
+             deliveries land on a per-port ring instead of the mailbox, and \
+             each one is echoed back through the shared MPSC transmit group.")
+  in
+  let run seed placement n size trace stats net_chan =
     let sys = System.create ~seed () in
     let k = System.kernel sys in
     let net = networking sys placement in
@@ -123,9 +132,21 @@ let packets_cmd =
       | Ok _ -> ()
       | Error e -> say "trace interposer: %s" e
     end;
-    ignore
-      (Invoke.call_exn (Kernel.ctx k consume) net.System.stack ~iface:"stack"
-         ~meth:"bind_port" [ Value.Int 7 ]);
+    let ring =
+      if net_chan then begin
+        let nsc, _svc = System.channel_net sys net () in
+        let app = System.new_domain sys "app" in
+        match Netstack_chan.bind nsc ~port:7 ~owner:app ~mode:Chan.Poll () with
+        | Ok chan -> Some (nsc, app, chan, Netstack_chan.attach_tx nsc ~producer:app)
+        | Error e -> failwith ("net-chan bind: " ^ e)
+      end
+      else begin
+        ignore
+          (Invoke.call_exn (Kernel.ctx k consume) net.System.stack ~iface:"stack"
+             ~meth:"bind_port" [ Value.Int 7 ]);
+        None
+      end
+    in
     let ctx = Kernel.ctx k kdom in
     let payload = String.make size 'p' in
     let tp = Wire.Transport.build ctx ~sport:9 ~dport:7 (Bytes.of_string payload) in
@@ -138,18 +159,51 @@ let packets_cmd =
       Kernel.step k ~ticks:1 ()
     done;
     Kernel.step k ~ticks:4 ();
-    let delivered =
-      match
-        Invoke.call_exn (Kernel.ctx k consume) net.System.stack ~iface:"stack"
-          ~meth:"pending" [ Value.Int 7 ]
-      with
-      | Value.Int p -> p
-      | _ -> 0
+    let delivered, echoed =
+      match ring with
+      | None ->
+        let p =
+          match
+            Invoke.call_exn (Kernel.ctx k consume) net.System.stack ~iface:"stack"
+              ~meth:"pending" [ Value.Int 7 ]
+          with
+          | Value.Int p -> p
+          | _ -> 0
+        in
+        (p, None)
+      | Some (nsc, app, chan, tx) ->
+        (* server loop: drain the port ring, echo every request back
+           through the MPSC transmit group *)
+        let msgs = Chan.recv_batch ~account:false chan () in
+        let mmu = Machine.mmu (Kernel.machine k) in
+        Mmu.switch_context mmu app.Domain.id;
+        let uctx = Kernel.ctx k app in
+        let sent =
+          List.fold_left
+            (fun acc m ->
+              match Netwire.Delivery.parse uctx m with
+              | Ok { Netwire.Delivery.src; sport; payload } ->
+                if Netstack_chan.submit tx uctx ~dst:src ~sport:7 ~dport:sport payload
+                then acc + 1
+                else acc
+              | Error _ -> acc)
+            0 msgs
+        in
+        Mmu.switch_context mmu kdom.Domain.id;
+        ignore (Netstack_chan.drain_tx nsc);
+        Kernel.step k ~ticks:(sent + 4) ();
+        let on_wire = List.length (Nic.take_transmitted (Kernel.nic k)) in
+        (List.length msgs, Some (sent, on_wire))
     in
     say "%d/%d packets of %dB delivered; %d cycles (%.1f cycles/packet)" delivered n
       size
       (Clock.now clock - before)
       (float_of_int (Clock.now clock - before) /. float_of_int n);
+    (match echoed with
+    | Some (sent, on_wire) ->
+      say "net-chan: %d deliveries drained from /net/7/rx; %d echoes submitted, %d frames on the wire"
+        delivered sent on_wire
+    | None -> ());
     say "counters:";
     List.iter
       (fun (name, v) -> say "  %-24s %d" name v)
@@ -203,7 +257,9 @@ let packets_cmd =
   Cmd.v
     (Cmd.info "packets"
        ~doc:"Push a packet workload through a placement and report cycle counters.")
-    Term.(const run $ seed_t $ placement_t $ count_t $ size_t $ trace_t $ stats_t)
+    Term.(
+      const run $ seed_t $ placement_t $ count_t $ size_t $ trace_t $ stats_t
+      $ net_chan_t)
 
 (* --- certify ---------------------------------------------------------------- *)
 

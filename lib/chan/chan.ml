@@ -65,6 +65,11 @@ type t = {
       (* distinct MMU contexts observed sending, newest first — a plain
          store per new context, read by the composition linter's SPSC
          ownership check *)
+  mutable ring_group : (string * int) option;
+      (* set when this ring is a per-producer sub-ring of an MPSC group:
+         (group name, owning MMU context). The linter then polices the
+         sub-ring discipline — only the owner may enqueue — instead of
+         the global single-producer rule. *)
 }
 
 let next_id = ref 1
@@ -177,6 +182,7 @@ let create machine vmem ?name ?(slots = 64) ?(slot_size = 1024) ?(mode = Doorbel
       empty_blocks = 0;
       drops = 0;
       send_ctxs = [];
+      ring_group = None;
     }
   in
   all_channels := t :: !all_channels;
@@ -231,6 +237,8 @@ let iter_all ~machine f =
   List.iter (fun c -> if c.machine == machine then f c) (List.rev !all_channels)
 
 let senders_seen t = List.rev t.send_ctxs
+let group t = t.ring_group
+let set_group t ~group ~owner_ctx = t.ring_group <- Some (group, owner_ctx)
 
 let domains_of_waitq q =
   Sync.Waitq.waiters q

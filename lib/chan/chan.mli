@@ -159,8 +159,18 @@ val iter_all : machine:Pm_machine.Machine.t -> (t -> unit) -> unit
 
 (** [senders_seen t] lists the distinct MMU contexts that have enqueued
     on [t], in first-seen order — more than one is an SPSC ownership
-    violation. *)
+    violation (unless the ring is an MPSC sub-ring, see {!group}). *)
 val senders_seen : t -> int list
+
+(** [group t] is [Some (group_name, owner_ctx)] when [t] is a
+    per-producer sub-ring of an MPSC group ({!Mpsc}): exactly the owning
+    MMU context may enqueue, and the linter checks that instead of the
+    global single-producer rule. *)
+val group : t -> (string * int) option
+
+(** Tag [t] as an MPSC sub-ring owned by [owner_ctx] (called by
+    {!Mpsc.attach}). *)
+val set_group : t -> group:string -> owner_ctx:int -> unit
 
 (** Domains of threads currently parked in a blocking [send] (full
     ring): they wait on the consumer's progress. *)

@@ -170,6 +170,51 @@ let drain_server conn =
   | Some d -> d ()
   | None -> invalid_arg "Rpc_chan.drain_server: serve has not been called"
 
+(* The channel-backed mode of {!Pm_components.Rpc.create_server}: same
+   ["rpc.server"] interface (poll/requests/failures), same classic wire
+   format — carried as raw segments over the ring pair instead of stack
+   packets, so a caller in another domain pays one doorbell per batch
+   rather than a proxy fault per call. Served calls are normally drained
+   by the doorbell pop-up; [poll] catches up inline like the stack
+   server's poll does. *)
+let create_server api conn ~procedures () =
+  let requests = ref 0 and failures = ref 0 in
+  let raw ctx args =
+    match Pm_components.Rpc.raw_handler ~procedures ctx args with
+    | Ok resp ->
+      incr requests;
+      (match Pm_components.Rpc.decode_response resp with
+      | Ok (_, status, _) when status <> Pm_components.Rpc.status_ok -> incr failures
+      | _ -> ());
+      Ok resp
+    | Error e ->
+      incr failures;
+      Error e
+  in
+  serve api conn ~procedures:[] ~raw ();
+  let poll_m _ctx = function
+    | [] -> Ok (Value.Int (drain_server conn))
+    | _ -> Error (Oerror.Type_error "poll()")
+  in
+  let requests_m _ctx = function
+    | [] -> Ok (Value.Int !requests)
+    | _ -> Error (Oerror.Type_error "requests()")
+  in
+  let failures_m _ctx = function
+    | [] -> Ok (Value.Int !failures)
+    | _ -> Error (Oerror.Type_error "failures()")
+  in
+  let iface =
+    Iface.make ~name:"rpc.server"
+      [
+        Iface.meth ~name:"poll" ~args:[] ~ret:Vtype.Tint poll_m;
+        Iface.meth ~name:"requests" ~args:[] ~ret:Vtype.Tint requests_m;
+        Iface.meth ~name:"failures" ~args:[] ~ret:Vtype.Tint failures_m;
+      ]
+  in
+  Instance.create api.Api.registry ~class_name:"chan.rpc_server"
+    ~domain:conn.server_dom.Domain.id [ iface ]
+
 (* ------------------------------------------------------------------ *)
 (* Client                                                              *)
 (* ------------------------------------------------------------------ *)

@@ -78,3 +78,19 @@ val client : Pm_nucleus.Api.t -> conn -> ?max_polls:int -> unit -> Pm_obj.Instan
     polling mode, for consumers that want to skip doorbells wholesale.
     Returns the number of calls served. Requires {!serve} first. *)
 val drain_server : conn -> int
+
+(** [create_server api conn ~procedures ()] is the channel-backed mode
+    of {!Pm_components.Rpc.create_server}: the same ["rpc.server"]
+    object — [poll() -> int], [requests() -> int], [failures() -> int] —
+    speaking the same classic wire format, but served from the ring
+    pair via {!serve} (mounted through
+    {!Pm_components.Rpc.raw_handler}), so a user-space server never
+    sees a per-call proxy fault. Pair it with
+    {!Pm_components.Rpc.create_client_via} riding {!client}'s
+    ["rpc.transport"], or with {!client}'s batched verbs directly. *)
+val create_server :
+  Pm_nucleus.Api.t ->
+  conn ->
+  procedures:(string * Pm_components.Rpc.handler) list ->
+  unit ->
+  Pm_obj.Instance.t

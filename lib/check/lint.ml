@@ -116,23 +116,50 @@ let check_handlers events =
 (* A channel ring has exactly one free-running tail: two senders from
    different MMU contexts silently corrupt each other's slots. The
    receive side is legitimately plural (inline drains plus pop-up
-   consumers run in different contexts), so only senders are policed. *)
+   consumers run in different contexts), so only senders are policed.
+
+   An MPSC group (Pm_chan.Mpsc) is the sanctioned multi-producer shape:
+   many producers, but each on its own tagged sub-ring. For a tagged
+   ring the rule tightens to "exactly the owning context": distinct
+   producers on distinct sub-rings pass, while a second context on
+   someone else's sub-ring is flagged with the group named. *)
 let check_spsc ~machine =
   let findings = ref [] in
   Chan.iter_all ~machine (fun c ->
-      match Chan.senders_seen c with
-      | [] | [ _ ] -> ()
-      | ctxs ->
-        findings :=
-          {
-            rule = "spsc";
-            subject = Chan.name c;
-            detail =
-              Printf.sprintf "%d distinct sending contexts: %s" (List.length ctxs)
-                (String.concat ", " (List.map string_of_int ctxs));
-            severity = Error;
-          }
-          :: !findings);
+      match Chan.group c with
+      | Some (gname, owner_ctx) ->
+        (match
+           List.filter (fun ctx -> ctx <> owner_ctx) (Chan.senders_seen c)
+         with
+        | [] -> ()
+        | intruders ->
+          findings :=
+            {
+              rule = "spsc";
+              subject = Chan.name c;
+              detail =
+                Printf.sprintf
+                  "sub-ring of mpsc group %s is owned by context %d but saw \
+                   sender(s) %s"
+                  gname owner_ctx
+                  (String.concat ", " (List.map string_of_int intruders));
+              severity = Error;
+            }
+            :: !findings)
+      | None ->
+        (match Chan.senders_seen c with
+        | [] | [ _ ] -> ()
+        | ctxs ->
+          findings :=
+            {
+              rule = "spsc";
+              subject = Chan.name c;
+              detail =
+                Printf.sprintf "%d distinct sending contexts: %s" (List.length ctxs)
+                  (String.concat ", " (List.map string_of_int ctxs));
+              severity = Error;
+            }
+            :: !findings));
   List.rev !findings
 
 (* ------------------------------------------------------------------ *)
@@ -232,7 +259,9 @@ let explain = function
     "every registered event call-back must belong to a live domain"
   | "spsc" ->
     "a channel ring has one producer: enqueues from more than one MMU context \
-     corrupt the single free-running tail"
+     corrupt the single free-running tail; a sub-ring of an mpsc group is \
+     instead checked against its owning context, so distinct producers on \
+     distinct sub-rings are the sanctioned multi-producer shape"
   | "wait-cycle" ->
     "domains blocked on channel ends must not form a cycle of mutual waiting — \
      that is a deadlock no doorbell can break"

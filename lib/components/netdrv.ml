@@ -50,6 +50,10 @@ type state = {
   mutable sink : Instance.t option;
   mutable rx_count : int;
   mutable tx_count : int;
+  (* The single tx staging page can only hold one frame at a time; further
+     sends wait here until the outstanding DMA completes (tx_done irq). *)
+  mutable tx_inflight : bool;
+  tx_backlog : Bytes.t Queue.t;
 }
 
 (* Run [f] with the driver's MMU context current (I/O grants are checked
@@ -63,6 +67,19 @@ let in_domain st f =
     Fun.protect ~finally:(fun () -> Mmu.switch_context mmu prev) f
   end
 
+let stage_tx st ctx data =
+  let vmem = st.api.Api.vmem in
+  let len = Bytes.length data in
+  Machine.write_string st.api.Api.machine st.dom.Domain.id st.tx_vaddr
+    (Bytes.to_string data);
+  Call_ctx.note_access ctx len;
+  let phys = Vmem.phys_of vmem st.dom ~vaddr:st.tx_vaddr in
+  Vmem.io_write vmem st.grant ~reg:reg_tx_addr phys;
+  Vmem.io_write vmem st.grant ~reg:reg_tx_len len;
+  Vmem.io_write vmem st.grant ~reg:reg_tx_go 1;
+  st.tx_inflight <- true;
+  st.tx_count <- st.tx_count + 1
+
 (* Interrupt body: drain completed receive DMA, push frames to the sink,
    recycle buffers, acknowledge transmit completions. *)
 let service_interrupt st () =
@@ -70,8 +87,13 @@ let service_interrupt st () =
   let ctx = Api.ctx st.api st.dom in
   let rec drain () =
     let status = Vmem.io_read vmem st.grant ~reg:reg_status in
-    if status land status_tx_done <> 0 then
+    if status land status_tx_done <> 0 then begin
       Vmem.io_write vmem st.grant ~reg:reg_status status_tx_done;
+      st.tx_inflight <- false;
+      match Queue.take_opt st.tx_backlog with
+      | Some frame -> stage_tx st ctx frame
+      | None -> ()
+    end;
     if status land status_rx <> 0 then begin
       let phys = Vmem.io_read vmem st.grant ~reg:reg_rx_addr in
       let len = Vmem.io_read vmem st.grant ~reg:reg_rx_len in
@@ -109,15 +131,13 @@ let send st ctx data =
   if len > Nic.mtu then Error (Oerror.Fault "netdrv: frame exceeds MTU")
   else begin
     in_domain st (fun () ->
-        let vmem = st.api.Api.vmem in
-        Machine.write_string st.api.Api.machine st.dom.Domain.id st.tx_vaddr
-          (Bytes.to_string data);
-        Call_ctx.note_access ctx len;
-        let phys = Vmem.phys_of vmem st.dom ~vaddr:st.tx_vaddr in
-        Vmem.io_write vmem st.grant ~reg:reg_tx_addr phys;
-        Vmem.io_write vmem st.grant ~reg:reg_tx_len len;
-        Vmem.io_write vmem st.grant ~reg:reg_tx_go 1;
-        st.tx_count <- st.tx_count + 1;
+        if st.tx_inflight then begin
+          (* copy into the backlog; staged onto the wire from the tx_done
+             interrupt, in order *)
+          Call_ctx.note_access ctx len;
+          Queue.push (Bytes.copy data) st.tx_backlog
+        end
+        else stage_tx st ctx data;
         Ok Value.Unit)
   end
 
@@ -130,7 +150,7 @@ let create api dom ?(config = default_config) () =
   let tx_vaddr = Vmem.alloc_pages vmem dom ~count:1 ~sharing:Vmem.Exclusive in
   let st =
     { api; dom; grant; buf_vaddr_of_phys; tx_vaddr; sink = None; rx_count = 0;
-      tx_count = 0 }
+      tx_count = 0; tx_inflight = false; tx_backlog = Queue.create () }
   in
   in_domain st (fun () ->
       for _ = 1 to config.rx_buffers do

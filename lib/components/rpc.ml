@@ -75,6 +75,28 @@ let decode_response b =
 
 (* --- server --------------------------------------------------------- *)
 
+(* One classic-wire exchange as a raw [handler]: decode the request,
+   dispatch the procedure table, encode the response (application status
+   inside, like the stack-based server sends). This is what a channel
+   carrier mounts as its [raw] hook to give [create_server] a
+   channel-backed mode — see {!Pm_chan.Rpc_chan.create_server}. *)
+let raw_handler ~procedures : handler =
+ fun ctx req ->
+  match decode_request req with
+  | Error e -> Error e
+  | Ok (id, _rport, name, payload) ->
+    (* procedure-table dispatch *)
+    Call_ctx.charge ctx ctx.Call_ctx.costs.Pm_machine.Cost.indirect_call;
+    let status, result =
+      match List.assoc_opt name procedures with
+      | None -> (status_error, Bytes.of_string ("no such procedure " ^ name))
+      | Some h ->
+        (match h ctx payload with
+        | Ok r -> (status_ok, r)
+        | Error e -> (status_error, Bytes.of_string e))
+    in
+    Ok (encode_response ~id ~status result)
+
 let stack_call ctx stack meth args = Invoke.call ctx stack ~iface:"stack" ~meth args
 
 let create_server api dom ~stack_path ~port ~procedures =

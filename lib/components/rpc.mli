@@ -36,8 +36,20 @@ val encode_response : id:int -> status:int -> bytes -> bytes
 
 val decode_response : bytes -> (int * int * bytes, string) result
 
+(** [raw_handler ~procedures] is one classic-wire exchange as a
+    {!handler}: decode a request, dispatch the procedure table, encode
+    the response (application status inside). Mounting it as a channel
+    carrier's raw hook is the server's channel-backed mode —
+    {!Pm_chan.Rpc_chan.create_server} packages exactly that, giving a
+    ["rpc.server"] object whose callers never pay a per-call proxy
+    fault. *)
+val raw_handler : procedures:(string * handler) list -> handler
+
 (** [create_server api dom ~stack_path ~port ~procedures] binds [port] on
-    the stack and serves the given procedures. *)
+    the stack and serves the given procedures. For the channel-backed
+    mode of the same server — same wire format, same ["rpc.server"]
+    interface, but requests arriving over a shared-memory ring pair
+    instead of the stack — see {!Pm_chan.Rpc_chan.create_server}. *)
 val create_server :
   Pm_nucleus.Api.t ->
   Pm_nucleus.Domain.t ->

@@ -119,6 +119,10 @@ type state = {
   mutable driver : Instance.t option;
   comp : Composite.t option ref; (* set right after the composite exists *)
   mailboxes : (int, Value.t Queue.t) Hashtbl.t;
+  (* per-port delivery sinks: when set, decoded payloads for the port go
+     to the sink's "netsink".deliver instead of the mailbox — how a
+     channel-backed receive path (Pm_net) hooks each bound port *)
+  port_sinks : (int, Instance.t) Hashtbl.t;
   mutable rx_ok : int;
   mutable rx_dropped : int;
   mutable tx : int;
@@ -219,15 +223,27 @@ and rx_unfiltered st ctx raw =
           | Error e -> Error e
           | Ok (Value.Pair (Value.Pair (Value.Int sport, Value.Int dport), Value.Blob payload))
             ->
-            (match Hashtbl.find_opt st.mailboxes dport with
-            | None -> drop st (Printf.sprintf "port %d not bound" dport)
-            | Some q ->
-              Queue.push
-                (Value.Pair
-                   (Value.Pair (Value.Int nsrc, Value.Int sport), Value.Blob payload))
-                q;
-              st.rx_ok <- st.rx_ok + 1;
-              Ok Value.Unit)
+            (match Hashtbl.find_opt st.port_sinks dport with
+            | Some sink ->
+              (match
+                 Invoke.call ctx sink ~iface:"netsink" ~meth:"deliver"
+                   [ Value.Int nsrc; Value.Int sport; Value.Blob payload ]
+               with
+              | Ok _ ->
+                st.rx_ok <- st.rx_ok + 1;
+                Ok Value.Unit
+              | Error (Oerror.Fault e) -> drop st e
+              | Error e -> Error e)
+            | None ->
+              (match Hashtbl.find_opt st.mailboxes dport with
+              | None -> drop st (Printf.sprintf "port %d not bound" dport)
+              | Some q ->
+                Queue.push
+                  (Value.Pair
+                     (Value.Pair (Value.Int nsrc, Value.Int sport), Value.Blob payload))
+                  q;
+                st.rx_ok <- st.rx_ok + 1;
+                Ok Value.Unit))
           | Ok _ -> fault "stack: transport decode shape"
         end
       | Ok _ -> fault "stack: net decode shape"
@@ -353,6 +369,25 @@ let controller api dom st =
     | [] -> Ok (Value.Int st.addr)
     | _ -> Error (Oerror.Type_error "address()")
   in
+  (* route a bound port's deliveries to a sink object instead of the
+     mailbox: the hook Pm_net uses to feed each port's receive ring *)
+  let attach_port_m _ctx = function
+    | [ Value.Int port; Value.Handle h ] ->
+      if not (Hashtbl.mem st.mailboxes port) then fault "port not bound"
+      else (
+        match Pm_nucleus.Directory.resolve_handle st.api.Api.directory h with
+        | None -> fault "attach_port: dead sink handle"
+        | Some sink ->
+          Hashtbl.replace st.port_sinks port sink;
+          Ok Value.Unit)
+    | _ -> Error (Oerror.Type_error "attach_port(int, handle)")
+  in
+  let detach_port_m _ctx = function
+    | [ Value.Int port ] ->
+      Hashtbl.remove st.port_sinks port;
+      Ok Value.Unit
+    | _ -> Error (Oerror.Type_error "detach_port(int)")
+  in
   let iface =
     Iface.make ~name:"stack"
       [
@@ -372,6 +407,10 @@ let controller api dom st =
           ~ret:Vtype.Tunit set_filter_m;
         Iface.meth ~name:"clear_filter" ~args:[] ~ret:Vtype.Tunit clear_filter_m;
         Iface.meth ~name:"address" ~args:[] ~ret:Vtype.Tint address_m;
+        Iface.meth ~name:"attach_port" ~args:[ Vtype.Tint; Vtype.Thandle ]
+          ~ret:Vtype.Tunit attach_port_m;
+        Iface.meth ~name:"detach_port" ~args:[ Vtype.Tint ] ~ret:Vtype.Tunit
+          detach_port_m;
       ]
   in
   Instance.create api.Api.registry ~class_name:"stack.controller" ~domain:dom.Domain.id
@@ -389,6 +428,7 @@ let create api dom ~addr ~driver_path =
       driver = None;
       comp = comp_ref;
       mailboxes = Hashtbl.create 8;
+      port_sinks = Hashtbl.create 4;
       rx_ok = 0;
       rx_dropped = 0;
       tx = 0;

@@ -21,6 +21,11 @@
       raw, which is only safe for certified filters
     - [clear_filter() -> unit]
     - [address() -> int]
+    - [attach_port(port:int, sink:handle) -> unit] — route the bound
+      port's deliveries to [sink]'s ["netsink"] interface
+      ([deliver(src:int, sport:int, payload:blob)]) instead of the
+      mailbox; {!Pm_net} uses this to feed each port's receive ring
+    - [detach_port(port:int) -> unit] — back to mailbox delivery
 
     Addresses are 16-bit and double as link-layer addresses; [0xffff]
     broadcasts. The driver is bound by name on first use, so load order

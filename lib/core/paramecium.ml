@@ -97,8 +97,14 @@ module Images = Pm_components.Images
 
 (* shared-memory channels *)
 module Chan = Pm_chan.Chan
+module Mpsc = Pm_chan.Mpsc
 module Chan_svc = Pm_chan.Chan_svc
 module Rpc_chan = Pm_chan.Rpc_chan
+
+(* channel-backed network data path *)
+module Netwire = Pm_net.Netwire
+module Netstack_chan = Pm_net.Netstack_chan
+module Netsvc = Pm_net.Netsvc
 
 (* downloaded-code substrate *)
 module Vm = Pm_vm.Vm

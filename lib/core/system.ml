@@ -247,6 +247,23 @@ let setup_networking t ~placement ~addr ?(loopback = false) () =
     failwith ("System.setup_networking: attach failed: " ^ Pm_obj.Oerror.to_string e));
   { driver; stack; stack_domain }
 
+(* The full channel-backed data path (Pm_net): per-port receive rings
+   out of the stack, one MPSC transmit group into it, published as the
+   /shared/net factory with endpoints at /net/<port>/{rx,tx}. *)
+let channel_net t net ?rx_slots ?rx_slot_size ?tx_slots ?tx_slot_size () =
+  let api = Kernel.api t.kernel in
+  let nsc =
+    Pm_net.Netstack_chan.create api ~stack:net.stack
+      ~stack_domain:net.stack_domain ?rx_slots ?rx_slot_size ?tx_slots
+      ?tx_slot_size ()
+  in
+  let svc =
+    Pm_net.Netsvc.create api nsc
+      ~domain_of_id:(Kernel.domain_of_id t.kernel) ()
+  in
+  Kernel.register_at t.kernel "/shared/net" svc;
+  (nsc, svc)
+
 (* Rewire the receive path over a shared-memory channel: the driver's
    per-frame sink becomes a same-domain ring enqueue and the stack gets
    bursts through one rx_batch invocation per doorbell — the E4 mailbox

@@ -101,5 +101,21 @@ val setup_networking :
 val channel_rx :
   t -> networking -> ?slots:int -> ?slot_size:int -> unit -> Pm_chan.Chan.t
 
+(** [channel_net t net ()] builds the full channel-backed data path
+    ({!Pm_net.Netstack_chan}) over an existing networking bundle and
+    publishes the network factory at [/shared/net]; binding a port
+    through it registers endpoints at [/net/<port>/rx] and
+    [/net/<port>/tx]. Usually combined with {!channel_rx} so every hop
+    driver→stack→app (and back) rides a ring. *)
+val channel_net :
+  t ->
+  networking ->
+  ?rx_slots:int ->
+  ?rx_slot_size:int ->
+  ?tx_slots:int ->
+  ?tx_slot_size:int ->
+  unit ->
+  Pm_net.Netstack_chan.t * Pm_obj.Instance.t
+
 (** [new_domain t name] is a fresh user protection domain. *)
 val new_domain : t -> string -> Pm_nucleus.Domain.t

@@ -70,6 +70,11 @@ let span_store t = t.mem_write
 let traced_dispatch t = dispatch t + span_store t
 let doorbell_crossing t = t.trap + (2 * t.context_switch) + t.proto_thread
 
+(* A multi-producer enqueue pays for the group's shared reserve words on
+   top of the sub-ring's own traffic: one store publishing the sub-ring's
+   dirty bit and one load of the shared armed flag. *)
+let mpsc_reserve t = t.mem_write + t.mem_read
+
 let unit_costs =
   {
     cycle = 1;

@@ -62,5 +62,11 @@ val traced_dispatch : t -> int
     proto-thread that drains the ring. *)
 val doorbell_crossing : t -> int
 
+(** Extra shared-word traffic a multi-producer enqueue pays per reserve
+    on top of its sub-ring's own accounting: publishing the sub-ring's
+    dirty bit ([mem_write]) and reading the group's armed flag
+    ([mem_read]). *)
+val mpsc_reserve : t -> int
+
 (** A uniform all-ones table, useful in tests to count abstract events. *)
 val unit_costs : t

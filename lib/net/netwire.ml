@@ -1,0 +1,72 @@
+module Call_ctx = Pm_obj.Call_ctx
+
+let check16 label v =
+  if v < 0 || v > 0xffff then
+    invalid_arg (Printf.sprintf "Netwire: %s out of range" label)
+
+let get16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let set16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+(* charge for materializing [n] bytes into/out of a ring message; the
+   rings themselves run with [~account:false], so this is where each
+   payload byte is paid for — once per side, the zero-copy contract *)
+let copy_cost ctx n = Call_ctx.access ctx n
+
+module Delivery = struct
+  type t = { src : int; sport : int; payload : bytes }
+
+  let header_len = 4
+
+  let build ctx ~src ~sport payload =
+    check16 "delivery src" src;
+    check16 "delivery sport" sport;
+    let plen = Bytes.length payload in
+    let b = Bytes.create (header_len + plen) in
+    set16 b 0 src;
+    set16 b 2 sport;
+    Bytes.blit payload 0 b header_len plen;
+    copy_cost ctx (header_len + plen);
+    b
+
+  let parse ctx b =
+    let total = Bytes.length b in
+    if total < header_len then Error "delivery: truncated"
+    else begin
+      let src = get16 b 0 and sport = get16 b 2 in
+      let payload = Bytes.sub b header_len (total - header_len) in
+      copy_cost ctx total;
+      Ok { src; sport; payload }
+    end
+end
+
+module Txreq = struct
+  type t = { dst : int; sport : int; dport : int; payload : bytes }
+
+  let header_len = 6
+
+  let build ctx ~dst ~sport ~dport payload =
+    check16 "txreq dst" dst;
+    check16 "txreq sport" sport;
+    check16 "txreq dport" dport;
+    let plen = Bytes.length payload in
+    let b = Bytes.create (header_len + plen) in
+    set16 b 0 dst;
+    set16 b 2 sport;
+    set16 b 4 dport;
+    Bytes.blit payload 0 b header_len plen;
+    copy_cost ctx (header_len + plen);
+    b
+
+  let parse ctx b =
+    let total = Bytes.length b in
+    if total < header_len then Error "txreq: truncated"
+    else begin
+      let dst = get16 b 0 and sport = get16 b 2 and dport = get16 b 4 in
+      let payload = Bytes.sub b header_len (total - header_len) in
+      copy_cost ctx total;
+      Ok { dst; sport; dport; payload }
+    end
+end

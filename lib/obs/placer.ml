@@ -28,11 +28,13 @@ type comp = {
   watch : int list; (* domains paying the crossings for this component *)
   migrate : placement -> bool;
   verified_ok : bool; (* may the up-migration target be [Verified]? *)
+  move_cost : int; (* cycles a migration costs (certification, reload) *)
   mutable placement : placement;
   mutable base : (int * Acct.slot) list;
   mutable streak : int;
   mutable cool : int;
   mutable moves : int;
+  mutable defers : int; (* up-migrations declined by the payback check *)
 }
 
 type chan_ctl = {
@@ -48,6 +50,7 @@ type t = {
   costs : Cost.t;
   up_share : float;
   fault_demote : int;
+  payback_window : int; (* epochs a migration has to earn its cost back *)
   ring_share : float;
   idle_sends : int;
   confirm : int;
@@ -60,10 +63,12 @@ type t = {
   mutable last_ring_share : float;
 }
 
-let create ~clock ~costs ?(up_share = 0.2) ?(fault_demote = 3) ?(ring_share = 0.25)
-    ?(idle_sends = 0) ?(confirm = 2) ?(cooldown = 1) () =
+let create ~clock ~costs ?(up_share = 0.2) ?(fault_demote = 3)
+    ?(payback_window = 4) ?(ring_share = 0.25) ?(idle_sends = 0) ?(confirm = 2)
+    ?(cooldown = 1) () =
   {
-    clock; costs; up_share; fault_demote; ring_share; idle_sends; confirm; cooldown;
+    clock; costs; up_share; fault_demote; payback_window; ring_share; idle_sends;
+    confirm; cooldown;
     last_now = Clock.now clock;
     comps = [];
     chan = None;
@@ -76,12 +81,13 @@ let snapshot_watch clock watch =
   let acct = Obs.acct (Clock.obs clock) in
   List.map (fun d -> (d, Acct.copy (Acct.slot acct d))) watch
 
-let manage t ~watch ~placement ?(verified_ok = false) ~migrate () =
+let manage t ~watch ~placement ?(verified_ok = false) ?(move_cost = 0) ~migrate () =
   t.comps <-
     t.comps
     @ [
-        { watch; migrate; verified_ok; placement;
-          base = snapshot_watch t.clock watch; streak = 0; cool = 0; moves = 0 };
+        { watch; migrate; verified_ok; move_cost; placement;
+          base = snapshot_watch t.clock watch; streak = 0; cool = 0; moves = 0;
+          defers = 0 };
       ]
 
 let manage_channel t chan =
@@ -92,6 +98,7 @@ let placement t =
 
 let placements t = List.map (fun c -> c.placement) t.comps
 let moves t = List.fold_left (fun acc c -> acc + c.moves) 0 t.comps
+let deferrals t = List.fold_left (fun acc c -> acc + c.defers) 0 t.comps
 let flips t = match t.chan with Some c -> c.flips | None -> 0
 let epochs t = t.epochs
 let crossing_share t = t.last_share
@@ -116,7 +123,14 @@ let comp_epoch t dt (c : comp) actions =
          the component's bytecode is verifiable, prefer the [Verified]
          admission — same zero per-access cost, no signer needed. *)
       | User when share >= t.up_share ->
-        Some (if c.verified_ok then Verified else Certified)
+        (* payback check: the crossings saved over the horizon must
+           cover what the migration itself costs, else moving loses
+           cycles even though the share looks high *)
+        if c.move_cost > t.payback_window * dcross then begin
+          c.defers <- c.defers + 1;
+          None
+        end
+        else Some (if c.verified_ok then Verified else Certified)
       (* the component faults: push it back behind a protection wall *)
       | (Certified | Verified) when dfaults >= t.fault_demote -> Some User
       | _ -> None

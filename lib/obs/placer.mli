@@ -40,6 +40,7 @@ val create :
   costs:Pm_machine.Cost.t ->
   ?up_share:float ->
   ?fault_demote:int ->
+  ?payback_window:int ->
   ?ring_share:float ->
   ?idle_sends:int ->
   ?confirm:int ->
@@ -56,12 +57,20 @@ val create :
     bytecode verifiable, making [Verified] the preferred up-migration
     target (with [Certified] as fallback when the migrate closure
     refuses it). [migrate p] performs the actual move and returns
-    whether it succeeded. *)
+    whether it succeeded.
+
+    [move_cost] (cycles, default 0) is what the migration itself costs —
+    certification latency, reloading. An up-migration is only taken when
+    the crossings measured in the epoch, projected over [payback_window]
+    epochs (default 4, on {!create}), cover that cost; otherwise the
+    decision is deferred and counted in {!deferrals}. The default
+    [move_cost = 0] disables the check. *)
 val manage :
   t ->
   watch:int list ->
   placement:placement ->
   ?verified_ok:bool ->
+  ?move_cost:int ->
   migrate:(placement -> bool) ->
   unit ->
   unit
@@ -80,6 +89,10 @@ val placements : t -> placement list
 
 (** Total migrations across all managed components. *)
 val moves : t -> int
+
+(** Up-migrations declined because the projected saving over the
+    payback window did not cover the move's cost. *)
+val deferrals : t -> int
 val flips : t -> int
 val epochs : t -> int
 

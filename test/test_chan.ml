@@ -131,6 +131,124 @@ let test_doorbell_popup_delivery () =
   ignore (Chan.try_send chan (Bytes.of_string "m4"));
   Alcotest.(check (list string)) "re-armed after dry drain" [ "m3"; "m4" ] !received
 
+(* --- MPSC groups -------------------------------------------------------- *)
+
+let mpsc_fixture ?(mode = Chan.Poll) ?(slots = 4) () =
+  let _, k, kdom = fixture () in
+  let api = Kernel.api k in
+  let p2 = Kernel.create_domain k ~name:"mpsc-p2" () in
+  let p3 = Kernel.create_domain k ~name:"mpsc-p3" () in
+  let cons = Kernel.create_domain k ~name:"mpsc-cons" () in
+  let g =
+    Mpsc.create (Kernel.machine k) api.Api.vmem ~name:"mg" ~slots ~slot_size:12
+      ~mode ~consumer:cons ()
+  in
+  (k, kdom, p2, p3, cons, g)
+
+let send_as k d tx msg =
+  let mmu = Machine.mmu (Kernel.machine k) in
+  let home = Mmu.current_context mmu in
+  Mmu.switch_context mmu d.Domain.id;
+  let ok = Mpsc.try_send tx (Bytes.of_string msg) in
+  Mmu.switch_context mmu home;
+  ok
+
+let test_mpsc_interleaved_wraparound () =
+  let k, kdom, p2, p3, _, g = mpsc_fixture () in
+  let txs = List.map (fun d -> (d, Mpsc.attach g ~producer:d)) [ kdom; p2; p3 ] in
+  Alcotest.(check int) "three producers" 3 (Mpsc.producers g);
+  let reserves0 = Clock.counter (Kernel.clock k) "mpsc_reserve" in
+  (* ten interleaved rounds through 4-slot sub-rings, drained every other
+     round: the free-running indices lap every sub-ring several times *)
+  let got = ref [] in
+  for round = 0 to 9 do
+    List.iteri
+      (fun i (d, tx) ->
+        Alcotest.(check bool) "enqueue" true
+          (send_as k d tx (Printf.sprintf "p%d-%02d" i round)))
+      txs;
+    if round mod 2 = 1 then
+      got := !got @ List.map Bytes.to_string (Mpsc.recv_batch g ())
+  done;
+  got := !got @ List.map Bytes.to_string (Mpsc.recv_batch g ());
+  Alcotest.(check int) "all messages delivered" 30 (List.length !got);
+  (* per-producer FIFO survives the interleaving and the wrap *)
+  List.iteri
+    (fun i _ ->
+      let mine =
+        List.filter
+          (fun m -> String.length m > 1 && m.[1] = Char.chr (Char.code '0' + i))
+          !got
+      in
+      Alcotest.(check (list string)) "per-producer order intact"
+        (List.init 10 (fun r -> Printf.sprintf "p%d-%02d" i r))
+        mine)
+    txs;
+  let s = Mpsc.stats g in
+  Alcotest.(check int) "sends" 30 s.Mpsc.sends;
+  Alcotest.(check int) "recvs" 30 s.Mpsc.recvs;
+  (* every enqueue paid exactly one reserve through the group header *)
+  Alcotest.(check int) "one reserve per send" 30 s.Mpsc.reserves;
+  Alcotest.(check int) "reserve counter advanced" 30
+    (Clock.counter (Kernel.clock k) "mpsc_reserve" - reserves0)
+
+let test_mpsc_backpressure_fairness () =
+  let k, kdom, p2, _, _, g = mpsc_fixture ~slots:2 () in
+  let ta = Mpsc.attach g ~producer:kdom in
+  let tb = Mpsc.attach g ~producer:p2 in
+  (* A fills its own sub-ring; the refusal is A's alone — B still has
+     room, so one producer's back-pressure never stalls another *)
+  Alcotest.(check bool) "a1" true (send_as k kdom ta "a1");
+  Alcotest.(check bool) "a2" true (send_as k kdom ta "a2");
+  Alcotest.(check bool) "A's ring is full" false (send_as k kdom ta "a3");
+  let dropped =
+    let mmu = Machine.mmu (Kernel.machine k) in
+    let home = Mmu.current_context mmu in
+    Mmu.switch_context mmu kdom.Domain.id;
+    let r = Mpsc.send_or_drop ta (Bytes.of_string "a3") in
+    Mmu.switch_context mmu home;
+    r
+  in
+  Alcotest.(check bool) "send_or_drop refuses too" false dropped;
+  Alcotest.(check bool) "B unaffected" true (send_as k p2 tb "b1");
+  Alcotest.(check int) "one drop recorded" 1
+    (Chan.stats (Mpsc.sub_ring ta)).Chan.drops;
+  (* the drain round-robins one message per sub-ring per pass: the lone
+     B message is served between A's two, not after them *)
+  Alcotest.(check (list string)) "round-robin interleave" [ "a1"; "b1"; "a2" ]
+    (List.map Bytes.to_string (Mpsc.recv_batch g ()));
+  Alcotest.(check bool) "A has room again" true (send_as k kdom ta "a3");
+  Alcotest.(check (list string)) "tail drained" [ "a3" ]
+    (List.map Bytes.to_string (Mpsc.recv_batch g ()))
+
+let test_mpsc_doorbell_coalescing () =
+  let k, kdom, p2, p3, _, g = mpsc_fixture ~mode:Chan.Doorbell ~slots:8 () in
+  let api = Kernel.api k in
+  let ta = Mpsc.attach g ~producer:kdom in
+  let tb = Mpsc.attach g ~producer:p2 in
+  let tc = Mpsc.attach g ~producer:p3 in
+  let bells = ref 0 in
+  (* count pop-ups without draining, so the armed flag stays clear for
+     the rest of the burst *)
+  ignore
+    (Mpsc.on_doorbell g ~events:api.Api.events ~sched:(Kernel.sched k) (fun () ->
+         incr bells));
+  Alcotest.(check bool) "first send" true (send_as k kdom ta "m1");
+  Alcotest.(check bool) "second send" true (send_as k p2 tb "m2");
+  Alcotest.(check bool) "third send" true (send_as k p3 tc "m3");
+  (* one trap for the whole three-producer burst *)
+  Alcotest.(check int) "doorbells coalesced" 1 !bells;
+  Alcotest.(check int) "group counted the same" 1 (Mpsc.stats g).Mpsc.doorbells;
+  Alcotest.(check int) "burst pending" 3 (Mpsc.pending g);
+  Alcotest.(check int) "burst drained" 3 (List.length (Mpsc.recv_batch g ()));
+  (* the dry drain re-armed: the next producer, whichever it is, rings *)
+  Alcotest.(check bool) "post-drain send" true (send_as k p3 tc "m4");
+  Alcotest.(check int) "re-armed doorbell" 2 !bells;
+  (* a dry drain costs only the dirty-hint read and returns nothing *)
+  ignore (Mpsc.recv_batch g ());
+  Alcotest.(check (list string)) "dry drain empty" []
+    (List.map Bytes.to_string (Mpsc.recv_batch g ()))
+
 (* --- the /shared/chan factory and endpoint interposition --------------- *)
 
 let test_factory_and_interposed_monitor () =
@@ -306,6 +424,47 @@ let test_rpc_over_channel_transport () =
       (String.length msg >= 4 && String.sub msg 0 4 = "rpc:")
   | _ -> Alcotest.fail "remote failure must fault through both layers"
 
+(* the channel-backed server mode: same "rpc.server" object, same wire
+   format, served from the ring pair instead of a stack port *)
+let test_rpc_chan_create_server () =
+  let _, k, kdom = fixture () in
+  let api = Kernel.api k in
+  let udom = Kernel.create_domain k ~name:"rpc-client2" () in
+  let conn = Rpc_chan.connect api ~client:udom ~server:kdom () in
+  let server =
+    Rpc_chan.create_server api conn
+      ~procedures:
+        [ ("echo", fun _ctx b -> Ok b); ("fail", fun _ctx _ -> Error "boom") ]
+      ()
+  in
+  let transport = Rpc_chan.client api conn () in
+  let rpc = Rpc.create_client_via api udom ~transport () in
+  switch_to k udom;
+  let uctx = Kernel.ctx k udom in
+  (match
+     Invoke.call_exn uctx rpc ~iface:"rpc" ~meth:"call"
+       [ Value.Str "echo"; Value.Blob (Bytes.of_string "ping") ]
+   with
+  | Value.Blob b -> Alcotest.(check string) "echoed" "ping" (Bytes.to_string b)
+  | v -> Alcotest.failf "call returned %s" (Value.to_string v));
+  (match
+     Invoke.call uctx rpc ~iface:"rpc" ~meth:"call"
+       [ Value.Str "fail"; Value.Blob Bytes.empty ]
+   with
+  | Error (Oerror.Fault _) -> ()
+  | _ -> Alcotest.fail "application error must fault");
+  switch_to k kdom;
+  let kctx = Kernel.ctx k kdom in
+  (match Invoke.call_exn kctx server ~iface:"rpc.server" ~meth:"requests" [] with
+  | Value.Int n -> Alcotest.(check int) "both requests counted" 2 n
+  | v -> Alcotest.failf "requests returned %s" (Value.to_string v));
+  (match Invoke.call_exn kctx server ~iface:"rpc.server" ~meth:"failures" [] with
+  | Value.Int n -> Alcotest.(check int) "one failure counted" 1 n
+  | v -> Alcotest.failf "failures returned %s" (Value.to_string v));
+  match Invoke.call_exn kctx server ~iface:"rpc.server" ~meth:"poll" [] with
+  | Value.Int n -> Alcotest.(check int) "nothing left pending" 0 n
+  | v -> Alcotest.failf "poll returned %s" (Value.to_string v)
+
 (* ----------------------------------------------------------------------- *)
 
 let () =
@@ -321,6 +480,15 @@ let () =
         [
           Alcotest.test_case "pop-up delivery" `Quick test_doorbell_popup_delivery;
         ] );
+      ( "mpsc",
+        [
+          Alcotest.test_case "interleaved wrap-around" `Quick
+            test_mpsc_interleaved_wraparound;
+          Alcotest.test_case "back-pressure fairness" `Quick
+            test_mpsc_backpressure_fairness;
+          Alcotest.test_case "doorbell coalescing" `Quick
+            test_mpsc_doorbell_coalescing;
+        ] );
       ( "factory",
         [
           Alcotest.test_case "namespace + interposed monitor" `Quick
@@ -332,5 +500,7 @@ let () =
           Alcotest.test_case "unknown procedure" `Quick test_rpc_chan_unknown_procedure;
           Alcotest.test_case "Rpc over channel transport" `Quick
             test_rpc_over_channel_transport;
+          Alcotest.test_case "channel-backed server" `Quick
+            test_rpc_chan_create_server;
         ] );
     ]

@@ -313,6 +313,38 @@ let test_lint_spsc_violation () =
   Mmu.switch_context mmu home;
   Alcotest.(check (list string)) "spsc caught" [ "spsc" ] (rules_of (lint_errors sys))
 
+(* the MPSC-aware refinement: distinct producers on distinct sub-rings
+   are the sanctioned shape; a context on someone else's sub-ring is
+   flagged with the group named *)
+let test_lint_mpsc_groups () =
+  let sys = System.create () in
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let p2 = System.new_domain sys "second-producer" in
+  let cons = System.new_domain sys "mpsc-consumer" in
+  let g =
+    Mpsc.create (Kernel.machine k) (Kernel.vmem k) ~name:"lintg" ~mode:Chan.Poll
+      ~consumer:cons ()
+  in
+  let t1 = Mpsc.attach g ~producer:kdom in
+  let t2 = Mpsc.attach g ~producer:p2 in
+  let mmu = Machine.mmu (Kernel.machine k) in
+  let home = Mmu.current_context mmu in
+  ignore (Mpsc.try_send t1 (Bytes.of_string "a"));
+  Mmu.switch_context mmu p2.Domain.id;
+  ignore (Mpsc.try_send t2 (Bytes.of_string "b"));
+  Mmu.switch_context mmu home;
+  Alcotest.(check (list string)) "distinct sub-rings pass" []
+    (rules_of (lint_errors sys));
+  (* now p2 enqueues on t1's sub-ring: an ownership violation *)
+  Mmu.switch_context mmu p2.Domain.id;
+  ignore (Chan.try_send (Mpsc.sub_ring t1) (Bytes.of_string "intruder"));
+  Mmu.switch_context mmu home;
+  let errs = lint_errors sys in
+  Alcotest.(check (list string)) "intruder caught" [ "spsc" ] (rules_of errs);
+  Alcotest.(check bool) "finding names the group" true
+    (List.exists (fun f -> contains f.Lint.detail "lintg") errs)
+
 let test_lint_wait_cycle () =
   let sys = System.create () in
   let k = System.kernel sys in
@@ -412,6 +444,7 @@ let () =
         [
           Alcotest.test_case "clean system" `Quick test_lint_clean_system;
           Alcotest.test_case "spsc violation" `Quick test_lint_spsc_violation;
+          Alcotest.test_case "mpsc groups" `Quick test_lint_mpsc_groups;
           Alcotest.test_case "wait cycle" `Quick test_lint_wait_cycle;
           Alcotest.test_case "dangling + dead handler" `Quick
             test_lint_dangling_and_dead_handler;

@@ -673,6 +673,39 @@ let test_placer_verified_fallback () =
   Alcotest.(check bool) "placement is Certified" true
     (Placer.placement placer = Some Placer.Certified)
 
+(* the payback-horizon check: a costly migration is deferred while the
+   projected steady-state saving cannot cover it *)
+let test_placer_payback_deferral () =
+  let clock = Clock.create () in
+  let acct = Obs.acct (Clock.obs clock) in
+  let placer =
+    Placer.create ~clock ~costs:Cost.default ~confirm:1 ~cooldown:0
+      ~payback_window:2 ()
+  in
+  let moved = ref 0 in
+  Placer.manage placer ~watch:[ 1 ] ~placement:Placer.User ~move_cost:10_000
+    ~migrate:(fun _ ->
+      incr moved;
+      true)
+    ();
+  let epoch_with cross =
+    Clock.advance clock 1_000;
+    if cross > 0 then Acct.crossing acct ~domain:1 cross;
+    Placer.epoch placer
+  in
+  (* hot by share (0.5 >= 0.2), but 2 epochs x 500 cycles saved never
+     repays a 10k-cycle move: the agent must hold and count a deferral *)
+  Alcotest.(check bool) "costly move deferred" true
+    (epoch_with 500 = [ Placer.Hold ]);
+  Alcotest.(check int) "deferral counted" 1 (Placer.deferrals placer);
+  Alcotest.(check int) "no move" 0 !moved;
+  (* crossings heavy enough that the window covers the cost: migrate *)
+  (match epoch_with 6_000 with
+  | [ Placer.Migrated Placer.Certified ] -> ()
+  | _ -> Alcotest.fail "expected migration once the saving covers the cost");
+  Alcotest.(check int) "one move" 1 !moved;
+  Alcotest.(check int) "still one deferral" 1 (Placer.deferrals placer)
+
 (* --- clock snapshot helpers -------------------------------------------- *)
 
 let test_clock_snapshot_diff () =
@@ -752,6 +785,7 @@ let () =
           Alcotest.test_case "hysteresis" `Quick test_placer_hysteresis;
           Alcotest.test_case "multi-component" `Quick test_placer_multi_component;
           Alcotest.test_case "verified fallback" `Quick test_placer_verified_fallback;
+          Alcotest.test_case "payback deferral" `Quick test_placer_payback_deferral;
         ] );
       ( "interposer",
         [
