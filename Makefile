@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke demo-smoke bench-output lint fmt check clean
+.PHONY: all build test bench bench-smoke demo-smoke replay-smoke bench-output lint fmt check clean
 
 all: build
 
@@ -13,11 +13,21 @@ bench:
 
 # the assertion-bearing experiments at reduced iteration counts, for CI
 bench-smoke:
-	dune exec bench/main.exe -- obs e14 e15 e16 --quick
+	dune exec bench/main.exe -- obs e14 e15 e16 e18 replay --quick
 
 # the channel-backed data path exercised through the demo binary
 demo-smoke:
 	dune exec bin/paramecium_demo.exe -- packets --net-chan -n 10
+
+# record/replay determinism: every scenario self-checks, and a recording
+# written to disk replays byte-identically after a round-trip
+replay-smoke:
+	dune exec bin/pm_replay.exe -- --list
+	dune exec bin/pm_replay.exe -- packets --quiet
+	dune exec bin/pm_replay.exe -- crash --quiet
+	dune exec bin/pm_replay.exe -- deadlock --lint --quiet
+	dune exec bin/pm_replay.exe -- compose --lint --record /tmp/pm_compose.rec --quiet
+	dune exec bin/pm_replay.exe -- --replay /tmp/pm_compose.rec --quiet
 
 # composition lint: the demo system must lint clean, and the linter must
 # catch each seeded violation (non-zero exit inverted with !)

@@ -1771,6 +1771,111 @@ module Eobs = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* E18: journal overhead — a complete history at zero cycle cost       *)
+(* ------------------------------------------------------------------ *)
+
+module E18 = struct
+  (* one representative workload: boot, wire the network, run traffic.
+     Traps, IRQs, crossings and structural events all fire, so every
+     journal instrumentation point is exercised. *)
+  let workload () =
+    let sys = fresh_sys () in
+    let k = System.kernel sys in
+    let kdom = Kernel.kernel_domain k in
+    let net = System.setup_networking sys ~placement:System.Certified ~addr:42 () in
+    Mmu.switch_context (Machine.mmu (Kernel.machine k)) kdom.Domain.id;
+    let ctx = Kernel.ctx k kdom in
+    ignore
+      (Invoke.call_exn ctx net.System.stack ~iface:"stack" ~meth:"bind_port"
+         [ Value.Int 7 ]);
+    for _ = 1 to if !quick then 4 else 32 do
+      ignore
+        (Invoke.call_exn ctx net.System.driver ~iface:"netdev" ~meth:"send"
+           [ Value.Blob (Bytes.create 64) ]);
+      Kernel.step k ~ticks:1 ()
+    done;
+    let clock = Kernel.clock k in
+    (Clock.now clock, Obs.journal (Clock.obs clock))
+
+  (* run the workload with new journals starting in [mode]; the module
+     default is restored even if the workload raises *)
+  let under mode =
+    Journal.set_default_mode mode;
+    Fun.protect
+      ~finally:(fun () -> Journal.set_default_mode Journal.Tail)
+      workload
+
+  let run () =
+    header "E18  Journalling: complete system history at zero cycle cost"
+      "the journal extends the tracing story (E-OBS): recording an event is a \
+       plain store, never a machine step, so a fully journalled run costs the \
+       same cycles as an unjournalled one";
+    let cyc_tail, j_tail = under Journal.Tail in
+    let cyc_full, j_full = under Journal.Full in
+    print_table
+      ~columns:
+        [ ("journal mode", ()); ("run cycles", ()); ("events written", ());
+          ("complete", ()) ]
+      [
+        [ "tail (default)"; i cyc_tail; i (Journal.written j_tail);
+          string_of_bool (Journal.complete j_tail) ];
+        [ "full"; i cyc_full; i (Journal.written j_full);
+          string_of_bool (Journal.complete j_full) ];
+      ];
+    (* the zero-cost contract E1..E16 rely on: byte-identical results
+       whatever the journal mode *)
+    assert (cyc_tail = cyc_full);
+    assert (Journal.written j_tail = Journal.written j_full);
+    line "identical cycles and event counts under both modes";
+    line "tail mode keeps %d recent events + the full structural archive;"
+      (Journal.tail_capacity j_tail);
+    line "full mode retains everything (%d held here): the replay substrate"
+      (Journal.retained j_full);
+    line "tail: %s" (Journal.stats_line j_tail);
+    line "full: %s" (Journal.stats_line j_full)
+end
+
+(* ------------------------------------------------------------------ *)
+(* E-REPLAY: deterministic record/replay of whole runs                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ereplay = struct
+  let run () =
+    header "E-REPLAY  Deterministic record/replay of whole runs"
+      "a journalled run is a reproducible artifact: re-executing the scenario \
+       from the same seed regenerates the journal and the /stats snapshot \
+       byte for byte (the contract `pm_replay` and CI assert)";
+    let rows =
+      List.map
+        (fun (name, _desc) ->
+          match Replay.record name with
+          | Error e -> [ name; "-"; "-"; "record failed: " ^ e ]
+          | Ok r ->
+            let events =
+              match Journal.import r.Replay.journal with
+              | Ok es -> i (List.length es)
+              | Error _ -> "?"
+            in
+            let verdict =
+              match Replay.replay r with
+              | Ok () -> "byte-identical"
+              | Error _ -> "DIVERGED"
+            in
+            assert (verdict = "byte-identical");
+            [ name; events; i (String.length r.Replay.stats); verdict ])
+        Replay.scenarios
+    in
+    print_table
+      ~columns:
+        [ ("scenario", ()); ("journal events", ()); ("stats bytes", ());
+          ("replay", ()) ]
+      rows;
+    line
+      "(each scenario is captured in Full mode, re-executed from the same seed,";
+    line " and the journal export plus /stats snapshot compared byte-for-byte)"
+end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suite                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1902,7 +2007,7 @@ let () =
       ("e5", E5.run); ("e6", E6.run); ("e7", E7.run); ("e8", E8.run);
       ("e9", E9.run); ("e10", E10.run); ("e11", E11.run); ("e12", E12.run);
       ("e13", E13.run); ("e14", E14.run); ("e15", E15.run); ("e16", E16.run);
-      ("obs", Eobs.run) ]
+      ("obs", Eobs.run); ("e18", E18.run); ("replay", Ereplay.run) ]
   in
   line "Paramecium reproduction — experiment suite";
   line "(simulated cycles, deterministic; cost model: SPARC-era defaults)";

@@ -248,7 +248,10 @@ let packets_cmd =
       say "%s" (call "snapshot");
       say "";
       say "flight recorder:";
-      (match Invoke.call_exn ctx stats_obj ~iface:"stats" ~meth:"flight" [] with
+      (match
+         Invoke.call_exn ctx stats_obj ~iface:"stats" ~meth:"flight"
+           [ Value.Int 0 ]
+       with
       | Value.Str s -> say "%s" s
       | _ -> ());
       Obs.disable (Clock.obs (Kernel.clock k))

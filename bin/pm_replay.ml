@@ -1,0 +1,126 @@
+(* pm_replay — record a deterministic run of a named scenario, replay a
+   recording and assert the journal and /stats snapshot reproduce byte
+   for byte, and optionally lint the recorded history.
+
+   Exit status: 0 = replay matched (and history linted clean when
+   --lint), 1 = divergence or lint errors, 2 = usage.
+
+   With no mode flag the named scenario is self-checked: recorded once,
+   replayed immediately, and the two captures compared — the
+   determinism contract `make replay-smoke` and CI assert. *)
+
+open Paramecium
+
+let usage =
+  "usage: pm_replay [scenario] [--list] [--record FILE] [--replay FILE] \
+   [--lint] [--quiet]"
+
+let say quiet fmt =
+  Printf.ksprintf (fun s -> if not quiet then print_endline s) fmt
+
+let die code msg =
+  prerr_endline ("pm_replay: " ^ msg);
+  if code = 2 then prerr_endline usage;
+  exit code
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error e -> die 2 e
+
+let write_file path s =
+  try
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc s)
+  with Sys_error e -> die 2 e
+
+(* the page-hygiene pass over a recording's imported event stream: the
+   history-only lint mode, no live system needed *)
+let lint_recording quiet (r : Replay.recording) =
+  match Journal.import r.Replay.journal with
+  | Error e -> die 1 ("recorded journal unreadable: " ^ e)
+  | Ok events ->
+    let findings = Lint.history events in
+    List.iter
+      (fun f -> if not quiet then print_endline (Lint.finding_to_string f))
+      findings;
+    (match findings with
+    | [] ->
+      say quiet "history lint: clean (%d events)" (List.length events);
+      true
+    | fs ->
+      say quiet "history lint: %d finding(s)" (List.length fs);
+      false)
+
+let () =
+  let scenario = ref None in
+  let record_to = ref None in
+  let replay_from = ref None in
+  let lint = ref false in
+  let quiet = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--list" :: _ ->
+      List.iter
+        (fun (name, desc) -> Printf.printf "%-10s %s\n" name desc)
+        Replay.scenarios;
+      exit 0
+    | "--record" :: file :: rest ->
+      record_to := Some file;
+      parse rest
+    | "--replay" :: file :: rest ->
+      replay_from := Some file;
+      parse rest
+    | "--lint" :: rest ->
+      lint := true;
+      parse rest
+    | "--quiet" :: rest ->
+      quiet := true;
+      parse rest
+    | a :: rest when String.length a > 0 && a.[0] <> '-' && !scenario = None ->
+      scenario := Some a;
+      parse rest
+    | a :: _ -> die 2 ("unknown argument " ^ a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quiet = !quiet in
+  let ok = ref true in
+  let recording =
+    match !replay_from with
+    | Some file ->
+      (match Replay.recording_of_string (read_file file) with
+      | Ok r ->
+        (match !scenario with
+        | Some s when s <> r.Replay.scenario ->
+          die 2
+            (Printf.sprintf "recording %s holds scenario %S, not %S" file
+               r.Replay.scenario s)
+        | _ -> ());
+        r
+      | Error e -> die 2 (file ^ ": " ^ e))
+    | None ->
+      let name = Option.value !scenario ~default:"compose" in
+      (match Replay.record name with
+      | Ok r -> r
+      | Error e -> die 2 e)
+  in
+  (match !record_to with
+  | Some file ->
+    write_file file (Replay.recording_to_string recording);
+    say quiet "recorded scenario %s to %s" recording.Replay.scenario file
+  | None -> ());
+  (* the core check: re-run the scenario, demand byte identity *)
+  (match Replay.replay recording with
+  | Ok () ->
+    say quiet "replay of %s: journal and /stats reproduced byte-identically"
+      recording.Replay.scenario
+  | Error e ->
+    ok := false;
+    if not quiet then print_endline ("replay of " ^ recording.Replay.scenario ^ ": " ^ e));
+  if !lint then if not (lint_recording quiet recording) then ok := false;
+  exit (if !ok then 0 else 1)

@@ -21,16 +21,21 @@ type t = {
   machine : Machine.t;
   directory : Directory.t;
   events : Events.t;
+  domains : (unit -> Domain.t list) option;
   mutable last : Lint.report option;
   mutable runs : int;
 }
 
-let create ~machine ~directory ~events () =
-  { machine; directory; events; last = None; runs = 0 }
+let create ~machine ~directory ~events ?domains () =
+  { machine; directory; events; domains; last = None; runs = 0 }
 
 let run t =
+  (* the history rules read the clock journal — the same one every
+     nucleus site records into *)
+  let journal = Obs.journal (Clock.obs (Machine.clock t.machine)) in
   let report =
-    Lint.run ~machine:t.machine ~directory:t.directory ~events:t.events ()
+    Lint.run ~machine:t.machine ~directory:t.directory ~events:t.events
+      ~journal ?domains:t.domains ()
   in
   t.last <- Some report;
   t.runs <- t.runs + 1;

@@ -13,10 +13,14 @@
 
 type t
 
+(** [create ~machine ~directory ~events ?domains ()] — [domains]
+    (usually [Kernel.domains]) enables the shadowing rule; the
+    page-hygiene rule always runs, against the clock journal. *)
 val create :
   machine:Pm_machine.Machine.t ->
   directory:Pm_nucleus.Directory.t ->
   events:Pm_nucleus.Events.t ->
+  ?domains:(unit -> Pm_nucleus.Domain.t list) ->
   unit ->
   t
 

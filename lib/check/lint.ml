@@ -15,6 +15,8 @@ module Directory = Pm_nucleus.Directory
 module Events = Pm_nucleus.Events
 module Domain = Pm_nucleus.Domain
 module Chan = Pm_chan.Chan
+module View = Pm_names.View
+module Journal = Pm_journal.Journal
 
 type severity = Error | Warning
 
@@ -224,19 +226,145 @@ let check_wait_cycles ~machine =
   |> List.rev
 
 (* ------------------------------------------------------------------ *)
+(* Rule: page-sharing hygiene (history-derived)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays the journal's structural archive: every Page_share opens a
+   (frame, owner, holder) obligation, the matching Page_unshare closes
+   it, and a Domain_down with obligations still open on either side is
+   the violation — a shared frame outlived one of the domains party to
+   it. Works on any structural event stream, so a replayed recording
+   (imported events, no live journal) lints the same way. *)
+let check_page_hygiene events =
+  let open_shares = ref [] in (* (frame, owner, holder) *)
+  let findings = ref [] in
+  List.iter
+    (fun e ->
+      match e.Journal.kind with
+      | Journal.Page_share ->
+        let owner =
+          try Scanf.sscanf e.Journal.detail "frame %d from dom %d" (fun _ d -> d)
+          with Scanf.Scan_failure _ | End_of_file | Failure _ -> -1
+        in
+        open_shares := (e.Journal.info, owner, e.Journal.domain) :: !open_shares
+      | Journal.Page_unshare ->
+        let closed = ref false in
+        open_shares :=
+          List.filter
+            (fun (frame, _, holder) ->
+              if (not !closed) && frame = e.Journal.info
+                 && holder = e.Journal.domain
+              then begin
+                closed := true;
+                false
+              end
+              else true)
+            !open_shares
+      | Journal.Domain_down ->
+        let dead = e.Journal.domain in
+        let guilty, rest =
+          List.partition
+            (fun (_, owner, holder) -> owner = dead || holder = dead)
+            !open_shares
+        in
+        open_shares := rest;
+        List.iter
+          (fun (frame, owner, holder) ->
+            findings :=
+              {
+                rule = "page-hygiene";
+                subject = Printf.sprintf "frame %d" frame;
+                detail =
+                  Printf.sprintf
+                    "shared from dom %d into dom %d, still mapped when dom %d \
+                     went down"
+                    owner holder dead;
+                severity = Error;
+              }
+              :: !findings)
+          guilty
+      | _ -> ())
+    events;
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Rule: delegate-chain shadowing                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* An interposition swaps what a *name* resolves to — but a domain whose
+   view overrides that same name to a different handle never sees the
+   agent: its calls silently bypass the monitor/filter the interposition
+   installed. Flagged as a warning: the override may be intentional, but
+   it shadows the live interposition. *)
+let check_shadowing ~directory ~domains =
+  let ns = Directory.namespace directory in
+  let live_replacements =
+    List.filter
+      (fun (path, _old_h, new_h) ->
+        match Namespace.lookup ns path with
+        | Ok h -> h = new_h
+        | Error _ -> false)
+      (Directory.replacements directory)
+  in
+  List.concat_map
+    (fun (path, _old_h, new_h) ->
+      List.filter_map
+        (fun (dom : Domain.t) ->
+          match
+            List.find_opt
+              (fun (p, h) -> Path.equal p path && h <> new_h)
+              (View.overrides dom.Domain.view)
+          with
+          | Some (_, h) ->
+            Some
+              {
+                rule = "shadowing";
+                subject = Path.to_string path;
+                detail =
+                  Printf.sprintf
+                    "domain %d (%s) overrides the name to handle %d, bypassing \
+                     interposed handle %d"
+                    dom.Domain.id dom.Domain.name h new_h;
+                severity = Warning;
+              }
+          | None -> None)
+        (domains ()))
+    live_replacements
+
+(* ------------------------------------------------------------------ *)
 (* The whole-system pass                                               *)
 (* ------------------------------------------------------------------ *)
 
 type report = { findings : finding list; rules_run : int }
 
-let rules = [ "superset"; "dangling"; "dead-handler"; "spsc"; "wait-cycle" ]
+let rules =
+  [ "superset"; "dangling"; "dead-handler"; "spsc"; "wait-cycle";
+    "page-hygiene"; "shadowing" ]
 
-let run ~machine ~directory ~events () =
+let run ~machine ~directory ~events ?journal ?domains () =
+  let history_findings =
+    match journal with
+    | Some j -> check_page_hygiene (Journal.structural j)
+    | None -> []
+  in
+  let shadow_findings =
+    match domains with
+    | Some ds -> check_shadowing ~directory ~domains:ds
+    | None -> []
+  in
   let findings =
     check_supersets directory @ check_bindings directory @ check_handlers events
-    @ check_spsc ~machine @ check_wait_cycles ~machine
+    @ check_spsc ~machine @ check_wait_cycles ~machine @ history_findings
+    @ shadow_findings
   in
-  { findings; rules_run = List.length rules }
+  let rules_run =
+    5 + (if journal = None then 0 else 1) + if domains = None then 0 else 1
+  in
+  { findings; rules_run }
+
+(* History-only pass: the rules derivable from an event stream alone, so
+   a *replayed* recording can be linted without the live object graph. *)
+let history events = check_page_hygiene events
 
 let errors report =
   List.filter (fun f -> f.severity = Error) report.findings
@@ -265,4 +393,11 @@ let explain = function
   | "wait-cycle" ->
     "domains blocked on channel ends must not form a cycle of mutual waiting — \
      that is a deadlock no doorbell can break"
+  | "page-hygiene" ->
+    "every page shared across domains must be unshared before either party \
+     goes down — derived by replaying the journal's structural history, so it \
+     works on recorded runs too"
+  | "shadowing" ->
+    "a domain whose view overrides an interposed name to a different handle \
+     silently bypasses the interposition agent"
   | r -> Printf.sprintf "unknown rule %S" r

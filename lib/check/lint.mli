@@ -16,7 +16,14 @@
       different contexts);
     - {b wait-cycle}: domains blocked on channel operations do not form
       a cycle of mutual waiting (deadlock detection over
-      recv-waits-for-producer / send-waits-for-consumer edges).
+      recv-waits-for-producer / send-waits-for-consumer edges);
+    - {b page-hygiene} (when a [journal] is supplied): every page shared
+      across domains was unshared before either party went down —
+      derived by replaying the journal's structural history, so it works
+      on recorded runs too;
+    - {b shadowing} (when [domains] is supplied): no domain's view
+      override bypasses a live interposition by resolving the interposed
+      name to a different handle.
 
     The pass reads existing bookkeeping with plain OCaml reads and
     charges no simulated cycles. *)
@@ -38,12 +45,23 @@ type report = { findings : finding list; rules_run : int }
 (** The rule names, in the order they run. *)
 val rules : string list
 
+(** [run ~machine ~directory ~events ?journal ?domains ()] runs the
+    pass; the page-hygiene rule only runs when [journal] is given and
+    the shadowing rule only when [domains] is, and [rules_run] counts
+    what actually ran. *)
 val run :
   machine:Pm_machine.Machine.t ->
   directory:Pm_nucleus.Directory.t ->
   events:Pm_nucleus.Events.t ->
+  ?journal:Pm_journal.Journal.t ->
+  ?domains:(unit -> Pm_nucleus.Domain.t list) ->
   unit ->
   report
+
+(** [history events] is the history-only subset (page-hygiene) over a
+    bare event stream — e.g. one imported from a replayed recording —
+    with no live object graph. *)
+val history : Pm_journal.Journal.event list -> finding list
 
 (** The [Error]-severity findings of a report. *)
 val errors : report -> finding list

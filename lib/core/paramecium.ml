@@ -20,6 +20,9 @@ module Sha256 = Pm_crypto.Sha256
 module Prime = Pm_crypto.Prime
 module Rsa = Pm_crypto.Rsa
 
+(* system history *)
+module Journal = Pm_journal.Journal
+
 (* observability core *)
 module Tracer = Pm_obs.Tracer
 module Metrics = Pm_obs.Metrics
@@ -76,6 +79,7 @@ module Proxy = Pm_nucleus.Proxy
 module Directory = Pm_nucleus.Directory
 module Certsvc = Pm_nucleus.Certsvc
 module Tracesvc = Pm_nucleus.Tracesvc
+module Journalsvc = Pm_nucleus.Journalsvc
 module Api = Pm_nucleus.Api
 module Loader = Pm_nucleus.Loader
 module Kernel = Pm_nucleus.Kernel
@@ -123,4 +127,5 @@ module Policies = Pm_baselines.Policies
 
 (* system assembly *)
 module System = System
+module Replay = Replay
 module Cluster = Cluster

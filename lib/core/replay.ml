@@ -1,0 +1,254 @@
+(* Deterministic record/replay over the journal.
+
+   The simulated machine is deterministic: boot with the same seed, run
+   the same scenario, and every trap, crossing and structural mutation
+   lands on the same virtual cycle. Recording a run is therefore just
+   flipping the clock journal to Full mode before boot and exporting it
+   afterwards; replaying is running the scenario again and comparing the
+   two histories (and the /stats snapshots read through the object path)
+   byte for byte. Any divergence — nondeterminism creeping into the
+   kernel, or a tampered recording — is reported with the first
+   differing event. *)
+
+module Kernel = Pm_nucleus.Kernel
+module Domain = Pm_nucleus.Domain
+module Vmem = Pm_nucleus.Vmem
+module Clock = Pm_machine.Clock
+module Nic = Pm_machine.Nic
+module Invoke = Pm_obj.Invoke
+module Value = Pm_obj.Value
+module Wire = Pm_components.Wire
+module Stack = Pm_components.Stack
+module Images = Pm_components.Images
+module Chan = Pm_chan.Chan
+module Scheduler = Pm_threads.Scheduler
+module Journal = Pm_journal.Journal
+
+type recording = { scenario : string; journal : string; stats : string }
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios: small self-contained workloads, each deterministic from   *)
+(* the fixed boot seed.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_packets sys =
+  let k = System.kernel sys in
+  let net = System.setup_networking sys ~placement:System.Certified ~addr:42 () in
+  let consume = net.System.stack_domain in
+  ignore
+    (Invoke.call_exn (Kernel.ctx k consume) net.System.stack ~iface:"stack"
+       ~meth:"bind_port" [ Value.Int 7 ]);
+  let kdom = Kernel.kernel_domain k in
+  let ctx = Kernel.ctx k kdom in
+  let payload = String.make 64 'p' in
+  let tp = Wire.Transport.build ctx ~sport:9 ~dport:7 (Bytes.of_string payload) in
+  let np = Wire.Net.build ctx ~src:13 ~dst:42 ~ttl:8 ~proto:Stack.proto_transport tp in
+  let packet = Bytes.to_string (Wire.Frame.build ctx ~dst:42 ~src:13 np) in
+  for _ = 1 to 8 do
+    Nic.inject (Kernel.nic k) packet;
+    Kernel.step k ~ticks:1 ()
+  done;
+  Kernel.step k ~ticks:4 ()
+
+let run_compose sys =
+  let k = System.kernel sys in
+  (* a committed transaction: place an allocator and alias it *)
+  (match
+     System.transact sys "wire-alloc" (fun txn ->
+         match
+           System.txn_install txn
+             (Images.image ~name:"alloc" ~size:8_192 ~author:"kernel-team"
+                (Images.allocator_construct ~heap_pages:4))
+             ~placement:System.Certified ~at:"/services/alloc"
+         with
+         | Error _ as e -> e
+         | Ok inst -> System.txn_register txn "/shared/alloc" inst)
+   with
+  | Ok () -> ()
+  | Error e -> failwith ("compose scenario: committed txn failed: " ^ e));
+  (* an aborted transaction: the rollback itself is part of the history *)
+  (match
+     System.transact sys "doomed" (fun txn ->
+         match
+           System.txn_install txn
+             (Images.image ~name:"alloc2" ~size:8_192 ~author:"kernel-team"
+                (Images.allocator_construct ~heap_pages:2))
+             ~placement:System.Certified ~at:"/services/alloc2"
+         with
+         | Error _ as e -> e
+         | Ok _ -> Error "wiring failed downstream")
+   with
+  | Ok () -> failwith "compose scenario: doomed txn committed"
+  | Error _ -> ());
+  (* page sharing with clean hygiene: share, unshare, tear down *)
+  let kdom = Kernel.kernel_domain k in
+  let udom = System.new_domain sys "guest" in
+  let vmem = Kernel.vmem k in
+  let vaddr = Vmem.alloc_pages vmem kdom ~count:2 ~sharing:Vmem.Shared in
+  let shared =
+    Vmem.map_shared vmem ~from_dom:kdom ~vaddr ~count:2 ~into:udom
+      ~prot:Pm_machine.Mmu.Read_only
+  in
+  Vmem.free_pages vmem udom ~vaddr:shared ~count:2;
+  Vmem.free_pages vmem kdom ~vaddr ~count:2;
+  Kernel.destroy_domain k udom
+
+let run_crash sys =
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let sched = Kernel.sched k in
+  ignore
+    (Scheduler.spawn sched ~name:"doomed-worker" ~domain:kdom.Domain.id
+       (fun () -> failwith "deliberate crash"));
+  ignore
+    (Scheduler.spawn sched ~name:"survivor" ~domain:kdom.Domain.id (fun () ->
+         Scheduler.yield ()));
+  ignore (Scheduler.run sched ())
+
+let run_deadlock sys =
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let udom = System.new_domain sys "peer" in
+  let chan_ab =
+    Chan.create (Kernel.machine k) (Kernel.vmem k) ~name:"a-to-b" ~mode:Chan.Poll
+      ~producer:kdom ()
+  in
+  ignore (Chan.accept chan_ab ~into:udom);
+  let chan_ba =
+    Chan.create (Kernel.machine k) (Kernel.vmem k) ~name:"b-to-a" ~mode:Chan.Poll
+      ~producer:udom ()
+  in
+  ignore (Chan.accept chan_ba ~into:kdom);
+  let sched = Kernel.sched k in
+  ignore
+    (Scheduler.spawn sched ~name:"a" ~domain:kdom.Domain.id (fun () ->
+         ignore (Chan.recv chan_ba)));
+  ignore
+    (Scheduler.spawn sched ~name:"b" ~domain:udom.Domain.id (fun () ->
+         ignore (Chan.recv chan_ab)));
+  ignore (Scheduler.run sched ())
+
+let scenarios =
+  [
+    ("packets", "certified network path: inject 8 frames, step the machine");
+    ("compose", "a committed and an aborted transaction, page sharing, teardown");
+    ("crash", "a thread dies on an uncaught exception beside a survivor");
+    ("deadlock", "crossed channel receives leave a wait cycle behind");
+  ]
+
+let scenario_run = function
+  | "packets" -> Some run_packets
+  | "compose" -> Some run_compose
+  | "crash" -> Some run_crash
+  | "deadlock" -> Some run_deadlock
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+
+let journal_of sys = Pm_obs.Obs.journal (Clock.obs (System.clock sys))
+
+(* the snapshot is read through /stats/kernel like any client would, so
+   replay equality also covers the object-invocation path *)
+let stats_snapshot sys =
+  let k = System.kernel sys in
+  let kdom = Kernel.kernel_domain k in
+  let ksvc = Kernel.bind k kdom "/stats/kernel" in
+  match
+    Invoke.call (Kernel.ctx k kdom) ksvc ~iface:"stats" ~meth:"snapshot"
+      [ Value.Str "text" ]
+  with
+  | Ok (Value.Str s) -> s
+  | Ok _ | Error _ -> failwith "Replay.stats_snapshot: /stats/kernel failed"
+
+(* Run one scenario under a Full-mode journal. The default mode is
+   flipped around boot so even boot-time structural events are captured;
+   the export must therefore report itself complete. *)
+let capture name =
+  match scenario_run name with
+  | None -> Error (Printf.sprintf "unknown scenario %S" name)
+  | Some run ->
+    Journal.set_default_mode Journal.Full;
+    Fun.protect
+      ~finally:(fun () -> Journal.set_default_mode Journal.Tail)
+      (fun () ->
+        let sys = System.create () in
+        run sys;
+        (* the journal export first: reading /stats must not disturb it,
+           and taking it afterwards would put the snapshot's own
+           crossings into the history *)
+        let journal = Journal.export (journal_of sys) in
+        let stats = stats_snapshot sys in
+        Ok { scenario = name; journal; stats })
+
+let record name = capture name
+
+let diagnose ~expected ~got =
+  match (Journal.import expected, Journal.import got) with
+  | Ok exp_events, Ok got_events ->
+    (match Journal.first_divergence ~expected:exp_events ~got:got_events with
+    | Some d -> Journal.divergence_to_string d
+    | None -> "journals re-render differently but hold the same events")
+  | Error e, _ | _, Error e -> "recording unreadable: " ^ e
+
+let replay r =
+  match capture r.scenario with
+  | Error _ as e -> e
+  | Ok fresh ->
+    if not (String.equal fresh.journal r.journal) then
+      Error ("journal diverged: " ^ diagnose ~expected:r.journal ~got:fresh.journal)
+    else if not (String.equal fresh.stats r.stats) then
+      Error "stats snapshot diverged"
+    else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* On-disk format                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let journal_sep = "== journal =="
+let stats_sep = "== stats =="
+
+let recording_to_string r =
+  Printf.sprintf "pm-replay-v1 scenario=%s\n%s\n%s\n%s\n%s" r.scenario
+    journal_sep r.journal stats_sep r.stats
+
+let recording_of_string s =
+  let header_end =
+    match String.index_opt s '\n' with
+    | Some i -> i
+    | None -> String.length s
+  in
+  let header = String.sub s 0 header_end in
+  let prefix = "pm-replay-v1 scenario=" in
+  if not (String.length header > String.length prefix
+          && String.sub header 0 (String.length prefix) = prefix)
+  then Error "not a pm-replay-v1 recording"
+  else begin
+    let scenario =
+      String.sub header (String.length prefix)
+        (String.length header - String.length prefix)
+    in
+    let find_sep sep from =
+      let needle = sep ^ "\n" in
+      let nlen = String.length needle in
+      let rec search i =
+        if i + nlen > String.length s then None
+        else if String.sub s i nlen = needle
+                && (i = 0 || s.[i - 1] = '\n') then Some i
+        else search (i + 1)
+      in
+      search from
+    in
+    match find_sep journal_sep header_end with
+    | None -> Error "recording has no journal section"
+    | Some j ->
+      let jstart = j + String.length journal_sep + 1 in
+      (match find_sep stats_sep jstart with
+      | None -> Error "recording has no stats section"
+      | Some st when st <= jstart -> Error "recording has an empty journal section"
+      | Some st ->
+        (* the newline that terminates the journal belongs to the framing *)
+        let journal = String.sub s jstart (st - jstart - 1) in
+        let sstart = st + String.length stats_sep + 1 in
+        let stats = String.sub s sstart (String.length s - sstart) in
+        Ok { scenario; journal; stats })
+  end

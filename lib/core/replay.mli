@@ -1,0 +1,37 @@
+(** Deterministic record/replay of whole runs.
+
+    The simulated machine is deterministic, so a run is reproducible
+    from its boot seed and scenario alone. {!record} boots a fresh
+    {!System}, drives one named scenario under a [Full]-mode journal and
+    captures the complete history ({!Pm_journal.Journal.export}) plus
+    the [/stats/kernel] snapshot read through the object path; {!replay}
+    re-runs the scenario and demands both captures match byte for byte,
+    reporting the first diverging journal event otherwise.
+
+    This is both a regression harness (did a change alter system
+    history?) and a tamper check (was a recording edited?). Replayed
+    histories can also be fed to the composition linter's history rules
+    — see [Lint]. *)
+
+type recording = {
+  scenario : string;
+  journal : string;  (** the versioned [pm-journal-v1] export *)
+  stats : string;  (** the [/stats/kernel] text snapshot *)
+}
+
+(** The built-in scenarios as [(name, description)]. *)
+val scenarios : (string * string) list
+
+(** [record name] runs scenario [name] and captures it; [Error] on an
+    unknown name. *)
+val record : string -> (recording, string) result
+
+(** [replay r] re-runs [r]'s scenario and compares histories. *)
+val replay : recording -> (unit, string) result
+
+(** Versioned one-file form: header, [== journal ==] section,
+    [== stats ==] section. [recording_of_string] inverts
+    [recording_to_string] exactly. *)
+val recording_to_string : recording -> string
+
+val recording_of_string : string -> (recording, string) result

@@ -15,6 +15,10 @@ module Obs_agent = Pm_obs_agent.Obs_agent
 module Chan_svc = Pm_chan.Chan_svc
 module Stats_svc = Pm_obs_agent.Stats_svc
 module Check_svc = Pm_check_lint.Check_svc
+module Machine = Pm_machine.Machine
+module Vmem = Pm_nucleus.Vmem
+module Directory = Pm_nucleus.Directory
+module Journal = Pm_journal.Journal
 
 type t = {
   kernel : Kernel.t;
@@ -75,7 +79,9 @@ let wire_stats kernel =
 let wire_check kernel =
   let check =
     Check_svc.create ~machine:(Kernel.machine kernel)
-      ~directory:(Kernel.directory kernel) ~events:(Kernel.events kernel) ()
+      ~directory:(Kernel.directory kernel) ~events:(Kernel.events kernel)
+      ~domains:(fun () -> Kernel.domains kernel)
+      ()
   in
   Kernel.register_at kernel "/nucleus/check"
     (Check_svc.service_object check (Kernel.api kernel).Api.registry
@@ -207,6 +213,102 @@ let install_exn t image ~placement ~at =
   match install t image ~placement ~at with
   | Ok inst -> inst
   | Error e -> failwith ("System.install: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Transactional composition: install + register + interpose grouped    *)
+(* into one atomic unit. Each step pushes an undo thunk; on failure the *)
+(* thunks run newest-first and any page allocated during the            *)
+(* transaction is freed, so a half-wired component is never observable  *)
+(* — not in the namespace, not in the page tables, not to the linter.   *)
+(* ------------------------------------------------------------------ *)
+
+type txn = {
+  tsys : t;
+  tid : int;
+  tname : string;
+  mutable undos : (unit -> unit) list; (* newest first *)
+  pages_before : (int * int) list;
+}
+
+let journal t = Pm_obs.Obs.journal (Clock.obs (Kernel.clock t.kernel))
+
+let jot_txn t ~kind ~info ~detail =
+  let clock = Kernel.clock t.kernel in
+  Journal.record (journal t) ~kind
+    ~domain:(Kernel.kernel_domain t.kernel).Domain.id
+    ~at:(Clock.now clock) ~info ~detail
+
+let txn_install txn image ~placement ~at =
+  match install txn.tsys image ~placement ~at with
+  | Ok inst ->
+    txn.undos <-
+      (fun () ->
+        ignore
+          (Loader.unload
+             (Kernel.loader txn.tsys.kernel)
+             (Pm_names.Path.of_string at)))
+      :: txn.undos;
+    Ok inst
+  | Error _ as e -> e
+
+let txn_register txn path inst =
+  let dir = Kernel.directory txn.tsys.kernel in
+  let p = Pm_names.Path.of_string path in
+  match Directory.register dir p inst with
+  | Ok () ->
+    txn.undos <- (fun () -> ignore (Directory.unregister dir p)) :: txn.undos;
+    Ok ()
+  | Error e -> Error (Pm_names.Namespace.error_to_string e)
+
+let txn_interpose txn path agent =
+  let dir = Kernel.directory txn.tsys.kernel in
+  let p = Pm_names.Path.of_string path in
+  match Directory.replace dir p agent with
+  | Ok old ->
+    txn.undos <-
+      (fun () -> ignore (Directory.unreplace dir p ~agent ~restore:old))
+      :: txn.undos;
+    Ok old
+  | Error e -> Error (Directory.bind_error_to_string e)
+
+let transact t name f =
+  let j = journal t in
+  (* a deterministic transaction id: begin-events recorded so far *)
+  let tid = Journal.count j Journal.Txn_begin + 1 in
+  jot_txn t ~kind:Journal.Txn_begin ~info:tid ~detail:name;
+  let txn =
+    { tsys = t; tid; tname = name; undos = [];
+      pages_before = Vmem.alloc_keys (Kernel.vmem t.kernel) }
+  in
+  let rollback reason =
+    List.iter (fun undo -> try undo () with _ -> ()) txn.undos;
+    (* pages allocated during the transaction (e.g. by component
+       constructors) are not reclaimed by the undo thunks — diff the
+       allocation tables and free every fresh page *)
+    let vmem = Kernel.vmem t.kernel in
+    let before = txn.pages_before in
+    let fresh =
+      List.filter (fun k -> not (List.mem k before)) (Vmem.alloc_keys vmem)
+    in
+    let ps = Machine.page_size (Kernel.machine t.kernel) in
+    List.iter
+      (fun (did, vpage) ->
+        match Kernel.domain_of_id t.kernel did with
+        | Some dom ->
+          (try Vmem.free_pages vmem dom ~vaddr:(vpage * ps) ~count:1
+           with Vmem.Vmem_error _ -> ())
+        | None -> ())
+      fresh;
+    jot_txn t ~kind:Journal.Txn_abort ~info:txn.tid
+      ~detail:(Printf.sprintf "%s: %s" txn.tname reason);
+    Error reason
+  in
+  match f txn with
+  | Ok v ->
+    jot_txn t ~kind:Journal.Txn_commit ~info:txn.tid ~detail:txn.tname;
+    Ok v
+  | Error e -> rollback e
+  | exception e -> rollback (Printexc.to_string e)
 
 let new_domain t name =
   let dom = Kernel.create_domain t.kernel ~name () in

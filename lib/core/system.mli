@@ -78,6 +78,38 @@ val install :
 val install_exn :
   t -> Pm_nucleus.Loader.image -> placement:placement -> at:string -> Pm_obj.Instance.t
 
+(** {1 Transactional composition}
+
+    [transact t name f] groups composition steps — install, register,
+    interpose — into one atomic unit. [f] receives a transaction token
+    and performs steps through {!txn_install}, {!txn_register} and
+    {!txn_interpose}; if it returns [Error] (or raises), every completed
+    step is rolled back newest-first and pages allocated during the
+    transaction are freed, so a half-wired component is never observable
+    in the namespace, the page tables or the interposition log. The
+    journal brackets the unit with [Txn_begin] and [Txn_commit] /
+    [Txn_abort]. *)
+
+type txn
+
+val transact : t -> string -> (txn -> ('a, string) result) -> ('a, string) result
+
+(** {!install} with an unload undo registered on success. *)
+val txn_install :
+  txn ->
+  Pm_nucleus.Loader.image ->
+  placement:placement ->
+  at:string ->
+  (Pm_obj.Instance.t, string) result
+
+(** [Directory.register] with an unregister undo. *)
+val txn_register : txn -> string -> Pm_obj.Instance.t -> (unit, string) result
+
+(** [Directory.replace] with an {!Pm_nucleus.Directory.unreplace} undo;
+    returns the displaced instance. *)
+val txn_interpose :
+  txn -> string -> Pm_obj.Instance.t -> (Pm_obj.Instance.t, string) result
+
 (** Networking bundle for the experiments and examples. *)
 type networking = {
   driver : Pm_obj.Instance.t;  (** at [/services/netdrv] and [/shared/network] *)

@@ -1,0 +1,143 @@
+(** Event-sourced system history.
+
+    One cycle-stamped stream of everything the nucleus mediates:
+    execution events (trap / irq / fault / crossing / sched dispatch /
+    lint run / thread crash) and structural mutations (component
+    install/detach, namespace bind/unbind, interposition, event-handler
+    registration, page sharing, domain lifecycle, placement migration,
+    composition transactions, user marks).
+
+    Recording is plain OCaml stores and charges no simulated cycles, so
+    the journal never perturbs what it records — the zero-cost-when-off
+    contract of the observability layer extends to always-on history.
+    Because the simulated machine is deterministic, a [Full]-mode
+    journal is replayable: re-running the same scenario reproduces the
+    {!export} byte for byte.
+
+    {!Pm_obs.Flightrec} is a view over this journal: the old bounded
+    black-box ring is the journal's [Tail] filtered to execution
+    events. *)
+
+type kind =
+  | Trap
+  | Irq
+  | Fault
+  | Crossing
+  | Sched
+  | Check
+  | Crash  (** a thread or pop-up died on an uncaught exception *)
+  | Install  (** loader placed a component ([detail] = name @ path) *)
+  | Detach  (** loader unloaded a component *)
+  | Bind  (** a name was registered ([detail] = path) *)
+  | Unbind  (** a name was unregistered *)
+  | Interpose  (** Directory.replace swapped the object behind a name *)
+  | Uninterpose  (** an interposition was undone (transaction rollback) *)
+  | Handler_add  (** an event call-back was registered *)
+  | Handler_del
+  | Page_share  (** a frame was mapped into a second domain *)
+  | Page_unshare  (** a shared mapping was released *)
+  | Domain_up
+  | Domain_down
+  | Migrate  (** the placement agent moved a component ([info] = observed latency) *)
+  | Txn_begin
+  | Txn_commit
+  | Txn_abort
+  | Mark  (** user annotation via /nucleus/journal *)
+
+val is_execution : kind -> bool
+val is_structural : kind -> bool
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+type event = {
+  seq : int;  (** recording order, monotonically increasing *)
+  at : int;  (** virtual-cycle timestamp *)
+  domain : int;
+  kind : kind;
+  info : int;  (** kind-specific scalar (vector, vpage, frame, tid, ...) *)
+  detail : string;  (** "" on hot paths; context elsewhere *)
+}
+
+type mode =
+  | Tail  (** bounded ring of recent events + complete structural archive *)
+  | Full  (** every event retained (up to [retain], then compacted) *)
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+type t
+
+val default_tail_capacity : int
+val default_retain : int
+
+(** [set_default_mode m] sets the mode new journals start in. The replay
+    harness flips this to [Full] around a recorded run so boot-time
+    events are captured too; everything else leaves it at [Tail]. *)
+val set_default_mode : mode -> unit
+
+val create : ?tail_capacity:int -> ?retain:int -> unit -> t
+val mode : t -> mode
+
+(** Switching to [Full] starts a fresh complete stream at the current
+    sequence number; switching back to [Tail] stops extending it. *)
+val set_mode : t -> mode -> unit
+
+val record :
+  t -> kind:kind -> domain:int -> at:int -> info:int -> detail:string -> unit
+
+(** [mark t ~domain ~at label] records a {!Mark} and returns its seq. *)
+val mark : t -> domain:int -> at:int -> string -> int
+
+val written : t -> int
+val exec_written : t -> int
+val count : t -> kind -> int
+val tail_capacity : t -> int
+
+(** Events retained in the [Full] history. *)
+val retained : t -> int
+
+(** Events dropped from the [Full] history by the [retain] bound. *)
+val compacted : t -> int
+
+(** The history covers the whole run: [Full] since event 0, nothing
+    compacted. Replay equality is only meaningful when this holds. *)
+val complete : t -> bool
+
+(** Surviving tail-ring events, oldest first. *)
+val tail : t -> event list
+
+(** The tail restricted to execution events — the flight-recorder view. *)
+val tail_exec : t -> event list
+
+(** The retained [Full]-mode history, oldest first. *)
+val history : t -> event list
+
+(** The always-on structural archive, oldest first. *)
+val structural : t -> event list
+
+val iter_structural : (event -> unit) -> t -> unit
+val reset : t -> unit
+
+(** {2 Rendering} *)
+
+val event_to_text : event -> string
+val stats_line : t -> string
+val to_text : t -> string
+val tail_to_text : t -> int -> string
+
+(** {2 Replay export / import} *)
+
+(** Versioned line format: a header recording completeness, then one
+    [%S]-quoted line per retained history event. Byte-stable across
+    identical runs — the replay contract. *)
+val export : t -> string
+
+val import : string -> (event list, string) result
+val event_equal : event -> event -> bool
+
+type divergence = { index : int; expected : event option; got : event option }
+
+val first_divergence :
+  expected:event list -> got:event list -> divergence option
+
+val divergence_to_string : divergence -> string

@@ -3,6 +3,8 @@ module Path = Pm_names.Path
 module View = Pm_names.View
 module Instance = Pm_obj.Instance
 module Registry = Pm_obj.Registry
+module Clock = Pm_machine.Clock
+module Journal = Pm_journal.Journal
 
 type bind_error = Name of Namespace.error | Dangling of int
 
@@ -27,18 +29,78 @@ let create ~machine ~vmem ~registry ~ns =
 let namespace t = t.ns
 let registry t = t.registry
 
-let register t path inst = Namespace.register t.ns path (Instance.handle inst)
+(* structural mutations are journalled — plain stores, no simulated
+   cycles, like every other journal record *)
+let jot t ~kind ~domain ~info ~detail =
+  let clock = Pm_machine.Machine.clock t.machine in
+  Journal.record
+    (Pm_obs.Obs.journal (Clock.obs clock))
+    ~kind ~domain ~at:(Clock.now clock) ~info ~detail
 
-let unregister t path = Namespace.unregister t.ns path
+let register t path inst =
+  match Namespace.register t.ns path (Instance.handle inst) with
+  | Error _ as e -> e
+  | Ok () ->
+    jot t ~kind:Journal.Bind ~domain:inst.Instance.domain
+      ~info:(Instance.handle inst) ~detail:(Path.to_string path);
+    Ok ()
+
+let unregister t path =
+  let prev = Namespace.lookup t.ns path in
+  match Namespace.unregister t.ns path with
+  | Error _ as e -> e
+  | Ok () ->
+    let info, domain =
+      match prev with
+      | Ok h ->
+        ( h,
+          match Registry.get t.registry h with
+          | Some inst -> inst.Instance.domain
+          | None -> 0 )
+      | Error _ -> (0, 0)
+    in
+    jot t ~kind:Journal.Unbind ~domain ~info ~detail:(Path.to_string path);
+    Ok ()
 
 let replace t path inst =
   match Namespace.replace t.ns path (Instance.handle inst) with
   | Error e -> Error (Name e)
   | Ok old_handle ->
     t.replacements <- (path, old_handle, Instance.handle inst) :: t.replacements;
+    jot t ~kind:Journal.Interpose ~domain:inst.Instance.domain
+      ~info:(Instance.handle inst)
+      ~detail:
+        (Printf.sprintf "%s: %d -> %d" (Path.to_string path) old_handle
+           (Instance.handle inst));
     (match Registry.get t.registry old_handle with
     | Some old_inst -> Ok old_inst
     | None -> Error (Dangling old_handle))
+
+(* Undo the newest [replace] of [agent] at [path]: swap [restore] back
+   in and pop the matching interposition-log entry, so an aborted
+   transaction leaves the log (and hence the linter) exactly as before.
+   The composition primitive behind System.transact rollback. *)
+let unreplace t path ~agent ~restore =
+  match Namespace.replace t.ns path (Instance.handle restore) with
+  | Error e -> Error (Name e)
+  | Ok _displaced ->
+    let agent_h = Instance.handle agent in
+    let dropped = ref false in
+    t.replacements <-
+      List.filter
+        (fun (p, _old_h, new_h) ->
+          if (not !dropped) && Path.equal p path && new_h = agent_h then begin
+            dropped := true;
+            false
+          end
+          else true)
+        t.replacements;
+    jot t ~kind:Journal.Uninterpose ~domain:restore.Instance.domain
+      ~info:(Instance.handle restore)
+      ~detail:
+        (Printf.sprintf "%s: %d -> %d" (Path.to_string path) agent_h
+           (Instance.handle restore));
+    Ok ()
 
 let replacements t = List.rev t.replacements
 

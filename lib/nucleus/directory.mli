@@ -38,6 +38,18 @@ val replace :
   Pm_obj.Instance.t ->
   (Pm_obj.Instance.t, bind_error) result
 
+(** [unreplace t path ~agent ~restore] undoes the newest {!replace} of
+    [agent] at [path]: [restore] goes back behind the name and the
+    matching interposition-log entry is popped, so the log reads as if
+    the interposition never happened. The rollback primitive behind
+    [System.transact]. *)
+val unreplace :
+  t ->
+  Pm_names.Path.t ->
+  agent:Pm_obj.Instance.t ->
+  restore:Pm_obj.Instance.t ->
+  (unit, bind_error) result
+
 (** [bind t ctx ~view ~domain path] imports the named object into
     [domain]: the instance itself if it already lives there, a cached
     proxy otherwise. *)

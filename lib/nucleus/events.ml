@@ -3,8 +3,13 @@ module Mmu = Pm_machine.Mmu
 module Clock = Pm_machine.Clock
 module Cost = Pm_machine.Cost
 module Obs = Pm_obs.Obs
+module Journal = Pm_journal.Journal
 
 type event = Trap of int | Irq of int
+
+let event_to_string = function
+  | Trap n -> Printf.sprintf "trap %d" n
+  | Irq n -> Printf.sprintf "irq %d" n
 
 type cb_id = int
 
@@ -95,6 +100,11 @@ let register t event ~domain fn =
   | Some cbs -> cbs := !cbs @ [ cb ]
   | None -> Hashtbl.add t.table event (ref [ cb ]));
   Hashtbl.add t.by_id id event;
+  let clock = Machine.clock t.machine in
+  Journal.record
+    (Obs.journal (Clock.obs clock))
+    ~kind:Journal.Handler_add ~domain:domain.Domain.id ~at:(Clock.now clock)
+    ~info:id ~detail:(event_to_string event);
   id
 
 let register_popup t event ~domain ~sched ?priority fn =
@@ -109,9 +119,21 @@ let unregister t id =
   | None -> ()
   | Some event ->
     Hashtbl.remove t.by_id id;
+    let domain = ref 0 in
     (match Hashtbl.find_opt t.table event with
-    | Some cbs -> cbs := List.filter (fun cb -> cb.id <> id) !cbs
-    | None -> ())
+    | Some cbs ->
+      cbs :=
+        List.filter
+          (fun cb ->
+            if cb.id = id then domain := cb.domain.Domain.id;
+            cb.id <> id)
+          !cbs
+    | None -> ());
+    let clock = Machine.clock t.machine in
+    Journal.record
+      (Obs.journal (Clock.obs clock))
+      ~kind:Journal.Handler_del ~domain:!domain ~at:(Clock.now clock) ~info:id
+      ~detail:(event_to_string event)
 
 let remove_domain t dom =
   (* stale by_id entries are harmless: unregistering them later finds

@@ -32,6 +32,7 @@ type t = {
   disk : Disk.t;
   nucleus : Composite.t;
   tracesvc : Tracesvc.t;
+  journalsvc : Journalsvc.t;
 }
 
 let machine t = t.machine
@@ -42,6 +43,7 @@ let vmem t = t.api.Api.vmem
 let directory t = t.api.Api.directory
 let certification t = t.api.Api.certification
 let tracesvc t = t.tracesvc
+let journalsvc t = t.journalsvc
 let loader t = t.loader
 let sched t = t.api.Api.sched
 let kernel_domain t = t.kernel_domain
@@ -53,6 +55,13 @@ let disk t = t.disk
 let ctx t dom = Api.ctx t.api dom
 
 let domains t = t.kernel_domain :: List.rev t.user_domains
+
+(* domain lifecycle is journalled — plain stores, no simulated cycles *)
+let jot machine ~kind ~domain ~info ~detail =
+  let clock = Machine.clock machine in
+  Pm_journal.Journal.record
+    (Pm_obs.Obs.journal (Clock.obs clock))
+    ~kind ~domain ~at:(Clock.now clock) ~info ~detail
 
 let domain_of_id t id =
   if id = t.kernel_domain.Domain.id then Some t.kernel_domain
@@ -294,14 +303,17 @@ let boot ?costs ?frames ?page_size ~root () =
   let cert_obj = certification_object t_ref registry kernel_domain in
   let tracesvc = Tracesvc.create machine in
   let trace_obj = Tracesvc.service_object tracesvc registry kernel_domain in
-  (* the resident kernel: a static (link-time) composition of the five
+  let journalsvc = Journalsvc.create machine in
+  let journal_obj = Journalsvc.service_object journalsvc registry kernel_domain in
+  (* the resident kernel: a static (link-time) composition of the seven
      service objects *)
   let nucleus =
     Composite.make registry ~class_name:"paramecium.nucleus"
       ~domain:kernel_domain.Domain.id ~mode:Composite.Static
       ~children:
         [ ("events", ev_obj); ("memory", mem_obj); ("directory", dir_obj);
-          ("certification", cert_obj); ("trace", trace_obj) ]
+          ("certification", cert_obj); ("trace", trace_obj);
+          ("journal", journal_obj) ]
       ~exports:
         [
           { Composite.as_name = "events"; child = "events"; iface = "events" };
@@ -310,6 +322,7 @@ let boot ?costs ?frames ?page_size ~root () =
           { Composite.as_name = "certification"; child = "certification";
             iface = "certification" };
           { Composite.as_name = "trace"; child = "trace"; iface = "trace" };
+          { Composite.as_name = "journal"; child = "journal"; iface = "journal" };
         ]
   in
   must_register ns "/nucleus/events" (Instance.handle ev_obj);
@@ -317,12 +330,16 @@ let boot ?costs ?frames ?page_size ~root () =
   must_register ns "/nucleus/directory" (Instance.handle dir_obj);
   must_register ns "/nucleus/certification" (Instance.handle cert_obj);
   must_register ns "/nucleus/trace" (Instance.handle trace_obj);
+  must_register ns "/nucleus/journal" (Instance.handle journal_obj);
   must_register ns "/nucleus/kernel" (Instance.handle (Composite.instance nucleus));
   let t =
     { machine; registry; ns; root_view; api; loader; kernel_domain;
-      user_domains = []; nic; timer; console; disk; nucleus; tracesvc }
+      user_domains = []; nic; timer; console; disk; nucleus; tracesvc;
+      journalsvc }
   in
   t_ref := Some t;
+  jot machine ~kind:Pm_journal.Journal.Domain_up ~domain:kernel_domain.Domain.id
+    ~info:kernel_domain.Domain.id ~detail:"kernel";
   t
 
 let create_domain t ~name ?(overrides = []) () =
@@ -333,12 +350,15 @@ let create_domain t ~name ?(overrides = []) () =
   in
   let dom = Domain.make ~acct ~id ~name ~kind:Domain.User ~view () in
   t.user_domains <- dom :: t.user_domains;
+  jot t.machine ~kind:Pm_journal.Journal.Domain_up ~domain:id ~info:id ~detail:name;
   dom
 
 let destroy_domain t dom =
   if Domain.is_kernel dom then invalid_arg "Kernel.destroy_domain: kernel domain";
   if not dom.Domain.alive then invalid_arg "Kernel.destroy_domain: already destroyed";
   dom.Domain.alive <- false;
+  jot t.machine ~kind:Pm_journal.Journal.Domain_down ~domain:dom.Domain.id
+    ~info:dom.Domain.id ~detail:dom.Domain.name;
   (* revoke the domain's instances and drop their names *)
   let ns = t.ns in
   let dead = Hashtbl.create 8 in

@@ -5,6 +5,13 @@ module Meta = Pm_secure.Meta
 module Validator = Pm_secure.Validator
 module Namespace = Pm_names.Namespace
 module Instance = Pm_obj.Instance
+module Journal = Pm_journal.Journal
+
+let jot t ~kind ~domain ~info ~detail =
+  let clock = Machine.clock t.Api.machine in
+  Journal.record
+    (Pm_obs.Obs.journal (Clock.obs clock))
+    ~kind ~domain ~at:(Clock.now clock) ~info ~detail
 
 type constructor = Api.t -> Domain.t -> Instance.t
 
@@ -98,7 +105,12 @@ let load t ~name ~into ~at ?sandbox ?(verify = false) () =
         | (`Plain | `Verified), _ -> inst
       in
       (match Directory.register t.api.Api.directory at inst with
-      | Ok () -> Ok inst
+      | Ok () ->
+        jot t.api ~kind:Journal.Install ~domain:into.Domain.id
+          ~info:(Instance.handle inst)
+          ~detail:
+            (Printf.sprintf "%s @ %s" name (Pm_names.Path.to_string at));
+        Ok inst
       | Error e ->
         Instance.revoke inst;
         Error (Name_taken e)))
@@ -111,7 +123,13 @@ let unload t path =
     (match Directory.unregister dir path with
     | Error e -> Error (Name_taken e)
     | Ok () ->
-      (match Directory.resolve_handle dir handle with
-      | Some inst -> Instance.revoke inst
-      | None -> ());
+      let domain =
+        match Directory.resolve_handle dir handle with
+        | Some inst ->
+          Instance.revoke inst;
+          inst.Instance.domain
+        | None -> 0
+      in
+      jot t.api ~kind:Journal.Detach ~domain ~info:handle
+        ~detail:(Pm_names.Path.to_string path);
       Ok ())

@@ -4,6 +4,7 @@ module Physmem = Pm_machine.Physmem
 module Clock = Pm_machine.Clock
 module Cost = Pm_machine.Cost
 module Obs = Pm_obs.Obs
+module Journal = Pm_journal.Journal
 
 type sharing = Exclusive | Shared
 
@@ -30,6 +31,14 @@ type t = {
 }
 
 let first_vpage = 256 (* keep low addresses unmapped to catch null derefs *)
+
+(* page-sharing mutations are journalled (plain stores, no cycle
+   charges); the page-hygiene lint rule replays these records *)
+let jot t ~kind ~domain ~info ~detail =
+  let clock = Machine.clock t.machine in
+  Journal.record
+    (Obs.journal (Clock.obs clock))
+    ~kind ~domain ~at:(Clock.now clock) ~info ~detail
 
 let create machine =
   let t =
@@ -117,7 +126,10 @@ let free_pages t dom ~vaddr ~count =
     ignore (Mmu.unmap mmu dom.Domain.id ~vpage);
     Physmem.release phys a.frame;
     Hashtbl.remove t.allocs (dom.Domain.id, vpage);
-    Hashtbl.remove t.fault_cbs (dom.Domain.id, vpage)
+    Hashtbl.remove t.fault_cbs (dom.Domain.id, vpage);
+    if a.sharing = Shared then
+      jot t ~kind:Journal.Page_unshare ~domain:dom.Domain.id ~info:a.frame
+        ~detail:(Printf.sprintf "vpage %d" vpage)
   done
 
 let map_shared t ~from_dom ~vaddr ~count ~into ~prot =
@@ -140,7 +152,11 @@ let map_shared t ~from_dom ~vaddr ~count ~into ~prot =
       Physmem.ref_frame phys a.frame;
       Mmu.map mmu into.Domain.id ~vpage:(dst_base + i) ~frame:a.frame ~prot;
       Hashtbl.replace t.allocs (into.Domain.id, dst_base + i)
-        { frame = a.frame; sharing = Shared })
+        { frame = a.frame; sharing = Shared };
+      jot t ~kind:Journal.Page_share ~domain:into.Domain.id ~info:a.frame
+        ~detail:
+          (Printf.sprintf "frame %d from dom %d vpage %d" a.frame
+             from_dom.Domain.id (dst_base + i)))
     sources;
   dst_base * ps
 
@@ -161,6 +177,11 @@ let hook_page t dom ~vaddr on =
 
 let pages_of t dom =
   Hashtbl.fold (fun (d, _) _ acc -> if d = dom.Domain.id then acc + 1 else acc) t.allocs 0
+
+(* every live allocation as (domain id, vpage), sorted — the snapshot
+   System.transact diffs to roll page tables back on abort *)
+let alloc_keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.allocs [] |> List.sort compare
 
 let reserve_pages t dom ~count =
   if count <= 0 then invalid_arg "Vmem.reserve_pages: count must be positive";

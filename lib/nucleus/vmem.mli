@@ -61,6 +61,10 @@ val hook_page : t -> Domain.t -> vaddr:int -> bool -> unit
 (** [pages_of t dom] is the number of pages currently mapped for [dom]. *)
 val pages_of : t -> Domain.t -> int
 
+(** Every live allocation as [(domain id, vpage)], sorted — the snapshot
+    [System.transact] diffs to roll page tables back on abort. *)
+val alloc_keys : t -> (int * int) list
+
 (** [phys_of t dom ~vaddr] is the physical address backing a mapped
     virtual address — what a driver writes into a DMA descriptor. Raises
     {!Vmem_error} if unmapped. *)

@@ -1,8 +1,12 @@
-(* The flight recorder is the always-on half of the observability layer:
-   a fixed ring of tiny constant-size event records written with plain
-   stores and no simulated-cycle charges, so it is cheap enough to never
-   turn off. When a domain crashes, the last few entries are the black
-   box. *)
+(* The flight recorder is the always-on black box of the observability
+   layer — and since PR 6 it is a *view* over the system journal
+   (Pm_journal.Journal): the journal's bounded tail ring restricted to
+   execution events. Recording here forwards into the journal with
+   plain stores and no simulated-cycle charges, so it is cheap enough
+   to never turn off. When a domain crashes, the last few entries are
+   the black box; the journal keeps the rest of the story. *)
+
+module J = Pm_journal.Journal
 
 type kind = Trap | Irq | Fault | Crossing | Sched | Check
 
@@ -14,35 +18,49 @@ type event = {
   info : int; (* vector / irq line / vpage / target domain / tid *)
 }
 
-type t = {
-  capacity : int;
-  buf : event option array;
-  mutable written : int;
-}
+type t = J.t
 
-let default_capacity = 256
+let default_capacity = J.default_tail_capacity
 
-let create ?(capacity = default_capacity) () =
-  if capacity <= 0 then invalid_arg "Flightrec.create: capacity must be positive";
-  { capacity; buf = Array.make capacity None; written = 0 }
+let create ?(capacity = default_capacity) () = J.create ~tail_capacity:capacity ()
 
-let capacity t = t.capacity
-let recorded t = t.written
+let over journal = journal
+let journal t = t
+
+let capacity t = J.tail_capacity t
+let recorded t = J.exec_written t
+
+let jkind = function
+  | Trap -> J.Trap
+  | Irq -> J.Irq
+  | Fault -> J.Fault
+  | Crossing -> J.Crossing
+  | Sched -> J.Sched
+  | Check -> J.Check
+
+let fkind = function
+  | J.Trap -> Some Trap
+  | J.Irq -> Some Irq
+  | J.Fault -> Some Fault
+  | J.Crossing -> Some Crossing
+  | J.Sched -> Some Sched
+  | J.Check -> Some Check
+  | _ -> None
 
 let record t ~kind ~domain ~at ~info =
-  t.buf.(t.written mod t.capacity) <- Some { seq = t.written; kind; domain; at; info };
-  t.written <- t.written + 1
+  J.record t ~kind:(jkind kind) ~domain ~at ~info ~detail:""
 
-(* surviving events, oldest first *)
+(* surviving execution events, oldest first *)
 let events t =
-  let n = min t.written t.capacity in
-  let first = if t.written <= t.capacity then 0 else t.written mod t.capacity in
-  List.init n (fun k -> t.buf.((first + k) mod t.capacity))
-  |> List.filter_map Fun.id
+  List.filter_map
+    (fun (e : J.event) ->
+      match fkind e.J.kind with
+      | Some kind ->
+        Some { seq = e.J.seq; kind; domain = e.J.domain; at = e.J.at; info = e.J.info }
+      | None -> None)
+    (J.tail t)
 
-let reset t =
-  Array.fill t.buf 0 t.capacity None;
-  t.written <- 0
+let reset t = J.reset t
 
 let kind_to_string = function
   | Trap -> "trap"
@@ -52,13 +70,22 @@ let kind_to_string = function
   | Sched -> "sched"
   | Check -> "check"
 
+let kind_of_string = function
+  | "trap" -> Some Trap
+  | "irq" -> Some Irq
+  | "fault" -> Some Fault
+  | "crossing" -> Some Crossing
+  | "sched" -> Some Sched
+  | "check" -> Some Check
+  | _ -> None
+
 let event_to_text e =
   Printf.sprintf "#%-6d %8d cyc  dom %-2d %-8s %d" e.seq e.at e.domain
     (kind_to_string e.kind) e.info
 
 let to_text t =
   let header =
-    Printf.sprintf "flight: %d recorded, capacity %d" t.written t.capacity
+    Printf.sprintf "flight: %d recorded, capacity %d" (recorded t) (capacity t)
   in
   String.concat "\n" (header :: List.map event_to_text (events t))
 
@@ -73,5 +100,111 @@ let event_to_json e =
     e.at e.domain (kind_to_string e.kind) e.info
 
 let to_json t =
-  Printf.sprintf "{\"recorded\":%d,\"capacity\":%d,\"events\":[%s]}" t.written t.capacity
+  Printf.sprintf "{\"recorded\":%d,\"capacity\":%d,\"events\":[%s]}" (recorded t)
+    (capacity t)
     (String.concat "," (List.map event_to_json (events t)))
+
+(* ---------------- JSON round-trip ------------------------------------ *)
+
+(* A hand-rolled parser for exactly the shape [to_json] emits. Events
+   carry only integers (arbitrary, including min_int) and fixed kind
+   tokens, so the grammar is tiny; it exists so the black-box dump can
+   be shipped off-system and read back verbatim. *)
+
+exception Bad of string
+
+let of_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail m = raise (Bad (Printf.sprintf "%s at offset %d" m !pos)) in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let key k =
+    expect '"';
+    let l = String.length k in
+    if !pos + l <= n && String.sub s !pos l = k then pos := !pos + l
+    else fail (Printf.sprintf "expected key %S" k);
+    expect '"';
+    expect ':'
+  in
+  let int_v () =
+    skip_ws ();
+    let start = !pos in
+    if !pos < n && s.[!pos] = '-' then incr pos;
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = start then fail "expected integer";
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "integer out of range"
+  in
+  let str_v () =
+    expect '"';
+    let start = !pos in
+    while !pos < n && s.[!pos] <> '"' do
+      incr pos
+    done;
+    let v = String.sub s start (!pos - start) in
+    expect '"';
+    v
+  in
+  let event () =
+    expect '{';
+    key "seq";
+    let seq = int_v () in
+    expect ',';
+    key "at";
+    let at = int_v () in
+    expect ',';
+    key "domain";
+    let domain = int_v () in
+    expect ',';
+    key "kind";
+    let kind =
+      match kind_of_string (str_v ()) with
+      | Some k -> k
+      | None -> fail "unknown kind"
+    in
+    expect ',';
+    key "info";
+    let info = int_v () in
+    expect '}';
+    { seq; at; domain; kind; info }
+  in
+  try
+    expect '{';
+    key "recorded";
+    let recorded = int_v () in
+    expect ',';
+    key "capacity";
+    let capacity = int_v () in
+    expect ',';
+    key "events";
+    expect '[';
+    let events = ref [] in
+    skip_ws ();
+    if !pos < n && s.[!pos] = ']' then incr pos
+    else begin
+      let continue = ref true in
+      while !continue do
+        events := event () :: !events;
+        skip_ws ();
+        if !pos < n && s.[!pos] = ',' then incr pos
+        else begin
+          expect ']';
+          continue := false
+        end
+      done
+    end;
+    expect '}';
+    Ok (recorded, capacity, List.rev !events)
+  with Bad m -> Error m

@@ -1,18 +1,21 @@
-(** Always-on flight recorder: a fixed-capacity ring of tiny event
-    records — traps, interrupts, page faults, cross-domain proxy
-    crossings and scheduler dispatches.
+(** Always-on flight recorder: the black-box view over the system
+    journal ({!Pm_journal.Journal}) — the journal's bounded tail ring
+    restricted to execution events: traps, interrupts, page faults,
+    cross-domain proxy crossings, scheduler dispatches and lint runs.
 
     Unlike the span {!Tracer}, recording here is *not* gated on
     {!Obs.enabled} and charges no simulated cycles: each record is a
-    couple of plain stores into a preallocated ring, cheap enough to
-    never turn off. Its purpose is post-mortem: the last events before
-    an [Oerror] or an uncaught fault are dumped automatically, and
-    [/stats/kernel.flight] exposes the ring on demand. *)
+    couple of plain stores into the journal's preallocated ring, cheap
+    enough to never turn off. Its purpose is post-mortem: the last
+    events before an [Oerror] or an uncaught fault are dumped
+    automatically, and [/stats/kernel.flight] exposes the ring on
+    demand. The full history (including structural mutations) lives in
+    the underlying journal, reachable via {!journal}. *)
 
 type kind = Trap | Irq | Fault | Crossing | Sched | Check
 
 type event = {
-  seq : int;  (** recording order, monotonically increasing *)
+  seq : int;  (** journal sequence number (shared with structural events) *)
   kind : kind;
   domain : int;  (** domain the event concerns (see [info] per kind) *)
   at : int;  (** virtual-cycle timestamp *)
@@ -25,19 +28,34 @@ type event = {
 type t
 
 val default_capacity : int
+
+(** [create ?capacity ()] is a standalone recorder over a fresh
+    journal whose tail ring holds [capacity] events. *)
 val create : ?capacity:int -> unit -> t
+
+(** [over journal] views an existing journal as a flight recorder —
+    how {!Obs.t} shares one journal between both facades. *)
+val over : Pm_journal.Journal.t -> t
+
+(** The journal this recorder views. *)
+val journal : t -> Pm_journal.Journal.t
+
 val capacity : t -> int
 
-(** [recorded t] counts events ever written (including overwritten). *)
+(** [recorded t] counts execution events ever written (including
+    overwritten). *)
 val recorded : t -> int
 
 val record : t -> kind:kind -> domain:int -> at:int -> info:int -> unit
 
-(** Surviving events, oldest first. *)
+(** Surviving execution events, oldest first. *)
 val events : t -> event list
 
+(** Resets the underlying journal. *)
 val reset : t -> unit
+
 val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
 val to_text : t -> string
 
 (** [tail_to_text t n] renders only the [n] most recent events — the
@@ -45,3 +63,8 @@ val to_text : t -> string
 val tail_to_text : t -> int -> string
 
 val to_json : t -> string
+
+(** [of_json s] parses exactly the shape {!to_json} emits back into
+    [(recorded, capacity, events)] — the round-trip for shipping a
+    black-box dump off-system. *)
+val of_json : string -> (int * int * event list, string) result

@@ -23,6 +23,11 @@ let metrics t = t.metrics
 let acct t = t.acct
 let flight t = t.flight
 
+(* the journal behind the flight recorder: the complete event-sourced
+   history (structural mutations included) of which the flight ring is
+   the execution-only tail view *)
+let journal t = Flightrec.journal t.flight
+
 let span_begin t ~now ~domain ~obj ~iface ~meth =
   Tracer.begin_span t.tracer ~now ~domain ~obj ~iface ~meth
 

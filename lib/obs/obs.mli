@@ -23,6 +23,10 @@ val metrics : t -> Metrics.t
 val acct : t -> Acct.t
 val flight : t -> Flightrec.t
 
+(** The system journal the flight recorder views: the complete
+    event-sourced history, structural mutations included. *)
+val journal : t -> Pm_journal.Journal.t
+
 (** {2 Conveniences forwarding to the tracer / metrics} *)
 
 val span_begin :

@@ -28,7 +28,11 @@ type comp = {
   watch : int list; (* domains paying the crossings for this component *)
   migrate : placement -> bool;
   verified_ok : bool; (* may the up-migration target be [Verified]? *)
-  move_cost : int; (* cycles a migration costs (certification, reload) *)
+  mutable move_cost : int;
+      (* cycles a migration costs. The [manage] parameter only seeds it:
+         every observed migration replaces the estimate with measured
+         latency (first move) or folds it in (EWMA thereafter). *)
+  mutable observed_moves : int;
   mutable placement : placement;
   mutable base : (int * Acct.slot) list;
   mutable streak : int;
@@ -85,7 +89,7 @@ let manage t ~watch ~placement ?(verified_ok = false) ?(move_cost = 0) ~migrate 
   t.comps <-
     t.comps
     @ [
-        { watch; migrate; verified_ok; move_cost; placement;
+        { watch; migrate; verified_ok; move_cost; observed_moves = 0; placement;
           base = snapshot_watch t.clock watch; streak = 0; cool = 0; moves = 0;
           defers = 0 };
       ]
@@ -97,6 +101,7 @@ let placement t =
   match t.comps with c :: _ -> Some c.placement | [] -> None
 
 let placements t = List.map (fun c -> c.placement) t.comps
+let move_costs t = List.map (fun c -> c.move_cost) t.comps
 let moves t = List.fold_left (fun acc c -> acc + c.moves) 0 t.comps
 let deferrals t = List.fold_left (fun acc c -> acc + c.defers) 0 t.comps
 let flips t = match t.chan with Some c -> c.flips | None -> 0
@@ -141,6 +146,7 @@ let comp_epoch t dt (c : comp) actions =
       c.streak <- c.streak + 1;
       if c.streak >= t.confirm then begin
         c.streak <- 0;
+        let t0 = Clock.now t.clock in
         let moved, target =
           if c.migrate target then (true, target)
           else if target = Verified && c.migrate Certified then
@@ -150,6 +156,22 @@ let comp_epoch t dt (c : comp) actions =
           else (false, target)
         in
         if moved then begin
+          (* learn the real move cost: the clock just timed this very
+             migration (certification latency, reload), which beats any
+             caller-supplied guess. First observation replaces the seed;
+             later ones are averaged in so one outlier cannot swing the
+             payback check. *)
+          let latency = Clock.now t.clock - t0 in
+          c.move_cost <-
+            (if c.observed_moves = 0 then latency
+             else (c.move_cost + latency + 1) / 2);
+          c.observed_moves <- c.observed_moves + 1;
+          Pm_journal.Journal.record
+            (Obs.journal (Clock.obs t.clock))
+            ~kind:Pm_journal.Journal.Migrate
+            ~domain:(match c.watch with d :: _ -> d | [] -> 0)
+            ~at:(Clock.now t.clock) ~info:latency
+            ~detail:(placement_to_string target);
           c.placement <- target;
           c.moves <- c.moves + 1;
           c.cool <- t.cooldown;

@@ -59,12 +59,16 @@ val create :
     refuses it). [migrate p] performs the actual move and returns
     whether it succeeded.
 
-    [move_cost] (cycles, default 0) is what the migration itself costs —
-    certification latency, reloading. An up-migration is only taken when
-    the crossings measured in the epoch, projected over [payback_window]
-    epochs (default 4, on {!create}), cover that cost; otherwise the
-    decision is deferred and counted in {!deferrals}. The default
-    [move_cost = 0] disables the check. *)
+    [move_cost] (cycles, default 0) seeds the estimate of what the
+    migration itself costs — certification latency, reloading. An
+    up-migration is only taken when the crossings measured in the epoch,
+    projected over [payback_window] epochs (default 4, on {!create}),
+    cover that cost; otherwise the decision is deferred and counted in
+    {!deferrals}. The seed [0] disables the check until a move has been
+    observed: each migration is timed on the clock and the measured
+    latency replaces the estimate (first move) or is averaged in
+    (later moves) — see {!move_costs}. Migrations are journalled as
+    [Migrate] events carrying the observed latency. *)
 val manage :
   t ->
   watch:int list ->
@@ -86,6 +90,10 @@ val placement : t -> placement option
 
 (** Placements of all managed components, in [manage] order. *)
 val placements : t -> placement list
+
+(** Current move-cost estimates, in [manage] order: the [move_cost]
+    seed until the first observed migration, learned latency after. *)
+val move_costs : t -> int list
 
 (** Total migrations across all managed components. *)
 val moves : t -> int

@@ -218,8 +218,17 @@ let kernel_iface t =
     | _ -> Error (Oerror.Type_error "mark()")
   in
   let flight_m _ctx = function
-    | [] -> Ok (Value.Str (Flightrec.to_text (Obs.flight (obs t))))
-    | _ -> Error (Oerror.Type_error "flight()")
+    (* n <= 0: the whole surviving ring; n > 0: just the last n events *)
+    | [ Value.Int n ] ->
+      let fl = Obs.flight (obs t) in
+      if n <= 0 then Ok (Value.Str (Flightrec.to_text fl))
+      else
+        Ok
+          (Value.Str
+             (Printf.sprintf "flight: %d recorded, tail %d\n%s"
+                (Flightrec.recorded fl) n
+                (Flightrec.tail_to_text fl n)))
+    | _ -> Error (Oerror.Type_error "flight(int)")
   in
   let publish_m _ctx = function
     | [] -> Ok (Value.Int (publish t))
@@ -230,7 +239,7 @@ let kernel_iface t =
       Iface.meth ~name:"snapshot" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tstr snapshot_m;
       Iface.meth ~name:"diff" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tstr diff_m;
       Iface.meth ~name:"mark" ~args:[] ~ret:Vtype.Tunit mark_m;
-      Iface.meth ~name:"flight" ~args:[] ~ret:Vtype.Tstr flight_m;
+      Iface.meth ~name:"flight" ~args:[ Vtype.Tint ] ~ret:Vtype.Tstr flight_m;
       Iface.meth ~name:"publish" ~args:[] ~ret:Vtype.Tint publish_m;
     ]
 

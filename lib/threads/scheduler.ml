@@ -84,6 +84,15 @@ let dump_flight t =
       m "flight recorder (last 8 events):@\n%s"
         (Pm_obs.Flightrec.tail_to_text (Pm_obs.Obs.flight (Clock.obs t.clock)) 8))
 
+(* The crash itself goes into the journal (plain stores), so a replayed
+   run reproduces the death in its history. *)
+let record_crash t th =
+  Pm_journal.Journal.record
+    (Pm_obs.Obs.journal (Clock.obs t.clock))
+    ~kind:Pm_journal.Journal.Crash
+    ~domain:(Option.value th.domain ~default:0)
+    ~at:(Clock.now t.clock) ~info:th.tid ~detail:th.name
+
 (* Handler shared by full threads and promoted proto-threads: bookkeeping
    on return/crash, and the Yield/Suspend/Self protocol. *)
 let thread_handler t th : (unit, unit) Effect.Deep.handler =
@@ -101,6 +110,7 @@ let thread_handler t th : (unit, unit) Effect.Deep.handler =
         Clock.count t.clock "thread_crash";
         Logs.warn (fun m ->
             m "thread %d (%s) crashed: %s" th.tid th.name (Printexc.to_string exn));
+        record_crash t th;
         dump_flight t);
     effc =
       (fun (type a) (eff : a Effect.t) ->
@@ -168,6 +178,7 @@ let popup t ?(priority = 1) ?(name = "popup") ?domain body =
           Clock.count t.clock "thread_crash";
           Logs.warn (fun m ->
               m "popup %d (%s) crashed: %s" th.tid th.name (Printexc.to_string exn));
+          record_crash t th;
           dump_flight t);
       effc =
         (fun (type a) (eff : a Effect.t) ->

@@ -466,6 +466,41 @@ let test_flightrec_always_on () =
   Alcotest.(check bool) "an interrupt is among them" true
     (List.exists (fun e -> e.Flightrec.kind = Flightrec.Irq) evs)
 
+(* the black-box dump ships off-system as JSON and reads back verbatim,
+   extreme integers included *)
+let test_flightrec_json_roundtrip () =
+  let f = Flightrec.create ~capacity:8 () in
+  List.iteri
+    (fun i (kind, info) ->
+      Flightrec.record f ~kind ~domain:(i - 1) ~at:(i * 1_000) ~info)
+    [
+      (Flightrec.Trap, 0); (Flightrec.Irq, max_int); (Flightrec.Fault, min_int);
+      (Flightrec.Crossing, -1); (Flightrec.Sched, 42);
+    ];
+  (match Flightrec.of_json (Flightrec.to_json f) with
+  | Error e -> Alcotest.fail e
+  | Ok (recorded, capacity, events) ->
+    Alcotest.(check int) "recorded survives" (Flightrec.recorded f) recorded;
+    Alcotest.(check int) "capacity survives" (Flightrec.capacity f) capacity;
+    let orig = Flightrec.events f in
+    Alcotest.(check int) "every event came back" (List.length orig)
+      (List.length events);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check bool)
+          (Printf.sprintf "event %d round-trips" a.Flightrec.seq)
+          true
+          (a.Flightrec.seq = b.Flightrec.seq
+          && a.Flightrec.at = b.Flightrec.at
+          && a.Flightrec.domain = b.Flightrec.domain
+          && a.Flightrec.kind = b.Flightrec.kind
+          && a.Flightrec.info = b.Flightrec.info))
+      orig events);
+  (* malformed input is rejected, not misparsed *)
+  match Flightrec.of_json "{\"recorded\":}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parsed garbage"
+
 (* --- the /stats namespace ----------------------------------------------- *)
 
 let test_stats_namespace () =
@@ -520,11 +555,19 @@ let test_stats_namespace () =
     Alcotest.(check bool) "diff header" true
       (String.length s >= 11 && String.sub s 0 11 = "/stats diff")
   | _ -> Alcotest.fail "diff");
-  (match call "flight" [] with
+  (match call "flight" [ Value.Int 0 ] with
   | Ok (Value.Str s) ->
     Alcotest.(check bool) "flight dump" true
       (String.length s >= 7 && String.sub s 0 7 = "flight:")
   | _ -> Alcotest.fail "flight");
+  (* a positive argument trims the dump to the last n events *)
+  (match call "flight" [ Value.Int 3 ] with
+  | Ok (Value.Str s) ->
+    Alcotest.(check bool) "flight tail header" true
+      (String.length s >= 7 && String.sub s 0 7 = "flight:");
+    let lines = String.split_on_char '\n' s in
+    Alcotest.(check bool) "flight tail trimmed" true (List.length lines <= 5)
+  | _ -> Alcotest.fail "flight tail");
   Mmu.switch_context (Machine.mmu (Kernel.machine k)) 0;
   Obs.disable (Clock.obs (Kernel.clock k))
 
@@ -706,6 +749,55 @@ let test_placer_payback_deferral () =
   Alcotest.(check int) "one move" 1 !moved;
   Alcotest.(check int) "still one deferral" 1 (Placer.deferrals placer)
 
+(* the payback estimate is learned, not configured: each migration is
+   timed on the clock, the first observation replaces the seed, later
+   ones average in — and every move lands in the journal with its
+   measured latency *)
+let test_placer_move_cost_learning () =
+  let clock = Clock.create () in
+  let obs = Clock.obs clock in
+  let acct = Obs.acct obs in
+  let placer = Placer.create ~clock ~costs:Cost.default ~confirm:1 ~cooldown:0 () in
+  let latency = ref 10_000 in
+  Placer.manage placer ~watch:[ 1 ] ~placement:Placer.User ~move_cost:500
+    ~migrate:(fun _ ->
+      Clock.advance clock !latency;
+      true)
+    ();
+  Alcotest.(check (list int)) "seed before any move" [ 500 ]
+    (Placer.move_costs placer);
+  let epoch_with ~cross ~faults =
+    Clock.advance clock 1_000;
+    if cross > 0 then Acct.crossing acct ~domain:1 cross;
+    for _ = 1 to faults do
+      Acct.fault acct ~domain:1 0
+    done;
+    Placer.epoch placer
+  in
+  (* first move: the measured 10k replaces the 500-cycle guess outright *)
+  (match epoch_with ~cross:900 ~faults:0 with
+  | [ Placer.Migrated Placer.Certified ] -> ()
+  | _ -> Alcotest.fail "expected migration");
+  Alcotest.(check (list int)) "first observation replaces the seed" [ 10_000 ]
+    (Placer.move_costs placer);
+  (* second move (a fault demotion) averages in: (10000 + 2000 + 1) / 2 *)
+  latency := 2_000;
+  (match epoch_with ~cross:0 ~faults:5 with
+  | [ Placer.Migrated Placer.User ] -> ()
+  | _ -> Alcotest.fail "expected demotion");
+  Alcotest.(check (list int)) "later observations average in" [ 6_000 ]
+    (Placer.move_costs placer);
+  let migrates =
+    List.filter
+      (fun e -> e.Journal.kind = Journal.Migrate)
+      (Journal.structural (Obs.journal obs))
+  in
+  Alcotest.(check (list int)) "journalled with measured latencies"
+    [ 10_000; 2_000 ]
+    (List.map (fun e -> e.Journal.info) migrates);
+  Alcotest.(check (list int)) "charged to the watched domain" [ 1; 1 ]
+    (List.map (fun e -> e.Journal.domain) migrates)
+
 (* --- clock snapshot helpers -------------------------------------------- *)
 
 let test_clock_snapshot_diff () =
@@ -774,6 +866,8 @@ let () =
         [
           Alcotest.test_case "fixed-capacity ring" `Quick test_flightrec_ring;
           Alcotest.test_case "always on" `Quick test_flightrec_always_on;
+          Alcotest.test_case "json round-trip" `Quick
+            test_flightrec_json_roundtrip;
         ] );
       ( "stats-namespace",
         [
@@ -786,6 +880,8 @@ let () =
           Alcotest.test_case "multi-component" `Quick test_placer_multi_component;
           Alcotest.test_case "verified fallback" `Quick test_placer_verified_fallback;
           Alcotest.test_case "payback deferral" `Quick test_placer_payback_deferral;
+          Alcotest.test_case "move-cost learning" `Quick
+            test_placer_move_cost_learning;
         ] );
       ( "interposer",
         [
