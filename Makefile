@@ -13,11 +13,13 @@ bench:
 
 # the assertion-bearing experiments at reduced iteration counts, for CI
 bench-smoke:
-	dune exec bench/main.exe -- obs e14 e15 e16 e18 replay --quick
+	dune exec bench/main.exe -- obs e14 e15 e16 e18 e19 e20 replay --quick
 
-# the channel-backed data path exercised through the demo binary
+# the channel-backed data path exercised through the demo binary, and
+# the whole-system KV workload on top of it
 demo-smoke:
 	dune exec bin/paramecium_demo.exe -- packets --net-chan -n 10
+	dune exec bin/paramecium_demo.exe -- kv -n 4
 
 # record/replay determinism: every scenario self-checks, and a recording
 # written to disk replays byte-identically after a round-trip
@@ -26,6 +28,7 @@ replay-smoke:
 	dune exec bin/pm_replay.exe -- packets --quiet
 	dune exec bin/pm_replay.exe -- crash --quiet
 	dune exec bin/pm_replay.exe -- deadlock --lint --quiet
+	dune exec bin/pm_replay.exe -- kv --quiet
 	dune exec bin/pm_replay.exe -- compose --lint --record /tmp/pm_compose.rec --quiet
 	dune exec bin/pm_replay.exe -- --replay /tmp/pm_compose.rec --quiet
 
@@ -36,6 +39,8 @@ lint:
 	dune exec bin/pm_lint.exe
 	! dune exec bin/pm_lint.exe -- --seed non-superset --quiet
 	! dune exec bin/pm_lint.exe -- --seed spsc --quiet
+	! dune exec bin/pm_lint.exe -- --seed store-order --quiet
+	! dune exec bin/pm_lint.exe -- --seed store-dangling --quiet
 
 # regenerate the committed reference run (simulated cycles, deterministic)
 bench-output:

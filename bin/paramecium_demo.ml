@@ -371,7 +371,129 @@ let filter_cmd =
        ~doc:"Compile a packet-filter expression and show/run its object code.")
     Term.(const run $ expr_t $ sandbox_t)
 
+(* --- kv: the whole-system workload ------------------------------------- *)
+
+let kv_cmd =
+  let count_t =
+    Arg.(
+      value & opt int 8
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Keys to put before reading back.")
+  in
+  let store_placement_t =
+    let store_conv =
+      Arg.enum
+        [ ("certified", `Certified); ("verified", `Verified); ("user", `User) ]
+    in
+    Arg.(
+      value & opt store_conv `Certified
+      & info [ "store-placement" ] ~docv:"PLACEMENT"
+          ~doc:
+            "Storage-stack placement: $(b,certified), $(b,verified) or \
+             $(b,user).")
+  in
+  let run seed n placement =
+    let sys = System.create ~seed () in
+    let k = System.kernel sys in
+    let net =
+      System.setup_networking sys ~placement:System.Certified ~addr:42
+        ~loopback:true ()
+    in
+    let nsc, _svc = System.channel_net sys net () in
+    let placement =
+      match placement with
+      | `Certified -> System.Certified
+      | `Verified -> System.Verified
+      | `User -> System.User (System.new_domain sys "storeuser")
+    in
+    ignore (System.setup_store sys ~placement ~cache_capacity:16 ());
+    let kdom = Kernel.kernel_domain k in
+    let api = Kernel.api k in
+    let kv = Kv.create api kdom ~name:"kv0" ~log:"/store/log0" () in
+    (match Kv.serve api kdom ~kv ~net:nsc ~port:70 () with
+    | Ok _ -> ()
+    | Error e ->
+      say "kv: serve failed: %s" (Oerror.to_string e);
+      exit 1);
+    let cdom = System.new_domain sys "kvclient" in
+    let ring =
+      match Netstack_chan.bind nsc ~port:71 ~owner:cdom ~mode:Chan.Poll () with
+      | Ok c -> c
+      | Error e ->
+        say "kv: bind failed: %s" e;
+        exit 1
+    in
+    let txh = Netstack_chan.attach_tx nsc ~producer:cdom in
+    let mmu = Machine.mmu (Kernel.machine k) in
+    (* one request/response round trip over the loopback rings: submit
+       from the client domain, pump the kernel, drain the reply ring *)
+    let request ~op ~key value =
+      Mmu.switch_context mmu cdom.Domain.id;
+      let cctx = Kernel.ctx k cdom in
+      let req =
+        Storewire.Kvmsg.build_req cctx ~op ~key:(Bytes.of_string key)
+          (Bytes.of_string value)
+      in
+      ignore (Netstack_chan.submit txh cctx ~dst:42 ~sport:71 ~dport:70 req);
+      Mmu.switch_context mmu kdom.Domain.id;
+      ignore (Netstack_chan.drain_tx nsc);
+      Kernel.step k ~ticks:4 ();
+      Mmu.switch_context mmu cdom.Domain.id;
+      let replies = Chan.recv_batch ring () in
+      let out =
+        match replies with
+        | [ msg ] -> (
+          match Netwire.Delivery.parse cctx msg with
+          | Error e -> Error e
+          | Ok d -> (
+            match Storewire.Kvmsg.parse_resp cctx d.Netwire.Delivery.payload with
+            | Error e -> Error e
+            | Ok r ->
+              if r.Storewire.Kvmsg.status = Storewire.Kvmsg.status_ok then
+                Ok (Some (Bytes.to_string r.Storewire.Kvmsg.payload))
+              else Ok None))
+        | [] -> Error "no reply"
+        | _ -> Error "multiple replies"
+      in
+      Mmu.switch_context mmu kdom.Domain.id;
+      out
+    in
+    let show = function
+      | Error e -> Printf.sprintf "error (%s)" e
+      | Ok None -> "not-found"
+      | Ok (Some "") -> "ok"
+      | Ok (Some v) -> Printf.sprintf "ok %S" v
+    in
+    say "kv over /net port 70, backed by /store/log0 -> cache0 -> part0 -> blkdrv";
+    for i = 0 to n - 1 do
+      let key = Printf.sprintf "key-%02d" i in
+      let r = request ~op:Storewire.kv_put ~key (Printf.sprintf "value-%02d" i) in
+      say "  put %s -> %s" key (show r)
+    done;
+    say "  get key-01 -> %s" (show (request ~op:Storewire.kv_get ~key:"key-01" ""));
+    say "  del key-01 -> %s" (show (request ~op:Storewire.kv_del ~key:"key-01" ""));
+    say "  get key-01 -> %s" (show (request ~op:Storewire.kv_get ~key:"key-01" ""));
+    (match
+       Invoke.call (Kernel.ctx k kdom) kv ~iface:"kv" ~meth:"flush" []
+     with
+    | Ok (Value.Int blocks) -> say "  flush -> %d block(s) written back" blocks
+    | Ok _ | Error _ -> say "  flush failed");
+    Kernel.step k ~ticks:2 ();
+    let counters = (Clock.snapshot (Kernel.clock k)).Clock.counts in
+    let c name = try List.assoc name counters with Not_found -> 0 in
+    say "device: %d DMA issue(s), %d completion(s), %d cache flush(es)"
+      (c "blk_issue") (c "blk_complete") (c "cache_flush");
+    say "cycles: %d" (Clock.now (Kernel.clock k))
+  in
+  Cmd.v
+    (Cmd.info "kv"
+       ~doc:
+         "Run the whole-system KV workload: a client domain speaks to a \
+          key-value server over the channel-backed network path, and the \
+          server persists through the /store stack (append-only log over a \
+          write-back cache over a partition over the DMA block device).")
+    Term.(const run $ seed_t $ count_t $ store_placement_t)
+
 let () =
   let doc = "Paramecium extensible-kernel reproduction demos" in
-  let main = Cmd.group (Cmd.info "paramecium_demo" ~doc) [ info_cmd; ls_cmd; packets_cmd; certify_cmd; filter_cmd ] in
+  let main = Cmd.group (Cmd.info "paramecium_demo" ~doc) [ info_cmd; ls_cmd; packets_cmd; certify_cmd; filter_cmd; kv_cmd ] in
   exit (Cmd.eval main)

@@ -3,14 +3,16 @@
 
    Exit status: 0 = clean, 1 = the linter reported errors, 2 = usage.
 
-   [--seed non-superset] and [--seed spsc] first inject the named
-   violation using raw primitives (dodging the load-time guards that
-   normally prevent it), so `make lint` and CI can assert the linter
-   actually catches what it claims to catch. *)
+   [--seed non-superset|spsc|store-order|store-dangling] first injects
+   the named violation using raw primitives (dodging the load-time
+   guards that normally prevent it), so `make lint` and CI can assert
+   the linter actually catches what it claims to catch. *)
 
 open Paramecium
 
-let usage = "usage: pm_lint [--seed non-superset|spsc] [--quiet]"
+let usage =
+  "usage: pm_lint [--seed non-superset|spsc|store-order|store-dangling] \
+   [--quiet]"
 
 (* A deliberately-shrunken replacement installed with the raw directory
    primitive — exactly the hole Interpose.attach closes and the linter
@@ -49,6 +51,26 @@ let seed_spsc sys =
   Mmu.switch_context mmu udom.Domain.id;
   ignore (Chan.try_send chan (Bytes.of_string "two"));
   Mmu.switch_context mmu home
+
+(* Boot the storage stack, then wire a write-back cache directly above
+   the append-only log — the storage inversion the store-order rule
+   exists to catch. *)
+let seed_store_order sys =
+  ignore (System.setup_store sys ~placement:System.Certified ());
+  let kdom = Kernel.kernel_domain (System.kernel sys) in
+  ignore
+    (Block_cache.create (System.api sys) kdom ~name:"bad-cache"
+       ~lower:"/store/log0" ~capacity:4 ())
+
+(* Revoke a bound component without the factory's detach protocol,
+   leaving its /store endpoint dangling. *)
+let seed_store_dangling sys =
+  ignore (System.setup_store sys ~placement:System.Certified ());
+  match
+    Storereg.find ~machine:(Kernel.machine (System.kernel sys)) "cache0"
+  with
+  | Some e -> Instance.revoke e.Storereg.instance
+  | None -> failwith "pm_lint: cache0 not registered"
 
 (* The demo composition: networking in the kernel, a monitoring
    interposer on the driver (a proper superset, so attach admits it),
@@ -92,6 +114,8 @@ let () =
   | None -> ()
   | Some "non-superset" -> seed_non_superset sys
   | Some "spsc" -> seed_spsc sys
+  | Some "store-order" -> seed_store_order sys
+  | Some "store-dangling" -> seed_store_dangling sys
   | Some s ->
     prerr_endline ("pm_lint: unknown seed " ^ s);
     prerr_endline usage;

@@ -17,6 +17,7 @@ module Domain = Pm_nucleus.Domain
 module Chan = Pm_chan.Chan
 module View = Pm_names.View
 module Journal = Pm_journal.Journal
+module Storereg = Pm_store.Storereg
 
 type severity = Error | Warning
 
@@ -332,6 +333,112 @@ let check_shadowing ~directory ~domains =
     live_replacements
 
 (* ------------------------------------------------------------------ *)
+(* Rules: storage-stack composition                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The storage registry records, for each live component, the namespace
+   path of the layer it consumes; matching those [lower] paths against
+   the [/store] bindings reconstructs the stack without charging a
+   simulated cycle. Two properties must hold of it. *)
+
+let store_entries ~machine =
+  let es = ref [] in
+  Storereg.iter_all ~machine (fun e -> es := e :: !es);
+  List.rev !es
+
+(* "store-order": a write-back cache must sit above (never below) its
+   log or partition. A cache stacked directly above an append-only log
+   holds writes back and evicts them in LRU order, breaking the strict
+   append sequence the log's superblock accounting depends on; a
+   partition windowing a cache is the same inversion seen from above —
+   the cache's dirty state hides behind an address translation it never
+   sees flushed. Both are errors. An unresolvable [lower] path is not
+   this rule's business (store-dangling owns liveness). *)
+let check_store_order ~machine =
+  let entries = store_entries ~machine in
+  let resolve path =
+    List.find_opt
+      (fun (e : Storereg.entry) ->
+        (not e.Storereg.detached)
+        &&
+        match e.Storereg.bound with
+        | Some b -> String.equal b path
+        | None -> false)
+      entries
+  in
+  List.filter_map
+    (fun (e : Storereg.entry) ->
+      if e.Storereg.detached then None
+      else
+        let lower =
+          match e.Storereg.lower with
+          | None -> None
+          | Some p -> resolve p
+        in
+        match (e.Storereg.kind, lower) with
+        | Storereg.Cache, Some l when l.Storereg.kind = Storereg.Log ->
+          Some
+            {
+              rule = "store-order";
+              subject = e.Storereg.name;
+              detail =
+                Printf.sprintf
+                  "write-back cache stacked above append-only log %s: eviction \
+                   replays writes in LRU order, not append order — the cache \
+                   belongs below the log"
+                  l.Storereg.name;
+              severity = Error;
+            }
+        | Storereg.Partition, Some l when l.Storereg.kind = Storereg.Cache ->
+          Some
+            {
+              rule = "store-order";
+              subject = e.Storereg.name;
+              detail =
+                Printf.sprintf
+                  "partition windows write-back cache %s: the cache sits below \
+                   its partition, hiding dirty blocks behind the address \
+                   translation — the cache belongs above the partition"
+                  l.Storereg.name;
+              severity = Error;
+            }
+        | _ -> None)
+    entries
+
+(* "store-dangling": detach is flush, unregister, revoke, unbind — in
+   that order. An entry still bound under /store after it detached, or
+   whose bound instance has been revoked out from under the binding, is
+   an endpoint the next bind will hand out and the first call will
+   fault on. *)
+let check_store_dangling ~machine =
+  let findings = ref [] in
+  Storereg.iter_all ~machine (fun e ->
+      match e.Storereg.bound with
+      | None -> ()
+      | Some path ->
+        let problem =
+          if e.Storereg.detached then
+            Some
+              (Printf.sprintf "%s %s detached but its endpoint is still bound"
+                 (Storereg.kind_to_string e.Storereg.kind)
+                 e.Storereg.name)
+          else if e.Storereg.instance.Instance.revoked then
+            Some
+              (Printf.sprintf
+                 "endpoint bound to revoked %s %s (revoked without detach)"
+                 (Storereg.kind_to_string e.Storereg.kind)
+                 e.Storereg.name)
+          else None
+        in
+        (match problem with
+        | None -> ()
+        | Some detail ->
+          findings :=
+            { rule = "store-dangling"; subject = path; detail; severity = Error }
+            :: !findings));
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
 (* The whole-system pass                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -339,7 +446,7 @@ type report = { findings : finding list; rules_run : int }
 
 let rules =
   [ "superset"; "dangling"; "dead-handler"; "spsc"; "wait-cycle";
-    "page-hygiene"; "shadowing" ]
+    "store-order"; "store-dangling"; "page-hygiene"; "shadowing" ]
 
 let run ~machine ~directory ~events ?journal ?domains () =
   let history_findings =
@@ -354,11 +461,13 @@ let run ~machine ~directory ~events ?journal ?domains () =
   in
   let findings =
     check_supersets directory @ check_bindings directory @ check_handlers events
-    @ check_spsc ~machine @ check_wait_cycles ~machine @ history_findings
-    @ shadow_findings
+    @ check_spsc ~machine @ check_wait_cycles ~machine
+    @ check_store_order ~machine
+    @ check_store_dangling ~machine
+    @ history_findings @ shadow_findings
   in
   let rules_run =
-    5 + (if journal = None then 0 else 1) + if domains = None then 0 else 1
+    7 + (if journal = None then 0 else 1) + if domains = None then 0 else 1
   in
   { findings; rules_run }
 
@@ -393,6 +502,15 @@ let explain = function
   | "wait-cycle" ->
     "domains blocked on channel ends must not form a cycle of mutual waiting — \
      that is a deadlock no doorbell can break"
+  | "store-order" ->
+    "a write-back cache must sit above (never below) its log or partition: a \
+     cache stacked above an append-only log replays evictions in LRU order, \
+     and a partition windowing a cache hides dirty blocks behind the address \
+     translation"
+  | "store-dangling" ->
+    "no /store endpoint may be left dangling after detach: an entry still \
+     bound after it detached, or bound to a revoked component, faults the \
+     next client that binds it"
   | "page-hygiene" ->
     "every page shared across domains must be unshared before either party \
      goes down — derived by replaying the journal's structural history, so it \

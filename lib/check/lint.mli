@@ -17,6 +17,14 @@
     - {b wait-cycle}: domains blocked on channel operations do not form
       a cycle of mutual waiting (deadlock detection over
       recv-waits-for-producer / send-waits-for-consumer edges);
+    - {b store-order}: every write-back cache in the storage registry
+      sits above (never below) its log or partition — a cache stacked
+      above an append-only log replays evictions in LRU order, and a
+      partition windowing a cache hides dirty blocks behind the address
+      translation;
+    - {b store-dangling}: no [/store] endpoint is left dangling after a
+      detach — an entry still bound after it detached, or bound to a
+      revoked component, faults the next client;
     - {b page-hygiene} (when a [journal] is supplied): every page shared
       across domains was unshared before either party went down —
       derived by replaying the journal's structural history, so it works

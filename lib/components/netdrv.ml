@@ -16,11 +16,13 @@ module Path = Pm_names.Path
 
 type config = {
   rx_buffers : int;
+  tx_slots : int;
   loopback : bool;
   io_sharing : Vmem.sharing;
 }
 
-let default_config = { rx_buffers = 8; loopback = false; io_sharing = Vmem.Exclusive }
+let default_config =
+  { rx_buffers = 8; tx_slots = 8; loopback = false; io_sharing = Vmem.Exclusive }
 
 (* NIC register map (see Pm_machine.Nic) *)
 let reg_ctrl = 0
@@ -32,6 +34,7 @@ let reg_tx_addr = 5
 let reg_tx_len = 6
 let reg_tx_go = 7
 let reg_rx_dropped = 8
+let reg_tx_free = 9
 
 let ctrl_rx = 1
 let ctrl_tx = 2
@@ -46,13 +49,20 @@ type state = {
   dom : Domain.t;
   grant : Vmem.io_grant;
   buf_vaddr_of_phys : (int, int) Hashtbl.t;
-  tx_vaddr : int;
+  (* tx staging pages, used round-robin; a page is reused only after
+     [Array.length tx_vaddrs] later stagings, by which time its DMA (FIFO
+     on the device) has completed *)
+  tx_vaddrs : int array;
+  mutable tx_next : int;
   mutable sink : Instance.t option;
   mutable rx_count : int;
   mutable tx_count : int;
-  (* The single tx staging page can only hold one frame at a time; further
-     sends wait here until the outstanding DMA completes (tx_done irq). *)
-  mutable tx_inflight : bool;
+  (* Single-writer discipline on the device's tx descriptor ring: [send]
+     posts directly only when the ring is idle; while DMAs are in flight,
+     the tx_done interrupt alone stages frames (from the backlog, in
+     order), so there is exactly one writer at any time and no frame
+     reordering. *)
+  mutable tx_inflight : int;
   tx_backlog : Bytes.t Queue.t;
 }
 
@@ -70,14 +80,16 @@ let in_domain st f =
 let stage_tx st ctx data =
   let vmem = st.api.Api.vmem in
   let len = Bytes.length data in
-  Machine.write_string st.api.Api.machine st.dom.Domain.id st.tx_vaddr
+  let vaddr = st.tx_vaddrs.(st.tx_next) in
+  st.tx_next <- (st.tx_next + 1) mod Array.length st.tx_vaddrs;
+  Machine.write_string st.api.Api.machine st.dom.Domain.id vaddr
     (Bytes.to_string data);
   Call_ctx.note_access ctx len;
-  let phys = Vmem.phys_of vmem st.dom ~vaddr:st.tx_vaddr in
+  let phys = Vmem.phys_of vmem st.dom ~vaddr in
   Vmem.io_write vmem st.grant ~reg:reg_tx_addr phys;
   Vmem.io_write vmem st.grant ~reg:reg_tx_len len;
   Vmem.io_write vmem st.grant ~reg:reg_tx_go 1;
-  st.tx_inflight <- true;
+  st.tx_inflight <- st.tx_inflight + 1;
   st.tx_count <- st.tx_count + 1
 
 (* Interrupt body: drain completed receive DMA, push frames to the sink,
@@ -89,10 +101,20 @@ let service_interrupt st () =
     let status = Vmem.io_read vmem st.grant ~reg:reg_status in
     if status land status_tx_done <> 0 then begin
       Vmem.io_write vmem st.grant ~reg:reg_status status_tx_done;
-      st.tx_inflight <- false;
-      match Queue.take_opt st.tx_backlog with
-      | Some frame -> stage_tx st ctx frame
-      | None -> ()
+      st.tx_inflight <- max 0 (st.tx_inflight - 1);
+      (* refill every free descriptor slot from the backlog, keeping
+         several DMAs in flight (empty backlog touches no registers) *)
+      let rec refill () =
+        if
+          (not (Queue.is_empty st.tx_backlog))
+          && st.tx_inflight < Array.length st.tx_vaddrs
+          && Vmem.io_read vmem st.grant ~reg:reg_tx_free > 0
+        then begin
+          stage_tx st ctx (Queue.pop st.tx_backlog);
+          refill ()
+        end
+      in
+      refill ()
     end;
     if status land status_rx <> 0 then begin
       let phys = Vmem.io_read vmem st.grant ~reg:reg_rx_addr in
@@ -131,9 +153,9 @@ let send st ctx data =
   if len > Nic.mtu then Error (Oerror.Fault "netdrv: frame exceeds MTU")
   else begin
     in_domain st (fun () ->
-        if st.tx_inflight then begin
-          (* copy into the backlog; staged onto the wire from the tx_done
-             interrupt, in order *)
+        if st.tx_inflight > 0 then begin
+          (* ring active: copy into the backlog; the tx_done interrupt
+             stages it onto the wire, in order *)
           Call_ctx.note_access ctx len;
           Queue.push (Bytes.copy data) st.tx_backlog
         end
@@ -143,14 +165,19 @@ let send st ctx data =
 
 let create api dom ?(config = default_config) () =
   if config.rx_buffers <= 0 then invalid_arg "Netdrv.create: need rx buffers";
+  if config.tx_slots <= 0 || config.tx_slots > Nic.tx_slots then
+    invalid_arg "Netdrv.create: bad tx_slots";
   let vmem = api.Api.vmem in
   let grant = Vmem.alloc_io vmem dom ~device:"nic" ~sharing:config.io_sharing in
   let buf_vaddr_of_phys = Hashtbl.create 16 in
-  (* one page per rx buffer plus one tx staging page *)
-  let tx_vaddr = Vmem.alloc_pages vmem dom ~count:1 ~sharing:Vmem.Exclusive in
+  (* one page per rx buffer plus one staging page per tx slot *)
+  let tx_vaddrs =
+    Array.init config.tx_slots (fun _ ->
+        Vmem.alloc_pages vmem dom ~count:1 ~sharing:Vmem.Exclusive)
+  in
   let st =
-    { api; dom; grant; buf_vaddr_of_phys; tx_vaddr; sink = None; rx_count = 0;
-      tx_count = 0; tx_inflight = false; tx_backlog = Queue.create () }
+    { api; dom; grant; buf_vaddr_of_phys; tx_vaddrs; tx_next = 0; sink = None;
+      rx_count = 0; tx_count = 0; tx_inflight = 0; tx_backlog = Queue.create () }
   in
   in_domain st (fun () ->
       for _ = 1 to config.rx_buffers do

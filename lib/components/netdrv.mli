@@ -19,6 +19,11 @@
 
 type config = {
   rx_buffers : int;  (** DMA receive buffers to give the device *)
+  tx_slots : int;
+      (** tx staging pages / max DMAs kept in flight (<= [Nic.tx_slots]).
+          The send path posts directly only on an idle ring; the tx_done
+          interrupt is the sole writer while DMAs are in flight, refilling
+          every free slot from the in-order backlog. *)
   loopback : bool;  (** transmitted frames are re-injected (testing/RPC) *)
   io_sharing : Pm_nucleus.Vmem.sharing;
 }

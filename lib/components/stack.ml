@@ -111,6 +111,14 @@ let transport_layer api dom =
 (* Controller                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* One bound port's demux entry. [sink], when set, routes decoded
+   payloads to the sink's "netsink".deliver instead of the mailbox —
+   how a channel-backed receive path (Pm_net) hooks each bound port. *)
+type conn = {
+  mailbox : Value.t Queue.t;
+  mutable sink : Instance.t option;
+}
+
 type state = {
   api : Api.t;
   dom : Domain.t;
@@ -118,11 +126,9 @@ type state = {
   driver_path : Path.t;
   mutable driver : Instance.t option;
   comp : Composite.t option ref; (* set right after the composite exists *)
-  mailboxes : (int, Value.t Queue.t) Hashtbl.t;
-  (* per-port delivery sinks: when set, decoded payloads for the port go
-     to the sink's "netsink".deliver instead of the mailbox — how a
-     channel-backed receive path (Pm_net) hooks each bound port *)
-  port_sinks : (int, Instance.t) Hashtbl.t;
+  (* the connection table: one O(1) probe per packet resolves both the
+     binding and its delivery route *)
+  conns : (int, conn) Hashtbl.t;
   mutable rx_ok : int;
   mutable rx_dropped : int;
   mutable tx : int;
@@ -223,8 +229,9 @@ and rx_unfiltered st ctx raw =
           | Error e -> Error e
           | Ok (Value.Pair (Value.Pair (Value.Int sport, Value.Int dport), Value.Blob payload))
             ->
-            (match Hashtbl.find_opt st.port_sinks dport with
-            | Some sink ->
+            (match Hashtbl.find_opt st.conns dport with
+            | None -> drop st (Printf.sprintf "port %d not bound" dport)
+            | Some { sink = Some sink; _ } ->
               (match
                  Invoke.call ctx sink ~iface:"netsink" ~meth:"deliver"
                    [ Value.Int nsrc; Value.Int sport; Value.Blob payload ]
@@ -234,16 +241,13 @@ and rx_unfiltered st ctx raw =
                 Ok Value.Unit
               | Error (Oerror.Fault e) -> drop st e
               | Error e -> Error e)
-            | None ->
-              (match Hashtbl.find_opt st.mailboxes dport with
-              | None -> drop st (Printf.sprintf "port %d not bound" dport)
-              | Some q ->
-                Queue.push
-                  (Value.Pair
-                     (Value.Pair (Value.Int nsrc, Value.Int sport), Value.Blob payload))
-                  q;
-                st.rx_ok <- st.rx_ok + 1;
-                Ok Value.Unit))
+            | Some conn ->
+              Queue.push
+                (Value.Pair
+                   (Value.Pair (Value.Int nsrc, Value.Int sport), Value.Blob payload))
+                conn.mailbox;
+              st.rx_ok <- st.rx_ok + 1;
+              Ok Value.Unit)
           | Ok _ -> fault "stack: transport decode shape"
         end
       | Ok _ -> fault "stack: net decode shape"
@@ -295,34 +299,34 @@ let controller api dom st =
   in
   let bind_port_m _ctx = function
     | [ Value.Int port ] ->
-      if Hashtbl.mem st.mailboxes port then fault "port already bound"
+      if Hashtbl.mem st.conns port then fault "port already bound"
       else begin
-        Hashtbl.replace st.mailboxes port (Queue.create ());
+        Hashtbl.replace st.conns port { mailbox = Queue.create (); sink = None };
         Ok Value.Unit
       end
     | _ -> Error (Oerror.Type_error "bind_port(int)")
   in
   let unbind_port_m _ctx = function
     | [ Value.Int port ] ->
-      Hashtbl.remove st.mailboxes port;
+      Hashtbl.remove st.conns port;
       Ok Value.Unit
     | _ -> Error (Oerror.Type_error "unbind_port(int)")
   in
   let recv_m _ctx = function
     | [ Value.Int port ] ->
-      (match Hashtbl.find_opt st.mailboxes port with
+      (match Hashtbl.find_opt st.conns port with
       | None -> fault "port not bound"
-      | Some q ->
-        let items = List.of_seq (Queue.to_seq q) in
-        Queue.clear q;
+      | Some conn ->
+        let items = List.of_seq (Queue.to_seq conn.mailbox) in
+        Queue.clear conn.mailbox;
         Ok (Value.List items))
     | _ -> Error (Oerror.Type_error "recv(int)")
   in
   let pending_m _ctx = function
     | [ Value.Int port ] ->
-      (match Hashtbl.find_opt st.mailboxes port with
+      (match Hashtbl.find_opt st.conns port with
       | None -> fault "port not bound"
-      | Some q -> Ok (Value.Int (Queue.length q)))
+      | Some conn -> Ok (Value.Int (Queue.length conn.mailbox)))
     | _ -> Error (Oerror.Type_error "pending(int)")
   in
   let stats_m _ctx = function
@@ -373,18 +377,21 @@ let controller api dom st =
      mailbox: the hook Pm_net uses to feed each port's receive ring *)
   let attach_port_m _ctx = function
     | [ Value.Int port; Value.Handle h ] ->
-      if not (Hashtbl.mem st.mailboxes port) then fault "port not bound"
-      else (
-        match Pm_nucleus.Directory.resolve_handle st.api.Api.directory h with
+      (match Hashtbl.find_opt st.conns port with
+      | None -> fault "port not bound"
+      | Some conn ->
+        (match Pm_nucleus.Directory.resolve_handle st.api.Api.directory h with
         | None -> fault "attach_port: dead sink handle"
         | Some sink ->
-          Hashtbl.replace st.port_sinks port sink;
-          Ok Value.Unit)
+          conn.sink <- Some sink;
+          Ok Value.Unit))
     | _ -> Error (Oerror.Type_error "attach_port(int, handle)")
   in
   let detach_port_m _ctx = function
     | [ Value.Int port ] ->
-      Hashtbl.remove st.port_sinks port;
+      (match Hashtbl.find_opt st.conns port with
+      | Some conn -> conn.sink <- None
+      | None -> ());
       Ok Value.Unit
     | _ -> Error (Oerror.Type_error "detach_port(int)")
   in
@@ -427,8 +434,7 @@ let create api dom ~addr ~driver_path =
       driver_path = Path.of_string driver_path;
       driver = None;
       comp = comp_ref;
-      mailboxes = Hashtbl.create 8;
-      port_sinks = Hashtbl.create 4;
+      conns = Hashtbl.create 64;
       rx_ok = 0;
       rx_dropped = 0;
       tx = 0;

@@ -41,6 +41,7 @@ module Nic = Pm_machine.Nic
 module Timer_dev = Pm_machine.Timer_dev
 module Console = Pm_machine.Console
 module Disk = Pm_machine.Disk
+module Blkdev = Pm_machine.Blkdev
 
 (* object architecture *)
 module Value = Pm_obj.Value
@@ -109,6 +110,18 @@ module Rpc_chan = Pm_chan.Rpc_chan
 module Netwire = Pm_net.Netwire
 module Netstack_chan = Pm_net.Netstack_chan
 module Netsvc = Pm_net.Netsvc
+
+(* compositional storage stack *)
+module Storewire = Pm_store.Storewire
+module Storereg = Pm_store.Storereg
+module Blockif = Pm_store.Blockif
+module Blkdrv = Pm_store.Blkdrv
+module Partition = Pm_store.Partition
+module Block_cache = Pm_store.Cache
+module Blocklog = Pm_store.Blocklog
+module Kv = Pm_store.Kv
+module Storechan = Pm_store.Storechan
+module Store_svc = Pm_store.Store_svc
 
 (* downloaded-code substrate *)
 module Vm = Pm_vm.Vm

@@ -387,3 +387,77 @@ let channel_rx t net ?slots ?slot_size () =
   | Error e ->
     failwith ("System.channel_rx: attach failed: " ^ Pm_obj.Oerror.to_string e));
   chan
+
+(* ------------------------------------------------------------------ *)
+(* Storage: the Pm_store stack                                         *)
+(* ------------------------------------------------------------------ *)
+
+type storage = {
+  blk_driver : Pm_obj.Instance.t;
+  partition : Pm_obj.Instance.t;
+  block_cache : Pm_obj.Instance.t;
+  log : Pm_obj.Instance.t;
+  store_domain : Domain.t;
+}
+
+(* The canonical partition→cache→log stack over the machine's block
+   device, each layer wired to the one below by /store path so any of
+   them can be interposed or replaced by name. The driver is always a
+   certified kernel component (it programs DMA); the policy layers go
+   wherever [placement] says. *)
+let setup_store t ~placement ?(base = 0) ?(count = 256) ?(cache_capacity = 32) ()
+    =
+  let open Pm_store in
+  (* Verified placement runs the loader's bytecode verifier over the
+     image; give the policy layers a real, provable program instead of
+     the synthesized filler Images.image attaches *)
+  let verifiable image =
+    match placement with
+    | Verified -> (
+      match Pm_vm.Filterc.compile_string "byte[19] == 7" with
+      | Ok p -> { image with Pm_nucleus.Loader.code = Pm_vm.Vm.encode p }
+      | Error e -> failwith ("System.setup_store: filter compile failed: " ^ e))
+    | Certified | Online_certified | Sandboxed | User _ -> image
+  in
+  let blk_driver =
+    install_exn t (Store_svc.driver_image ()) ~placement:Certified
+      ~at:"/services/blkdrv"
+  in
+  Kernel.register_at t.kernel "/store/blkdrv" blk_driver;
+  let store_domain =
+    match placement with
+    | User dom -> dom
+    | Certified | Online_certified | Verified | Sandboxed ->
+      Kernel.kernel_domain t.kernel
+  in
+  let partition =
+    install_exn t
+      (verifiable
+         (Store_svc.partition_image ~name:"part0" ~lower:"/store/blkdrv" ~base
+            ~count ()))
+      ~placement ~at:"/store/part0"
+  in
+  let block_cache =
+    install_exn t
+      (verifiable
+         (Store_svc.cache_image ~name:"cache0" ~lower:"/store/part0"
+            ~capacity:cache_capacity ()))
+      ~placement ~at:"/store/cache0"
+  in
+  let log =
+    install_exn t
+      (verifiable (Store_svc.log_image ~name:"log0" ~lower:"/store/cache0" ()))
+      ~placement ~at:"/store/log0"
+  in
+  let machine = (api t).Api.machine in
+  List.iter
+    (fun name ->
+      match Storereg.find ~machine name with
+      | Some e -> Storereg.set_bound e (Some ("/store/" ^ name))
+      | None -> ())
+    [ "blkdrv"; "part0"; "cache0"; "log0" ];
+  let svc =
+    Store_svc.create (api t) ~domain_of_id:(Kernel.domain_of_id t.kernel) ()
+  in
+  Kernel.register_at t.kernel "/shared/store" svc;
+  { blk_driver; partition; block_cache; log; store_domain }

@@ -151,3 +151,27 @@ val channel_net :
 
 (** [new_domain t name] is a fresh user protection domain. *)
 val new_domain : t -> string -> Pm_nucleus.Domain.t
+
+(** The canonical storage stack: certified block driver at
+    [/services/blkdrv] (also [/store/blkdrv]), then partition → cache →
+    log placed per [placement] at [/store/part0..log0], plus the
+    [/shared/store] factory for growing more components. *)
+type storage = {
+  blk_driver : Pm_obj.Instance.t;
+  partition : Pm_obj.Instance.t;
+  block_cache : Pm_obj.Instance.t;
+  log : Pm_obj.Instance.t;
+  store_domain : Pm_nucleus.Domain.t;
+}
+
+(** [setup_store t ~placement ?base ?count ?cache_capacity ()] boots the
+    partition→cache→log stack over the machine's block device and
+    publishes the storage factory at [/shared/store]. *)
+val setup_store :
+  t ->
+  placement:placement ->
+  ?base:int ->
+  ?count:int ->
+  ?cache_capacity:int ->
+  unit ->
+  storage

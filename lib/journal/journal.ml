@@ -45,13 +45,18 @@ type kind =
   | Txn_commit
   | Txn_abort
   | Mark
+  (* device events (appended; the export format indexes kinds by name,
+     but replay byte-identity wants stable ordering of what exists) *)
+  | Blk_issue
+  | Blk_complete
+  | Cache_flush
 
 let all_kinds =
   [
     Trap; Irq; Fault; Crossing; Sched; Check; Crash; Install; Detach; Bind;
     Unbind; Interpose; Uninterpose; Handler_add; Handler_del; Page_share;
     Page_unshare; Domain_up; Domain_down; Migrate; Txn_begin; Txn_commit;
-    Txn_abort; Mark;
+    Txn_abort; Mark; Blk_issue; Blk_complete; Cache_flush;
   ]
 
 let kind_index = function
@@ -79,11 +84,19 @@ let kind_index = function
   | Txn_commit -> 21
   | Txn_abort -> 22
   | Mark -> 23
+  | Blk_issue -> 24
+  | Blk_complete -> 25
+  | Cache_flush -> 26
 
 let kind_count = List.length all_kinds
 
+(* Device events are execution events: they recur on the hot path, so
+   they must live in the bounded tail ring, not the ever-complete
+   structural archive. *)
 let is_execution = function
-  | Trap | Irq | Fault | Crossing | Sched | Check | Crash -> true
+  | Trap | Irq | Fault | Crossing | Sched | Check | Crash | Blk_issue
+  | Blk_complete | Cache_flush ->
+      true
   | _ -> false
 
 let is_structural k = not (is_execution k)
@@ -113,6 +126,9 @@ let kind_to_string = function
   | Txn_commit -> "txn-commit"
   | Txn_abort -> "txn-abort"
   | Mark -> "mark"
+  | Blk_issue -> "blk-issue"
+  | Blk_complete -> "blk-complete"
+  | Cache_flush -> "cache-flush"
 
 let kind_of_string s =
   List.find_opt (fun k -> String.equal (kind_to_string k) s) all_kinds

@@ -43,6 +43,9 @@ type kind =
   | Txn_commit
   | Txn_abort
   | Mark  (** user annotation via /nucleus/journal *)
+  | Blk_issue  (** a block DMA descriptor was fetched by the device *)
+  | Blk_complete  (** a block DMA completed ([info] = block number) *)
+  | Cache_flush  (** a write-back cache flushed dirty blocks downstream *)
 
 val is_execution : kind -> bool
 val is_structural : kind -> bool

@@ -25,6 +25,8 @@ type t = {
   sig_verify : int;
   verify_instr : int;
   load_page : int;
+  blk_seek : int;
+  blk_byte : int;
 }
 
 (* The absolute numbers are in the ballpark of a ~50MHz SPARCstation of the
@@ -59,6 +61,8 @@ let default =
     sig_verify = 180_000;
     verify_instr = 40;
     load_page = 90;
+    blk_seek = 1_800;
+    blk_byte = 3;
   }
 
 (* Derived figures. Instrumentation and the channel subsystem compose
@@ -74,6 +78,11 @@ let doorbell_crossing t = t.trap + (2 * t.context_switch) + t.proto_thread
    top of the sub-ring's own traffic: one store publishing the sub-ring's
    dirty bit and one load of the shared armed flag. *)
 let mpsc_reserve t = t.mem_write + t.mem_read
+
+(* One block-device media operation: the fixed seek/controller latency
+   plus per-byte media transfer. The descriptor-ring device holds each
+   fetched descriptor for exactly this many cycles before completing. *)
+let blk_op t ~bytes = t.blk_seek + (bytes * t.blk_byte)
 
 let unit_costs =
   {
@@ -103,4 +112,6 @@ let unit_costs =
     sig_verify = 1;
     verify_instr = 1;
     load_page = 1;
+    blk_seek = 1;
+    blk_byte = 1;
   }

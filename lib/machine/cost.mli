@@ -37,6 +37,8 @@ type t = {
   sig_verify : int;  (** one public-key signature verification *)
   verify_instr : int;  (** bytecode verification, per abstract-interpreted instruction *)
   load_page : int;  (** mapping one page of a component image *)
+  blk_seek : int;  (** block-device per-operation latency (seek + controller) *)
+  blk_byte : int;  (** block-device media transfer, per byte *)
 }
 
 (** SPARC-era-flavoured defaults. *)
@@ -67,6 +69,11 @@ val doorbell_crossing : t -> int
     dirty bit ([mem_write]) and reading the group's armed flag
     ([mem_read]). *)
 val mpsc_reserve : t -> int
+
+(** Media time of one block-device operation over [bytes] bytes:
+    [blk_seek + bytes * blk_byte]. A fetched DMA descriptor completes
+    exactly this many cycles after the device picks it up. *)
+val blk_op : t -> bytes:int -> int
 
 (** A uniform all-ones table, useful in tests to count abstract events. *)
 val unit_costs : t

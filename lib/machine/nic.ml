@@ -1,5 +1,9 @@
 let mtu = 1514
 
+(* Transmit descriptor ring capacity: how many staged DMAs the device
+   holds at once. The driver reads TX_FREE before staging. *)
+let tx_slots = 16
+
 type pending_tx = { addr : int; len : int }
 
 type t = {
@@ -13,9 +17,10 @@ type t = {
   wire_in : string Queue.t;
   mutable staged_tx_addr : int;
   mutable staged_tx_len : int;
-  tx_queue : pending_tx Queue.t;
+  tx_queue : pending_tx Queue.t; (* the tx descriptor ring, <= tx_slots *)
   mutable transmitted : string list; (* newest first *)
   mutable rx_dropped : int;
+  mutable tx_overruns : int;
 }
 
 let ctrl_rx_enable = 1
@@ -37,6 +42,7 @@ let reg_read t reg =
   | 6 -> t.staged_tx_len
   | 7 -> 0
   | 8 -> t.rx_dropped
+  | 9 -> tx_slots - Queue.length t.tx_queue
   | _ -> 0
 
 let reg_write t reg v =
@@ -52,8 +58,10 @@ let reg_write t reg v =
   | 5 -> t.staged_tx_addr <- v
   | 6 -> t.staged_tx_len <- v
   | 7 ->
-    if v = 1 && t.ctrl land ctrl_tx_enable <> 0 then
-      Queue.push { addr = t.staged_tx_addr; len = t.staged_tx_len } t.tx_queue
+    if v = 1 && t.ctrl land ctrl_tx_enable <> 0 then begin
+      if Queue.length t.tx_queue >= tx_slots then t.tx_overruns <- t.tx_overruns + 1
+      else Queue.push { addr = t.staged_tx_addr; len = t.staged_tx_len } t.tx_queue
+    end
   | _ -> ()
 
 let interrupt t =
@@ -102,10 +110,11 @@ let create machine ~irq_line =
       tx_queue = Queue.create ();
       transmitted = [];
       rx_dropped = 0;
+      tx_overruns = 0;
     }
   in
   let dev =
-    Device.make ~name:"nic" ~reg_count:9 ~reg_read:(reg_read t)
+    Device.make ~name:"nic" ~reg_count:10 ~reg_read:(reg_read t)
       ~reg_write:(reg_write t) ~tick:(fun () -> tick t)
   in
   t.io_base <- Machine.attach_device machine dev;
@@ -124,3 +133,5 @@ let take_transmitted t =
   frames
 
 let pending_wire t = Queue.length t.wire_in
+let pending_tx t = Queue.length t.tx_queue
+let tx_overruns t = t.tx_overruns

@@ -17,12 +17,18 @@
     - 3 [RX_ADDR] (read-only): physical address of the filled buffer
     - 4 [RX_LEN] (read-only): its length
     - 5 [TX_ADDR], 6 [TX_LEN]: transmit staging
-    - 7 [TX_GO]: write 1 to enqueue the staged transmit
-    - 8 [RX_DROPPED] (read-only): packets dropped for want of buffers *)
+    - 7 [TX_GO]: write 1 to enqueue the staged transmit into the tx
+      descriptor ring (up to [tx_slots] in flight; a full ring counts
+      an overrun and drops the descriptor — check TX_FREE first)
+    - 8 [RX_DROPPED] (read-only): packets dropped for want of buffers
+    - 9 [TX_FREE] (read-only): free tx descriptor slots *)
 
 type t
 
 val mtu : int
+
+(** Transmit descriptor-ring capacity. *)
+val tx_slots : int
 
 (** [create machine ~irq_line] builds the NIC and attaches it to the
     machine. *)
@@ -43,3 +49,9 @@ val take_transmitted : t -> string list
 
 (** [pending_wire t] is the number of injected-but-undelivered packets. *)
 val pending_wire : t -> int
+
+(** [pending_tx t] is the number of staged-but-untransmitted DMAs. *)
+val pending_tx : t -> int
+
+(** Transmit descriptors dropped against a full ring. *)
+val tx_overruns : t -> int

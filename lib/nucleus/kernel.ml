@@ -5,6 +5,7 @@ module Nic = Pm_machine.Nic
 module Timer_dev = Pm_machine.Timer_dev
 module Console = Pm_machine.Console
 module Disk = Pm_machine.Disk
+module Blkdev = Pm_machine.Blkdev
 module Namespace = Pm_names.Namespace
 module Path = Pm_names.Path
 module View = Pm_names.View
@@ -30,6 +31,7 @@ type t = {
   timer : Timer_dev.t;
   console : Console.t;
   disk : Disk.t;
+  blkdev : Blkdev.t;
   nucleus : Composite.t;
   tracesvc : Tracesvc.t;
   journalsvc : Journalsvc.t;
@@ -51,6 +53,7 @@ let nic t = t.nic
 let timer t = t.timer
 let console t = t.console
 let disk t = t.disk
+let blkdev t = t.blkdev
 
 let ctx t dom = Api.ctx t.api dom
 
@@ -275,6 +278,7 @@ let boot ?costs ?frames ?page_size ~root () =
   let nic = Nic.create machine ~irq_line:1 in
   let disk = Disk.create machine ~irq_line:2 ~blocks:512 in
   let console = Console.create machine in
+  let blkdev = Blkdev.create machine ~irq_line:3 ~blocks:1024 ~block_size:512 in
   let registry = Registry.create () in
   let ns = Namespace.create () in
   let root_view = View.of_namespace ns in
@@ -334,7 +338,7 @@ let boot ?costs ?frames ?page_size ~root () =
   must_register ns "/nucleus/kernel" (Instance.handle (Composite.instance nucleus));
   let t =
     { machine; registry; ns; root_view; api; loader; kernel_domain;
-      user_domains = []; nic; timer; console; disk; nucleus; tracesvc;
+      user_domains = []; nic; timer; console; disk; blkdev; nucleus; tracesvc;
       journalsvc }
   in
   t_ref := Some t;

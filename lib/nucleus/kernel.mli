@@ -44,6 +44,7 @@ val nic : t -> Pm_machine.Nic.t
 val timer : t -> Pm_machine.Timer_dev.t
 val console : t -> Pm_machine.Console.t
 val disk : t -> Pm_machine.Disk.t
+val blkdev : t -> Pm_machine.Blkdev.t
 
 (** {1 Domains} *)
 

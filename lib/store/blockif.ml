@@ -1,0 +1,128 @@
+(* The one interface every storage component exports — the contract that
+   makes the stack compositional: anything speaking "block" can sit
+   under a partition, a cache, a log, or a channel proxy, and anything
+   can be interposed on the path by name.
+
+   iface "block":
+   - read(block:int) -> blob
+   - write(block:int, data:blob) -> unit
+   - flush() -> int        (blocks pushed down to durable state)
+   - size() -> int         (capacity in blocks)
+   - blocksize() -> int
+   - stats() -> list int   (component-specific counters) *)
+
+module Api = Pm_nucleus.Api
+module Domain = Pm_nucleus.Domain
+module Iface = Pm_obj.Iface
+module Instance = Pm_obj.Instance
+module Value = Pm_obj.Value
+module Vtype = Pm_obj.Vtype
+module Oerror = Pm_obj.Oerror
+module Invoke = Pm_obj.Invoke
+module Path = Pm_names.Path
+
+let iface_name = "block"
+
+let fault msg = Error (Oerror.Fault msg)
+let ( let* ) = Result.bind
+
+(* Lower-layer resolution by name, re-bound when the target is revoked —
+   the stack's driver idiom. Resolving by path (not by captured handle)
+   is what makes every layer individually interposable: replace the name
+   and the component above follows it on the next call. *)
+type lower = {
+  api : Api.t;
+  dom : Domain.t;
+  path : Path.t;
+  mutable target : Instance.t option;
+}
+
+let make_lower api dom path =
+  { api; dom; path = Path.of_string path; target = None }
+
+let resolve l =
+  match l.target with
+  | Some t when not t.Instance.revoked -> Ok t
+  | _ ->
+    (match Api.bind l.api l.dom l.path with
+    | Ok t ->
+      l.target <- Some t;
+      Ok t
+    | Error e ->
+      fault
+        (Printf.sprintf "block: lower %s unresolvable (%s)"
+           (Path.to_string l.path)
+           (Pm_nucleus.Directory.bind_error_to_string e)))
+
+let call l ctx meth args =
+  let* t = resolve l in
+  Invoke.call ctx t ~iface:iface_name ~meth args
+
+let read l ctx block =
+  match call l ctx "read" [ Value.Int block ] with
+  | Ok (Value.Blob b) -> Ok b
+  | Ok _ -> fault "block: read returned non-blob"
+  | Error e -> Error e
+
+let write l ctx block data =
+  let* _ = call l ctx "write" [ Value.Int block; Value.Blob data ] in
+  Ok ()
+
+let flush l ctx =
+  match call l ctx "flush" [] with
+  | Ok (Value.Int n) -> Ok n
+  | Ok _ -> fault "block: flush returned non-int"
+  | Error e -> Error e
+
+let int_query l ctx meth =
+  match call l ctx meth [] with
+  | Ok (Value.Int n) -> Ok n
+  | Ok _ -> fault ("block: " ^ meth ^ " returned non-int")
+  | Error e -> Error e
+
+let size l ctx = int_query l ctx "size"
+let blocksize l ctx = int_query l ctx "blocksize"
+
+(* Build the six standard methods from component callbacks. *)
+let methods ~read:read_f ~write:write_f ~flush:flush_f ~size:size_f
+    ~blocksize:blocksize_f ~stats:stats_f =
+  let read_m ctx = function
+    | [ Value.Int block ] ->
+      let* data = read_f ctx block in
+      Ok (Value.Blob data)
+    | _ -> Error (Oerror.Type_error "read(int)")
+  in
+  let write_m ctx = function
+    | [ Value.Int block; Value.Blob data ] ->
+      let* () = write_f ctx block data in
+      Ok Value.Unit
+    | _ -> Error (Oerror.Type_error "write(int, blob)")
+  in
+  let flush_m ctx = function
+    | [] ->
+      let* n = flush_f ctx in
+      Ok (Value.Int n)
+    | _ -> Error (Oerror.Type_error "flush()")
+  in
+  let size_m _ctx = function
+    | [] -> Ok (Value.Int (size_f ()))
+    | _ -> Error (Oerror.Type_error "size()")
+  in
+  let blocksize_m _ctx = function
+    | [] -> Ok (Value.Int (blocksize_f ()))
+    | _ -> Error (Oerror.Type_error "blocksize()")
+  in
+  let stats_m _ctx = function
+    | [] -> Ok (Value.List (List.map (fun n -> Value.Int n) (stats_f ())))
+    | _ -> Error (Oerror.Type_error "stats()")
+  in
+  Iface.make ~name:iface_name
+    [
+      Iface.meth ~name:"read" ~args:[ Vtype.Tint ] ~ret:Vtype.Tblob read_m;
+      Iface.meth ~name:"write" ~args:[ Vtype.Tint; Vtype.Tblob ] ~ret:Vtype.Tunit
+        write_m;
+      Iface.meth ~name:"flush" ~args:[] ~ret:Vtype.Tint flush_m;
+      Iface.meth ~name:"size" ~args:[] ~ret:Vtype.Tint size_m;
+      Iface.meth ~name:"blocksize" ~args:[] ~ret:Vtype.Tint blocksize_m;
+      Iface.meth ~name:"stats" ~args:[] ~ret:(Vtype.Tlist Vtype.Tint) stats_m;
+    ]

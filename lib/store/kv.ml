@@ -1,0 +1,263 @@
+(* Key-value store: the first whole-system workload.
+
+   State model: every mutation is appended to the lower log as a
+   {!Storewire.Record} (put or tombstone), and an in-memory index maps
+   key -> log sequence number. [recover] replays the log front-to-back
+   to rebuild the index — the log is the store, the index is a cache of
+   it. Durability = [flush], which pushes the log's superblock and the
+   cache's dirty blocks down to the device.
+
+   [serve] exports the store over the channel-backed network path: a
+   {!Pm_net.Netstack_chan} port ring on the receive side, the shared
+   transmit group on the send side, requests and responses framed by
+   {!Storewire.Kvmsg}. One pop-up thread per doorbell drains the ring —
+   net + chan + store + vm + scheduler in a single request path. *)
+
+module Api = Pm_nucleus.Api
+module Domain = Pm_nucleus.Domain
+module Iface = Pm_obj.Iface
+module Instance = Pm_obj.Instance
+module Value = Pm_obj.Value
+module Vtype = Pm_obj.Vtype
+module Oerror = Pm_obj.Oerror
+module Invoke = Pm_obj.Invoke
+module Call_ctx = Pm_obj.Call_ctx
+module Chan = Pm_chan.Chan
+module Netstack_chan = Pm_net.Netstack_chan
+module Netwire = Pm_net.Netwire
+
+let fault msg = Error (Oerror.Fault msg)
+let ( let* ) = Result.bind
+
+type state = {
+  log : Blockif.lower; (* resolved by path; invoked via iface "log" *)
+  index : (string, int) Hashtbl.t;
+  mutable puts : int;
+  mutable gets : int;
+  mutable dels : int;
+  mutable recovers : int;
+}
+
+let log_call st ctx meth args =
+  let* t = Blockif.resolve st.log in
+  Invoke.call ctx t ~iface:"log" ~meth args
+
+let append_record st ctx ~op ~key value =
+  let rec_bytes = Storewire.Record.build ctx ~op ~key value in
+  match log_call st ctx "append" [ Value.Blob rec_bytes ] with
+  | Ok (Value.Int seq) -> Ok seq
+  | Ok _ -> fault "kv: log append returned non-int"
+  | Error e -> Error e
+
+let put_op st ctx ~key ~value =
+  let* seq = append_record st ctx ~op:Storewire.rec_put ~key value in
+  Hashtbl.replace st.index (Bytes.to_string key) seq;
+  st.puts <- st.puts + 1;
+  Ok seq
+
+let get_op st ctx ~key =
+  st.gets <- st.gets + 1;
+  match Hashtbl.find_opt st.index (Bytes.to_string key) with
+  | None -> Ok None
+  | Some seq ->
+    let* v = log_call st ctx "get" [ Value.Int seq ] in
+    (match v with
+    | Value.Blob rec_bytes ->
+      let* r =
+        Storewire.Record.parse ctx rec_bytes
+        |> Result.map_error (fun e -> Oerror.Fault ("kv: " ^ e))
+      in
+      Ok (Some r.Storewire.Record.value)
+    | _ -> fault "kv: log get returned non-blob")
+
+let del_op st ctx ~key =
+  let skey = Bytes.to_string key in
+  let existed = Hashtbl.mem st.index skey in
+  let* _ = append_record st ctx ~op:Storewire.rec_del ~key Bytes.empty in
+  Hashtbl.remove st.index skey;
+  st.dels <- st.dels + 1;
+  Ok existed
+
+let recover_op st ctx =
+  let* _ = log_call st ctx "recover" [] in
+  let* entries =
+    match log_call st ctx "entries" [] with
+    | Ok (Value.Int n) -> Ok n
+    | Ok _ -> fault "kv: entries returned non-int"
+    | Error e -> Error e
+  in
+  Hashtbl.reset st.index;
+  let rec replay i =
+    if i >= entries then Ok ()
+    else
+      let* v = log_call st ctx "get" [ Value.Int i ] in
+      match v with
+      | Value.Blob rec_bytes ->
+        let* r =
+          Storewire.Record.parse ctx rec_bytes
+          |> Result.map_error (fun e -> Oerror.Fault ("kv: " ^ e))
+        in
+        let skey = Bytes.to_string r.Storewire.Record.key in
+        if r.Storewire.Record.op = Storewire.rec_del then
+          Hashtbl.remove st.index skey
+        else Hashtbl.replace st.index skey i;
+        replay (i + 1)
+      | _ -> fault "kv: log get returned non-blob"
+  in
+  let* () = replay 0 in
+  st.recovers <- st.recovers + 1;
+  Ok (Hashtbl.length st.index)
+
+let flush_op st ctx =
+  (* the log's uniform block view forwards flush down the whole stack *)
+  Blockif.flush st.log ctx
+
+let create api dom ~name ~log () =
+  let st =
+    {
+      log = Blockif.make_lower api dom log;
+      index = Hashtbl.create 64;
+      puts = 0;
+      gets = 0;
+      dels = 0;
+      recovers = 0;
+    }
+  in
+  let put_m ctx = function
+    | [ Value.Blob key; Value.Blob value ] ->
+      let* seq = put_op st ctx ~key ~value in
+      Ok (Value.Int seq)
+    | _ -> Error (Oerror.Type_error "put(key, value)")
+  in
+  let get_m ctx = function
+    | [ Value.Blob key ] -> (
+      let* v = get_op st ctx ~key in
+      match v with
+      | Some value -> Ok (Value.Pair (Value.Bool true, Value.Blob value))
+      | None -> Ok (Value.Pair (Value.Bool false, Value.Blob Bytes.empty)))
+    | _ -> Error (Oerror.Type_error "get(key)")
+  in
+  let del_m ctx = function
+    | [ Value.Blob key ] ->
+      let* existed = del_op st ctx ~key in
+      Ok (Value.Bool existed)
+    | _ -> Error (Oerror.Type_error "del(key)")
+  in
+  let count_m _ctx = function
+    | [] -> Ok (Value.Int (Hashtbl.length st.index))
+    | _ -> Error (Oerror.Type_error "count()")
+  in
+  let flush_m ctx = function
+    | [] ->
+      let* n = flush_op st ctx in
+      Ok (Value.Int n)
+    | _ -> Error (Oerror.Type_error "flush()")
+  in
+  let recover_m ctx = function
+    | [] ->
+      let* n = recover_op st ctx in
+      Ok (Value.Int n)
+    | _ -> Error (Oerror.Type_error "recover()")
+  in
+  let stats_m _ctx = function
+    | [] ->
+      Ok
+        (Value.List
+           (List.map
+              (fun n -> Value.Int n)
+              [ st.puts; st.gets; st.dels; st.recovers ]))
+    | _ -> Error (Oerror.Type_error "stats()")
+  in
+  let iface =
+    Iface.make ~name:"kv"
+      [
+        Iface.meth ~name:"put" ~args:[ Vtype.Tblob; Vtype.Tblob ] ~ret:Vtype.Tint
+          put_m;
+        Iface.meth ~name:"get" ~args:[ Vtype.Tblob ]
+          ~ret:(Vtype.Tpair (Vtype.Tbool, Vtype.Tblob))
+          get_m;
+        Iface.meth ~name:"del" ~args:[ Vtype.Tblob ] ~ret:Vtype.Tbool del_m;
+        Iface.meth ~name:"count" ~args:[] ~ret:Vtype.Tint count_m;
+        Iface.meth ~name:"flush" ~args:[] ~ret:Vtype.Tint flush_m;
+        Iface.meth ~name:"recover" ~args:[] ~ret:Vtype.Tint recover_m;
+        Iface.meth ~name:"stats" ~args:[] ~ret:(Vtype.Tlist Vtype.Tint) stats_m;
+      ]
+  in
+  let inst =
+    Instance.create api.Api.registry ~class_name:"store.kv"
+      ~domain:dom.Domain.id [ iface ]
+  in
+  ignore
+    (Storereg.register ~machine:api.Api.machine ~name ~kind:Storereg.Kv ~lower:log
+       ~instance:inst ~domain:dom.Domain.id ());
+  inst
+
+(* ------------------------------------------------------------------ *)
+(* Network service: KV over the channel-backed net path                 *)
+(* ------------------------------------------------------------------ *)
+
+type server = {
+  port : int;
+  mutable requests : int;
+  mutable bad : int;
+  mutable replies_dropped : int;
+}
+
+let exec_request kv ctx (req : Storewire.Kvmsg.req) =
+  let open Storewire in
+  if req.Kvmsg.op = kv_get then
+    match
+      Invoke.call ctx kv ~iface:"kv" ~meth:"get" [ Value.Blob req.Kvmsg.key ]
+    with
+    | Ok (Value.Pair (Value.Bool true, Value.Blob v)) -> (Kvmsg.status_ok, v)
+    | Ok _ -> (Kvmsg.status_not_found, Bytes.empty)
+    | Error _ -> (Kvmsg.status_error, Bytes.empty)
+  else if req.Kvmsg.op = kv_put then
+    match
+      Invoke.call ctx kv ~iface:"kv" ~meth:"put"
+        [ Value.Blob req.Kvmsg.key; Value.Blob req.Kvmsg.value ]
+    with
+    | Ok _ -> (Kvmsg.status_ok, Bytes.empty)
+    | Error _ -> (Kvmsg.status_error, Bytes.empty)
+  else
+    match
+      Invoke.call ctx kv ~iface:"kv" ~meth:"del" [ Value.Blob req.Kvmsg.key ]
+    with
+    | Ok (Value.Bool true) -> (Kvmsg.status_ok, Bytes.empty)
+    | Ok _ -> (Kvmsg.status_not_found, Bytes.empty)
+    | Error _ -> (Kvmsg.status_error, Bytes.empty)
+
+(* [serve api dom ~kv ~net ~port ()] binds [port]'s receive ring to
+   [dom] and answers every request with a response sent back through
+   the shared transmit group. *)
+let serve api dom ~kv ~net ~port () =
+  let* chan =
+    Netstack_chan.bind net ~port ~owner:dom ()
+    |> Result.map_error (fun e -> Oerror.Fault e)
+  in
+  let txh = Netstack_chan.attach_tx net ~producer:dom in
+  let srv = { port; requests = 0; bad = 0; replies_dropped = 0 } in
+  let drain () =
+    let ctx = Api.ctx api dom in
+    List.iter
+      (fun msg ->
+        match Netwire.Delivery.parse ctx msg with
+        | Error _ -> srv.bad <- srv.bad + 1
+        | Ok { Netwire.Delivery.src; sport; payload } -> (
+          match Storewire.Kvmsg.parse_req ctx payload with
+          | Error _ -> srv.bad <- srv.bad + 1
+          | Ok req ->
+            srv.requests <- srv.requests + 1;
+            let status, rpayload = exec_request kv ctx req in
+            let resp = Storewire.Kvmsg.build_resp ctx ~status rpayload in
+            if
+              not
+                (Netstack_chan.submit txh ctx ~dst:src ~sport:port ~dport:sport
+                   resp)
+            then srv.replies_dropped <- srv.replies_dropped + 1))
+      (Chan.recv_batch ~account:false chan ())
+  in
+  ignore
+    (Chan.on_doorbell chan ~events:api.Api.events ~sched:api.Api.sched (fun () ->
+         drain ()));
+  Ok (srv, drain)

@@ -1,0 +1,171 @@
+(* /shared/store: the storage factory.
+
+   Anyone who can bind the factory can grow a stack: each method boots
+   one component — driver, partition, cache, log, kv — in the *caller's*
+   domain (the origin of the call context, the Netsvc idiom), wires it
+   above a lower layer by namespace path, and registers it under
+   [/store/<name>] where the next layer, an interposer, or a remote
+   client finds it. [detach] is the orderly teardown: flush first (so
+   write-back state reaches the device), then unregister, then revoke —
+   leaving no dangling [/store] endpoint, which the composition linter
+   checks. *)
+
+module Api = Pm_nucleus.Api
+module Domain = Pm_nucleus.Domain
+module Directory = Pm_nucleus.Directory
+module Iface = Pm_obj.Iface
+module Instance = Pm_obj.Instance
+module Value = Pm_obj.Value
+module Vtype = Pm_obj.Vtype
+module Oerror = Pm_obj.Oerror
+module Invoke = Pm_obj.Invoke
+module Call_ctx = Pm_obj.Call_ctx
+module Path = Pm_names.Path
+module Images = Pm_components.Images
+
+let fault msg = Error (Oerror.Fault msg)
+let ( let* ) = Result.bind
+
+let store_path name = Printf.sprintf "/store/%s" name
+
+let register_at api name inst =
+  let path = store_path name in
+  match Directory.register api.Api.directory (Path.of_string path) inst with
+  | Ok () ->
+    (match Storereg.find ~machine:api.Api.machine name with
+    | Some e -> Storereg.set_bound e (Some path)
+    | None -> ());
+    Ok (Value.Handle (Instance.handle inst))
+  | Error e -> fault ("store factory: " ^ Pm_names.Namespace.error_to_string e)
+
+(* Flush whatever durable state the component still holds; a driver has
+   nothing above the device, so its flush just drains the ring. *)
+let flush_entry ctx (e : Storereg.entry) =
+  let inst = e.Storereg.instance in
+  if Option.is_some (Instance.get_interface inst "kv") then
+    Invoke.call ctx inst ~iface:"kv" ~meth:"flush" [] |> Result.map ignore
+  else if Option.is_some (Instance.get_interface inst Blockif.iface_name) then
+    Invoke.call ctx inst ~iface:Blockif.iface_name ~meth:"flush" []
+    |> Result.map ignore
+  else Ok ()
+
+let create api ~domain_of_id () =
+  let origin (ctx : Call_ctx.t) =
+    match domain_of_id ctx.Call_ctx.origin_domain with
+    | Some d -> Ok d
+    | None ->
+      fault
+        (Printf.sprintf "store factory: unknown domain %d"
+           ctx.Call_ctx.origin_domain)
+  in
+  let driver_m ctx = function
+    | [ Value.Str name ] ->
+      let* dom = origin ctx in
+      register_at api name (Blkdrv.create api dom ())
+    | _ -> Error (Oerror.Type_error "driver(name)")
+  in
+  let partition_m ctx = function
+    | [ Value.Str name; Value.Str lower; Value.Int base; Value.Int count ] ->
+      let* dom = origin ctx in
+      register_at api name
+        (Partition.create api dom ~name ~lower ~base ~count ())
+    | _ -> Error (Oerror.Type_error "partition(name, lower, base, count)")
+  in
+  let cache_m ctx = function
+    | [ Value.Str name; Value.Str lower; Value.Int capacity ] ->
+      let* dom = origin ctx in
+      register_at api name (Cache.create api dom ~name ~lower ~capacity ())
+    | _ -> Error (Oerror.Type_error "cache(name, lower, capacity)")
+  in
+  let log_m ctx = function
+    | [ Value.Str name; Value.Str lower ] ->
+      let* dom = origin ctx in
+      register_at api name (Blocklog.create api dom ~name ~lower ())
+    | _ -> Error (Oerror.Type_error "log(name, lower)")
+  in
+  let kv_m ctx = function
+    | [ Value.Str name; Value.Str log ] ->
+      let* dom = origin ctx in
+      register_at api name (Kv.create api dom ~name ~log ())
+    | _ -> Error (Oerror.Type_error "kv(name, log)")
+  in
+  let detach_m ctx = function
+    | [ Value.Str name ] -> (
+      match Storereg.find ~machine:api.Api.machine name with
+      | None -> fault (Printf.sprintf "store factory: no component %s" name)
+      | Some e ->
+        let* () = flush_entry ctx e in
+        ignore
+          (Directory.unregister api.Api.directory
+             (Path.of_string (store_path name)));
+        Instance.revoke e.Storereg.instance;
+        Storereg.set_bound e None;
+        Storereg.mark_detached e;
+        Ok Value.Unit)
+    | _ -> Error (Oerror.Type_error "detach(name)")
+  in
+  let list_m _ctx = function
+    | [] ->
+      let entries = ref [] in
+      Storereg.iter_all ~machine:api.Api.machine (fun e ->
+          if not e.Storereg.detached then
+            entries :=
+              Value.Str
+                (Printf.sprintf "%s:%s" e.Storereg.name
+                   (Storereg.kind_to_string e.Storereg.kind))
+              :: !entries);
+      Ok (Value.List (List.rev !entries))
+    | _ -> Error (Oerror.Type_error "list()")
+  in
+  let iface =
+    Iface.make ~name:"store.factory"
+      [
+        Iface.meth ~name:"driver" ~args:[ Vtype.Tstr ] ~ret:Vtype.Thandle driver_m;
+        Iface.meth ~name:"partition"
+          ~args:[ Vtype.Tstr; Vtype.Tstr; Vtype.Tint; Vtype.Tint ]
+          ~ret:Vtype.Thandle partition_m;
+        Iface.meth ~name:"cache"
+          ~args:[ Vtype.Tstr; Vtype.Tstr; Vtype.Tint ]
+          ~ret:Vtype.Thandle cache_m;
+        Iface.meth ~name:"log" ~args:[ Vtype.Tstr; Vtype.Tstr ] ~ret:Vtype.Thandle
+          log_m;
+        Iface.meth ~name:"kv" ~args:[ Vtype.Tstr; Vtype.Tstr ] ~ret:Vtype.Thandle
+          kv_m;
+        Iface.meth ~name:"detach" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tunit detach_m;
+        Iface.meth ~name:"list" ~args:[] ~ret:(Vtype.Tlist Vtype.Tstr) list_m;
+      ]
+  in
+  Instance.create api.Api.registry ~class_name:"store.factory"
+    ~domain:api.Api.kernel_domain.Domain.id [ iface ]
+
+let image ~domain_of_id () =
+  Images.image ~name:"store-factory" ~size:16_384 ~author:"kernel-team"
+    ~type_safe:true
+    (fun api _dom -> create api ~domain_of_id ())
+
+(* Images for placing individual stack layers like any other component:
+   the construct runs in whatever domain the placement dictates. *)
+let driver_image () =
+  Images.image ~name:"store-blkdrv" ~size:24_576 ~author:"kernel-team"
+    ~type_safe:false
+    (fun api dom -> Blkdrv.create api dom ())
+
+let partition_image ~name ~lower ~base ~count () =
+  Images.image ~name:("store-" ^ name) ~size:8_192 ~author:"kernel-team"
+    ~type_safe:true
+    (fun api dom -> Partition.create api dom ~name ~lower ~base ~count ())
+
+let cache_image ~name ~lower ~capacity () =
+  Images.image ~name:("store-" ^ name) ~size:12_288 ~author:"kernel-team"
+    ~type_safe:true
+    (fun api dom -> Cache.create api dom ~name ~lower ~capacity ())
+
+let log_image ~name ~lower () =
+  Images.image ~name:("store-" ^ name) ~size:12_288 ~author:"kernel-team"
+    ~type_safe:true
+    (fun api dom -> Blocklog.create api dom ~name ~lower ())
+
+let kv_image ~name ~log () =
+  Images.image ~name:("store-" ^ name) ~size:16_384 ~author:"kernel-team"
+    ~type_safe:true
+    (fun api dom -> Kv.create api dom ~name ~log ())

@@ -1,0 +1,50 @@
+(* Global registry of storage components, keyed by machine — what the
+   composition linter walks (like [Chan.iter_all]) to check that every
+   write-back cache sits above its log/partition and that no /store
+   endpoint is left dangling after a detach. Plain OCaml state: reading
+   it charges no simulated cycles. *)
+
+module Machine = Pm_machine.Machine
+module Instance = Pm_obj.Instance
+
+type kind = Driver | Partition | Cache | Log | Kv | Proxy
+
+let kind_to_string = function
+  | Driver -> "driver"
+  | Partition -> "partition"
+  | Cache -> "cache"
+  | Log -> "log"
+  | Kv -> "kv"
+  | Proxy -> "proxy"
+
+type entry = {
+  machine : Machine.t;
+  name : string;
+  kind : kind;
+  lower : string option; (* namespace path of the component below *)
+  instance : Instance.t;
+  domain : int;
+  mutable bound : string option; (* /store/<name> while registered *)
+  mutable detached : bool;
+  dirty : unit -> int; (* blocks still dirty above the lower layer *)
+}
+
+let all : entry list ref = ref []
+
+let register ~machine ~name ~kind ?lower ~instance ~domain ?(dirty = fun () -> 0)
+    () =
+  let e =
+    { machine; name; kind; lower; instance; domain; bound = None;
+      detached = false; dirty }
+  in
+  all := e :: !all;
+  e
+
+let iter_all ~machine f =
+  List.iter (fun e -> if e.machine == machine then f e) (List.rev !all)
+
+let find ~machine name =
+  List.find_opt (fun e -> e.machine == machine && e.name = name) !all
+
+let set_bound e path = e.bound <- path
+let mark_detached e = e.detached <- true

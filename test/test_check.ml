@@ -392,6 +392,49 @@ let test_lint_dangling_and_dead_handler () =
   Alcotest.(check (list string)) "both caught" [ "dangling"; "dead-handler" ]
     (rules_of (lint_errors sys))
 
+(* seeded failure: both storage-stack inversions — a write-back cache
+   stacked above the append-only log, and a partition windowing a cache
+   (the cache below its partition). The factory's own stack must lint
+   clean first. *)
+let test_lint_store_order () =
+  let sys = System.create () in
+  let k = System.kernel sys in
+  ignore (System.setup_store sys ~placement:System.Certified ());
+  Alcotest.(check (list string)) "factory stack is clean" []
+    (rules_of (lint_errors sys));
+  let api = System.api sys in
+  let kdom = Kernel.kernel_domain k in
+  ignore
+    (Block_cache.create api kdom ~name:"bad-cache" ~lower:"/store/log0"
+       ~capacity:4 ());
+  ignore
+    (Partition.create api kdom ~name:"bad-part" ~lower:"/store/cache0" ~base:0
+       ~count:8 ());
+  let errs = lint_errors sys in
+  Alcotest.(check (list string)) "both inversions caught" [ "store-order" ]
+    (rules_of errs);
+  Alcotest.(check int) "one finding per inversion" 2 (List.length errs)
+
+(* seeded failure: /store endpoints left dangling — one component
+   revoked behind the binding's back (no detach), one marked detached
+   without its endpoint ever being unbound. *)
+let test_lint_store_dangling () =
+  let sys = System.create () in
+  let k = System.kernel sys in
+  ignore (System.setup_store sys ~placement:System.Certified ());
+  let machine = Kernel.machine k in
+  (match Storereg.find ~machine "cache0" with
+  | Some e -> Instance.revoke e.Storereg.instance
+  | None -> Alcotest.fail "cache0 not registered");
+  (match Storereg.find ~machine "log0" with
+  | Some e -> Storereg.mark_detached e
+  | None -> Alcotest.fail "log0 not registered");
+  let errs = lint_errors sys in
+  Alcotest.(check bool) "store-dangling caught" true
+    (List.mem "store-dangling" (rules_of errs));
+  Alcotest.(check int) "one finding per dangle" 2
+    (List.length (List.filter (fun f -> f.Lint.rule = "store-dangling") errs))
+
 (* --- /nucleus/check: the service object, cross-domain ------------------ *)
 
 let test_check_service_cross_domain () =
@@ -448,6 +491,9 @@ let () =
           Alcotest.test_case "wait cycle" `Quick test_lint_wait_cycle;
           Alcotest.test_case "dangling + dead handler" `Quick
             test_lint_dangling_and_dead_handler;
+          Alcotest.test_case "store order (seeded)" `Quick test_lint_store_order;
+          Alcotest.test_case "store dangling (seeded)" `Quick
+            test_lint_store_dangling;
         ] );
       ( "service",
         [
