@@ -194,7 +194,12 @@ let reg_write t reg v =
     t.ring_slots <- v;
     t.tail <- 0;
     t.fetched <- 0;
-    t.head <- 0
+    t.head <- 0;
+    (* reprogramming the ring geometry resets the device: in-flight ops
+       belong to the old ring, and letting them complete would write
+       done bits into the new ring's descriptor slots *)
+    Queue.clear t.inflight;
+    t.media_free_at <- 0
   | 2 ->
     if v - t.head > t.ring_slots then
       invalid_arg "Blkdev: tail overruns the ring";

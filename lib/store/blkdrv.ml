@@ -324,7 +324,7 @@ let create api dom ?(config = default_config) () =
       ~read:(fun ctx block -> read_op st ctx block)
       ~write:(fun ctx block data -> write_op st ctx block data)
       ~flush:(fun ctx -> flush_op st ctx)
-      ~size:(fun () -> st.blocks)
+      ~size:(fun _ctx -> Ok st.blocks)
       ~blocksize:(fun () -> st.block_size)
       ~stats:(fun () -> [ st.reads; st.writes; st.irq_acks ])
   in

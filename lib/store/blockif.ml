@@ -104,8 +104,10 @@ let methods ~read:read_f ~write:write_f ~flush:flush_f ~size:size_f
       Ok (Value.Int n)
     | _ -> Error (Oerror.Type_error "flush()")
   in
-  let size_m _ctx = function
-    | [] -> Ok (Value.Int (size_f ()))
+  let size_m ctx = function
+    | [] ->
+      let* n = size_f ctx in
+      Ok (Value.Int n)
     | _ -> Error (Oerror.Type_error "size()")
   in
   let blocksize_m _ctx = function

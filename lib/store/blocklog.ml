@@ -148,7 +148,7 @@ let create api dom ~name ~lower ?(block_size = 512) () =
           let* _ = append_op st ctx data in
           Ok ())
       ~flush:(fun ctx -> flush_op st ctx)
-      ~size:(fun () -> st.entries)
+      ~size:(fun _ctx -> Ok st.entries)
       ~blocksize:(fun () -> st.block_size)
       ~stats:(fun () -> [ st.appends; st.gets; st.entries; st.flushed ])
   in

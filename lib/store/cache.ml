@@ -160,10 +160,15 @@ let create api dom ~name ~lower ~capacity ?(block_size = 512) () =
       ~read:(fun ctx block -> read_op st ctx block)
       ~write:(fun ctx block data -> write_op st ctx block data)
       ~flush:(fun ctx -> flush_op st ctx)
-      ~size:(fun () -> st.capacity)
+      (* size is the lower layer's: the cache holds [capacity] *lines*
+         but stores no blocks of its own, so a layer above (the log's
+         capacity computation, say) must see the real device geometry,
+         not the line count. The line capacity is in stats. *)
+      ~size:(fun ctx -> Blockif.size st.lower ctx)
       ~blocksize:(fun () -> st.block_size)
       ~stats:(fun () ->
-        [ st.hits; st.misses; st.evictions; st.writebacks; dirty_count st ])
+        [ st.hits; st.misses; st.evictions; st.writebacks; dirty_count st;
+          st.capacity ])
   in
   let inst =
     Instance.create api.Api.registry ~class_name:"store.cache"

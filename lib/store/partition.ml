@@ -42,7 +42,7 @@ let create api dom ~name ~lower ~base ~count ?(block_size = 512) () =
         st.writes <- st.writes + 1;
         Blockif.write st.lower ctx (st.base + block) data)
       ~flush:(fun ctx -> Blockif.flush st.lower ctx)
-      ~size:(fun () -> st.count)
+      ~size:(fun _ctx -> Ok st.count)
       ~blocksize:(fun () -> block_size)
       ~stats:(fun () -> [ st.reads; st.writes ])
   in

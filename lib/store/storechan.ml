@@ -120,13 +120,19 @@ let connect t ~name ~client ?(slots = 32) ?(slot_size = 576) () =
   in
   let pending : (int, int * bytes) Hashtbl.t = Hashtbl.create 8 in
   let next_seq = ref 0 in
-  let reqs = ref 0 and polls = ref 0 and drops = ref 0 in
-  let stash ctx =
+  let reqs = ref 0 and polls = ref 0 and drops = ref 0 and stale = ref 0 in
+  (* The proxy is synchronous: exactly one tag is awaited at a time, and
+     the sequence byte wraps every 256 requests. A response for any other
+     tag belongs to a roundtrip that already timed out — stashing it
+     would let a future request with the same (wrapped) tag consume old
+     data, so drop it on the floor. *)
+  let stash ctx ~want =
     List.iter
       (fun msg ->
         match Storewire.Blkresp.parse ctx msg with
         | Ok { Storewire.Blkresp.tag; status; payload } ->
-          Hashtbl.replace pending tag (status, payload)
+          if tag = want then Hashtbl.replace pending tag (status, payload)
+          else incr stale
         | Error _ -> ())
       (Chan.recv_batch ~account:false ring ())
   in
@@ -150,7 +156,7 @@ let connect t ~name ~client ?(slots = 32) ?(slot_size = 576) () =
           if n >= max_polls then fault "storechan: timed out awaiting response"
           else begin
             incr polls;
-            stash ctx;
+            stash ctx ~want:tag;
             if not (Hashtbl.mem pending tag) then Scheduler.yield ();
             await (n + 1)
           end
@@ -168,9 +174,9 @@ let connect t ~name ~client ?(slots = 32) ?(slot_size = 576) () =
       ~flush:(fun ctx ->
         let* r = roundtrip ctx ~op:Storewire.op_flush ~block:0 Bytes.empty in
         if Bytes.length r >= 4 then Ok (Storewire.get32 r 0) else Ok 0)
-      ~size:(fun () -> size)
+      ~size:(fun _ctx -> Ok size)
       ~blocksize:(fun () -> blocksize)
-      ~stats:(fun () -> [ !reqs; !polls; !drops ])
+      ~stats:(fun () -> [ !reqs; !polls; !drops; !stale ])
   in
   let inst =
     Instance.create api.Api.registry ~class_name:"store.proxy"

@@ -163,11 +163,12 @@ let test_cache_eviction_when_full () =
     block_write ctx cache ~block:(30 + i) (Printf.sprintf "dirty-%d" i)
   done;
   (match block_stats ctx cache with
-  | [ _; misses; evictions; writebacks; dirty ] ->
+  | [ _; misses; evictions; writebacks; dirty; capacity ] ->
     Alcotest.(check int) "four misses" 4 misses;
     Alcotest.(check int) "no evictions yet" 0 evictions;
     Alcotest.(check int) "no writebacks yet" 0 writebacks;
-    Alcotest.(check int) "four dirty lines" 4 dirty
+    Alcotest.(check int) "four dirty lines" 4 dirty;
+    Alcotest.(check int) "line capacity in stats" 4 capacity
   | s -> Alcotest.failf "unexpected stats arity %d" (List.length s));
   Alcotest.(check string)
     "dirty block not yet on media"
@@ -176,7 +177,7 @@ let test_cache_eviction_when_full () =
   (* a fifth distinct block forces the LRU line (block 30) out *)
   block_write ctx cache ~block:99 "evictor";
   (match block_stats ctx cache with
-  | [ _; _; evictions; writebacks; dirty ] ->
+  | [ _; _; evictions; writebacks; dirty; _ ] ->
     Alcotest.(check int) "one eviction" 1 evictions;
     Alcotest.(check int) "one writeback" 1 writebacks;
     Alcotest.(check int) "still full of dirty lines" 4 dirty
@@ -226,6 +227,32 @@ let test_flush_on_detach_durability () =
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "append through a detached cache must fail"
+
+let test_cache_size_transparent () =
+  let _sys, k, store = fixture ~cache_capacity:4 () in
+  let kdom = Kernel.kernel_domain k in
+  let ctx = Kernel.ctx k kdom in
+  (* size() must be the lower layer's geometry, not the line count: the
+     log above computes its capacity from it, so a 4-line cache over a
+     256-block partition must report 256, or the log tops out at 3 *)
+  (match
+     Invoke.call_exn ctx store.System.block_cache ~iface:"block" ~meth:"size" []
+   with
+  | Value.Int n ->
+    Alcotest.(check int) "cache forwards the partition's size" 256 n
+  | v -> Alcotest.failf "size returned %s" (Value.to_string v));
+  let log = store.System.log in
+  for i = 0 to 9 do
+    match
+      Invoke.call ctx log ~iface:"log" ~meth:"append"
+        [ blob (Printf.sprintf "rec-%d" i) ]
+    with
+    | Ok (Value.Int seq) -> Alcotest.(check int) "sequence number" i seq
+    | Ok v -> Alcotest.failf "append returned %s" (Value.to_string v)
+    | Error e ->
+      Alcotest.failf "append %d must survive cache spill: %s" i
+        (Oerror.to_string e)
+  done
 
 (* --- log + recovery ----------------------------------------------------- *)
 
@@ -458,6 +485,8 @@ let () =
             test_cache_eviction_when_full;
           Alcotest.test_case "flush-on-detach durability" `Quick
             test_flush_on_detach_durability;
+          Alcotest.test_case "cache size is the lower layer's" `Quick
+            test_cache_size_transparent;
           Alcotest.test_case "log append + recover" `Quick test_log_append_recover;
           Alcotest.test_case "kv put/get/del + recover" `Quick
             test_kv_local_recover;
