@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke demo-smoke replay-smoke bench-output lint fmt check clean
+.PHONY: all build test bench bench-smoke demo-smoke replay-smoke trace-smoke bench-output lint fmt check clean
 
 all: build
 
@@ -13,7 +13,7 @@ bench:
 
 # the assertion-bearing experiments at reduced iteration counts, for CI
 bench-smoke:
-	dune exec bench/main.exe -- obs e14 e15 e16 e18 e19 e20 replay --quick
+	dune exec bench/main.exe -- obs e14 e15 e16 e18 e19 e20 e21 replay --quick
 
 # the channel-backed data path exercised through the demo binary, and
 # the whole-system KV workload on top of it
@@ -25,12 +25,21 @@ demo-smoke:
 # written to disk replays byte-identically after a round-trip
 replay-smoke:
 	dune exec bin/pm_replay.exe -- --list
-	dune exec bin/pm_replay.exe -- packets --quiet
-	dune exec bin/pm_replay.exe -- crash --quiet
+	dune exec bin/pm_replay.exe -- packets --lint --quiet
+	dune exec bin/pm_replay.exe -- crash --lint --quiet
 	dune exec bin/pm_replay.exe -- deadlock --lint --quiet
-	dune exec bin/pm_replay.exe -- kv --quiet
+	dune exec bin/pm_replay.exe -- kv --lint --quiet
 	dune exec bin/pm_replay.exe -- compose --lint --record /tmp/pm_compose.rec --quiet
 	dune exec bin/pm_replay.exe -- --replay /tmp/pm_compose.rec --quiet
+
+# causal tracing end to end: record the KV workload with tracing on,
+# then the offline query tool must produce a per-layer cycle breakdown
+# and answer a state-at-cycle question from the same recording
+trace-smoke:
+	dune exec bin/pm_replay.exe -- kv --trace --record /tmp/pm_kv_trace.rec --quiet
+	dune exec bin/pm_query.exe -- /tmp/pm_kv_trace.rec --layers | grep cyc
+	dune exec bin/pm_query.exe -- /tmp/pm_kv_trace.rec --slowest 3 | grep rid
+	dune exec bin/pm_query.exe -- /tmp/pm_kv_trace.rec --bound /store/log0 --at 999999999 | grep bound
 
 # composition lint: the demo system must lint clean, and the linter must
 # catch each seeded violation (non-zero exit inverted with !)

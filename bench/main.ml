@@ -2070,6 +2070,222 @@ module E20 = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* E21: causal request tracing and per-layer attribution               *)
+(* ------------------------------------------------------------------ *)
+
+module E21 = struct
+  (* the attribution telescopes by construction; epsilon is a
+     cross-check of the fold, not a tolerance for lost cycles *)
+  let epsilon = 2
+  let ws = 24 (* straddles the 16-line cache: the load phase evicts *)
+
+  type outcome = {
+    reqs : Query.request list;
+    measured : (string * int) list; (* label, measured end-to-end cycles *)
+  }
+
+  (* E20's client/server KV workload, with every request bracketed by
+     req_begin/req_end: load [ws] puts through the cache, then get one
+     evicted key and one resident key. With [traced] off the brackets
+     mint nothing and record nothing — the zero-cost contract. *)
+  let run_workload ?costs ~traced () =
+    Journal.set_default_mode Journal.Full;
+    Trace.set_enabled traced;
+    Trace.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.set_enabled false;
+        Journal.set_default_mode Journal.Tail)
+      (fun () ->
+        let sys = System.create ~seed:0xBEEF ?costs () in
+        let k = System.kernel sys in
+        let net =
+          System.setup_networking sys ~placement:System.Certified ~addr:42
+            ~loopback:true ()
+        in
+        let nsc, _svc = System.channel_net sys net () in
+        ignore
+          (System.setup_store sys ~placement:System.Certified
+             ~cache_capacity:16 ());
+        let kdom = Kernel.kernel_domain k in
+        let api = Kernel.api k in
+        let kv = Kv.create api kdom ~name:"kv0" ~log:"/store/log0" () in
+        (match Kv.serve api kdom ~kv ~net:nsc ~port:70 () with
+        | Ok _ -> ()
+        | Error e -> failwith ("E21: serve failed: " ^ Oerror.to_string e));
+        let cdom = System.new_domain sys "kvclient" in
+        let ring =
+          match Netstack_chan.bind nsc ~port:71 ~owner:cdom ~mode:Chan.Poll () with
+          | Ok c -> c
+          | Error e -> failwith ("E21: bind failed: " ^ e)
+        in
+        let txh = Netstack_chan.attach_tx nsc ~producer:cdom in
+        let mmu = Machine.mmu (Kernel.machine k) in
+        let clock = Kernel.clock k in
+        let j = Obs.journal (Clock.obs clock) in
+        let replies = ref 0 and requests = ref 0 in
+        let measured = ref [] in
+        let request ~op ~key value =
+          let label =
+            (if op = Storewire.kv_put then "put "
+             else if op = Storewire.kv_get then "get "
+             else "del ")
+            ^ key
+          in
+          let t0 = Clock.now clock in
+          let rid = Journal.req_begin j ~domain:cdom.Domain.id ~at:t0 ~detail:label in
+          incr requests;
+          Mmu.switch_context mmu cdom.Domain.id;
+          let cctx = Kernel.ctx k cdom in
+          let req =
+            Storewire.Kvmsg.build_req cctx ~op ~key:(Bytes.of_string key)
+              (Bytes.of_string value)
+          in
+          ignore (Netstack_chan.submit txh cctx ~dst:42 ~sport:71 ~dport:70 req);
+          Mmu.switch_context mmu kdom.Domain.id;
+          ignore (Netstack_chan.drain_tx nsc);
+          Kernel.step k ~ticks:2 ();
+          Mmu.switch_context mmu cdom.Domain.id;
+          List.iter
+            (fun msg ->
+              match Netwire.Delivery.parse cctx msg with
+              | Error e -> failwith ("E21: bad delivery frame: " ^ e)
+              | Ok { Netwire.Delivery.payload; _ } -> (
+                match Storewire.Kvmsg.parse_resp cctx payload with
+                | Error e -> failwith ("E21: bad kv response: " ^ e)
+                | Ok { Storewire.Kvmsg.status; _ } ->
+                  if status <> Storewire.Kvmsg.status_ok then
+                    failwith
+                      (Printf.sprintf "E21: kv op %d on %s failed with status %d"
+                         op key status);
+                  incr replies))
+            (Chan.recv_batch ring ());
+          Mmu.switch_context mmu kdom.Domain.id;
+          let t1 = Clock.now clock in
+          Journal.req_end j ~domain:cdom.Domain.id ~at:t1 rid;
+          measured := (label, t1 - t0) :: !measured
+        in
+        for n = 0 to ws - 1 do
+          request ~op:Storewire.kv_put
+            ~key:(Printf.sprintf "k%04d" n)
+            (Printf.sprintf "value-%04d" n)
+        done;
+        (* k0000 left the cache during the load; the last key is resident *)
+        request ~op:Storewire.kv_get ~key:"k0000" "";
+        request ~op:Storewire.kv_get ~key:(Printf.sprintf "k%04d" (ws - 1)) "";
+        assert (!replies = !requests);
+        let reqs =
+          if not traced then []
+          else
+            match Query.fold ~complete:(Journal.complete j) (Journal.history j) with
+            | Ok rs -> rs
+            | Error e -> failwith ("E21: fold failed: " ^ e)
+        in
+        { reqs; measured = List.rev !measured })
+
+  let find_req label reqs =
+    match List.find_opt (fun r -> String.equal r.Query.label label) reqs with
+    | Some r -> r
+    | None -> failwith ("E21: no traced request " ^ label)
+
+  (* every request's per-layer attribution must telescope to its
+     measured end-to-end latency *)
+  let assert_telescopes o =
+    List.iter
+      (fun r ->
+        let total =
+          List.fold_left (fun acc (_, n) -> acc + n) 0 (Query.attribution r)
+        in
+        assert (abs (total - Query.duration r) <= epsilon);
+        let m = List.assoc r.Query.label o.measured in
+        assert (abs (total - m) <= epsilon))
+      o.reqs
+
+  let run () =
+    header "E21  Causal request tracing across the KV path"
+      "a request id minted at ingress rides the wire through net, kv, log, \
+       cache, partition and driver; folding the journal back attributes \
+       every end-to-end cycle to exactly one layer, names the media wait on \
+       a spilled get, and costs nothing when tracing is off";
+    (* 1. zero simulated cost: the same workload, tracing off vs on *)
+    let off = run_workload ~traced:false () in
+    let on = run_workload ~traced:true () in
+    let deltas =
+      List.map2
+        (fun (l1, c1) (l2, c2) ->
+          assert (String.equal l1 l2);
+          c2 - c1)
+        off.measured on.measured
+    in
+    let d0 = match deltas with d :: _ -> d | [] -> assert false in
+    List.iter (fun d -> assert (d = d0)) deltas;
+    assert (d0 >= 0 && d0 < 1_000);
+    line "tracing on costs a flat %d cycles/request — the rid bytes riding \
+          each wire leg; the journal stores themselves are cycle-free, and \
+          with tracing off the %d latencies are untouched"
+      d0
+      (List.length off.measured);
+    (* 2. attribution telescopes to the measured latency, per request *)
+    assert_telescopes on;
+    line "attribution telescopes: sum over layers = end-to-end cycles for \
+          every request (epsilon %d)" epsilon;
+    (* 3. per-layer totals, default media vs a slow disk; the spilled
+       get's critical path must name the media once the device wait
+       dominates the driver's per-byte buffer copies *)
+    let slow_costs = { Cost.default with blk_seek = 200_000 } in
+    let slow = run_workload ~costs:slow_costs ~traced:true () in
+    assert_telescopes slow;
+    let totals_on = Query.layer_totals on.reqs in
+    let totals_slow = Query.layer_totals slow.reqs in
+    let layers =
+      List.map fst totals_on
+      @ List.filter
+          (fun l -> not (List.mem_assoc l totals_on))
+          (List.map fst totals_slow)
+    in
+    print_table
+      ~columns:
+        [ ("layer", ()); ("cycles (default media)", ());
+          ("cycles (slow media)", ()) ]
+      (List.map
+         (fun l ->
+           let v tl = match List.assoc_opt l tl with Some n -> i n | None -> "0" in
+           [ l; v totals_on; v totals_slow ])
+         layers);
+    let spilled = find_req "get k0000" slow.reqs in
+    let resident = find_req (Printf.sprintf "get k%04d" (ws - 1)) slow.reqs in
+    assert (
+      List.exists (fun (_, d, _) -> String.equal d "cache-miss") spilled.Query.notes);
+    assert (
+      List.exists (fun (_, d, _) -> String.equal d "cache-hit") resident.Query.notes);
+    let path = Query.critical_path spilled in
+    assert (List.mem "media" path);
+    line "spilled get k0000 (slow media): cache-miss, critical path %s"
+      (String.concat ">" path);
+    line "resident get stays out of the device path: critical path %s"
+      (String.concat ">" (Query.critical_path resident));
+    (* 4. tracing leaves no residue: an untraced recording made after a
+       traced one is byte-identical to one made before — the E1..E20
+       outputs and every untraced export keep their bytes *)
+    let record_kv () =
+      match Replay.record "kv" with
+      | Ok r -> r
+      | Error e -> failwith ("E21: record failed: " ^ e)
+    in
+    let r1 = record_kv () in
+    Trace.set_enabled true;
+    let r2 = record_kv () in
+    Trace.set_enabled false;
+    let r3 = record_kv () in
+    assert (String.equal r1.Replay.journal r3.Replay.journal);
+    assert (String.equal r1.Replay.stats r3.Replay.stats);
+    assert (not (String.equal r1.Replay.journal r2.Replay.journal));
+    line "tracing off after on: untraced recordings stay byte-identical \
+          (traced one carries %d more journal bytes)"
+      (String.length r2.Replay.journal - String.length r1.Replay.journal)
+end
+
+(* ------------------------------------------------------------------ *)
 (* E-REPLAY: deterministic record/replay of whole runs                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -2242,7 +2458,7 @@ let () =
       ("e9", E9.run); ("e10", E10.run); ("e11", E11.run); ("e12", E12.run);
       ("e13", E13.run); ("e14", E14.run); ("e15", E15.run); ("e16", E16.run);
       ("obs", Eobs.run); ("e18", E18.run); ("e19", E19.run);
-      ("e20", E20.run); ("replay", Ereplay.run) ]
+      ("e20", E20.run); ("e21", E21.run); ("replay", Ereplay.run) ]
   in
   line "Paramecium reproduction — experiment suite";
   line "(simulated cycles, deterministic; cost model: SPARC-era defaults)";

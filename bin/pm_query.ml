@@ -1,0 +1,154 @@
+(* pm_query — causal tracing and time-travel queries over a recording.
+
+   Reads a pm-replay-v1 file (made with `pm_replay <scenario> --trace
+   --record FILE`) and answers two families of questions offline:
+
+   - causal: per-request span trees, per-layer cycle attribution,
+     top-K slowest, critical paths — the fold in Pm_query.Query;
+   - time-travel: state-at-cycle over the structural archive — what
+     held frame F at cycle N, who was bound at path P, which domain
+     owned component C.
+
+   Exit status: 0 = answered, 1 = query failed (incomplete or damaged
+   history, unknown rid, nothing bound), 2 = usage. *)
+
+open Paramecium
+
+let usage =
+  "usage: pm_query FILE [--requests] [--request RID] [--slowest K] \
+   [--layers] [--frame F --at N] [--bound PATH --at N] [--owner NAME --at N]"
+
+let die code msg =
+  prerr_endline ("pm_query: " ^ msg);
+  if code = 2 then prerr_endline usage;
+  exit code
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error e -> die 2 e
+
+type action =
+  | Requests
+  | Request of int
+  | Slowest of int
+  | Layers
+  | Frame of int
+  | Bound of string
+  | Owner of string
+
+let () =
+  let file = ref None in
+  let actions = ref [] in
+  let at = ref None in
+  let int_arg flag v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> die 2 (flag ^ " wants an integer, got " ^ v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--requests" :: rest ->
+      actions := Requests :: !actions;
+      parse rest
+    | "--request" :: v :: rest ->
+      actions := Request (int_arg "--request" v) :: !actions;
+      parse rest
+    | "--slowest" :: v :: rest ->
+      actions := Slowest (int_arg "--slowest" v) :: !actions;
+      parse rest
+    | "--layers" :: rest ->
+      actions := Layers :: !actions;
+      parse rest
+    | "--frame" :: v :: rest ->
+      actions := Frame (int_arg "--frame" v) :: !actions;
+      parse rest
+    | "--bound" :: v :: rest ->
+      actions := Bound v :: !actions;
+      parse rest
+    | "--owner" :: v :: rest ->
+      actions := Owner v :: !actions;
+      parse rest
+    | "--at" :: v :: rest ->
+      at := Some (int_arg "--at" v);
+      parse rest
+    | a :: rest when String.length a > 0 && a.[0] <> '-' && !file = None ->
+      file := Some a;
+      parse rest
+    | a :: _ -> die 2 ("unknown argument " ^ a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let file = match !file with Some f -> f | None -> die 2 "no recording file" in
+  let actions =
+    match List.rev !actions with [] -> [ Requests ] | l -> l
+  in
+  let recording =
+    match Replay.recording_of_string (read_file file) with
+    | Ok r -> r
+    | Error e -> die 2 (file ^ ": " ^ e)
+  in
+  let imported =
+    match Journal.import_all recording.Replay.journal with
+    | Ok i -> i
+    | Error e -> die 1 ("recorded journal unreadable: " ^ e)
+  in
+  let events = imported.Journal.events in
+  (* the causal fold, shared by every span query; fails soft by name on
+     a truncated history, so compute it lazily and only when needed *)
+  let requests =
+    lazy (Query.fold ~complete:imported.Journal.complete events)
+  in
+  let need_requests () =
+    match Lazy.force requests with
+    | Ok [] -> die 1 "no traced requests in this recording (record with --trace)"
+    | Ok reqs -> reqs
+    | Error e -> die 1 e
+  in
+  let need_at flag =
+    match !at with
+    | Some n -> n
+    | None -> die 2 (flag ^ " needs --at N")
+  in
+  List.iter
+    (fun action ->
+      match action with
+      | Requests ->
+        List.iter
+          (fun r -> print_endline (Query.request_line r))
+          (need_requests ())
+      | Request rid -> (
+        match
+          List.find_opt (fun r -> r.Query.rid = rid) (need_requests ())
+        with
+        | Some r ->
+          print_endline (Query.request_to_text r);
+          print_endline ("  attribution " ^ Query.attribution_to_text r)
+        | None -> die 1 (Printf.sprintf "no request %d in this recording" rid))
+      | Slowest k ->
+        List.iter
+          (fun r -> print_endline (Query.request_line r))
+          (Query.slowest k (need_requests ()))
+      | Layers -> print_endline (Query.layer_totals_to_text (need_requests ()))
+      | Frame f -> (
+        match Query.frame_holders events ~frame:f ~at:(need_at "--frame") with
+        | [] -> die 1 (Printf.sprintf "no domain held frame %d" f)
+        | holders ->
+          print_endline
+            (Printf.sprintf "frame %d @%d held by %s" f (need_at "--frame")
+               (String.concat " " (List.map string_of_int holders))))
+      | Bound path -> (
+        match Query.bound_at events ~path ~at:(need_at "--bound") with
+        | Some h ->
+          print_endline
+            (Printf.sprintf "%s @%d bound to handle %d" path (need_at "--bound") h)
+        | None -> die 1 (Printf.sprintf "nothing bound at %s" path))
+      | Owner name -> (
+        match Query.owner_of events ~name ~at:(need_at "--owner") with
+        | Some d ->
+          print_endline
+            (Printf.sprintf "%s @%d owned by domain %d" name (need_at "--owner") d)
+        | None -> die 1 (Printf.sprintf "no component %s" name)))
+    actions

@@ -13,7 +13,7 @@ open Paramecium
 
 let usage =
   "usage: pm_replay [scenario] [--list] [--record FILE] [--replay FILE] \
-   [--lint] [--quiet]"
+   [--trace] [--bisect] [--lint] [--quiet]"
 
 let say quiet fmt =
   Printf.ksprintf (fun s -> if not quiet then print_endline s) fmt
@@ -62,6 +62,8 @@ let () =
   let record_to = ref None in
   let replay_from = ref None in
   let lint = ref false in
+  let bisect = ref false in
+  let trace = ref false in
   let quiet = ref false in
   let rec parse = function
     | [] -> ()
@@ -79,6 +81,12 @@ let () =
     | "--lint" :: rest ->
       lint := true;
       parse rest
+    | "--bisect" :: rest ->
+      bisect := true;
+      parse rest
+    | "--trace" :: rest ->
+      trace := true;
+      parse rest
     | "--quiet" :: rest ->
       quiet := true;
       parse rest
@@ -89,6 +97,9 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let quiet = !quiet in
+  (* causal tracing at record time: requests get rids, span/note events
+     land in the history, and the recording self-identifies as traced *)
+  if !trace then Trace.set_enabled true;
   let ok = ref true in
   let recording =
     match !replay_from with
@@ -122,5 +133,12 @@ let () =
   | Error e ->
     ok := false;
     if not quiet then print_endline ("replay of " ^ recording.Replay.scenario ^ ": " ^ e));
+  (* narrow a divergence to its first bad event on the cycle axis *)
+  if !bisect then (
+    match Replay.bisect recording with
+    | Ok report -> if not quiet then print_endline report
+    | Error e ->
+      ok := false;
+      if not quiet then print_endline ("bisect: " ^ e));
   if !lint then if not (lint_recording quiet recording) then ok := false;
   exit (if !ok then 0 else 1)

@@ -54,14 +54,31 @@ let connect api ~client ~server ?(slots = 64) ?(slot_size = 4096) ?doorbell_vec 
 (* Prefix words are charged as component accesses; the segments'       *)
 (* bytes were charged by Wire build/parse, and the rings run           *)
 (* unaccounted, so each byte is paid for once per side.                *)
+(* With tracing on the batch header grows a 4-byte request id          *)
+(* (uncharged — tracing adds zero simulated cycles) that the           *)
+(* receiving side's iter re-establishes as the ambient scope.          *)
 (* ------------------------------------------------------------------ *)
 
+module Trace = Pm_journal.Trace
+
+let rid_len () = if Trace.enabled () then 4 else 0
+
+let set32 b off v =
+  set16 b off ((v lsr 16) land 0xffff);
+  set16 b (off + 2) (v land 0xffff)
+
+let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)
+
 let assemble ctx segs =
+  let rl = rid_len () in
   let n = List.length segs in
-  let total = List.fold_left (fun acc s -> acc + 2 + Bytes.length s) 2 segs in
+  let total =
+    List.fold_left (fun acc s -> acc + 2 + Bytes.length s) (2 + rl) segs
+  in
   let b = Bytes.create total in
   set16 b 0 n;
-  let off = ref 2 in
+  if rl > 0 then set32 b 2 (Trace.current ());
+  let off = ref (2 + rl) in
   List.iter
     (fun s ->
       let len = Bytes.length s in
@@ -74,22 +91,25 @@ let assemble ctx segs =
 
 (* Split segments into chunks that fit one ring slot, preserving order. *)
 let chunk ~slot_size segs =
+  let hdr = 2 + rid_len () in
   let seg_room s = 2 + Bytes.length s in
   List.fold_left
     (fun (chunks, cur, used) s ->
       let need = seg_room s in
-      if 2 + need > slot_size then
+      if hdr + need > slot_size then
         invalid_arg "Rpc_chan: marshalled call exceeds the channel slot size";
-      if used + need > slot_size then (List.rev cur :: chunks, [ s ], 2 + need)
+      if used + need > slot_size then (List.rev cur :: chunks, [ s ], hdr + need)
       else (chunks, s :: cur, used + need))
-    ([], [], 2) segs
+    ([], [], hdr) segs
   |> fun (chunks, cur, _) ->
   List.rev (match cur with [] -> chunks | _ -> List.rev cur :: chunks)
 
 let iter_segments ctx batch f =
+  let rl = rid_len () in
   let count = get16 batch 0 in
   Call_ctx.access ctx 2;
-  let off = ref 2 in
+  if rl > 0 then Trace.set_current (get32 batch 2);
+  let off = ref (2 + rl) in
   for _ = 1 to count do
     let len = get16 batch !off in
     Call_ctx.access ctx 2;

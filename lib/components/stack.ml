@@ -229,6 +229,17 @@ and rx_unfiltered st ctx raw =
           | Error e -> Error e
           | Ok (Value.Pair (Value.Pair (Value.Int sport, Value.Int dport), Value.Blob payload))
             ->
+            (* causal tracing: the demux decision is a point on the
+               current request's path (rid is ambient from the traced
+               wire parse upstream); plain store, zero cycles, no event
+               when tracing is off *)
+            if Pm_journal.Trace.enabled () then begin
+              let clock = Pm_machine.Machine.clock st.api.Api.machine in
+              Pm_journal.Journal.record
+                (Pm_obs.Obs.journal (Pm_machine.Clock.obs clock))
+                ~kind:Pm_journal.Journal.Trace_note ~domain:st.dom.Domain.id
+                ~at:(Pm_machine.Clock.now clock) ~info:dport ~detail:"demux"
+            end;
             (match Hashtbl.find_opt st.conns dport with
             | None -> drop st (Printf.sprintf "port %d not bound" dport)
             | Some { sink = Some sink; _ } ->

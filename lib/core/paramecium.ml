@@ -22,6 +22,8 @@ module Rsa = Pm_crypto.Rsa
 
 (* system history *)
 module Journal = Pm_journal.Journal
+module Trace = Pm_journal.Trace
+module Query = Pm_query.Query
 
 (* observability core *)
 module Tracer = Pm_obs.Tracer
@@ -81,6 +83,7 @@ module Directory = Pm_nucleus.Directory
 module Certsvc = Pm_nucleus.Certsvc
 module Tracesvc = Pm_nucleus.Tracesvc
 module Journalsvc = Pm_nucleus.Journalsvc
+module Querysvc = Pm_nucleus.Querysvc
 module Api = Pm_nucleus.Api
 module Loader = Pm_nucleus.Loader
 module Kernel = Pm_nucleus.Kernel

@@ -23,6 +23,7 @@ module Images = Pm_components.Images
 module Chan = Pm_chan.Chan
 module Scheduler = Pm_threads.Scheduler
 module Journal = Pm_journal.Journal
+module Trace = Pm_journal.Trace
 
 type recording = { scenario : string; journal : string; stats : string }
 
@@ -152,7 +153,24 @@ let run_kv sys =
   | Error e -> failwith ("kv scenario: bind failed: " ^ e));
   let txh = Pm_net.Netstack_chan.attach_tx nsc ~producer:cdom in
   let mmu = Pm_machine.Machine.mmu (Kernel.machine k) in
+  let clock = System.clock sys in
+  let j = Pm_obs.Obs.journal (Clock.obs clock) in
+  (* each request is a traced causal unit: the rid minted here rides the
+     wire through net, kv and block layers until req_end closes it;
+     req_begin/req_end record nothing (and mint nothing) with tracing off *)
   let request ~op ~key value =
+    let label =
+      let op_name =
+        if op = Pm_store.Storewire.kv_put then "put"
+        else if op = Pm_store.Storewire.kv_get then "get"
+        else "del"
+      in
+      op_name ^ " " ^ key
+    in
+    let rid =
+      Journal.req_begin j ~domain:cdom.Domain.id ~at:(Clock.now clock)
+        ~detail:label
+    in
     Pm_machine.Mmu.switch_context mmu cdom.Domain.id;
     let cctx = Kernel.ctx k cdom in
     let req =
@@ -162,7 +180,8 @@ let run_kv sys =
     ignore (Pm_net.Netstack_chan.submit txh cctx ~dst:42 ~sport:71 ~dport:70 req);
     Pm_machine.Mmu.switch_context mmu kdom.Domain.id;
     ignore (Pm_net.Netstack_chan.drain_tx nsc);
-    Kernel.step k ~ticks:4 ()
+    Kernel.step k ~ticks:4 ();
+    Journal.req_end j ~domain:cdom.Domain.id ~at:(Clock.now clock) rid
   in
   for i = 1 to 6 do
     request ~op:Pm_store.Storewire.kv_put
@@ -172,8 +191,13 @@ let run_kv sys =
   request ~op:Pm_store.Storewire.kv_get ~key:"key-1" "";
   request ~op:Pm_store.Storewire.kv_del ~key:"key-2" "";
   request ~op:Pm_store.Storewire.kv_get ~key:"key-2" "";
+  let frid =
+    Journal.req_begin j ~domain:kdom.Domain.id ~at:(Clock.now clock)
+      ~detail:"flush kv0"
+  in
   ignore
     (Invoke.call_exn (Kernel.ctx k kdom) kv ~iface:"kv" ~meth:"flush" []);
+  Journal.req_end j ~domain:kdom.Domain.id ~at:(Clock.now clock) frid;
   ignore store;
   Kernel.step k ~ticks:4 ()
 
@@ -219,6 +243,9 @@ let capture name =
   | None -> Error (Printf.sprintf "unknown scenario %S" name)
   | Some run ->
     Journal.set_default_mode Journal.Full;
+    (* request ids restart from 1 each capture, so a recording and its
+       self-check replay mint identical rids *)
+    Trace.reset ();
     Fun.protect
       ~finally:(fun () -> Journal.set_default_mode Journal.Tail)
       (fun () ->
@@ -241,8 +268,29 @@ let diagnose ~expected ~got =
     | None -> "journals re-render differently but hold the same events")
   | Error e, _ | _, Error e -> "recording unreadable: " ^ e
 
+(* A traced recording carries rid-stamped events; replaying it must
+   re-run with tracing on or every stamped line would diverge. Detected
+   from the export itself so callers need no side channel. *)
+let traced_recording r =
+  let s = r.journal and needle = " rid=" in
+  let nlen = String.length needle in
+  let rec search i =
+    if i + nlen > String.length s then false
+    else if String.sub s i nlen = needle then true
+    else search (i + 1)
+  in
+  search 0
+
+(* re-capture with the tracing state the recording itself was made under *)
+let recapture r =
+  let was = Trace.enabled () in
+  Trace.set_enabled (traced_recording r);
+  Fun.protect
+    ~finally:(fun () -> Trace.set_enabled was)
+    (fun () -> capture r.scenario)
+
 let replay r =
-  match capture r.scenario with
+  match recapture r with
   | Error _ as e -> e
   | Ok fresh ->
     if not (String.equal fresh.journal r.journal) then
@@ -250,6 +298,83 @@ let replay r =
     else if not (String.equal fresh.stats r.stats) then
       Error "stats snapshot diverged"
     else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Bisecting a divergent recording                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Narrow a diverging recording to the first bad event the way a
+   revision bisect narrows commits — but on the virtual-cycle axis.
+   The fresh re-run is ground truth (the machine is deterministic), the
+   recording under test is suspect. Each probe asks "do the histories
+   still agree restricted to events at or before the midpoint cycle?"
+   and halves the window until it pins the first cycle whose prefix
+   disagrees; the report names the window walked, the probe count, and
+   the first bad event, flagged structural mutation vs execution event. *)
+let bisect r =
+  match recapture r with
+  | Error _ as e -> e
+  | Ok fresh ->
+    if String.equal fresh.journal r.journal then
+      Ok "bisect: recording matches a fresh run; nothing to narrow"
+    else (
+      match (Journal.import fresh.journal, Journal.import r.journal) with
+      | Error e, _ | _, Error e -> Error ("recording unreadable: " ^ e)
+      | Ok good, Ok bad ->
+        let prefix evs mid =
+          List.filter (fun e -> e.Journal.at <= mid) evs
+        in
+        let diverges mid =
+          Journal.first_divergence ~expected:(prefix good mid)
+            ~got:(prefix bad mid)
+          <> None
+        in
+        let last_at =
+          List.fold_left (fun a e -> max a e.Journal.at) 0
+        in
+        let hi0 = max (last_at good) (last_at bad) in
+        if not (diverges hi0) then
+          Ok
+            "bisect: histories hold the same events; only the rendering \
+             differs"
+        else begin
+          (* invariant: prefix at lo agrees, prefix at hi diverges;
+             lo starts at -1 (the empty prefix always agrees) *)
+          let probes = ref 0 in
+          let rec narrow lo hi =
+            if hi - lo <= 1 then (lo, hi)
+            else begin
+              let mid = lo + ((hi - lo) / 2) in
+              incr probes;
+              if diverges mid then narrow lo mid else narrow mid hi
+            end
+          in
+          let lo, hi = narrow (-1) hi0 in
+          match
+            Journal.first_divergence ~expected:(prefix good hi)
+              ~got:(prefix bad hi)
+          with
+          | None -> Error "bisect: divergence vanished while narrowing"
+          | Some d ->
+            let witness =
+              match (d.Journal.got, d.Journal.expected) with
+              | Some e, _ | None, Some e -> Some e
+              | None, None -> None
+            in
+            let flavor =
+              match witness with
+              | Some e when not (Journal.is_execution e.Journal.kind) ->
+                "first bad structural mutation"
+              | Some _ -> "first bad execution event"
+              | None -> "divergence"
+            in
+            Ok
+              (Printf.sprintf
+                 "bisect: clean through cycle %d, diverges at cycle %d \
+                  (%d probes)\n%s: %s"
+                 lo hi !probes flavor
+                 (Journal.divergence_to_string d))
+        end)
 
 (* ------------------------------------------------------------------ *)
 (* On-disk format                                                       *)

@@ -26,8 +26,18 @@ val scenarios : (string * string) list
     unknown name. *)
 val record : string -> (recording, string) result
 
-(** [replay r] re-runs [r]'s scenario and compares histories. *)
+(** [replay r] re-runs [r]'s scenario and compares histories. A traced
+    recording (rid-stamped events) is replayed with tracing re-enabled
+    automatically. *)
 val replay : recording -> (unit, string) result
+
+(** [bisect r] narrows a diverging recording to the first bad event by
+    binary search on the virtual-cycle axis: each probe compares the
+    two histories restricted to events at or before the midpoint cycle.
+    [Ok report] names the clean/diverging cycle window, the probe
+    count, and the first bad event (structural mutation vs execution
+    event); a recording that matches a fresh run reports that instead. *)
+val bisect : recording -> (string, string) result
 
 (** Versioned one-file form: header, [== journal ==] section,
     [== stats ==] section. [recording_of_string] inverts

@@ -456,6 +456,9 @@ let setup_store t ~placement ?(base = 0) ?(count = 256) ?(cache_capacity = 32) (
       | Some e -> Storereg.set_bound e (Some ("/store/" ^ name))
       | None -> ())
     [ "blkdrv"; "part0"; "cache0"; "log0" ];
+  (* per-component counters beside /stats/kernel: cache hits/dirty, log
+     appends, blk_* driver counters at /stats/store.<name> *)
+  ignore (Store_svc.publish_stats (api t));
   let svc =
     Store_svc.create (api t) ~domain_of_id:(Kernel.domain_of_id t.kernel) ()
   in

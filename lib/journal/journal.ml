@@ -50,13 +50,21 @@ type kind =
   | Blk_issue
   | Blk_complete
   | Cache_flush
+  (* causal tracing (appended; recorded only while Trace.enabled, so
+     untraced exports never contain them) *)
+  | Req_begin
+  | Req_end
+  | Span_enter
+  | Span_exit
+  | Trace_note
 
 let all_kinds =
   [
     Trap; Irq; Fault; Crossing; Sched; Check; Crash; Install; Detach; Bind;
     Unbind; Interpose; Uninterpose; Handler_add; Handler_del; Page_share;
     Page_unshare; Domain_up; Domain_down; Migrate; Txn_begin; Txn_commit;
-    Txn_abort; Mark; Blk_issue; Blk_complete; Cache_flush;
+    Txn_abort; Mark; Blk_issue; Blk_complete; Cache_flush; Req_begin;
+    Req_end; Span_enter; Span_exit; Trace_note;
   ]
 
 let kind_index = function
@@ -87,6 +95,11 @@ let kind_index = function
   | Blk_issue -> 24
   | Blk_complete -> 25
   | Cache_flush -> 26
+  | Req_begin -> 27
+  | Req_end -> 28
+  | Span_enter -> 29
+  | Span_exit -> 30
+  | Trace_note -> 31
 
 let kind_count = List.length all_kinds
 
@@ -95,7 +108,8 @@ let kind_count = List.length all_kinds
    structural archive. *)
 let is_execution = function
   | Trap | Irq | Fault | Crossing | Sched | Check | Crash | Blk_issue
-  | Blk_complete | Cache_flush ->
+  | Blk_complete | Cache_flush | Req_begin | Req_end | Span_enter
+  | Span_exit | Trace_note ->
       true
   | _ -> false
 
@@ -129,6 +143,11 @@ let kind_to_string = function
   | Blk_issue -> "blk-issue"
   | Blk_complete -> "blk-complete"
   | Cache_flush -> "cache-flush"
+  | Req_begin -> "req-begin"
+  | Req_end -> "req-end"
+  | Span_enter -> "span-enter"
+  | Span_exit -> "span-exit"
+  | Trace_note -> "trace-note"
 
 let kind_of_string s =
   List.find_opt (fun k -> String.equal (kind_to_string k) s) all_kinds
@@ -140,6 +159,7 @@ type event = {
   kind : kind;
   info : int;
   detail : string; (* "" on hot paths; human/replay context elsewhere *)
+  rid : int; (* causal request id, 0 when untraced *)
 }
 
 type mode = Tail | Full
@@ -153,7 +173,7 @@ let mode_of_string = function
 (* ---------------- growable event buffer with front-dropping ---------- *)
 
 let dummy =
-  { seq = -1; at = 0; domain = 0; kind = Trap; info = 0; detail = "" }
+  { seq = -1; at = 0; domain = 0; kind = Trap; info = 0; detail = ""; rid = 0 }
 
 type buf = {
   mutable arr : event array;
@@ -258,8 +278,12 @@ let set_mode t m =
     | Tail -> ()
   end
 
+(* Every event is stamped with the ambient request id; with tracing
+   off [Trace.current] is pinned to 0 — no call-site changes, no cost. *)
 let record t ~kind ~domain ~at ~info ~detail =
-  let e = { seq = t.written; at; domain; kind; info; detail } in
+  let e =
+    { seq = t.written; at; domain; kind; info; detail; rid = Trace.current () }
+  in
   t.tail.(t.written mod t.tail_cap) <- Some e;
   t.written <- t.written + 1;
   if is_execution kind then t.exec_written <- t.exec_written + 1;
@@ -313,11 +337,33 @@ let mark t ~domain ~at label =
   record t ~kind:Mark ~domain ~at ~info:0 ~detail:label;
   seq
 
+(* ---------------- causal tracing helpers ----------------------------- *)
+
+(* Ingress: mint a request id, make it ambient, journal the begin.
+   No-ops (returning rid 0) when tracing is off, so instrumented call
+   sites stay free on untraced runs. *)
+let req_begin t ~domain ~at ~detail =
+  if not (Trace.enabled ()) then 0
+  else begin
+    let rid = Trace.mint () in
+    Trace.set_current rid;
+    record t ~kind:Req_begin ~domain ~at ~info:rid ~detail;
+    rid
+  end
+
+let req_end t ~domain ~at rid =
+  if Trace.enabled () && rid <> 0 then begin
+    Trace.set_current rid;
+    record t ~kind:Req_end ~domain ~at ~info:rid ~detail:"";
+    Trace.clear ()
+  end
+
 (* ---------------- rendering ------------------------------------------ *)
 
 let event_to_text e =
-  Printf.sprintf "#%-6d %8d cyc  dom %-2d %-12s %d%s" e.seq e.at e.domain
+  Printf.sprintf "#%-6d %8d cyc  dom %-2d %-12s %d%s%s" e.seq e.at e.domain
     (kind_to_string e.kind) e.info
+    (if e.rid = 0 then "" else Printf.sprintf "  rid=%d" e.rid)
     (if String.equal e.detail "" then "" else "  " ^ e.detail)
 
 let stats_line t =
@@ -345,9 +391,13 @@ let export_header t =
   Printf.sprintf "pm-journal-v1 events=%d complete=%d" t.history.len
     (if complete t then 1 else 0)
 
+(* Untraced events (rid 0) keep the original line format, so exports
+   stay byte-identical when tracing is off; traced events carry a
+   trailing [rid=N] that import strips first. *)
 let event_to_line e =
-  Printf.sprintf "%d %d %d %s %d %S" e.seq e.at e.domain
+  Printf.sprintf "%d %d %d %s %d %S%s" e.seq e.at e.domain
     (kind_to_string e.kind) e.info e.detail
+    (if e.rid = 0 then "" else Printf.sprintf " rid=%d" e.rid)
 
 let export t =
   let b = Buffer.create (64 * (t.history.len + 1)) in
@@ -359,25 +409,44 @@ let export t =
     t.history;
   Buffer.contents b
 
+let make_event seq at domain kstr info detail rid =
+  match kind_of_string kstr with
+  | Some kind -> Ok { seq; at; domain; kind; info; detail; rid }
+  | None -> Error (Printf.sprintf "unknown event kind %S" kstr)
+
 let event_of_line line =
   try
-    Scanf.sscanf line " %d %d %d %s %d %S"
-      (fun seq at domain kstr info detail ->
-        match kind_of_string kstr with
-        | Some kind -> Ok { seq; at; domain; kind; info; detail }
-        | None -> Error (Printf.sprintf "unknown event kind %S" kstr))
-  with Scanf.Scan_failure m | Failure m -> Error m
-  | End_of_file -> Error "truncated event line"
+    Scanf.sscanf line " %d %d %d %s %d %S rid=%d"
+      (fun seq at domain kstr info detail rid ->
+        make_event seq at domain kstr info detail rid)
+  with _ -> (
+    try
+      Scanf.sscanf line " %d %d %d %s %d %S"
+        (fun seq at domain kstr info detail ->
+          make_event seq at domain kstr info detail 0)
+    with
+    | Scanf.Scan_failure m | Failure m -> Error m
+    | End_of_file -> Error "truncated event line")
 
-let import s =
+type import_result = { events : event list; complete : bool }
+
+(* The header already records whether the export covers the whole run;
+   [import_all] surfaces that so consumers (the query fold) can fail
+   soft on truncated histories instead of misattributing. *)
+let import_all s =
   match String.split_on_char '\n' s with
   | [] -> Error "empty journal export"
   | header :: lines ->
     if not (String.length header >= 14 && String.sub header 0 14 = "pm-journal-v1 ")
     then Error "not a pm-journal-v1 export"
     else begin
+      let complete =
+        try Scanf.sscanf header "pm-journal-v1 events=%d complete=%d"
+              (fun _ c -> c = 1)
+        with _ -> false
+      in
       let rec go acc = function
-        | [] -> Ok (List.rev acc)
+        | [] -> Ok { events = List.rev acc; complete }
         | "" :: rest -> go acc rest
         | line :: rest ->
           (match event_of_line line with
@@ -388,9 +457,11 @@ let import s =
       go [] lines
     end
 
+let import s = Result.map (fun r -> r.events) (import_all s)
+
 let event_equal a b =
   a.seq = b.seq && a.at = b.at && a.domain = b.domain && a.kind = b.kind
-  && a.info = b.info
+  && a.info = b.info && a.rid = b.rid
   && String.equal a.detail b.detail
 
 type divergence = { index : int; expected : event option; got : event option }

@@ -46,6 +46,11 @@ type kind =
   | Blk_issue  (** a block DMA descriptor was fetched by the device *)
   | Blk_complete  (** a block DMA completed ([info] = block number) *)
   | Cache_flush  (** a write-back cache flushed dirty blocks downstream *)
+  | Req_begin  (** a traced request entered the system ([info] = rid) *)
+  | Req_end  (** a traced request completed ([info] = rid) *)
+  | Span_enter  (** a traced request entered a layer ([detail] = layer) *)
+  | Span_exit  (** a traced request left a layer ([detail] = layer) *)
+  | Trace_note  (** a point annotation on a traced request (demux, cache hit/miss, log append) *)
 
 val is_execution : kind -> bool
 val is_structural : kind -> bool
@@ -59,6 +64,7 @@ type event = {
   kind : kind;
   info : int;  (** kind-specific scalar (vector, vpage, frame, tid, ...) *)
   detail : string;  (** "" on hot paths; context elsewhere *)
+  rid : int;  (** causal request id from {!Trace.current}; 0 untraced *)
 }
 
 type mode =
@@ -90,6 +96,14 @@ val record :
 
 (** [mark t ~domain ~at label] records a {!Mark} and returns its seq. *)
 val mark : t -> domain:int -> at:int -> string -> int
+
+(** Ingress of a traced request: mint a rid, make it ambient, record
+    {!Req_begin}. Returns 0 and records nothing when tracing is off. *)
+val req_begin : t -> domain:int -> at:int -> detail:string -> int
+
+(** Completion of a traced request: record {!Req_end}, clear the
+    ambient scope. A no-op when tracing is off or [rid] is 0. *)
+val req_end : t -> domain:int -> at:int -> int -> unit
 
 val written : t -> int
 val exec_written : t -> int
@@ -136,6 +150,13 @@ val tail_to_text : t -> int -> string
 val export : t -> string
 
 val import : string -> (event list, string) result
+
+type import_result = { events : event list; complete : bool }
+
+(** Like {!import}, but also surfaces the header's completeness flag so
+    consumers can fail soft on truncated (non-complete) histories. *)
+val import_all : string -> (import_result, string) result
+
 val event_equal : event -> event -> bool
 
 type divergence = { index : int; expected : event option; got : event option }

@@ -1,0 +1,46 @@
+(* Causal trace context: a compact request id minted at ingress and
+   carried — ambiently, and inside the wire formats — through every
+   layer a request crosses.
+
+   The simulated machine is single-threaded and deterministic, so the
+   ambient current-request register is just a ref: whoever last parsed
+   a traced wire message (or called [with_rid]) owns the scope until
+   the next parse re-establishes it. Sticky on purpose: deliveries
+   happen asynchronously inside Kernel.step, after the sender's stack
+   frame is gone, and the ambient id is what connects them.
+
+   Everything here is plain OCaml stores — no Clock.advance, no
+   Call_ctx.access. With tracing off, [current] is pinned to 0 and
+   call sites skip their extra work entirely, so a traced build is
+   byte- and cycle-identical to an untraced one until [set_enabled
+   true] flips it. *)
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let next_rid = ref 0
+let ambient = ref 0
+
+(* Request ids start at 1; 0 means "no request" everywhere. *)
+let mint () =
+  incr next_rid;
+  !next_rid
+
+let current () = if !enabled_flag then !ambient else 0
+let set_current rid = ambient := rid
+let clear () = ambient := 0
+
+let with_rid rid f =
+  if not !enabled_flag then f ()
+  else begin
+    let saved = !ambient in
+    ambient := rid;
+    Fun.protect ~finally:(fun () -> ambient := saved) f
+  end
+
+(* Deterministic replay needs deterministic rids: the replay harness
+   calls this at the top of every capture, like Journal.set_default_mode. *)
+let reset () =
+  next_rid := 0;
+  ambient := 0

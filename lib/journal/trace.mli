@@ -1,0 +1,32 @@
+(** Causal trace context.
+
+    A compact request id minted at ingress and propagated ambiently
+    (plus inside the traced wire formats) across every layer a request
+    crosses. The simulated machine is single-threaded, so the current
+    request is a plain register, not thread-local state.
+
+    Zero-cost-when-off: everything here is plain OCaml stores, and
+    with tracing disabled {!current} always returns 0 so call sites
+    skip their extra work. Flip tracing only between runs — wire
+    formats carry the id conditionally and must stay consistent within
+    a run. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** Mint a fresh request id (1, 2, 3, ...). 0 means "no request". *)
+val mint : unit -> int
+
+(** The ambient request id, or 0 when tracing is off / no request. *)
+val current : unit -> int
+
+val set_current : int -> unit
+val clear : unit -> unit
+
+(** [with_rid rid f] runs [f] with [rid] ambient, restoring the
+    previous scope after (a no-op wrapper when tracing is off). *)
+val with_rid : int -> (unit -> 'a) -> 'a
+
+(** Reset the mint counter and ambient scope — the replay harness
+    calls this at capture start so rids are deterministic per run. *)
+val reset : unit -> unit

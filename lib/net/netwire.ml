@@ -1,4 +1,5 @@
 module Call_ctx = Pm_obj.Call_ctx
+module Trace = Pm_journal.Trace
 
 let check16 label v =
   if v < 0 || v > 0xffff then
@@ -10,10 +11,23 @@ let set16 b off v =
   Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
   Bytes.set b (off + 1) (Char.chr (v land 0xff))
 
+let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)
+
+let set32 b off v =
+  set16 b off ((v lsr 16) land 0xffff);
+  set16 b (off + 2) (v land 0xffff)
+
 (* charge for materializing [n] bytes into/out of a ring message; the
    rings themselves run with [~account:false], so this is where each
    payload byte is paid for — once per side, the zero-copy contract *)
 let copy_cost ctx n = Call_ctx.access ctx n
+
+(* With tracing on, every ring message carries the ambient request id
+   in 4 extra header bytes; parse re-establishes the ambient scope at
+   the consuming side. The rid bytes are never charged — tracing must
+   add zero simulated cycles — and tracing flips only between runs, so
+   both sides always agree on the format. *)
+let rid_len () = if Trace.enabled () then 4 else 0
 
 module Delivery = struct
   type t = { src : int; sport : int; payload : bytes }
@@ -23,21 +37,25 @@ module Delivery = struct
   let build ctx ~src ~sport payload =
     check16 "delivery src" src;
     check16 "delivery sport" sport;
+    let rl = rid_len () in
     let plen = Bytes.length payload in
-    let b = Bytes.create (header_len + plen) in
+    let b = Bytes.create (header_len + rl + plen) in
     set16 b 0 src;
     set16 b 2 sport;
-    Bytes.blit payload 0 b header_len plen;
+    if rl > 0 then set32 b header_len (Trace.current ());
+    Bytes.blit payload 0 b (header_len + rl) plen;
     copy_cost ctx (header_len + plen);
     b
 
   let parse ctx b =
     let total = Bytes.length b in
-    if total < header_len then Error "delivery: truncated"
+    let rl = rid_len () in
+    if total < header_len + rl then Error "delivery: truncated"
     else begin
       let src = get16 b 0 and sport = get16 b 2 in
-      let payload = Bytes.sub b header_len (total - header_len) in
-      copy_cost ctx total;
+      if rl > 0 then Trace.set_current (get32 b header_len);
+      let payload = Bytes.sub b (header_len + rl) (total - header_len - rl) in
+      copy_cost ctx (total - rl);
       Ok { src; sport; payload }
     end
 end
@@ -51,22 +69,26 @@ module Txreq = struct
     check16 "txreq dst" dst;
     check16 "txreq sport" sport;
     check16 "txreq dport" dport;
+    let rl = rid_len () in
     let plen = Bytes.length payload in
-    let b = Bytes.create (header_len + plen) in
+    let b = Bytes.create (header_len + rl + plen) in
     set16 b 0 dst;
     set16 b 2 sport;
     set16 b 4 dport;
-    Bytes.blit payload 0 b header_len plen;
+    if rl > 0 then set32 b header_len (Trace.current ());
+    Bytes.blit payload 0 b (header_len + rl) plen;
     copy_cost ctx (header_len + plen);
     b
 
   let parse ctx b =
     let total = Bytes.length b in
-    if total < header_len then Error "txreq: truncated"
+    let rl = rid_len () in
+    if total < header_len + rl then Error "txreq: truncated"
     else begin
       let dst = get16 b 0 and sport = get16 b 2 and dport = get16 b 4 in
-      let payload = Bytes.sub b header_len (total - header_len) in
-      copy_cost ctx total;
+      if rl > 0 then Trace.set_current (get32 b header_len);
+      let payload = Bytes.sub b (header_len + rl) (total - header_len - rl) in
+      copy_cost ctx (total - rl);
       Ok { dst; sport; dport; payload }
     end
 end

@@ -35,6 +35,7 @@ type t = {
   nucleus : Composite.t;
   tracesvc : Tracesvc.t;
   journalsvc : Journalsvc.t;
+  querysvc : Querysvc.t;
 }
 
 let machine t = t.machine
@@ -46,6 +47,7 @@ let directory t = t.api.Api.directory
 let certification t = t.api.Api.certification
 let tracesvc t = t.tracesvc
 let journalsvc t = t.journalsvc
+let querysvc t = t.querysvc
 let loader t = t.loader
 let sched t = t.api.Api.sched
 let kernel_domain t = t.kernel_domain
@@ -309,6 +311,8 @@ let boot ?costs ?frames ?page_size ~root () =
   let trace_obj = Tracesvc.service_object tracesvc registry kernel_domain in
   let journalsvc = Journalsvc.create machine in
   let journal_obj = Journalsvc.service_object journalsvc registry kernel_domain in
+  let querysvc = Querysvc.create machine in
+  let query_obj = Querysvc.service_object querysvc registry kernel_domain in
   (* the resident kernel: a static (link-time) composition of the seven
      service objects *)
   let nucleus =
@@ -317,7 +321,7 @@ let boot ?costs ?frames ?page_size ~root () =
       ~children:
         [ ("events", ev_obj); ("memory", mem_obj); ("directory", dir_obj);
           ("certification", cert_obj); ("trace", trace_obj);
-          ("journal", journal_obj) ]
+          ("journal", journal_obj); ("query", query_obj) ]
       ~exports:
         [
           { Composite.as_name = "events"; child = "events"; iface = "events" };
@@ -327,19 +331,32 @@ let boot ?costs ?frames ?page_size ~root () =
             iface = "certification" };
           { Composite.as_name = "trace"; child = "trace"; iface = "trace" };
           { Composite.as_name = "journal"; child = "journal"; iface = "journal" };
+          { Composite.as_name = "query"; child = "query"; iface = "query" };
         ]
   in
-  must_register ns "/nucleus/events" (Instance.handle ev_obj);
-  must_register ns "/nucleus/memory" (Instance.handle mem_obj);
-  must_register ns "/nucleus/directory" (Instance.handle dir_obj);
-  must_register ns "/nucleus/certification" (Instance.handle cert_obj);
-  must_register ns "/nucleus/trace" (Instance.handle trace_obj);
-  must_register ns "/nucleus/journal" (Instance.handle journal_obj);
-  must_register ns "/nucleus/kernel" (Instance.handle (Composite.instance nucleus));
+  (* boot binds go through the journal too, so state-at-cycle queries
+     can answer for the nucleus services themselves *)
+  let boot_register path handle =
+    must_register ns path handle;
+    let clock = Machine.clock machine in
+    Pm_journal.Journal.record
+      (Pm_obs.Obs.journal (Clock.obs clock))
+      ~kind:Pm_journal.Journal.Bind ~domain:kernel_domain.Domain.id
+      ~at:(Clock.now clock)
+      ~info:handle ~detail:path
+  in
+  boot_register "/nucleus/events" (Instance.handle ev_obj);
+  boot_register "/nucleus/memory" (Instance.handle mem_obj);
+  boot_register "/nucleus/directory" (Instance.handle dir_obj);
+  boot_register "/nucleus/certification" (Instance.handle cert_obj);
+  boot_register "/nucleus/trace" (Instance.handle trace_obj);
+  boot_register "/nucleus/journal" (Instance.handle journal_obj);
+  boot_register "/nucleus/query" (Instance.handle query_obj);
+  boot_register "/nucleus/kernel" (Instance.handle (Composite.instance nucleus));
   let t =
     { machine; registry; ns; root_view; api; loader; kernel_domain;
       user_domains = []; nic; timer; console; disk; blkdev; nucleus; tracesvc;
-      journalsvc }
+      journalsvc; querysvc }
   in
   t_ref := Some t;
   jot machine ~kind:Pm_journal.Journal.Domain_up ~domain:kernel_domain.Domain.id

@@ -1,0 +1,25 @@
+(** The query service: causal tracing and time-travel queries exported
+    as the eighth boot-time nucleus object, [/nucleus/query].
+
+    Folds the live journal through {!Pm_query.Query}: per-request span
+    trees, top-K slowest, per-layer attribution, and state-at-cycle
+    answers over the always-complete structural archive. *)
+
+type t
+
+val create : Pm_machine.Machine.t -> t
+
+(** The journal the service queries — the machine clock's. *)
+val journal : t -> Pm_journal.Journal.t
+
+(** [service_object t registry kdom] builds the kernel-domain service
+    instance exporting the [query] interface:
+    [snapshot() : str] (one line per traced request),
+    [request(rid) : str] (the span tree),
+    [slowest(k) : str], [layers() : str] (per-layer totals),
+    [frame_holders(frame, at) : list int],
+    [bound_at(path, at) : int], [owner_of(name, at) : int].
+    Span queries fault by name on an incomplete (non-[Full]) history;
+    state-at-cycle queries work in any mode. *)
+val service_object :
+  t -> Pm_obj.Instance.t Pm_obj.Registry.t -> Domain.t -> Pm_obj.Instance.t

@@ -321,9 +321,11 @@ let create api dom ?(config = default_config) () =
              end)));
   let iface =
     Blockif.methods
-      ~read:(fun ctx block -> read_op st ctx block)
-      ~write:(fun ctx block data -> write_op st ctx block data)
-      ~flush:(fun ctx -> flush_op st ctx)
+      ~read:(fun ctx block ->
+        Blockif.traced_span api "driver" (fun () -> read_op st ctx block))
+      ~write:(fun ctx block data ->
+        Blockif.traced_span api "driver" (fun () -> write_op st ctx block data))
+      ~flush:(fun ctx -> Blockif.traced_span api "driver" (fun () -> flush_op st ctx))
       ~size:(fun _ctx -> Ok st.blocks)
       ~blocksize:(fun () -> st.block_size)
       ~stats:(fun () -> [ st.reads; st.writes; st.irq_acks ])
@@ -339,7 +341,9 @@ let create api dom ?(config = default_config) () =
             | _ -> Error (Oerror.Type_error "read_many(list int)"))
           (Ok []) vs
       in
-      let* datas = read_many st ctx (List.rev bs) in
+      let* datas =
+        Blockif.traced_span api "driver" (fun () -> read_many st ctx (List.rev bs))
+      in
       Ok (Value.List (List.map (fun d -> Value.Blob d) datas))
     | _ -> Error (Oerror.Type_error "read_many(list int)")
   in
@@ -354,7 +358,10 @@ let create api dom ?(config = default_config) () =
             | _ -> Error (Oerror.Type_error "write_many(list (int, blob))"))
           (Ok []) vs
       in
-      let* n = write_many st ctx (List.rev pairs) in
+      let* n =
+        Blockif.traced_span api "driver" (fun () ->
+            write_many st ctx (List.rev pairs))
+      in
       Ok (Value.Int n)
     | _ -> Error (Oerror.Type_error "write_many(list (int, blob))")
   in

@@ -128,3 +128,37 @@ let methods ~read:read_f ~write:write_f ~flush:flush_f ~size:size_f
       Iface.meth ~name:"blocksize" ~args:[] ~ret:Vtype.Tint blocksize_m;
       Iface.meth ~name:"stats" ~args:[] ~ret:(Vtype.Tlist Vtype.Tint) stats_m;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Causal-tracing spans: every storage layer brackets its entry points *)
+(* with these. Plain journal stores, gated on Trace.enabled — zero     *)
+(* simulated cycles either way, and zero events when tracing is off.   *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Pm_journal.Trace
+module Journal = Pm_journal.Journal
+
+let journal_of (api : Api.t) =
+  Pm_obs.Obs.journal (Pm_machine.Clock.obs (Pm_machine.Machine.clock api.Api.machine))
+
+let jot api ~kind ~info ~detail =
+  let clock = Pm_machine.Machine.clock api.Api.machine in
+  Journal.record (journal_of api) ~kind ~domain:0
+    ~at:(Pm_machine.Clock.now clock) ~info ~detail
+
+(* [traced_span api layer f] wraps one layer crossing of the current
+   request in Span_enter/Span_exit events; the exit fires even when [f]
+   fails, so span trees stay balanced on error paths. *)
+let traced_span api layer f =
+  if not (Trace.enabled ()) then f ()
+  else begin
+    jot api ~kind:Journal.Span_enter ~info:0 ~detail:layer;
+    Fun.protect
+      ~finally:(fun () -> jot api ~kind:Journal.Span_exit ~info:0 ~detail:layer)
+      f
+  end
+
+(* Point annotation on the current request: cache hit/miss, log append,
+   port demux. *)
+let traced_note api ~info detail =
+  if Trace.enabled () then jot api ~kind:Journal.Trace_note ~info ~detail

@@ -107,14 +107,17 @@ let create api dom ~name ~lower ?(block_size = 512) () =
   in
   let append_m ctx = function
     | [ Value.Blob payload ] ->
-      let* seq = append_op st ctx payload in
-      Ok (Value.Int seq)
+      Blockif.traced_span api "log" (fun () ->
+          let* seq = append_op st ctx payload in
+          Blockif.traced_note api ~info:seq "log-append";
+          Ok (Value.Int seq))
     | _ -> Error (Oerror.Type_error "append(blob)")
   in
   let get_m ctx = function
     | [ Value.Int seq ] ->
-      let* payload = get_op st ctx seq in
-      Ok (Value.Blob payload)
+      Blockif.traced_span api "log" (fun () ->
+          let* payload = get_op st ctx seq in
+          Ok (Value.Blob payload))
     | _ -> Error (Oerror.Type_error "get(int)")
   in
   let entries_m _ctx = function
@@ -123,8 +126,9 @@ let create api dom ~name ~lower ?(block_size = 512) () =
   in
   let recover_m ctx = function
     | [] ->
-      let* n = recover_op st ctx in
-      Ok (Value.Int n)
+      Blockif.traced_span api "log" (fun () ->
+          let* n = recover_op st ctx in
+          Ok (Value.Int n))
     | _ -> Error (Oerror.Type_error "recover()")
   in
   let log_iface =
@@ -141,13 +145,16 @@ let create api dom ~name ~lower ?(block_size = 512) () =
     Blockif.methods
       ~read:(fun ctx block ->
         if block < 0 || block >= st.entries then fault "log: read past end"
-        else Blockif.read st.lower ctx (1 + block))
+        else
+          Blockif.traced_span api "log" (fun () ->
+              Blockif.read st.lower ctx (1 + block)))
       ~write:(fun ctx block data ->
         if block <> st.entries then fault "log: append-only (write at end)"
         else
-          let* _ = append_op st ctx data in
-          Ok ())
-      ~flush:(fun ctx -> flush_op st ctx)
+          Blockif.traced_span api "log" (fun () ->
+              let* _ = append_op st ctx data in
+              Ok ()))
+      ~flush:(fun ctx -> Blockif.traced_span api "log" (fun () -> flush_op st ctx))
       ~size:(fun _ctx -> Ok st.entries)
       ~blocksize:(fun () -> st.block_size)
       ~stats:(fun () -> [ st.appends; st.gets; st.entries; st.flushed ])

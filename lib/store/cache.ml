@@ -81,10 +81,12 @@ let lookup st ctx block =
   match Hashtbl.find_opt st.lines block with
   | Some line ->
     st.hits <- st.hits + 1;
+    Blockif.traced_note st.api ~info:block "cache-hit";
     touch st line;
     Ok line
   | None ->
     st.misses <- st.misses + 1;
+    Blockif.traced_note st.api ~info:block "cache-miss";
     let* data = Blockif.read st.lower ctx block in
     let* () = evict_if_full st ctx in
     let line = { data; dirty = false; last_use = 0 } in
@@ -106,12 +108,14 @@ let write_op st ctx block data =
     match Hashtbl.find_opt st.lines block with
     | Some line ->
       st.hits <- st.hits + 1;
+      Blockif.traced_note st.api ~info:block "cache-hit";
       touch st line;
       line.data <- padded;
       line.dirty <- true;
       Ok ()
     | None ->
       st.misses <- st.misses + 1;
+      Blockif.traced_note st.api ~info:block "cache-miss";
       let* () = evict_if_full st ctx in
       let line = { data = padded; dirty = true; last_use = 0 } in
       touch st line;
@@ -157,9 +161,11 @@ let create api dom ~name ~lower ~capacity ?(block_size = 512) () =
   in
   let iface =
     Blockif.methods
-      ~read:(fun ctx block -> read_op st ctx block)
-      ~write:(fun ctx block data -> write_op st ctx block data)
-      ~flush:(fun ctx -> flush_op st ctx)
+      ~read:(fun ctx block ->
+        Blockif.traced_span api "cache" (fun () -> read_op st ctx block))
+      ~write:(fun ctx block data ->
+        Blockif.traced_span api "cache" (fun () -> write_op st ctx block data))
+      ~flush:(fun ctx -> Blockif.traced_span api "cache" (fun () -> flush_op st ctx))
       (* size is the lower layer's: the cache holds [capacity] *lines*
          but stores no blocks of its own, so a layer above (the log's
          capacity computation, say) must see the real device geometry,

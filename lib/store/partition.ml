@@ -34,14 +34,17 @@ let create api dom ~name ~lower ~base ~count ?(block_size = 512) () =
   let iface =
     Blockif.methods
       ~read:(fun ctx block ->
-        let* () = check st block in
-        st.reads <- st.reads + 1;
-        Blockif.read st.lower ctx (st.base + block))
+        Blockif.traced_span api "partition" (fun () ->
+            let* () = check st block in
+            st.reads <- st.reads + 1;
+            Blockif.read st.lower ctx (st.base + block)))
       ~write:(fun ctx block data ->
-        let* () = check st block in
-        st.writes <- st.writes + 1;
-        Blockif.write st.lower ctx (st.base + block) data)
-      ~flush:(fun ctx -> Blockif.flush st.lower ctx)
+        Blockif.traced_span api "partition" (fun () ->
+            let* () = check st block in
+            st.writes <- st.writes + 1;
+            Blockif.write st.lower ctx (st.base + block) data))
+      ~flush:(fun ctx ->
+        Blockif.traced_span api "partition" (fun () -> Blockif.flush st.lower ctx))
       ~size:(fun _ctx -> Ok st.count)
       ~blocksize:(fun () -> block_size)
       ~stats:(fun () -> [ st.reads; st.writes ])

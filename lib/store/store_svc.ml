@@ -138,6 +138,98 @@ let create api ~domain_of_id () =
   Instance.create api.Api.registry ~class_name:"store.factory"
     ~domain:api.Api.kernel_domain.Domain.id [ iface ]
 
+(* ------------------------------------------------------------------ *)
+(* /stats/store.<name>: one counter object per registered component,   *)
+(* published beside /stats/kernel. The counters come from the          *)
+(* component's own stats() method, labeled by kind so clients see      *)
+(* "hits"/"dirty", not positional ints.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* labels in each component's stats() order *)
+let stat_labels = function
+  | Storereg.Driver -> [ "blk_reads"; "blk_writes"; "blk_irq_acks" ]
+  | Storereg.Partition -> [ "reads"; "writes" ]
+  | Storereg.Cache ->
+    [ "hits"; "misses"; "evictions"; "writebacks"; "dirty"; "capacity" ]
+  | Storereg.Log -> [ "appends"; "gets"; "segments"; "flushed" ]
+  | Storereg.Kv -> [ "puts"; "gets"; "dels"; "recovers" ]
+  | Storereg.Proxy -> [ "reqs"; "polls"; "drops"; "stale" ]
+
+let stats_object api (e : Storereg.entry) =
+  let inst = e.Storereg.instance in
+  let counters ctx =
+    let iface =
+      if Option.is_some (Instance.get_interface inst "kv") then "kv"
+      else Blockif.iface_name
+    in
+    match Invoke.call ctx inst ~iface ~meth:"stats" [] with
+    | Ok (Value.List vs) ->
+      Ok (List.filter_map (function Value.Int n -> Some n | _ -> None) vs)
+    | Ok _ -> fault "store stats: component returned non-list"
+    | Error err -> Error err
+  in
+  let labeled ctx =
+    let* cs = counters ctx in
+    let rec zip ls cs i =
+      match (ls, cs) with
+      | _, [] -> []
+      | [], c :: rest -> (Printf.sprintf "stat%d" i, c) :: zip [] rest (i + 1)
+      | l :: ls, c :: rest -> (l, c) :: zip ls rest (i + 1)
+    in
+    Ok (zip (stat_labels e.Storereg.kind) cs 0)
+  in
+  let snapshot_m ctx = function
+    | [] ->
+      let* pairs = labeled ctx in
+      let header =
+        Printf.sprintf "store.%s kind=%s domain=%d bound=%s dirty=%d"
+          e.Storereg.name
+          (Storereg.kind_to_string e.Storereg.kind)
+          e.Storereg.domain
+          (Option.value e.Storereg.bound ~default:"-")
+          (e.Storereg.dirty ())
+      in
+      let lines =
+        List.map (fun (l, c) -> Printf.sprintf "  %-12s %d" l c) pairs
+      in
+      Ok (Value.Str (String.concat "\n" (header :: lines)))
+    | _ -> Error (Oerror.Type_error "snapshot()")
+  in
+  let value_m ctx = function
+    | [ Value.Str name ] -> (
+      let* pairs = labeled ctx in
+      match List.assoc_opt name pairs with
+      | Some v -> Ok (Value.Int v)
+      | None ->
+        fault
+          (Printf.sprintf "store stats: no counter %S on %s" name
+             e.Storereg.name))
+    | _ -> Error (Oerror.Type_error "value(str)")
+  in
+  let iface =
+    Iface.make ~name:"stats.store"
+      [
+        Iface.meth ~name:"snapshot" ~args:[] ~ret:Vtype.Tstr snapshot_m;
+        Iface.meth ~name:"value" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tint value_m;
+      ]
+  in
+  Instance.create api.Api.registry ~class_name:"obs.stats.store"
+    ~domain:api.Api.kernel_domain.Domain.id [ iface ]
+
+(* Publish /stats/store.<name> for every live component of this
+   machine's stack. Safe to call again after growing the stack: a name
+   already registered is left alone. Returns the number published. *)
+let publish_stats api =
+  let fresh = ref 0 in
+  Storereg.iter_all ~machine:api.Api.machine (fun e ->
+      if not e.Storereg.detached then begin
+        let path = Path.of_string ("/stats/store." ^ e.Storereg.name) in
+        match Directory.register api.Api.directory path (stats_object api e) with
+        | Ok () -> incr fresh
+        | Error _ -> ()
+      end);
+  !fresh
+
 let image ~domain_of_id () =
   Images.image ~name:"store-factory" ~size:16_384 ~author:"kernel-team"
     ~type_safe:true

@@ -21,6 +21,15 @@ let set32 b off v =
    exactly once per side — the same zero-copy contract as Netwire *)
 let copy_cost ctx n = Call_ctx.access ctx n
 
+(* Same rid carriage as Netwire: with tracing on, block and KV messages
+   grow a 4-byte request-id field after the fixed header (uncharged —
+   tracing adds zero simulated cycles), and parse re-establishes the
+   ambient scope. Log [Record]s never carry a rid: they are durable
+   data, and their stored bytes must not depend on who wrote them. *)
+module Trace = Pm_journal.Trace
+
+let rid_len () = if Trace.enabled () then 4 else 0
+
 (* ------------------------------------------------------------------ *)
 (* Block requests/responses over rings (the Storechan path).           *)
 (* ------------------------------------------------------------------ *)
@@ -38,25 +47,29 @@ module Blkreq = struct
     if op < op_read || op > op_flush then invalid_arg "Storewire: bad block op";
     check16 "blkreq tag" tag;
     if block < 0 then invalid_arg "Storewire: negative block";
+    let rl = rid_len () in
     let plen = Bytes.length payload in
-    let b = Bytes.create (header_len + plen) in
+    let b = Bytes.create (header_len + rl + plen) in
     Bytes.set b 0 (Char.chr op);
     set16 b 1 tag;
     set32 b 3 block;
-    Bytes.blit payload 0 b header_len plen;
+    if rl > 0 then set32 b header_len (Trace.current ());
+    Bytes.blit payload 0 b (header_len + rl) plen;
     copy_cost ctx (header_len + plen);
     b
 
   let parse ctx b =
     let total = Bytes.length b in
-    if total < header_len then Error "blkreq: truncated"
+    let rl = rid_len () in
+    if total < header_len + rl then Error "blkreq: truncated"
     else begin
       let op = Char.code (Bytes.get b 0) in
       if op < op_read || op > op_flush then Error "blkreq: bad op"
       else begin
         let tag = get16 b 1 and block = get32 b 3 in
-        let payload = Bytes.sub b header_len (total - header_len) in
-        copy_cost ctx total;
+        if rl > 0 then Trace.set_current (get32 b header_len);
+        let payload = Bytes.sub b (header_len + rl) (total - header_len - rl) in
+        copy_cost ctx (total - rl);
         Ok { op; tag; block; payload }
       end
     end
@@ -150,30 +163,36 @@ module Kvmsg = struct
     if op < kv_get || op > kv_del then invalid_arg "Storewire: bad kv op";
     let klen = Bytes.length key in
     check16 "kv key length" klen;
+    let rl = rid_len () in
     let vlen = Bytes.length value in
-    let b = Bytes.create (req_header_len + klen + vlen) in
+    let b = Bytes.create (req_header_len + rl + klen + vlen) in
     Bytes.set b 0 (Char.chr op);
     set16 b 1 klen;
-    Bytes.blit key 0 b req_header_len klen;
-    Bytes.blit value 0 b (req_header_len + klen) vlen;
+    if rl > 0 then set32 b req_header_len (Trace.current ());
+    Bytes.blit key 0 b (req_header_len + rl) klen;
+    Bytes.blit value 0 b (req_header_len + rl + klen) vlen;
     copy_cost ctx (req_header_len + klen + vlen);
     b
 
   let parse_req ctx b =
     let total = Bytes.length b in
-    if total < req_header_len then Error "kv req: truncated"
+    let rl = rid_len () in
+    if total < req_header_len + rl then Error "kv req: truncated"
     else begin
       let op = Char.code (Bytes.get b 0) in
       if op < kv_get || op > kv_del then Error "kv req: bad op"
       else begin
         let klen = get16 b 1 in
-        if total < req_header_len + klen then Error "kv req: truncated key"
+        if rl > 0 then Trace.set_current (get32 b req_header_len);
+        if total < req_header_len + rl + klen then Error "kv req: truncated key"
         else begin
-          let key = Bytes.sub b req_header_len klen in
+          let key = Bytes.sub b (req_header_len + rl) klen in
           let value =
-            Bytes.sub b (req_header_len + klen) (total - req_header_len - klen)
+            Bytes.sub b
+              (req_header_len + rl + klen)
+              (total - req_header_len - rl - klen)
           in
-          copy_cost ctx total;
+          copy_cost ctx (total - rl);
           Ok { op; key; value }
         end
       end
@@ -187,20 +206,26 @@ module Kvmsg = struct
   let status_error = 2
 
   let build_resp ctx ~status payload =
+    let rl = rid_len () in
     let plen = Bytes.length payload in
-    let b = Bytes.create (resp_header_len + plen) in
+    let b = Bytes.create (resp_header_len + rl + plen) in
     Bytes.set b 0 (Char.chr (status land 0xff));
-    Bytes.blit payload 0 b resp_header_len plen;
+    if rl > 0 then set32 b resp_header_len (Trace.current ());
+    Bytes.blit payload 0 b (resp_header_len + rl) plen;
     copy_cost ctx (resp_header_len + plen);
     b
 
   let parse_resp ctx b =
     let total = Bytes.length b in
-    if total < resp_header_len then Error "kv resp: truncated"
+    let rl = rid_len () in
+    if total < resp_header_len + rl then Error "kv resp: truncated"
     else begin
       let status = Char.code (Bytes.get b 0) in
-      let payload = Bytes.sub b resp_header_len (total - resp_header_len) in
-      copy_cost ctx total;
+      if rl > 0 then Trace.set_current (get32 b resp_header_len);
+      let payload =
+        Bytes.sub b (resp_header_len + rl) (total - resp_header_len - rl)
+      in
+      copy_cost ctx (total - rl);
       Ok { status; payload }
     end
 end

@@ -7,6 +7,13 @@ open Paramecium
 
 let journal_of sys = Obs.journal (Clock.obs (System.clock sys))
 
+let contains s sub =
+  let slen = String.length sub in
+  let rec go i =
+    i + slen <= String.length s && (String.sub s i slen = sub || go (i + 1))
+  in
+  go 0
+
 let record_traps j n =
   for i = 1 to n do
     Journal.record j ~kind:Journal.Trap ~domain:0 ~at:(i * 10) ~info:i
@@ -124,6 +131,101 @@ let test_export_import_roundtrip () =
           (Printf.sprintf "event %d round-trips" a.Journal.seq)
           true (Journal.event_equal a b))
       orig events
+
+(* rid-stamped events (tracing on) round-trip; unstamped lines carry no
+   suffix, so untraced exports keep their exact bytes *)
+let test_rid_roundtrip () =
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      let j = Journal.create () in
+      Journal.set_mode j Journal.Full;
+      Journal.record j ~kind:Journal.Trap ~domain:0 ~at:1 ~info:0 ~detail:"";
+      Trace.set_enabled true;
+      let rid = Journal.req_begin j ~domain:2 ~at:5 ~detail:"put \"k\"\n1" in
+      Alcotest.(check bool) "rids mint from 1" true (rid >= 1);
+      Journal.record j ~kind:Journal.Span_enter ~domain:0 ~at:6 ~info:0
+        ~detail:"kv";
+      Journal.record j ~kind:Journal.Span_exit ~domain:0 ~at:9 ~info:0
+        ~detail:"kv";
+      Journal.req_end j ~domain:2 ~at:11 rid;
+      let ex = Journal.export j in
+      (match Journal.import ex with
+      | Error e -> Alcotest.fail e
+      | Ok events ->
+        List.iter2
+          (fun a b ->
+            Alcotest.(check bool)
+              (Printf.sprintf "event %d round-trips with rid %d" a.Journal.seq
+                 a.Journal.rid)
+              true (Journal.event_equal a b))
+          (Journal.history j) events;
+        let rids = List.map (fun e -> e.Journal.rid) events in
+        Alcotest.(check (list int)) "rid stamped on traced events only"
+          [ 0; rid; rid; rid; rid ] rids);
+      (* the untraced event's line must not mention rid at all *)
+      match String.split_on_char '\n' ex with
+      | _header :: first :: _ ->
+        Alcotest.(check bool) "untraced line carries no rid field" false
+          (contains first "rid=")
+      | _ -> Alcotest.fail "export too short")
+
+(* adversarial Mark labels — quotes, newlines, empty — round-trip and
+   never break the line format, stamped or not *)
+let test_adversarial_marks_roundtrip () =
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    (fun () ->
+      let j = Journal.create () in
+      Journal.set_mode j Journal.Full;
+      Trace.set_enabled true;
+      List.iteri
+        (fun i d ->
+          Trace.set_current (i mod 2);
+          (* alternate stamped / unstamped *)
+          ignore (Journal.mark j ~domain:0 ~at:i d))
+        ("" :: "rid=7 impostor" :: gnarly_details);
+      match Journal.import (Journal.export j) with
+      | Error e -> Alcotest.fail e
+      | Ok events ->
+        List.iter2
+          (fun a b ->
+            Alcotest.(check bool)
+              (Printf.sprintf "mark %d round-trips" a.Journal.seq)
+              true (Journal.event_equal a b))
+          (Journal.history j) events)
+
+(* a truncated (non-complete) export imports fine but says so — the
+   fail-soft contract the query fold builds on *)
+let test_truncated_import_fails_soft () =
+  let j = Journal.create ~retain:4 () in
+  Journal.set_mode j Journal.Full;
+  record_traps j 10;
+  Alcotest.(check bool) "compaction voided completeness" false
+    (Journal.complete j);
+  (match Journal.import_all (Journal.export j) with
+  | Error e -> Alcotest.fail e
+  | Ok { Journal.events; complete } ->
+    Alcotest.(check int) "events still import" 4 (List.length events);
+    Alcotest.(check bool) "header says incomplete" false complete;
+    (* the causal fold refuses it with a named error, never an exception *)
+    match Query.fold ~complete events with
+    | Error e ->
+      Alcotest.(check bool) "error names the incomplete history" true
+        (String.length e >= 17 && String.sub e 0 17 = "query: incomplete")
+    | Ok _ -> Alcotest.fail "fold accepted a truncated history");
+  (* a complete journal's header says so *)
+  let jc = Journal.create () in
+  Journal.set_mode jc Journal.Full;
+  record_traps jc 2;
+  match Journal.import_all (Journal.export jc) with
+  | Ok { Journal.complete = true; _ } -> ()
+  | Ok _ -> Alcotest.fail "complete journal imported as incomplete"
+  | Error e -> Alcotest.fail e
 
 let test_import_rejects_garbage () =
   (match Journal.import "not a journal" with
@@ -347,6 +449,21 @@ let test_replay_crashed_run () =
     | Ok () -> ()
     | Error e -> Alcotest.fail ("crashed run did not replay: " ^ e))
 
+(* flip the first occurrence of [from] to the same-width [to_], so the
+   line still parses — only the event lies *)
+let flip s ~from ~to_ =
+  let b = Bytes.of_string s in
+  let flen = String.length from in
+  let rec go i =
+    if i + flen > Bytes.length b then s
+    else if Bytes.sub_string b i flen = from then begin
+      Bytes.blit_string to_ 0 b i (String.length to_);
+      Bytes.to_string b
+    end
+    else go (i + 1)
+  in
+  go 0
+
 let test_recording_roundtrip_and_tamper () =
   match Replay.record "compose" with
   | Error e -> Alcotest.fail e
@@ -363,19 +480,6 @@ let test_recording_roundtrip_and_tamper () =
     (* a tampered recording is caught with a divergence diagnosis.
        "txn-abort " is the same width as "txn-commit", so the line still
        parses — only the event kind lies *)
-    let flip s ~from ~to_ =
-      let b = Bytes.of_string s in
-      let flen = String.length from in
-      let rec go i =
-        if i + flen > Bytes.length b then s
-        else if Bytes.sub_string b i flen = from then begin
-          Bytes.blit_string to_ 0 b i (String.length to_);
-          Bytes.to_string b
-        end
-        else go (i + 1)
-      in
-      go 0
-    in
     let tampered =
       { r with
         Replay.journal = flip r.Replay.journal ~from:"txn-commit" ~to_:"txn-abort " }
@@ -390,6 +494,30 @@ let test_recording_roundtrip_and_tamper () =
     match Replay.record "no-such-scenario" with
     | Error _ -> ()
     | Ok _ -> Alcotest.fail "unknown scenario recorded"
+
+(* --bisect narrows a divergence to the first bad event on the cycle
+   axis; on a clean recording it reports there is nothing to narrow *)
+let test_bisect_narrows_divergence () =
+  match Replay.record "compose" with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (match Replay.bisect r with
+    | Ok msg ->
+      Alcotest.(check bool) "clean recording has nothing to narrow" true
+        (contains msg "nothing to narrow")
+    | Error e -> Alcotest.fail ("clean bisect failed: " ^ e));
+    let tampered =
+      { r with
+        Replay.journal =
+          flip r.Replay.journal ~from:"txn-commit" ~to_:"txn-abort " }
+    in
+    (match Replay.bisect tampered with
+    | Ok report ->
+      Alcotest.(check bool) "report names the divergence cycle" true
+        (contains report "diverges at cycle");
+      Alcotest.(check bool) "report diagnoses the bad event" true
+        (contains report "txn")
+    | Error e -> Alcotest.fail ("bisect on tampered recording: " ^ e))
 
 (* --- history-derived lint rules ------------------------------------------ *)
 
@@ -509,6 +637,11 @@ let () =
           Alcotest.test_case "import rejects garbage" `Quick
             test_import_rejects_garbage;
           Alcotest.test_case "first divergence" `Quick test_first_divergence;
+          Alcotest.test_case "rid round-trip" `Quick test_rid_roundtrip;
+          Alcotest.test_case "adversarial marks round-trip" `Quick
+            test_adversarial_marks_roundtrip;
+          Alcotest.test_case "truncated import fails soft" `Quick
+            test_truncated_import_fails_soft;
         ] );
       ( "service",
         [
@@ -528,6 +661,8 @@ let () =
           Alcotest.test_case "crashed run replays" `Quick test_replay_crashed_run;
           Alcotest.test_case "file round-trip and tamper detection" `Quick
             test_recording_roundtrip_and_tamper;
+          Alcotest.test_case "bisect narrows a divergence" `Quick
+            test_bisect_narrows_divergence;
         ] );
       ( "history-lint",
         [

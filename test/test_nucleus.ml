@@ -507,7 +507,7 @@ let test_kernel_service_objects () =
      Invoke.call_exn ctx dir_obj ~iface:"directory" ~meth:"list" [ Value.Str "/nucleus" ]
    with
   | Value.List entries ->
-    Alcotest.(check int) "eight nucleus entries" 8 (List.length entries)
+    Alcotest.(check int) "nine nucleus entries" 9 (List.length entries)
   | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
 
 let test_kernel_memory_object_syscall () =
@@ -539,7 +539,7 @@ let test_kernel_static_composition_sealed () =
   (* the composition exports the service interfaces *)
   Alcotest.(check (list string))
     "exports"
-    [ "events"; "memory"; "directory"; "certification"; "trace"; "journal" ]
+    [ "events"; "memory"; "directory"; "certification"; "trace"; "journal"; "query" ]
     (Instance.interface_names nucleus_obj)
 
 let test_kernel_domain_listing () =

@@ -460,6 +460,55 @@ let test_kv_over_net () =
 
 (* --- replay ------------------------------------------------------------- *)
 
+(* every storage component publishes its counters at /stats/store.<name>,
+   labeled per kind, queryable one value at a time *)
+let test_store_stats_published () =
+  let _sys, k, store = fixture ~cache_capacity:4 () in
+  let kdom = Kernel.kernel_domain k in
+  let ctx = Kernel.ctx k kdom in
+  (* move some counters: one write through the cache, then flush *)
+  let cache = Kernel.bind k kdom "/store/cache0" in
+  block_write ctx cache ~block:0 "stats probe";
+  ignore (block_flush ctx cache);
+  let stats = Kernel.bind k kdom "/stats/store.cache0" in
+  (match Invoke.call_exn ctx stats ~iface:"stats.store" ~meth:"snapshot" [] with
+  | Value.Str s ->
+    Alcotest.(check bool) "snapshot names the component" true
+      (String.length s >= 12 && String.sub s 0 12 = "store.cache0");
+    let has_label l =
+      List.exists
+        (fun line ->
+          String.length line > 2
+          && String.trim line <> ""
+          && String.length (String.trim line) >= String.length l
+          && String.sub (String.trim line) 0 (String.length l) = l)
+        (String.split_on_char '\n' s)
+    in
+    Alcotest.(check bool) "snapshot labels the counters" true
+      (has_label "hits" && has_label "writebacks" && has_label "capacity")
+  | v -> Alcotest.failf "snapshot returned %s" (Value.to_string v));
+  (match
+     Invoke.call_exn ctx stats ~iface:"stats.store" ~meth:"value"
+       [ Value.Str "capacity" ]
+   with
+  | Value.Int n -> Alcotest.(check int) "cache capacity published" 4 n
+  | v -> Alcotest.failf "value returned %s" (Value.to_string v));
+  (match
+     Invoke.call_exn ctx stats ~iface:"stats.store" ~meth:"value"
+       [ Value.Str "writebacks" ]
+   with
+  | Value.Int n -> Alcotest.(check bool) "flush counted a writeback" true (n >= 1)
+  | v -> Alcotest.failf "value returned %s" (Value.to_string v));
+  (* the driver's publication carries its own labels *)
+  let drv = Kernel.bind k kdom "/stats/store.blkdrv" in
+  (match
+     Invoke.call_exn ctx drv ~iface:"stats.store" ~meth:"value"
+       [ Value.Str "blk_writes" ]
+   with
+  | Value.Int n -> Alcotest.(check bool) "driver write counted" true (n >= 1)
+  | v -> Alcotest.failf "value returned %s" (Value.to_string v));
+  ignore store
+
 let test_kv_scenario_replays () =
   match Replay.record "kv" with
   | Error e -> Alcotest.fail e
@@ -498,6 +547,8 @@ let () =
             test_placement_user_domain;
           Alcotest.test_case "interpose on the block path" `Quick
             test_interpose_on_block_path;
+          Alcotest.test_case "stats published at /stats/store" `Quick
+            test_store_stats_published;
           Alcotest.test_case "channel-backed proxy" `Quick
             test_storechan_cross_domain;
         ] );
