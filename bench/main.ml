@@ -1371,7 +1371,7 @@ module E15 = struct
     let kclock = Kernel.clock k in
     let before = Clock.now kclock in
     (match Certsvc.verify certsvc ~code with
-    | Ok () -> ()
+    | Ok _ -> ()
     | Error e -> failwith ("E15: verifier rejected the filter: " ^ e));
     let verify_cost = Clock.now kclock - before in
     let cert_cost =
@@ -2286,6 +2286,128 @@ module E21 = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* E22: loop-bearing bytecode in the Verified placement                *)
+(* ------------------------------------------------------------------ *)
+
+module E22 = struct
+  (* E15 admitted a straight-line filter; the widened verifier admits a
+     whole-window checksum scan — a backward-jumping loop — with a
+     machine-checked fuel bound affine in the window length L. The loop
+     then runs at raw per-instruction cost (zero per-access overhead,
+     like certification), while SFI pays its masking tax on every one of
+     the ~10L executed instructions. *)
+
+  let filter_src = "sum[0 .. len](byte[idx]) & 255 == 73"
+  let window = 2048
+
+  let run () =
+    header "E22  Verified loops: a proven fuel bound admits a checksum scan"
+      "loop-bearing bytecode earns the Verified placement: the worklist \
+       fixpoint with widening proves memory safety and an affine trip bound \
+       at once, so the kernel meters the loop against its own proof instead \
+       of refusing backward jumps outright";
+    let program =
+      match Filterc.compile_string filter_src with
+      | Ok p -> p
+      | Error e -> failwith ("E22: " ^ e)
+    in
+    let code = Vm.encode program in
+    (* the static proof, with the bound the loader will meter against *)
+    let fb =
+      match Verify.verify program with
+      | Verify.Verified { fuel; _ } -> fuel
+      | Verify.Rejected _ as v ->
+        failwith ("E22: " ^ Verify.verdict_to_string v)
+    in
+    assert (fb.Verify.per_len >= 1);
+    let bound = Verify.fuel_for fb ~len:window in
+    let rewritten =
+      match
+        Sfi_rewrite.rewrite program ~window_size:(Sfi_rewrite.padded_size window)
+      with
+      | Ok p -> p
+      | Error e -> failwith ("E22: " ^ e)
+    in
+    (* a packet whose byte sum lands on the checksum: 'p' everywhere,
+       first byte chosen so sum mod 256 = 73 *)
+    let pkt = Bytes.make window 'p' in
+    Bytes.set pkt 0 (Char.chr ((73 - (Char.code 'p' * (window - 1))) land 255));
+    let clock = Clock.create () in
+    let ctx = Call_ctx.make ~clock ~costs:Cost.default ~caller_domain:0 in
+    let cost_of ~fuel prog =
+      let before = Clock.now clock in
+      for _ = 1 to 20 do
+        match Vm.run ctx ~mem:(Vm.mem_of_bytes pkt) ~fuel prog with
+        | Vm.Returned 1 -> ()
+        | Vm.Returned v -> failwith (Printf.sprintf "E22: filter returned %d" v)
+        | Vm.Wild_access _ -> failwith "E22: wild access"
+        | Vm.Vm_fault m -> failwith ("E22: " ^ m)
+      done;
+      float_of_int (Clock.now clock - before) /. 20.
+    in
+    (* the verified run is metered against exactly the proven bound — a
+       fault here would disprove the proof; SFI is outside it and gets a
+       policy allowance sized to its rewrite overhead *)
+    let raw_run = cost_of ~fuel:bound program in
+    let verified_run = cost_of ~fuel:bound program in
+    let sfi_run = cost_of ~fuel:((3 * bound) + 1024) rewritten in
+    assert (verified_run = raw_run);
+    (* one-off admission cost, charged per instruction by the service *)
+    let sys = fresh_sys () in
+    let certsvc = Kernel.certification (System.kernel sys) in
+    let kclock = Kernel.clock (System.kernel sys) in
+    let before = Clock.now kclock in
+    (match Certsvc.verify certsvc ~code with
+    | Ok fb' -> assert (fb' = fb)
+    | Error e -> failwith ("E22: verifier rejected the scan: " ^ e));
+    let verify_cost = Clock.now kclock - before in
+    (* end-to-end: unsigned loop bytecode admitted by Verified placement,
+       and the loader records the proven bound for the run path *)
+    let vimage =
+      let base =
+        Images.image ~name:"vscan" ~size:(String.length code) ~author:"anyone"
+          ~type_safe:false (fun api dom ->
+            Instance.create api.Api.registry ~class_name:"verified.scan"
+              ~domain:dom.Domain.id [])
+      in
+      { base with Loader.code }
+    in
+    (match
+       System.install sys vimage ~placement:System.Verified ~at:"/services/vscan"
+     with
+    | Ok _ -> ()
+    | Error e -> failwith ("E22: Verified install failed: " ^ e));
+    (match System.verified_fuel sys "vscan" with
+    | Some fb' when fb' = fb -> ()
+    | Some _ -> failwith "E22: loader recorded a different bound"
+    | None -> failwith "E22: loader recorded no bound");
+    (* the unbounded cousin stays out, with a named reason at a pc *)
+    let unbounded = [| Vm.Const (2, 0); Vm.Jmp 1; Vm.Ret 2 |] in
+    let rejection =
+      match Verify.verify unbounded with
+      | Verify.Rejected _ as v -> Verify.verdict_to_string v
+      | Verify.Verified _ -> failwith "E22: unbounded loop must be rejected"
+    in
+    let overhead = sfi_run -. raw_run in
+    print_table
+      ~columns:
+        [ ("admission", ()); ("one-off cycles", ()); ("cycles/run", ());
+          ("per-run overhead", ()) ]
+      [
+        [ "verified (static proof)"; i verify_cost; f1 verified_run; "0.0" ];
+        [ "SFI-rewritten"; "0"; f1 sfi_run; f1 overhead ];
+      ];
+    line "filter: %s (%d instructions)" filter_src (Vm.instr_count program);
+    line "proven fuel bound: %d*L + %d = %d at L = %d (run cost %.1f cyc stays under it)"
+      fb.Verify.per_len fb.Verify.fixed bound window verified_run;
+    line "crossover vs SFI: the one-off proof pays for itself after %.0f runs"
+      (Float.of_int verify_cost /. overhead |> Float.ceil);
+    line "backward Jmp cousin: %s" rejection;
+    line "=> a loop over all %d bytes ran in the kernel at raw cost, metered by its own proof"
+      window
+end
+
+(* ------------------------------------------------------------------ *)
 (* E-REPLAY: deterministic record/replay of whole runs                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -2458,7 +2580,8 @@ let () =
       ("e9", E9.run); ("e10", E10.run); ("e11", E11.run); ("e12", E12.run);
       ("e13", E13.run); ("e14", E14.run); ("e15", E15.run); ("e16", E16.run);
       ("obs", Eobs.run); ("e18", E18.run); ("e19", E19.run);
-      ("e20", E20.run); ("e21", E21.run); ("replay", Ereplay.run) ]
+      ("e20", E20.run); ("e21", E21.run); ("e22", E22.run);
+      ("replay", Ereplay.run) ]
   in
   line "Paramecium reproduction — experiment suite";
   line "(simulated cycles, deterministic; cost model: SPARC-era defaults)";

@@ -6,13 +6,16 @@
    [--seed non-superset|spsc|store-order|store-dangling] first injects
    the named violation using raw primitives (dodging the load-time
    guards that normally prevent it), so `make lint` and CI can assert
-   the linter actually catches what it claims to catch. *)
+   the linter actually catches what it claims to catch.
+
+   [--json] prints the report as one line of JSON instead of prose —
+   what CI parses into per-finding annotations. *)
 
 open Paramecium
 
 let usage =
   "usage: pm_lint [--seed non-superset|spsc|store-order|store-dangling] \
-   [--quiet]"
+   [--quiet] [--json]"
 
 (* A deliberately-shrunken replacement installed with the raw directory
    primitive — exactly the hole Interpose.attach closes and the linter
@@ -94,7 +97,7 @@ let build_demo () =
   sys
 
 let () =
-  let seed = ref None and quiet = ref false in
+  let seed = ref None and quiet = ref false and json = ref false in
   let rec parse = function
     | [] -> ()
     | "--seed" :: v :: rest ->
@@ -102,6 +105,9 @@ let () =
       parse rest
     | "--quiet" :: rest ->
       quiet := true;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
       parse rest
     | a :: _ ->
       prerr_endline ("pm_lint: unknown argument " ^ a);
@@ -121,5 +127,6 @@ let () =
     prerr_endline usage;
     exit 2);
   let report = Check_svc.run (System.check sys) in
-  if not !quiet then print_endline (Lint.report_to_string report);
+  if !json then print_endline (Lint.report_to_json report)
+  else if not !quiet then print_endline (Lint.report_to_string report);
   exit (match Lint.errors report with [] -> 0 | _ -> 1)

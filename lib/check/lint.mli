@@ -76,5 +76,16 @@ val errors : report -> finding list
 
 val report_to_string : report -> string
 
+(** [report_to_json report] renders the whole report as one line of
+    JSON — [{"rules_run":n,"errors":n,"findings":[{"rule":…,
+    "severity":…,"subject":…,"detail":…},…]}] — for CI and other
+    tooling ([pm_lint --json]). Strings are escaped; the schema is the
+    [finding] record, field for field. *)
+val report_to_json : report -> string
+
+(** One finding as a JSON object (the elements of [report_to_json]'s
+    [findings] array). *)
+val finding_to_json : finding -> string
+
 (** [explain rule] is a one-sentence statement of what a rule checks. *)
 val explain : string -> string

@@ -9,13 +9,22 @@
    against r0 (= 0) and r1 (= L), then dereference — and prove every
    Load8/Store8 lands inside [0, L).
 
-   Control flow is restricted to forward jumps. That makes the CFG
-   acyclic, so one pass in pc order (all predecessors of an instruction
-   precede it) computes the fixpoint with no widening, and it doubles as
-   the termination proof: each instruction executes at most once, so a
-   program of n instructions needs at most n fuel. Programs with
-   backward jumps are rejected — a conservative but honest trade: the
-   sandbox can still run them under per-access checks. *)
+   Control flow admits backward jumps: the analysis is a worklist
+   fixpoint over the explicit CFG, with per-join-point widening after a
+   bounded number of unstable joins (bounds escape outward through a
+   finite threshold chain, which is the convergence proof) and a short
+   narrowing phase afterwards to recover the precision the bracketed
+   access pattern needs inside loop bodies.
+
+   Because verified code must also terminate without per-instruction
+   metering on the trust path, every backward edge must be a counted
+   loop the domain can bound: an induction register advanced by a
+   constant step through a single Add, tested against a bound that is
+   Fin or Len at the branch. From those the verifier derives a
+   whole-program fuel bound affine in L — fuel(L) = per_len·L + fixed —
+   which the Verified verdict carries and the loader enforces. Programs
+   whose trip count the domain cannot bound are rejected with a named
+   reason; the sandbox can still run them under per-access checks. *)
 
 module Vm = Pm_vm.Vm
 module Sfi_rewrite = Pm_vm.Sfi_rewrite
@@ -31,6 +40,17 @@ type interval = { lo : bound; hi : bound }
 let top = { lo = NegInf; hi = PosInf }
 let const k = { lo = Fin k; hi = Fin k }
 
+(* No window is longer than this: Bytes.length is bounded by
+   Sys.max_string_length < 2^57 on 64-bit. The wrap analysis below needs
+   a ceiling on L to decide when native-int arithmetic cannot overflow. *)
+let len_max = 1 lsl 57
+
+(* Last finite widening threshold for upper bounds. Far above any real
+   value (well past L) yet with enough native-int headroom that one more
+   add or small shift is still provably wrap-free — keeping a widened
+   loop counter's interval from collapsing to [top] on its increment. *)
+let hi_cap = 1 lsl 60
+
 (* [le a b]: is a <= b guaranteed for every L >= 0? Len vs Fin is
    unknowable in one direction (L is unbounded) and decided by L >= 0 in
    the other. *)
@@ -39,7 +59,9 @@ let le a b =
   | NegInf, _ | _, PosInf -> true
   | _, NegInf | PosInf, _ -> false
   | Fin a, Fin b | Fin a, Len b | Len a, Len b -> a <= b
-  | Len _, Fin _ -> false
+  | Len a, Fin b ->
+    (* L + a <= b for every L iff it holds at L = len_max *)
+    a <= b - len_max && b - len_max <= b (* no underflow in b - len_max *)
 
 (* Join: sound min of lower bounds / max of upper bounds over the union.
    min(k, L+j) can reach min(k, j) (at L = 0); max(k, L+j) stays under
@@ -89,78 +111,140 @@ let empty iv =
   | PosInf, _ | _, NegInf -> true
   | _ -> false
 
-(* Direction-specific affine arithmetic. L + L collapses to an infinity
-   in the widening direction (coefficient 2 is outside the domain), and
-   Len - Len cancels exactly: both name the same L. *)
-let add_lo a b =
-  match (a, b) with
-  | NegInf, _ | _, NegInf -> NegInf
-  | PosInf, _ | _, PosInf -> PosInf
-  | Fin a, Fin b -> Fin (a + b)
-  | Fin a, Len b | Len a, Fin b -> Len (a + b)
-  | Len a, Len b -> Len (a + b)
+(* ---- checked native-int arithmetic ---------------------------------- *)
+(* The VM computes in native ints that wrap silently; abstract bound
+   arithmetic must not pretend otherwise. [sadd] detects bound-level
+   overflow; the interval operators below additionally check whether the
+   *concrete* computation can wrap (using the math extremes of each
+   side, with L capped by [len_max]) and collapse to [top] when it can —
+   an overflowed Fin pair would otherwise invert into an unsound
+   interval. *)
 
-let add_hi a b =
-  match (a, b) with
-  | PosInf, _ | _, PosInf -> PosInf
-  | NegInf, _ | _, NegInf -> NegInf
-  | Fin a, Fin b -> Fin (a + b)
-  | Fin a, Len b | Len a, Fin b -> Len (a + b)
-  | Len _, Len _ -> PosInf
+let sadd a b =
+  let s = a + b in
+  if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then None else Some s
 
-let sub_lo a b =
-  (* lower bound of x - y from x's lower and y's upper bound *)
-  match (a, b) with
-  | NegInf, _ | _, PosInf -> NegInf
-  | PosInf, _ | _, NegInf -> PosInf
-  | Fin a, Fin b -> Fin (a - b)
-  | Len a, Len b -> Fin (a - b)
-  | Len a, Fin b -> Len (a - b)
-  | Fin _, Len _ -> NegInf
+let smul a b =
+  if a = 0 || b = 0 then Some 0
+  else if a = min_int || b = min_int then None
+  else
+    let p = a * b in
+    if p / a = b && (a <> -1 || p <> min_int) then Some p else None
 
-let sub_hi a b =
-  (* upper bound of x - y from x's upper and y's lower bound *)
-  match (a, b) with
-  | PosInf, _ | _, NegInf -> PosInf
-  | NegInf, _ | _, PosInf -> NegInf
-  | Fin a, Fin b -> Fin (a - b)
-  | Len a, Len b -> Fin (a - b)
-  | Len a, Fin b -> Len (a - b)
-  | Fin a, Len b -> Fin (a - b)
+(* the smallest value a lower bound permits / the largest an upper bound
+   permits, as math integers clamped to the native range *)
+let lo_min = function
+  | NegInf -> min_int
+  | Fin k | Len k -> k (* L >= 0, so L + k >= k *)
+  | PosInf -> max_int
+
+let hi_max = function
+  | PosInf -> max_int
+  | Fin k -> k
+  | Len k -> ( match sadd len_max k with Some v -> v | None -> max_int)
+  | NegInf -> min_int
 
 let pred = function
-  | Fin k -> Fin (k - 1)
-  | Len k -> Len (k - 1)
+  | Fin k -> if k = min_int then NegInf else Fin (k - 1)
+  | Len k -> if k = min_int then NegInf else Len (k - 1)
   | (NegInf | PosInf) as b -> b
 
 let succ = function
-  | Fin k -> Fin (k + 1)
-  | Len k -> Len (k + 1)
+  | Fin k -> if k = max_int then PosInf else Fin (k + 1)
+  | Len k -> if k = max_int then PosInf else Len (k + 1)
   | (NegInf | PosInf) as b -> b
 
 let nonneg iv = le (Fin 0) iv.lo
 
-let add iv jv = { lo = add_lo iv.lo jv.lo; hi = add_hi iv.hi jv.hi }
-let sub iv jv = { lo = sub_lo iv.lo jv.hi; hi = sub_hi iv.hi jv.lo }
+(* x + y cannot wrap iff the math extremes of the sum stay inside the
+   native range; when a wrap is possible anything is reachable. *)
+let add iv jv =
+  match (sadd (hi_max iv.hi) (hi_max jv.hi), sadd (lo_min iv.lo) (lo_min jv.lo))
+  with
+  | Some _, Some _ ->
+    let lo =
+      match (iv.lo, jv.lo) with
+      | NegInf, _ | _, NegInf -> Some NegInf
+      | PosInf, _ | _, PosInf -> Some PosInf
+      | Fin a, Fin b -> Option.map (fun s -> Fin s) (sadd a b)
+      | Fin a, Len b | Len a, Fin b -> Option.map (fun s -> Len s) (sadd a b)
+      (* L + a + L + b >= L + (a + b) since L >= 0 *)
+      | Len a, Len b -> Option.map (fun s -> Len s) (sadd a b)
+    in
+    let hi =
+      match (iv.hi, jv.hi) with
+      | PosInf, _ | _, PosInf -> Some PosInf
+      | NegInf, _ | _, NegInf -> Some NegInf
+      | Fin a, Fin b -> Option.map (fun s -> Fin s) (sadd a b)
+      | Fin a, Len b | Len a, Fin b -> Option.map (fun s -> Len s) (sadd a b)
+      (* coefficient 2 is outside the domain *)
+      | Len _, Len _ -> Some PosInf
+    in
+    (match (lo, hi) with Some lo, Some hi -> { lo; hi } | _ -> top)
+  | _ -> top
+
+let sub iv jv =
+  (* x - y: positive wrap needs hi(x) - lo(y) past max_int, negative
+     wrap needs lo(x) - hi(y) below min_int *)
+  match
+    (sadd (hi_max iv.hi) (-lo_min jv.lo), sadd (lo_min iv.lo) (-hi_max jv.hi))
+  with
+  | Some _, Some _ ->
+    let lo =
+      (* lower bound of x - y from x's lower and y's upper bound *)
+      match (iv.lo, jv.hi) with
+      | NegInf, _ | _, PosInf -> Some NegInf
+      | PosInf, _ | _, NegInf -> Some PosInf
+      | Fin a, Fin b -> Option.map (fun s -> Fin s) (sadd a (-b))
+      | Len a, Len b -> Option.map (fun s -> Fin s) (sadd a (-b))
+      | Len a, Fin b -> Option.map (fun s -> Len s) (sadd a (-b))
+      | Fin _, Len _ -> Some NegInf
+    in
+    let hi =
+      (* upper bound of x - y from x's upper and y's lower bound *)
+      match (iv.hi, jv.lo) with
+      | PosInf, _ | _, NegInf -> Some PosInf
+      | NegInf, _ | _, PosInf -> Some NegInf
+      | Fin a, Fin b -> Option.map (fun s -> Fin s) (sadd a (-b))
+      | Len a, Len b -> Option.map (fun s -> Fin s) (sadd a (-b))
+      | Len a, Fin b -> Option.map (fun s -> Len s) (sadd a (-b))
+      | Fin a, Len b -> Option.map (fun s -> Fin s) (sadd a (-b))
+    in
+    (match (lo, hi) with Some lo, Some hi -> { lo; hi } | _ -> top)
+  | _ -> top
 
 let mul iv jv =
-  match (iv, jv) with
-  | { lo = Fin a; hi = Fin b }, { lo = Fin c; hi = Fin d } ->
-    let products = [ a * c; a * d; b * c; b * d ] in
-    {
-      lo = Fin (List.fold_left min max_int products);
-      hi = Fin (List.fold_left max min_int products);
-    }
-  | _ -> if nonneg iv && nonneg jv then { lo = Fin 0; hi = PosInf } else top
+  (* wrap analysis over the math extremes of both sides; if no extreme
+     product overflows, the concrete product cannot wrap either *)
+  let extremes =
+    [
+      smul (lo_min iv.lo) (lo_min jv.lo); smul (lo_min iv.lo) (hi_max jv.hi);
+      smul (hi_max iv.hi) (lo_min jv.lo); smul (hi_max iv.hi) (hi_max jv.hi);
+    ]
+  in
+  if List.exists (fun p -> p = None) extremes then top
+  else
+    match (iv, jv) with
+    | { lo = Fin a; hi = Fin b }, { lo = Fin c; hi = Fin d } ->
+      let products = [ a * c; a * d; b * c; b * d ] in
+      {
+        lo = Fin (List.fold_left min max_int products);
+        hi = Fin (List.fold_left max min_int products);
+      }
+    | _ -> if nonneg iv && nonneg jv then { lo = Fin 0; hi = PosInf } else top
 
-(* land of non-negatives is bounded by either operand *)
+(* land of non-negatives is bounded by either operand (bitwise: no wrap) *)
 let band iv jv =
   if nonneg iv && nonneg jv then { lo = Fin 0; hi = meet_hi iv.hi jv.hi } else top
 
-(* lor/lxor of non-negatives below 2^k stays below 2^k *)
+(* lor/lxor of non-negatives below 2^k stays below 2^k; the power search
+   saturates instead of doubling past max_int (bounds >= 2^61 are
+   reachable through Mul of large Consts and used to hang this loop) *)
 let bits_mask a b =
   let m = max a b in
-  let rec go p = if p > m then p - 1 else go (p * 2) in
+  let rec go p =
+    if p > m then p - 1 else if p > max_int lsr 1 then max_int else go (p * 2)
+  in
   go 1
 
 let bor_like iv jv =
@@ -177,7 +261,11 @@ let shl iv k =
     match iv with
     | { lo = Fin a; hi = Fin b } when a >= 0 && b <= max_int lsr k ->
       { lo = Fin (a lsl k); hi = Fin (b lsl k) }
-    | _ -> if nonneg iv then { lo = Fin 0; hi = PosInf } else top
+    | _ ->
+      (* a shift that can push any extreme past the native range wraps *)
+      if lo_min iv.lo >= 0 && hi_max iv.hi <= max_int lsr k then
+        { lo = Fin 0; hi = PosInf }
+      else top
 
 let shr iv k =
   let k = min 62 (max 0 k) in
@@ -192,12 +280,29 @@ let shr iv k =
 (* The verifier proper                                                 *)
 (* ------------------------------------------------------------------ *)
 
+type fuel_bound = { per_len : int; fixed : int }
+
+let fuel_for fb ~len =
+  let l = max 0 len in
+  match sadd (match smul fb.per_len l with Some p -> p | None -> max_int) fb.fixed with
+  | Some f -> f
+  | None -> max_int
+
 type verdict =
-  | Verified of { instrs : int; fuel_needed : int }
+  | Verified of { instrs : int; fuel : fuel_bound }
   | Rejected of { pc : int; reason : string }
       (** [pc] = -1 for whole-program defects *)
 
 let default_fuel = 10_000
+
+(* ceilings keeping every derived fuel bound well inside native range *)
+let max_fuel_linear = 1 lsl 20
+let max_fuel_fixed = 1 lsl 40
+let max_step = 1 lsl 30
+
+(* unstable joins tolerated at a loop head before widening kicks in —
+   high enough that the compiler's counted loops converge exactly *)
+let joins_before_widen = 4
 
 type state = interval array (* one interval per register *)
 
@@ -209,6 +314,34 @@ let entry_state () =
 let join_states (a : state) (b : state) : state =
   Array.init Vm.nregs (fun r ->
       { lo = join_lo a.(r).lo b.(r).lo; hi = join_hi a.(r).hi b.(r).hi })
+
+let equal_states (a : state) (b : state) =
+  let rec go r = r >= Vm.nregs || (a.(r) = b.(r) && go (r + 1)) in
+  go 0
+
+(* Widening escapes an unstable bound outward through a finite threshold
+   chain (the window-shaped facts the access checks need, then the
+   infinity), so every chain of widened joins stabilizes. *)
+let widen_lo old joined =
+  if old = joined then old
+  else if le (Len 0) joined then Len 0
+  else if le (Fin 0) joined then Fin 0
+  else NegInf
+
+let widen_hi old joined =
+  if old = joined then old
+  else if le joined (Fin 255) then Fin 255
+  else if le joined (Len (-1)) then Len (-1)
+  else if le joined (Len 0) then Len 0
+  else if le joined (Fin hi_cap) then Fin hi_cap
+  else PosInf
+
+let widen_states (old : state) (joined : state) : state =
+  Array.init Vm.nregs (fun r ->
+      {
+        lo = widen_lo old.(r).lo joined.(r).lo;
+        hi = widen_hi old.(r).hi joined.(r).hi;
+      })
 
 let regs_of = function
   | Vm.Const (rd, _) -> [ rd ]
@@ -224,16 +357,347 @@ let regs_of = function
   | Vm.Jlt (a, b, _) -> [ a; b ]
   | Vm.Ret r -> [ r ]
 
+let writes_reg = function
+  | Vm.Const (rd, _) | Vm.Mov (rd, _)
+  | Vm.Add (rd, _, _) | Vm.Sub (rd, _, _) | Vm.Mul (rd, _, _) | Vm.Div (rd, _, _)
+  | Vm.And (rd, _, _) | Vm.Or (rd, _, _) | Vm.Xor (rd, _, _)
+  | Vm.Shl (rd, _, _) | Vm.Shr (rd, _, _) | Vm.Load8 (rd, _, _) ->
+    Some rd
+  | Vm.Store8 _ | Vm.Jmp _ | Vm.Jz _ | Vm.Jnz _ | Vm.Jlt _ | Vm.Ret _ -> None
+
+let jump_target = function
+  | Vm.Jmp t | Vm.Jz (_, t) | Vm.Jnz (_, t) | Vm.Jlt (_, _, t) -> Some t
+  | _ -> None
+
 exception Reject of int * string
+
+(* refine "r <> 0": an interval pinched against zero steps over it *)
+let refine_nonzero iv =
+  (* [Len 0] means value >= L >= 0, so nonzero lifts it to >= 1 — the
+     refinement that lets a Jz pre-guard license a count-down from L *)
+  let lo =
+    match iv.lo with Fin 0 | Len 0 -> Fin 1 | (Fin _ | Len _ | NegInf | PosInf) -> iv.lo
+  in
+  let hi = if iv.hi = Fin 0 then Fin (-1) else iv.hi in
+  { lo; hi }
+
+(* The abstract transfer function: successor pcs with their refined
+   states. Static well-formedness (targets in range, no falling off the
+   end) is checked before the fixpoint, so edges here are total; edges
+   whose refinement is empty are dead and omitted. *)
+let outs (program : Vm.program) pc (st : state) : (int * state) list =
+  let with_reg st r iv =
+    let st' = Array.copy st in
+    st'.(r) <- iv;
+    st'
+  in
+  let fall st = [ (pc + 1, st) ] in
+  match program.(pc) with
+  | Vm.Const (rd, imm) -> fall (with_reg st rd (const imm))
+  | Vm.Mov (rd, rs) -> fall (with_reg st rd st.(rs))
+  | Vm.Add (rd, a, b) -> fall (with_reg st rd (add st.(a) st.(b)))
+  | Vm.Sub (rd, a, b) -> fall (with_reg st rd (sub st.(a) st.(b)))
+  | Vm.Mul (rd, a, b) -> fall (with_reg st rd (mul st.(a) st.(b)))
+  | Vm.Div (rd, _, _) ->
+    (* division by zero is a clean, contained Vm_fault at run time —
+       like a certified component's own failure, not a safety hole *)
+    fall (with_reg st rd top)
+  | Vm.And (rd, a, b) -> fall (with_reg st rd (band st.(a) st.(b)))
+  | Vm.Or (rd, a, b) | Vm.Xor (rd, a, b) ->
+    fall (with_reg st rd (bor_like st.(a) st.(b)))
+  | Vm.Shl (rd, a, k) -> fall (with_reg st rd (shl st.(a) k))
+  | Vm.Shr (rd, a, k) -> fall (with_reg st rd (shr st.(a) k))
+  | Vm.Load8 (rd, _, _) -> fall (with_reg st rd { lo = Fin 0; hi = Fin 255 })
+  | Vm.Store8 _ -> fall st
+  | Vm.Jmp t -> [ (t, st) ]
+  | Vm.Jz (r, t) ->
+    (* taken: r = 0; fallthrough: r <> 0 *)
+    let zero = { lo = meet_lo st.(r).lo (Fin 0); hi = meet_hi st.(r).hi (Fin 0) } in
+    let taken = if empty zero then [] else [ (t, with_reg st r zero) ] in
+    let nz = refine_nonzero st.(r) in
+    let ft = if empty nz then [] else [ (pc + 1, with_reg st r nz) ] in
+    taken @ ft
+  | Vm.Jnz (r, t) ->
+    (* taken: r <> 0; fallthrough: r = 0 *)
+    let nz = refine_nonzero st.(r) in
+    let taken = if empty nz then [] else [ (t, with_reg st r nz) ] in
+    let zero = { lo = meet_lo st.(r).lo (Fin 0); hi = meet_hi st.(r).hi (Fin 0) } in
+    let ft = if empty zero then [] else [ (pc + 1, with_reg st r zero) ] in
+    taken @ ft
+  | Vm.Jlt (a, b, t) ->
+    (* taken: a < b, so a <= b.hi - 1 and b >= a.lo + 1;
+       fallthrough: a >= b, so a >= b.lo and b <= a.hi *)
+    let ivt_a = { st.(a) with hi = meet_hi st.(a).hi (pred st.(b).hi) } in
+    let ivt_b = { st.(b) with lo = meet_lo st.(b).lo (succ st.(a).lo) } in
+    let taken =
+      if empty ivt_a || empty ivt_b then []
+      else [ (t, with_reg (with_reg st a ivt_a) b ivt_b) ]
+    in
+    let ivf_a = { st.(a) with lo = meet_lo st.(a).lo st.(b).lo } in
+    let ivf_b = { st.(b) with hi = meet_hi st.(b).hi st.(a).hi } in
+    let ft =
+      if empty ivf_a || empty ivf_b then []
+      else [ (pc + 1, with_reg (with_reg st a ivf_a) b ivf_b) ]
+    in
+    taken @ ft
+  | Vm.Ret _ -> []
+
+(* ---- affine fuel arithmetic (capped; over the cap = rejection) ------ *)
+
+let aff_check pc { per_len; fixed } =
+  if per_len < 0 || fixed < 0 || per_len > max_fuel_linear || fixed > max_fuel_fixed
+  then raise (Reject (pc, "fuel bound exceeds the affine domain"))
+
+let aff_const b = { per_len = 0; fixed = b }
+
+let aff_add pc x y =
+  match (sadd x.per_len y.per_len, sadd x.fixed y.fixed) with
+  | Some a, Some b ->
+    let r = { per_len = a; fixed = b } in
+    aff_check pc r;
+    r
+  | _ -> raise (Reject (pc, "fuel bound exceeds the affine domain"))
+
+let aff_mul pc x y =
+  if x.per_len > 0 && y.per_len > 0 then
+    raise
+      (Reject (pc, "nested window-dependent loops exceed the affine fuel domain"));
+  match
+    ( smul x.per_len y.fixed,
+      smul y.per_len x.fixed,
+      smul x.fixed y.fixed )
+  with
+  | Some axy, Some ayx, Some b -> (
+    match sadd axy ayx with
+    | Some a ->
+      let r = { per_len = a; fixed = b } in
+      aff_check pc r;
+      r
+    | None -> raise (Reject (pc, "fuel bound exceeds the affine domain")))
+  | _ -> raise (Reject (pc, "fuel bound exceeds the affine domain"))
+
+let div_up x s = if x <= 0 then 0 else ((x - 1) / s) + 1
+
+(* ---- counted-loop recognition --------------------------------------- *)
+
+type loop = { head : int; back : int; execs : fuel_bound }
+
+(* Every h->u path inside the body must execute the step instruction:
+   a DFS over the refined CFG that never expands the step pc must not
+   reach the back-edge instruction. *)
+let step_dominates program states ~head ~back ~step_pc =
+  if head = step_pc then true
+  else begin
+    let visited = Array.make (Array.length program) false in
+    let reached = ref false in
+    let rec dfs pc =
+      if pc = back then reached := true
+      else if (not visited.(pc)) && pc <> step_pc then begin
+        visited.(pc) <- true;
+        match states.(pc) with
+        | None -> ()
+        | Some st ->
+          List.iter
+            (fun (t, _) ->
+              if t >= head && t <= back && not (t = head && pc = back) then dfs t)
+            (outs program pc st)
+      end
+    in
+    dfs head;
+    not !reached
+  end
+
+(* The single instruction inside [head, back] writing [r]; it must be an
+   Add of [r] with a step register. *)
+let induction_step program ~head ~back r =
+  let writers = ref [] in
+  for pc = head to back do
+    match writes_reg program.(pc) with
+    | Some rd when rd = r -> writers := pc :: !writers
+    | _ -> ()
+  done;
+  match !writers with
+  | [ pc ] -> (
+    match program.(pc) with
+    | Vm.Add (rd, a, b) when rd = r && (a = r || b = r) && not (a = r && b = r) ->
+      Some (pc, if a = r then b else a)
+    | _ -> None)
+  | _ -> None
+
+let exact_const (iv : interval) =
+  match (iv.lo, iv.hi) with Fin a, Fin b when a = b -> Some a | _ -> None
+
+let ssub a b = if b = min_int then None else sadd a (-b)
+
+(* join of [r]'s interval over every edge entering [head, back] from
+   outside (plus program entry when the head is pc 0): the value a loop
+   counter holds when its loop is first entered *)
+let entry_interval program (states : state option array) ~head ~back r =
+  let acc = ref None in
+  let absorb (iv : interval) =
+    acc :=
+      Some
+        (match !acc with
+        | None -> iv
+        | Some o -> { lo = join_lo o.lo iv.lo; hi = join_hi o.hi iv.hi })
+  in
+  if head = 0 then absorb (entry_state ()).(r);
+  Array.iteri
+    (fun pc st_opt ->
+      if pc < head || pc > back then
+        match st_opt with
+        | None -> ()
+        | Some st ->
+          List.iter
+            (fun (t, (st' : state)) ->
+              if t >= head && t <= back then absorb st'.(r))
+            (outs program pc st))
+    states;
+  match !acc with Some iv -> iv | None -> top
+
+(* Trip bounds. [execs] is the number of body executions, generously
+   padded: one initial entry, one possible partial traversal from a
+   mid-body entry, plus the counted back-edge takes. [ranges] lists
+   every back edge's [(head, back)] so the down-count case can refuse a
+   nested loop wrapping its decrement (a counter stepping by more than
+   one per iteration can jump over zero and never exit). *)
+let analyze_back_edge program (states : state option array) ~ranges ~u ~h =
+  let st_u =
+    match states.(u) with Some st -> st | None -> assert false (* reachable *)
+  in
+  let st_h =
+    match states.(h) with
+    | Some st -> st
+    | None -> raise (Reject (u, "backward jump to an unreachable loop head"))
+  in
+  let require_step r ~want =
+    match induction_step program ~head:h ~back:u r with
+    | None ->
+      raise
+        (Reject
+           (u, "loop induction register is not advanced by a single constant step"))
+    | Some (step_pc, rs) -> (
+      let step_iv =
+        match states.(step_pc) with Some st -> st.(rs) | None -> top
+      in
+      match exact_const step_iv with
+      | Some s when want s ->
+        if not (step_dominates program states ~head:h ~back:u ~step_pc) then
+          raise (Reject (u, "loop induction step may be skipped inside the body"));
+        (step_pc, s)
+      | _ -> raise (Reject (u, "loop step is not the required constant")))
+  in
+  let affine_trips ~hi ~lo ~s ~what =
+    (* math bound on (hi - lo) / s, affine in L *)
+    let fin k c =
+      match ssub k c with
+      | Some d -> max 0 (div_up d s)
+      | None -> raise (Reject (u, "fuel bound exceeds the affine domain"))
+    in
+    match (hi, lo) with
+    | Fin k, Fin c -> aff_const (fin k c)
+    | Fin k, Len c | Len k, Len c ->
+      (* L + c <= value, or bound <= k <= L + k: the L parts cancel or
+         only shrink the count *)
+      aff_const (fin k c)
+    | Len k, Fin c -> { per_len = 1; fixed = fin k c }
+    | PosInf, _ ->
+      raise (Reject (u, Printf.sprintf "%s has no finite upper limit" what))
+    | _, NegInf ->
+      raise (Reject (u, "loop counter has no finite lower bound"))
+    | NegInf, _ | _, PosInf ->
+      raise (Reject (u, "loop bound is not affine in the window length"))
+  in
+  match program.(u) with
+  | Vm.Jmp _ ->
+    raise (Reject (u, "backward Jmp: trip count cannot be bounded"))
+  | Vm.Jz _ -> raise (Reject (u, "backward Jz is not a counted loop"))
+  | Vm.Jlt (ri, rb, _) ->
+    (* up-counting: ri advances by a constant s >= 1 per iteration (the
+       head invariant gives every revisit value, the branch invariant
+       every test value of the bound — sound even if rb is rewritten) *)
+    let _, s = require_step ri ~want:(fun s -> s >= 1 && s <= max_step) in
+    let delta =
+      affine_trips ~hi:st_u.(rb).hi ~lo:st_h.(ri).lo ~s ~what:"loop bound"
+    in
+    aff_check u delta;
+    { head = h; back = u; execs = aff_add u delta (aff_const 3) }
+  | Vm.Jnz (ri, _) ->
+    (* down-counting to zero: the counter enters the loop strictly
+       positive and loses exactly one per iteration, so it cannot step
+       over the exit. The entry-edge join (not the widened head
+       invariant) proves positivity. *)
+    let step_pc, _ = require_step ri ~want:(fun s -> s = -1) in
+    List.iter
+      (fun (h', u') ->
+        if
+          (h', u') <> (h, u)
+          && h <= h' && u' <= u
+          && h' <= step_pc && step_pc <= u'
+        then
+          raise
+            (Reject
+               (u, "loop counter may be decremented more than once per iteration")))
+      ranges;
+    let e = entry_interval program states ~head:h ~back:u ri in
+    (* strictly positive, not just non-negative: the test sits after the
+       decrement, so a counter entering at 0 is tested at -1 and never
+       exits *)
+    if not (le (Fin 1) e.lo) then
+      raise
+        (Reject
+           (u, "loop counter may enter at or below zero: trip count cannot be bounded"));
+    let visits =
+      match e.hi with
+      | Fin k when k >= 0 && k <= max_fuel_fixed -> aff_const k
+      | Fin _ -> aff_const 0 (* entry interval empty: loop never entered *)
+      | Len k when abs k <= max_step -> { per_len = 1; fixed = max 0 k }
+      | _ -> raise (Reject (u, "loop counter has no finite upper bound"))
+    in
+    { head = h; back = u; execs = aff_add u visits (aff_const 3) }
+  | _ -> assert false
+
+(* Loop structure: bodies are the pc ranges [head, back]; any two must
+   be disjoint or properly nested, and no two share a head. *)
+let check_structure loops =
+  let rec pairs = function
+    | [] -> ()
+    | l :: rest ->
+      List.iter
+        (fun l' ->
+          if l.head = l'.head then
+            raise (Reject (max l.back l'.back, "two back edges share a loop head"));
+          let nested =
+            (l.head <= l'.head && l'.back <= l.back)
+            || (l'.head <= l.head && l.back <= l'.back)
+          in
+          let disjoint = l.back < l'.head || l'.back < l.head in
+          if not (nested || disjoint) then
+            raise
+              (Reject
+                 (max l.back l'.back, "irreducible loop structure: bodies overlap")))
+        rest;
+      pairs rest
+  in
+  pairs loops
+
+(* Fuel for one traversal of [lo, hi] with [loops] (sorted by head, all
+   within the range) multiplying their bodies. *)
+let rec seg_cost ~lo ~hi loops =
+  match loops with
+  | [] -> aff_const (max 0 (hi - lo + 1))
+  | l :: rest ->
+    let inside, after = List.partition (fun l' -> l'.back <= l.back) rest in
+    let body = seg_cost ~lo:l.head ~hi:l.back inside in
+    let looped = aff_mul l.back l.execs body in
+    aff_add l.back
+      (aff_const (max 0 (l.head - lo)))
+      (aff_add l.back looped (seg_cost ~lo:(l.back + 1) ~hi after))
 
 let verify ?(fuel = default_fuel) (program : Vm.program) =
   let n = Array.length program in
   try
     if n = 0 then raise (Reject (-1, "empty program"));
-    if n > fuel then
-      raise
-        (Reject
-           (-1, Printf.sprintf "%d instructions exceed the fuel bound %d" n fuel));
     (* static well-formedness first, over every instruction, reachable or
        not — same discipline as the SFI rewriter's whole-program scan *)
     Array.iteri
@@ -241,101 +705,154 @@ let verify ?(fuel = default_fuel) (program : Vm.program) =
         if List.exists (fun r -> r < 0 || r >= Vm.nregs) (regs_of ins) then
           raise (Reject (pc, "register out of range"));
         if Sfi_rewrite.uses_reserved ins then
-          raise (Reject (pc, "uses a reserved register (r6/r7)")))
+          raise (Reject (pc, "uses a reserved register (r6/r7)"));
+        (match jump_target ins with
+        | Some t when t < 0 || t >= n -> raise (Reject (pc, "jump out of program"))
+        | _ -> ());
+        match ins with
+        | Vm.Jmp _ | Vm.Ret _ -> ()
+        | _ ->
+          if pc + 1 >= n then
+            raise (Reject (pc, "falls off the end of the program")))
+      program;
+    (* widening points: targets of backward edges (every CFG cycle
+       contains one, since a cycle cannot advance pc monotonically) *)
+    let widen_pt = Array.make n false in
+    Array.iteri
+      (fun pc ins ->
+        match jump_target ins with
+        | Some t when t <= pc -> widen_pt.(t) <- true
+        | _ -> ())
       program;
     let states : state option array = Array.make n None in
     states.(0) <- Some (entry_state ());
-    (* every jump must target a real, later instruction — checked even
-       when refinement proves the branch dead, so the static claim holds
-       program-wide *)
-    let check_target pc target =
-      if target < 0 || target >= n then raise (Reject (pc, "jump out of program"));
-      if target <= pc then raise (Reject (pc, "backward jump"))
+    (* worklist fixpoint with delayed widening at loop heads *)
+    let join_count = Array.make n 0 in
+    let queued = Array.make n false in
+    let work = Queue.create () in
+    let push pc =
+      if not queued.(pc) then begin
+        queued.(pc) <- true;
+        Queue.push pc work
+      end
     in
-    let flow_to pc target st =
-      check_target pc target;
-      states.(target) <-
-        (match states.(target) with
-        | None -> Some st
-        | Some old -> Some (join_states old st))
-    in
-    let fall_through pc st =
-      if pc + 1 >= n then raise (Reject (pc, "falls off the end of the program"));
-      flow_to pc (pc + 1) st
-    in
-    let with_reg st r iv =
-      let st' = Array.copy st in
-      st'.(r) <- iv;
-      st'
-    in
-    for pc = 0 to n - 1 do
+    push 0;
+    let budget = ref ((64 * n * Vm.nregs) + 4096) in
+    while not (Queue.is_empty work) do
+      decr budget;
+      if !budget < 0 then
+        raise (Reject (-1, "fixpoint exceeded its step budget"));
+      let pc = Queue.pop work in
+      queued.(pc) <- false;
       match states.(pc) with
-      | None -> () (* unreachable on every admitted path *)
-      | Some st -> (
-        match program.(pc) with
-        | Vm.Const (rd, imm) -> fall_through pc (with_reg st rd (const imm))
-        | Vm.Mov (rd, rs) -> fall_through pc (with_reg st rd st.(rs))
-        | Vm.Add (rd, a, b) -> fall_through pc (with_reg st rd (add st.(a) st.(b)))
-        | Vm.Sub (rd, a, b) -> fall_through pc (with_reg st rd (sub st.(a) st.(b)))
-        | Vm.Mul (rd, a, b) -> fall_through pc (with_reg st rd (mul st.(a) st.(b)))
-        | Vm.Div (rd, _, _) ->
-          (* division by zero is a clean, contained Vm_fault at run time —
-             like a certified component's own failure, not a safety hole *)
-          fall_through pc (with_reg st rd top)
-        | Vm.And (rd, a, b) -> fall_through pc (with_reg st rd (band st.(a) st.(b)))
-        | Vm.Or (rd, a, b) | Vm.Xor (rd, a, b) ->
-          fall_through pc (with_reg st rd (bor_like st.(a) st.(b)))
-        | Vm.Shl (rd, a, k) -> fall_through pc (with_reg st rd (shl st.(a) k))
-        | Vm.Shr (rd, a, k) -> fall_through pc (with_reg st rd (shr st.(a) k))
-        | Vm.Load8 (rd, rs, imm) ->
-          let addr = add st.(rs) (const imm) in
-          if not (le (Fin 0) addr.lo) then
-            raise (Reject (pc, "load address may be below the data window"));
-          if not (le addr.hi (Len (-1))) then
-            raise (Reject (pc, "load address may be past the data window"));
-          fall_through pc (with_reg st rd { lo = Fin 0; hi = Fin 255 })
-        | Vm.Store8 (_, ra, imm) ->
-          let addr = add st.(ra) (const imm) in
-          if not (le (Fin 0) addr.lo) then
-            raise (Reject (pc, "store address may be below the data window"));
-          if not (le addr.hi (Len (-1))) then
-            raise (Reject (pc, "store address may be past the data window"));
-          fall_through pc st
-        | Vm.Jmp t -> flow_to pc t st
-        | Vm.Jz (r, t) ->
-          (* taken: r = 0; fallthrough: no interval-expressible fact *)
-          let zero =
-            { lo = meet_lo st.(r).lo (Fin 0); hi = meet_hi st.(r).hi (Fin 0) }
-          in
-          if empty zero then check_target pc t
-          else flow_to pc t (with_reg st r zero);
-          fall_through pc st
-        | Vm.Jnz (r, t) ->
-          (* taken: no fact; fallthrough: r = 0 *)
-          flow_to pc t st;
-          let zero =
-            { lo = meet_lo st.(r).lo (Fin 0); hi = meet_hi st.(r).hi (Fin 0) }
-          in
-          if not (empty zero) then fall_through pc (with_reg st r zero)
-        | Vm.Jlt (a, b, t) ->
-          (* taken: a < b, so a <= b.hi - 1 and b >= a.lo + 1;
-             fallthrough: a >= b, so a >= b.lo and b <= a.hi *)
-          let ivt_a = { st.(a) with hi = meet_hi st.(a).hi (pred st.(b).hi) } in
-          let ivt_b = { st.(b) with lo = meet_lo st.(b).lo (succ st.(a).lo) } in
-          if empty ivt_a || empty ivt_b then check_target pc t
-          else flow_to pc t (with_reg (with_reg st a ivt_a) b ivt_b);
-          let ivf_a = { st.(a) with lo = meet_lo st.(a).lo st.(b).lo } in
-          let ivf_b = { st.(b) with hi = meet_hi st.(b).hi st.(a).hi } in
-          if not (empty ivf_a || empty ivf_b) then
-            fall_through pc (with_reg (with_reg st a ivf_a) b ivf_b)
-        | Vm.Ret _ -> ())
+      | None -> ()
+      | Some st ->
+        List.iter
+          (fun (t, st') ->
+            match states.(t) with
+            | None ->
+              states.(t) <- Some st';
+              push t
+            | Some old ->
+              let joined = join_states old st' in
+              if not (equal_states joined old) then begin
+                let next =
+                  if widen_pt.(t) && join_count.(t) >= joins_before_widen then
+                    widen_states old joined
+                  else joined
+                in
+                join_count.(t) <- join_count.(t) + 1;
+                if not (equal_states next old) then begin
+                  states.(t) <- Some next;
+                  push t
+                end
+              end)
+          (outs program pc st)
     done;
-    Verified { instrs = n; fuel_needed = n }
+    (* narrowing: re-apply the transfer function from the post-fixpoint a
+       couple of times (soundly decreasing) to recover the precision the
+       widened loop heads lost *)
+    let current = ref states in
+    for _round = 1 to 2 do
+      let next : state option array = Array.make n None in
+      next.(0) <- Some (entry_state ());
+      Array.iteri
+        (fun pc st_opt ->
+          match st_opt with
+          | None -> ()
+          | Some st ->
+            List.iter
+              (fun (t, st') ->
+                next.(t) <-
+                  (match next.(t) with
+                  | None -> Some st'
+                  | Some o -> Some (join_states o st')))
+              (outs program pc st))
+        !current;
+      current := next
+    done;
+    let states = !current in
+    (* memory safety on the narrowed states *)
+    Array.iteri
+      (fun pc st_opt ->
+        match st_opt with
+        | None -> () (* unreachable on every admitted path *)
+        | Some st -> (
+          match program.(pc) with
+          | Vm.Load8 (_, rs, imm) ->
+            let addr = add st.(rs) (const imm) in
+            if not (le (Fin 0) addr.lo) then
+              raise (Reject (pc, "load address may be below the data window"));
+            if not (le addr.hi (Len (-1))) then
+              raise (Reject (pc, "load address may be past the data window"))
+          | Vm.Store8 (_, ra, imm) ->
+            let addr = add st.(ra) (const imm) in
+            if not (le (Fin 0) addr.lo) then
+              raise (Reject (pc, "store address may be below the data window"));
+            if not (le addr.hi (Len (-1))) then
+              raise (Reject (pc, "store address may be past the data window"))
+          | _ -> ()))
+      states;
+    (* termination: every live backward edge must be a counted loop *)
+    let back_edges = ref [] in
+    Array.iteri
+      (fun pc st_opt ->
+        match st_opt with
+        | None -> ()
+        | Some st ->
+          List.iter
+            (fun (t, _) -> if t <= pc then back_edges := (pc, t) :: !back_edges)
+            (outs program pc st))
+      states;
+    let ranges = List.map (fun (u, h) -> (h, u)) !back_edges in
+    let loops =
+      List.map
+        (fun (u, h) -> analyze_back_edge program states ~ranges ~u ~h)
+        !back_edges
+    in
+    let loops =
+      List.sort
+        (fun a b ->
+          if a.head <> b.head then compare a.head b.head
+          else compare b.back a.back)
+        loops
+    in
+    check_structure loops;
+    let total = seg_cost ~lo:0 ~hi:(n - 1) loops in
+    if total.per_len = 0 && total.fixed > fuel then
+      raise
+        (Reject
+           (-1, Printf.sprintf "fuel bound %d exceeds the allowance %d" total.fixed fuel));
+    Verified { instrs = n; fuel = total }
   with Reject (pc, reason) -> Rejected { pc; reason }
 
 let verdict_to_string = function
-  | Verified { instrs; fuel_needed } ->
-    Printf.sprintf "verified: %d instructions, fuel bound %d" instrs fuel_needed
+  | Verified { instrs; fuel } ->
+    if fuel.per_len = 0 then
+      Printf.sprintf "verified: %d instructions, fuel bound %d" instrs fuel.fixed
+    else
+      Printf.sprintf "verified: %d instructions, fuel bound %d*L+%d" instrs
+        fuel.per_len fuel.fixed
   | Rejected { pc; reason } ->
     if pc < 0 then Printf.sprintf "rejected: %s" reason
     else Printf.sprintf "rejected at pc %d: %s" pc reason

@@ -4,43 +4,87 @@
     memory-safe without running it: every [Load8]/[Store8] stays inside
     the data window [\[0, L)] (where [L] is the window length the VM
     passes in [r1]), every jump targets a real instruction, the reserved
-    SFI registers [r6]/[r7] are untouched, and execution terminates
-    within the fuel bound.
+    SFI registers [r6]/[r7] are untouched, and execution provably
+    terminates.
 
     The abstract domain is an interval whose bounds are affine in [L],
     which is exactly enough to follow the bounds-bracketed load pattern
     {!Filterc} emits (compare against [r0 = 0] and [r1 = L], then
-    dereference). Control flow is restricted to forward jumps: the CFG
-    is then acyclic, one pass in pc order reaches the fixpoint, and a
-    program of [n] instructions provably needs at most [n] fuel.
-    Programs with backward jumps are rejected — conservatively; the
-    sandbox can still run them under per-access SFI checks.
+    dereference). Control flow admits backward jumps: the analysis is a
+    worklist fixpoint over the explicit CFG, widening unstable bounds at
+    loop heads after a bounded number of joins (convergence) and then
+    narrowing to recover the precision the access checks need inside
+    loop bodies.
+
+    Verified code runs with no per-access or per-instruction safety
+    metering, so termination needs a proof of its own: every backward
+    edge must be a counted loop — an induction register advanced by a
+    single constant-step [Add], exited via [Jlt] against a [Fin]/[Len]
+    bound or via [Jnz] counting down to zero — from which the verifier
+    derives a whole-program fuel bound affine in [L], carried by
+    {!Verified} and enforced by the loader at placement time. Anything
+    it cannot bound is rejected with a named reason; the sandbox still
+    runs such programs under per-access SFI checks.
 
     The analysis itself is pure and free. Charging its one-off cost
     ([Cost.verify_instr] per instruction) against the simulated clock is
     the caller's job — {!Pm_nucleus.Certsvc.verify} does so for the
     loader path, mirroring how certification charges its digest. *)
 
+type bound =
+  | NegInf
+  | Fin of int  (** the known integer *)
+  | Len of int  (** [L + k], where [L] is the window length, [L >= 0] *)
+  | PosInf
+
+type interval = { lo : bound; hi : bound }
+
+val top : interval
+val const : int -> interval
+
+(** [le a b]: is [a <= b] guaranteed for every window length [L >= 0]? *)
+val le : bound -> bound -> bool
+
+val join_lo : bound -> bound -> bound
+val join_hi : bound -> bound -> bound
+val empty : interval -> bool
+
+(** Smallest all-ones mask covering both arguments. Saturates at
+    [max_int] instead of doubling past it — bounds at or above [2^61]
+    (reachable through [Mul] of large [Const]s feeding [Or]/[Xor]) used
+    to hang the doubling search. *)
+val bits_mask : int -> int -> int
+
+(** Whole-program fuel bound: [fuel(L) = per_len * L + fixed]. A
+    loop-free program has [per_len = 0] and [fixed] bounded by its
+    length. *)
+type fuel_bound = { per_len : int; fixed : int }
+
+(** Instantiate the bound for a window of [len] bytes (saturating; a
+    negative [len] counts as zero). *)
+val fuel_for : fuel_bound -> len:int -> int
+
 type verdict =
   | Verified of {
-      instrs : int;  (** program length = abstract interpretation steps *)
-      fuel_needed : int;
-          (** proven execution bound: forward-only control flow executes
-              each instruction at most once *)
+      instrs : int;  (** program length = abstract interpretation width *)
+      fuel : fuel_bound;
+          (** proven execution bound, affine in the window length *)
     }
   | Rejected of { pc : int; reason : string }
       (** [pc] = -1 for whole-program defects (empty, over the fuel
-          bound) *)
+          allowance, fixpoint budget) *)
 
-(** The VM's default fuel allowance, against which the termination bound
-    is checked. *)
+(** The default allowance for the constant part of the fuel bound,
+    matching the VM's default fuel. *)
 val default_fuel : int
 
 (** [verify ?fuel program] runs the abstract interpreter. A [Verified]
     program cannot make a wild access, jump out of the program, touch
-    [r6]/[r7], or run out of fuel — division by zero remains possible
-    but is a cleanly contained [Vm_fault], like any certified
-    component's own failure. *)
+    [r6]/[r7], or run past [fuel_for] its bound — division by zero
+    remains possible but is a cleanly contained [Vm_fault], like any
+    certified component's own failure. [?fuel] caps only the constant
+    ([fixed]) part of the derived bound; the [L]-linear part is enforced
+    by the loader, which knows the window size at attach time. *)
 val verify : ?fuel:int -> Pm_vm.Vm.program -> verdict
 
 val verdict_to_string : verdict -> string

@@ -135,6 +135,10 @@ type state = {
   (* downloaded packet filter: runs over every raw received frame *)
   mutable filter : Pm_vm.Vm.program option;
   mutable filter_sandboxed : bool;
+  (* when the attach-time verifier proved the filter, the affine fuel
+     bound from its proof: runs are metered against fuel_for(frame
+     length) instead of the VM's blanket default *)
+  mutable filter_fuel : Pm_check.Verify.fuel_bound option;
   mutable rx_filtered : int;
 }
 
@@ -182,7 +186,15 @@ let filter_accepts st ctx raw =
       end
       else Pm_vm.Vm.mem_of_bytes raw
     in
-    (match Pm_vm.Vm.run ctx ~mem program with
+    let outcome =
+      match st.filter_fuel with
+      | Some fb ->
+        Pm_vm.Vm.run ctx ~mem
+          ~fuel:(Pm_check.Verify.fuel_for fb ~len:mem.Pm_vm.Vm.size)
+          program
+      | None -> Pm_vm.Vm.run ctx ~mem program
+    in
+    (match outcome with
     | Pm_vm.Vm.Returned 0 ->
       st.rx_filtered <- st.rx_filtered + 1;
       false
@@ -371,12 +383,22 @@ let controller api dom st =
         | Ok program ->
           st.filter <- Some program;
           st.filter_sandboxed <- sandboxed;
+          (* attach-time static proof (pure, no clock cost): a raw
+             filter the verifier can bound is metered against its own
+             proven fuel; anything else keeps the blanket VM default *)
+          st.filter_fuel <-
+            (if sandboxed then None
+             else
+               match Pm_check.Verify.verify program with
+               | Pm_check.Verify.Verified { fuel; _ } -> Some fuel
+               | Pm_check.Verify.Rejected _ -> None);
           Ok Value.Unit))
     | _ -> Error (Oerror.Type_error "set_filter(blob, bool)")
   in
   let clear_filter_m _ctx = function
     | [] ->
       st.filter <- None;
+      st.filter_fuel <- None;
       Ok Value.Unit
     | _ -> Error (Oerror.Type_error "clear_filter()")
   in
@@ -451,6 +473,7 @@ let create api dom ~addr ~driver_path =
       tx = 0;
       filter = None;
       filter_sandboxed = false;
+      filter_fuel = None;
       rx_filtered = 0;
     }
   in

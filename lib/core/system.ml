@@ -209,6 +209,10 @@ let install t image ~placement ~at =
          ~into:dom
          ~at:(Pm_names.Path.of_string at) ())
 
+(* the affine fuel bound proven at [name]'s Verified install, if any:
+   what the kernel meters that component's runs against *)
+let verified_fuel t name = Loader.verified_fuel (Kernel.loader t.kernel) name
+
 let install_exn t image ~placement ~at =
   match install t image ~placement ~at with
   | Ok inst -> inst

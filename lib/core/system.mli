@@ -78,6 +78,13 @@ val install :
 val install_exn :
   t -> Pm_nucleus.Loader.image -> placement:placement -> at:string -> Pm_obj.Instance.t
 
+(** [verified_fuel t name] is the affine fuel bound the bytecode
+    verifier proved at [name]'s most recent [Verified] install —
+    instantiate it with [Pm_check.Verify.fuel_for] at the component's
+    window size to meter its runs against its own proof. [None] when
+    the component was never admitted by verification. *)
+val verified_fuel : t -> string -> Pm_check.Verify.fuel_bound option
+
 (** {1 Transactional composition}
 
     [transact t name f] groups composition steps — install, register,

@@ -65,9 +65,9 @@ let verify t ~code =
     Clock.advance clock (Array.length program * costs.Cost.verify_instr);
     Clock.count clock "bytecode_verification";
     match Pm_check.Verify.verify program with
-    | Pm_check.Verify.Verified _ ->
+    | Pm_check.Verify.Verified { fuel; _ } ->
       t.verifications <- t.verifications + 1;
-      Ok ()
+      Ok fuel
     | Pm_check.Verify.Rejected _ as v ->
       Clock.count clock "bytecode_rejection";
       t.verify_failures <- t.verify_failures + 1;

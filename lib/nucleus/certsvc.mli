@@ -37,9 +37,10 @@ val failures : t -> int
     signature certification and SFI sandboxing. Charges
     [Cost.verify_instr] cycles per decoded instruction (the one-off
     analysis, analogous to the digest's per-byte charge); no signature
-    is involved. [Error] carries the decode failure or the verifier's
-    rejection, rendered. *)
-val verify : t -> code:string -> (unit, string) result
+    is involved. [Ok] carries the proven affine fuel bound (what the
+    loader records and the run path meters against); [Error] carries
+    the decode failure or the verifier's rejection, rendered. *)
+val verify : t -> code:string -> (Pm_check.Verify.fuel_bound, string) result
 
 (** Successful / failed bytecode verifications since creation. *)
 val verifications : t -> int

@@ -37,9 +37,16 @@ let load_error_to_string = function
   | Verification_failed r -> Printf.sprintf "bytecode verification failed: %s" r
   | Name_taken e -> Namespace.error_to_string e
 
-type t = { api : Api.t; repo : (string, image) Hashtbl.t }
+type t = {
+  api : Api.t;
+  repo : (string, image) Hashtbl.t;
+  (* per component name: the affine fuel bound the verifier proved at
+     the most recent Verified load — what the kernel meters a verified
+     component's runs against instead of per-instruction checks *)
+  fuel : (string, Pm_check.Verify.fuel_bound) Hashtbl.t;
+}
 
-let create api = { api; repo = Hashtbl.create 16 }
+let create api = { api; repo = Hashtbl.create 16; fuel = Hashtbl.create 16 }
 
 let publish t image = Hashtbl.replace t.repo image.meta.Meta.name image
 
@@ -72,7 +79,7 @@ let check_placement t image ~into ~sandbox ~verify =
     if not verify then certified ()
     else begin
       match Certsvc.verify t.api.Api.certification ~code:image.code with
-      | Ok () -> Ok `Verified
+      | Ok fuel -> Ok (`Verified fuel)
       | Error reason ->
         (match certified () with
         | Error (Not_certified _) -> Error (Verification_failed reason)
@@ -101,9 +108,14 @@ let load t ~name ~into ~at ?sandbox ?(verify = false) () =
         | `Sandboxed, Some wrap -> wrap inst
         | `Sandboxed, None -> assert false
         (* a verified component maps exactly like a certified one: no
-           wrapper, no run-time checks — the proof already happened *)
-        | (`Plain | `Verified), _ -> inst
+           wrapper, no run-time checks — the proof already happened; the
+           proven fuel bound is recorded so the run path can meter the
+           component against its own proof rather than a blanket default *)
+        | (`Plain | `Verified _), _ -> inst
       in
+      (match mode with
+      | `Verified fuel -> Hashtbl.replace t.fuel name fuel
+      | `Plain | `Sandboxed -> ());
       (match Directory.register t.api.Api.directory at inst with
       | Ok () ->
         jot t.api ~kind:Journal.Install ~domain:into.Domain.id
@@ -114,6 +126,8 @@ let load t ~name ~into ~at ?sandbox ?(verify = false) () =
       | Error e ->
         Instance.revoke inst;
         Error (Name_taken e)))
+
+let verified_fuel t name = Hashtbl.find_opt t.fuel name
 
 let unload t path =
   let dir = t.api.Api.directory in

@@ -65,5 +65,12 @@ val load :
   unit ->
   (Pm_obj.Instance.t, load_error) result
 
+(** [verified_fuel t name] is the affine fuel bound the bytecode
+    verifier proved at [name]'s most recent [Verified] load, if any —
+    the run-time allowance ([Pm_check.Verify.fuel_for] the window
+    length) the kernel meters that component against, replacing the
+    blanket default that unverified bytecode gets. *)
+val verified_fuel : t -> string -> Pm_check.Verify.fuel_bound option
+
 (** [unload t path] unregisters and revokes the instance at [path]. *)
 val unload : t -> Pm_names.Path.t -> (unit, load_error) result

@@ -20,8 +20,11 @@ type expr =
   | Word16 of expr
   | Bin of binop * expr * expr
   | If of expr * expr * expr
+  | Idx
+  | For of expr * expr * expr
 
 exception Too_deep
+exception Bad_loop of string
 
 (* expression results live on a register stack r2..r5; r0 = 0 and r1 =
    packet length per the VM convention, r6/r7 stay free for the SFI
@@ -30,39 +33,71 @@ let reg_of_depth depth =
   if depth > 3 then raise Too_deep;
   2 + depth
 
-(* [gen e ~depth ~pos] emits code leaving the value in [reg_of_depth
-   depth]; [pos] is the absolute index of the first emitted instruction,
-   needed because jump targets are absolute *)
-let rec gen e ~depth ~pos =
+(* [gen e ~idx ~depth ~pos] emits code leaving the value in
+   [reg_of_depth depth]; [pos] is the absolute index of the first
+   emitted instruction, needed because jump targets are absolute; [idx]
+   is the register holding the loop index when inside a [For] body *)
+let rec gen e ~idx ~depth ~pos =
   let rd = reg_of_depth depth in
   match e with
   | Lit n -> [ Vm.Const (rd, n) ]
   | Len -> [ Vm.Mov (rd, 1) ]
-  | Byte idx ->
-    let code = gen idx ~depth ~pos in
+  | Idx -> (
+    match idx with
+    | Some r -> [ Vm.Mov (rd, r) ]
+    | None -> raise (Bad_loop "idx is only meaningful inside a sum body"))
+  | For (lo, hi, body) ->
+    (* sum of [body] over the index range [lo, hi). The loop owns the
+       whole register stack: acc in r2, index in r3, limit in r4, body
+       results in r5 — so it must be outermost (depth 0) and cannot
+       nest. The closing Jlt is the one backward jump the compiler
+       emits; its shape (single constant-step Add on the index, Fin/Len
+       limit) is exactly what the verifier's counted-loop analysis
+       admits, and the step constant is rematerialized right before the
+       index Add so the abstract step is the exact interval [1,1] even
+       though the body also uses r5. *)
+    if depth > 0 then
+      raise (Bad_loop "sum loops must be outermost (combine results after the loop)");
+    if idx <> None then raise (Bad_loop "sum loops do not nest");
+    let lo_c = gen lo ~idx ~depth:1 ~pos in
+    let p1 = pos + List.length lo_c in
+    let hi_c = gen hi ~idx ~depth:2 ~pos:p1 in
+    let p2 = p1 + List.length hi_c in
+    let body_start = p2 + 3 in
+    let body_c = gen body ~idx:(Some 3) ~depth:3 ~pos:body_start in
+    let pb = body_start + List.length body_c in
+    let p_end = pb + 4 in
+    lo_c @ hi_c
+    @ [ Vm.Const (2, 0) (* acc *); Vm.Jlt (3, 4, body_start) (* pre-guard *);
+        Vm.Jmp p_end ]
+    @ body_c
+    @ [ Vm.Add (2, 2, 5); Vm.Const (5, 1); Vm.Add (3, 3, 5);
+        Vm.Jlt (3, 4, body_start) ]
+  | Byte idx_e ->
+    let code = gen idx_e ~idx ~depth ~pos in
     let p = pos + List.length code in
     (* bounds-bracketed load: out-of-range (either side) yields 0 *)
     code
     @ [ Vm.Jlt (rd, 0, p + 2) (* negative -> zero *);
         Vm.Jlt (rd, 1, p + 4) (* in range -> load *);
         Vm.Const (rd, 0); Vm.Jmp (p + 5); Vm.Load8 (rd, rd, 0) ]
-  | Word16 idx ->
+  | Word16 idx_e ->
     (* two checked byte reads; the source language has no effects, so
-       duplicating [idx] is only a (visible, honest) cost *)
+       duplicating [idx_e] is only a (visible, honest) cost *)
     gen
-      (Bin (Add, Bin (Mul, Byte idx, Lit 256), Byte (Bin (Add, idx, Lit 1))))
-      ~depth ~pos
+      (Bin (Add, Bin (Mul, Byte idx_e, Lit 256), Byte (Bin (Add, idx_e, Lit 1))))
+      ~idx ~depth ~pos
   | Bin (Andalso, l, r) ->
-    gen (Bin (Band, Bin (Ne, l, Lit 0), Bin (Ne, r, Lit 0))) ~depth ~pos
+    gen (Bin (Band, Bin (Ne, l, Lit 0), Bin (Ne, r, Lit 0))) ~idx ~depth ~pos
   | Bin (Orelse, l, r) ->
     gen
       (Bin (Ne, Bin (Add, Bin (Ne, l, Lit 0), Bin (Ne, r, Lit 0)), Lit 0))
-      ~depth ~pos
+      ~idx ~depth ~pos
   | Bin (op, l, r) ->
-    let lc = gen l ~depth ~pos in
+    let lc = gen l ~idx ~depth ~pos in
     let rdepth = depth + 1 in
     let rr = reg_of_depth rdepth in
-    let rc = gen r ~depth:rdepth ~pos:(pos + List.length lc) in
+    let rc = gen r ~idx ~depth:rdepth ~pos:(pos + List.length lc) in
     let p = pos + List.length lc + List.length rc in
     let arith mk = lc @ rc @ [ mk ] in
     let bool_block ~jump ~if_true ~if_false =
@@ -92,18 +127,19 @@ let rec gen e ~depth ~pos =
     | Le -> bool_block ~jump:(fun t -> Vm.Jlt (rr, rd, t)) ~if_true:0 ~if_false:1
     | Andalso | Orelse -> assert false (* desugared above *))
   | If (c, t, e) ->
-    let cc = gen c ~depth ~pos in
+    let cc = gen c ~idx ~depth ~pos in
     let pos_t = pos + List.length cc + 1 in
-    let tc = gen t ~depth ~pos:pos_t in
+    let tc = gen t ~idx ~depth ~pos:pos_t in
     let pos_e = pos_t + List.length tc + 1 in
-    let ec = gen e ~depth ~pos:pos_e in
+    let ec = gen e ~idx ~depth ~pos:pos_e in
     let pos_end = pos_e + List.length ec in
     cc @ [ Vm.Jz (rd, pos_e) ] @ tc @ [ Vm.Jmp pos_end ] @ ec
 
 let compile e =
-  match gen e ~depth:0 ~pos:0 with
+  match gen e ~idx:None ~depth:0 ~pos:0 with
   | code -> Ok (Array.of_list (code @ [ Vm.Ret 2 ]))
   | exception Too_deep -> Error "expression nests too deeply for the register stack"
+  | exception Bad_loop msg -> Error msg
 
 let object_code e = Result.map Vm.encode (compile e)
 
@@ -114,6 +150,8 @@ type token =
   | TLen
   | TByte
   | TWord
+  | TSum
+  | TIdx
   | TLbrack
   | TRbrack
   | TLparen
@@ -145,13 +183,15 @@ let tokenize s =
       | "len" -> toks := TLen :: !toks
       | "byte" -> toks := TByte :: !toks
       | "word" -> toks := TWord :: !toks
+      | "sum" -> toks := TSum :: !toks
+      | "idx" -> toks := TIdx :: !toks
       | w -> err := Some (Printf.sprintf "unknown keyword %S" w));
       i := !j
     end
     else begin
       let two = if !i + 1 < n then String.sub s !i 2 else "" in
       match two with
-      | "==" | "!=" | "<=" | ">=" | "&&" | "||" ->
+      | "==" | "!=" | "<=" | ">=" | "&&" | "||" | ".." ->
         toks := TOp two :: !toks;
         i := !i + 2
       | _ ->
@@ -260,6 +300,21 @@ let parse s =
         let e = p_or () in
         expect TRbrack "']'";
         Word16 e
+      | Some TIdx ->
+        advance ();
+        Idx
+      | Some TSum ->
+        (* sum[ lo .. hi ]( body ) — body sees the index as [idx] *)
+        advance ();
+        expect TLbrack "'['";
+        let lo = p_or () in
+        expect (TOp "..") "'..'";
+        let hi = p_or () in
+        expect TRbrack "']'";
+        expect TLparen "'('";
+        let body = p_or () in
+        expect TRparen "')'";
+        For (lo, hi, body)
       | Some TLparen ->
         advance ();
         let e = p_or () in

@@ -23,8 +23,18 @@
       cmp  := sum (("=="|"!="|"<"|"<="|">"|">=") sum)?
       sum  := prod (("+"|"-") prod)*
       prod := atom (("*"|"&"|"^") atom)*
-      atom := int | "len" | "byte[" expr "]" | "word[" expr "]" | "(" expr ")"
-    v} *)
+      atom := int | "len" | "idx" | "byte[" expr "]" | "word[" expr "]"
+            | "sum[" expr ".." expr "](" expr ")" | "(" expr ")"
+    v}
+
+    [sum[lo .. hi](body)] sums [body] over the index range [\[lo, hi)],
+    with [idx] naming the current index inside the body; it compiles to
+    a counted loop with a backward jump whose shape the verifier's
+    loop-bound analysis admits, so scanning filters still earn the
+    zero-per-run [Verified] placement. The loop owns the register
+    stack, so it must be the outermost expression on its operand path
+    (combine sums after the loop, not inside one) and bodies are
+    limited to leaf-depth expressions like [byte\[idx\]]. *)
 
 type binop =
   | Add
@@ -48,11 +58,15 @@ type expr =
   | Word16 of expr  (** big-endian 16-bit read (two checked byte reads) *)
   | Bin of binop * expr * expr
   | If of expr * expr * expr
+  | Idx  (** the loop index; only meaningful inside a [For] body *)
+  | For of expr * expr * expr
+      (** [For (lo, hi, body)]: sum of [body] over index in [\[lo, hi)] *)
 
 (** [compile e] emits bytecode using only registers r0–r5 (leaving the
     SFI rewriter's reserved registers untouched — so the same program can
     be run raw-certified or sandboxed for comparison). [Error] when the
-    expression nests deeper than the 4-slot register stack. *)
+    expression nests deeper than the 4-slot register stack, or when a
+    [For] is not outermost / an [Idx] appears outside a body. *)
 val compile : expr -> (Vm.program, string) result
 
 (** [parse s] reads the concrete syntax. *)

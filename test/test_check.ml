@@ -17,14 +17,17 @@ let test_verify_accepts_filters () =
     (fun src ->
       let p = compile_exn src in
       match Verify.verify p with
-      | Verify.Verified { instrs; fuel_needed } ->
+      | Verify.Verified { instrs; fuel } ->
         Alcotest.(check int)
           (src ^ ": instrs = program length")
           (Array.length p) instrs;
+        Alcotest.(check int)
+          (src ^ ": straight-line filters need no per-length fuel")
+          0 fuel.Verify.per_len;
         Alcotest.(check bool)
           (src ^ ": fuel bound within the VM default")
           true
-          (fuel_needed <= Verify.default_fuel)
+          (fuel.Verify.fixed <= Verify.default_fuel)
       | Verify.Rejected _ as v ->
         Alcotest.failf "%s: %s" src (Verify.verdict_to_string v))
     [
@@ -63,6 +66,47 @@ let verifier_accepts_compiler_prop =
       match Filterc.compile e with
       | Error _ -> true (* too deep: fine *)
       | Ok program -> Verify.ok (Verify.verify program))
+
+(* loop-bearing filters: a [sum] must verify with a fuel bound that is
+   genuinely affine in L, and running under exactly that bound must
+   complete *)
+let gen_loop_filter_expr =
+  let open QCheck2.Gen in
+  let bound =
+    oneof
+      [ map (fun n -> Filterc.Lit n) (int_bound 80); return Filterc.Len;
+        map (fun i -> Filterc.Byte (Filterc.Lit i)) (int_range (-4) 40) ]
+  in
+  (* the loop owns r2..r4, so bodies are leaves in r5 (deeper nesting is
+     a compile-time Too_deep, covered by the plain compiler prop) *)
+  let body =
+    oneof
+      [ return (Filterc.Byte Filterc.Idx); return Filterc.Idx;
+        map (fun n -> Filterc.Lit n) (int_bound 9);
+        map (fun i -> Filterc.Byte (Filterc.Lit i)) (int_range (-4) 40);
+        return Filterc.Len ]
+  in
+  let loop = map3 (fun lo hi b -> Filterc.For (lo, hi, b)) bound bound body in
+  let op = oneofl [ Filterc.Add; Filterc.Band; Filterc.Eq; Filterc.Ne; Filterc.Lt; Filterc.Ge ] in
+  oneof [ loop; map3 (fun o l r -> Filterc.Bin (o, l, r)) op loop bound ]
+
+let verifier_accepts_loops_prop =
+  prop "every sum filter verifies with an affine bound"
+    QCheck2.Gen.(pair gen_loop_filter_expr (string_size (int_range 0 64)))
+    (fun (e, pkt_str) ->
+      match Filterc.compile e with
+      | Error _ -> false (* outermost single sums always compile *)
+      | Ok program -> (
+        match Verify.verify program with
+        | Verify.Rejected _ -> false
+        | Verify.Verified { fuel; _ } ->
+          let clock = Clock.create () in
+          let ctx = Call_ctx.make ~clock ~costs:Cost.unit_costs ~caller_domain:0 in
+          let mem = Vm.mem_of_bytes (Bytes.of_string pkt_str) in
+          let fuel = Verify.fuel_for fuel ~len:(String.length pkt_str) in
+          (match Vm.run ctx ~fuel ~mem program with
+          | Vm.Returned _ -> true
+          | Vm.Vm_fault _ | Vm.Wild_access _ -> false)))
 
 (* --- verifier: rejection ----------------------------------------------- *)
 
@@ -124,6 +168,130 @@ let test_verify_rejections () =
   | Verify.Rejected _ as v ->
     Alcotest.failf "bracketed load must verify: %s" (Verify.verdict_to_string v)
 
+(* --- verifier: loops --------------------------------------------------- *)
+
+let run_fueled ~pkt ~fuel program =
+  let clock = Clock.create () in
+  let ctx = Call_ctx.make ~clock ~costs:Cost.unit_costs ~caller_domain:0 in
+  Vm.run ctx ~fuel ~mem:(Vm.mem_of_bytes pkt) program
+
+let expect_loop_verified what program =
+  match Verify.verify program with
+  | Verify.Verified { fuel; _ } ->
+    Alcotest.(check bool)
+      (what ^ ": fuel bound is genuinely per-length")
+      true (fuel.Verify.per_len >= 1);
+    (* the proven bound suffices at several window sizes, including 0 *)
+    List.iter
+      (fun len ->
+        let pkt = Bytes.make len 'x' in
+        match run_fueled ~pkt ~fuel:(Verify.fuel_for fuel ~len) program with
+        | Vm.Returned _ -> ()
+        | Vm.Wild_access _ | Vm.Vm_fault _ ->
+          Alcotest.failf "%s: faulted within its proven bound (len %d)" what len)
+      [ 0; 1; 32; 255 ]
+  | Verify.Rejected _ as v ->
+    Alcotest.failf "%s: %s" what (Verify.verdict_to_string v)
+
+let test_verify_loop_acceptance () =
+  (* canonical up-count: i from 0 while i < L, step 1 *)
+  expect_loop_verified "up-count"
+    [|
+      Vm.Const (2, 0); Vm.Const (3, 0); Vm.Jlt (2, 1, 4); Vm.Ret 3;
+      Vm.Const (4, 1); Vm.Add (2, 2, 4); Vm.Jlt (2, 1, 4); Vm.Ret 3;
+    |];
+  (* canonical down-count: i from L to 0, pre-guarded against L = 0 *)
+  expect_loop_verified "down-count"
+    [|
+      Vm.Mov (2, 1); Vm.Jz (2, 5); Vm.Const (4, -1); Vm.Add (2, 2, 4);
+      Vm.Jnz (2, 2); Vm.Ret 0;
+    |];
+  (* a scan that actually loads every byte in the window *)
+  expect_loop_verified "byte scan"
+    [|
+      Vm.Const (2, 0); Vm.Const (3, 0); Vm.Jlt (2, 1, 4); Vm.Ret 3;
+      Vm.Load8 (5, 2, 0); Vm.Add (3, 3, 5); Vm.Const (4, 1);
+      Vm.Add (2, 2, 4); Vm.Jlt (2, 1, 4); Vm.Ret 3;
+    |];
+  (* the compiled sum construct end to end *)
+  match Filterc.compile_string "sum[0 .. len](byte[idx]) & 255 == 73" with
+  | Error e -> Alcotest.failf "sum filter: %s" e
+  | Ok p -> expect_loop_verified "sum filter" p
+
+let test_verify_loop_rejections () =
+  (* no induction register advances: spins forever *)
+  check_reason "stuck spin" "constant step"
+    [| Vm.Const (2, 1); Vm.Jnz (2, 1); Vm.Ret 0 |];
+  (* doubling is not a constant step (and 0 doubles to 0 forever) *)
+  check_reason "doubling step" "constant step"
+    [|
+      Vm.Const (2, 0); Vm.Jlt (2, 1, 3); Vm.Ret 0; Vm.Add (2, 2, 2);
+      Vm.Jlt (2, 1, 3); Vm.Ret 0;
+    |];
+  (* the increment sits behind a branch: some iterations skip it *)
+  check_reason "skippable step" "skipped"
+    [|
+      Vm.Const (2, 0); Vm.Mov (3, 1); Vm.Jlt (2, 1, 4); Vm.Ret 0;
+      Vm.Const (4, 1); Vm.Jz (3, 7); Vm.Add (2, 2, 4); Vm.Jlt (2, 1, 4);
+      Vm.Ret 0;
+    |];
+  (* down-count entering at 0: tested at -1, never exits *)
+  check_reason "countdown from zero" "enter at or below zero"
+    [|
+      Vm.Const (2, 0); Vm.Const (4, -1); Vm.Add (2, 2, 4); Vm.Jnz (2, 2);
+      Vm.Ret 0;
+    |];
+  (* down-count from L without a zero pre-guard: L may be 0 *)
+  check_reason "unguarded countdown" "enter at or below zero"
+    [|
+      Vm.Mov (2, 1); Vm.Const (4, -1); Vm.Add (2, 2, 4); Vm.Jnz (2, 2);
+      Vm.Ret 0;
+    |];
+  (* loop-carried out-of-window access: byte[i + 1] reads byte[L] on the
+     last trip *)
+  check_reason "loop-carried overrun" "window"
+    [|
+      Vm.Const (2, 0); Vm.Jlt (2, 1, 3); Vm.Ret 0; Vm.Load8 (3, 2, 1);
+      Vm.Const (4, 1); Vm.Add (2, 2, 4); Vm.Jlt (2, 1, 3); Vm.Ret 0;
+    |];
+  (* backward Jmp: no exit test at all *)
+  check_reason "backward jmp loop" "backward"
+    [| Vm.Const (2, 0); Vm.Jmp 1; Vm.Ret 0 |]
+
+(* crafted attacks on the analysis itself: each used to hang or overflow
+   a naive interval implementation; all must resolve finitely and
+   soundly *)
+let test_verify_pathological () =
+  (* Or on a near-max bound: bits_mask must saturate instead of doubling
+     past max_int (2^61 - 2^30 here; the old doubling overflowed) *)
+  (match
+     Verify.verify
+       [| Vm.Const (2, 0x7FFFFFFF); Vm.Shl (3, 2, 30); Vm.Or (4, 3, 3); Vm.Ret 4 |]
+   with
+  | Verify.Verified _ -> ()
+  | Verify.Rejected _ as v ->
+    Alcotest.failf "saturating Or program must verify: %s"
+      (Verify.verdict_to_string v));
+  Alcotest.(check int) "bits_mask saturates at max_int" max_int
+    (Verify.bits_mask max_int max_int);
+  Alcotest.(check int) "bits_mask saturates above max_int/2" max_int
+    (Verify.bits_mask ((max_int lsr 1) + 1) 0);
+  Alcotest.(check int) "bits_mask small" 7 (Verify.bits_mask 5 2);
+  (* Shl wrap: {0,1} lsl 62 is {0, min_int} on a 63-bit VM — an interval
+     that silently wraps claims [0, 2^62] and admits the load *)
+  check_reason "shl wrap" "window"
+    [|
+      Vm.Jz (1, 3); Vm.Const (2, 1); Vm.Jmp 4; Vm.Const (2, 0);
+      Vm.Shl (3, 2, 62); Vm.Load8 (5, 3, 0); Vm.Ret 5;
+    |];
+  (* Mul wrap: squaring [2^17, 2^47-ish] passes 2^62 and wraps; the
+     interval must widen to top, not invert *)
+  check_reason "mul wrap" "window"
+    [|
+      Vm.Jz (1, 3); Vm.Const (2, 0x7FFFFFFF); Vm.Jmp 4; Vm.Const (2, 2);
+      Vm.Shl (2, 2, 16); Vm.Mul (3, 2, 2); Vm.Load8 (5, 3, 0); Vm.Ret 5;
+    |]
+
 (* --- verifier: soundness ----------------------------------------------- *)
 
 let gen_instr =
@@ -138,8 +306,14 @@ let gen_instr =
         map3 (fun a b c -> Vm.Sub (a, b, c)) reg reg reg;
         map3 (fun a b c -> Vm.Load8 (a, b, c)) reg reg (int_bound 64);
         map3 (fun a b c -> Vm.Store8 (a, b, c)) reg reg (int_bound 64);
+        map3 (fun a b c -> Vm.Mul (a, b, c)) reg reg reg;
+        map3 (fun a b c -> Vm.And (a, b, c)) reg reg reg;
+        map3 (fun a b c -> Vm.Or (a, b, c)) reg reg reg;
+        map3 (fun a b k -> Vm.Shl (a, b, k)) reg reg (int_bound 63);
+        map3 (fun a b k -> Vm.Shr (a, b, k)) reg reg (int_bound 63);
         map (fun t -> Vm.Jmp t) (int_bound 30);
         map2 (fun r t -> Vm.Jz (r, t)) reg (int_bound 30);
+        map2 (fun r t -> Vm.Jnz (r, t)) reg (int_bound 30);
         map3 (fun a b t -> Vm.Jlt (a, b, t)) reg reg (int_bound 30);
         map (fun r -> Vm.Ret r) reg;
       ])
@@ -156,11 +330,12 @@ let verifier_soundness_prop =
     (fun (program, pkt_str) ->
       match Verify.verify program with
       | Verify.Rejected _ -> true
-      | Verify.Verified { fuel_needed; _ } ->
+      | Verify.Verified { fuel; _ } ->
         let clock = Clock.create () in
         let ctx = Call_ctx.make ~clock ~costs:Cost.unit_costs ~caller_domain:0 in
         let mem = Vm.mem_of_bytes (Bytes.of_string pkt_str) in
-        (match Vm.run ctx ~fuel:fuel_needed ~mem program with
+        let fuel = Verify.fuel_for fuel ~len:(String.length pkt_str) in
+        (match Vm.run ctx ~fuel ~mem program with
         | Vm.Returned _ -> true
         | Vm.Vm_fault "division by zero" -> true
         | Vm.Vm_fault _ | Vm.Wild_access _ -> false))
@@ -212,6 +387,35 @@ let test_verified_load () =
     | Error e -> failwith e
   in
   Alcotest.(check int) "verify cost charged per instruction" expected spent
+
+(* a Verified install leaves its proven bound behind for the run path *)
+let test_verified_fuel_recorded () =
+  let sys = System.create () in
+  let loopy = Vm.encode (compile_exn "sum[0 .. len](byte[idx]) == 0") in
+  (match
+     System.install sys
+       (bytecode_image ~name:"scanner" ~author:"anyone" loopy)
+       ~placement:System.Verified ~at:"/services/scanner"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "loop filter must load Verified: %s" e);
+  (match System.verified_fuel sys "scanner" with
+  | Some fb ->
+    Alcotest.(check bool) "per-length bound recorded" true (fb.Verify.per_len >= 1);
+    Alcotest.(check bool) "fuel grows with the window" true
+      (Verify.fuel_for fb ~len:256 > Verify.fuel_for fb ~len:16)
+  | None -> Alcotest.fail "verified install must record its fuel bound");
+  (* a placement that never ran the verifier records nothing *)
+  let straight = Vm.encode (compile_exn "byte[0] == 1") in
+  (match
+     System.install sys
+       (bytecode_image ~name:"plain" ~author:"anyone" straight)
+       ~placement:System.Sandboxed ~at:"/services/plain"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "sandboxed load: %s" e);
+  Alcotest.(check bool) "sandboxed install records no bound" true
+    (System.verified_fuel sys "plain" = None)
 
 (* --- subsumption and Interpose enforcement ----------------------------- *)
 
@@ -471,11 +675,20 @@ let () =
           Alcotest.test_case "accepts shipped filters" `Quick
             test_verify_accepts_filters;
           Alcotest.test_case "rejections" `Quick test_verify_rejections;
+          Alcotest.test_case "loop acceptance" `Quick test_verify_loop_acceptance;
+          Alcotest.test_case "loop rejections" `Quick test_verify_loop_rejections;
+          Alcotest.test_case "pathological programs" `Quick
+            test_verify_pathological;
           verifier_accepts_compiler_prop;
+          verifier_accepts_loops_prop;
           verifier_soundness_prop;
         ] );
       ( "loader",
-        [ Alcotest.test_case "verified trust class" `Quick test_verified_load ] );
+        [
+          Alcotest.test_case "verified trust class" `Quick test_verified_load;
+          Alcotest.test_case "fuel bound recorded" `Quick
+            test_verified_fuel_recorded;
+        ] );
       ( "subsume",
         [
           Alcotest.test_case "attach enforces superset" `Quick

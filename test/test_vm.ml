@@ -147,20 +147,30 @@ let codec_prop =
 
 (* --- filterc ---------------------------------------------------------------- *)
 
-(* reference interpreter for the filter language *)
-let rec eval_ref pkt e =
+(* reference interpreter for the filter language; [idx] is the enclosing
+   sum's index, if any *)
+let rec eval_ref ?idx pkt e =
   let len = Bytes.length pkt in
   let byte i = if i >= 0 && i < len then Char.code (Bytes.get pkt i) else 0 in
   let b2i b = if b then 1 else 0 in
   match e with
   | Filterc.Lit n -> n
   | Filterc.Len -> len
-  | Filterc.Byte ie -> byte (eval_ref pkt ie)
+  | Filterc.Idx -> (
+    match idx with Some i -> i | None -> Alcotest.fail "eval_ref: idx outside sum")
+  | Filterc.For (lo, hi, body) ->
+    let lo = eval_ref ?idx pkt lo and hi = eval_ref ?idx pkt hi in
+    let acc = ref 0 in
+    for i = lo to hi - 1 do
+      acc := !acc + eval_ref ~idx:i pkt body
+    done;
+    !acc
+  | Filterc.Byte ie -> byte (eval_ref ?idx pkt ie)
   | Filterc.Word16 ie ->
-    let i = eval_ref pkt ie in
+    let i = eval_ref ?idx pkt ie in
     (byte i * 256) + byte (i + 1)
   | Filterc.Bin (op, l, r) ->
-    let a = eval_ref pkt l and b = eval_ref pkt r in
+    let a = eval_ref ?idx pkt l and b = eval_ref ?idx pkt r in
     (match op with
     | Filterc.Add -> a + b
     | Filterc.Sub -> a - b
@@ -175,7 +185,8 @@ let rec eval_ref pkt e =
     | Filterc.Ge -> b2i (a >= b)
     | Filterc.Andalso -> b2i (a <> 0 && b <> 0)
     | Filterc.Orelse -> b2i (a <> 0 || b <> 0))
-  | Filterc.If (c, t, e) -> if eval_ref pkt c <> 0 then eval_ref pkt t else eval_ref pkt e
+  | Filterc.If (c, t, e) ->
+    if eval_ref ?idx pkt c <> 0 then eval_ref ?idx pkt t else eval_ref ?idx pkt e
 
 let compile_exn e =
   match Filterc.compile e with Ok p -> p | Error m -> Alcotest.fail m
@@ -198,6 +209,16 @@ let test_filterc_basics () =
       ( "if",
         Filterc.If (Filterc.Lit 0, Filterc.Lit 7, Filterc.Lit 9),
         9 );
+      ( "sum of all bytes",
+        Filterc.For (Filterc.Lit 0, Filterc.Len, Filterc.Byte Filterc.Idx),
+        158 );
+      ( "sum of indices",
+        Filterc.For (Filterc.Lit 1, Filterc.Lit 4, Filterc.Idx),
+        6 );
+      ("empty sum", Filterc.For (Filterc.Lit 3, Filterc.Lit 3, Filterc.Lit 5), 0);
+      ( "sum hi below lo",
+        Filterc.For (Filterc.Lit 9, Filterc.Lit 2, Filterc.Lit 1),
+        0 );
     ]
   in
   List.iter
@@ -216,6 +237,11 @@ let test_filterc_parser () =
       ("1 ==", false);
       ("", false);
       ("1 2", false);
+      ("sum[0 .. len](byte[idx]) == 158", true);
+      ("sum[2 .. 9](idx) > 3", true);
+      ("sum[0 len](idx)", false);
+      ("sum[0 .. len](idx", false);
+      ("sum[.. len](idx)", false);
     ]
   in
   List.iter
@@ -232,6 +258,24 @@ let test_filterc_too_deep () =
   (match Filterc.compile (nest 10) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "deep nesting must be rejected")
+
+let test_filterc_loop_misuse () =
+  let expect_err what e =
+    match Filterc.compile e with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s must be rejected" what
+  in
+  expect_err "idx outside a sum" Filterc.Idx;
+  expect_err "nested sums"
+    (Filterc.For
+       ( Filterc.Lit 0,
+         Filterc.Len,
+         Filterc.For (Filterc.Lit 0, Filterc.Lit 3, Filterc.Idx) ));
+  expect_err "sum below the top of an expression"
+    (Filterc.Bin
+       ( Filterc.Add,
+         Filterc.Lit 1,
+         Filterc.For (Filterc.Lit 0, Filterc.Len, Filterc.Idx) ))
 
 let test_filterc_avoids_reserved_regs () =
   (* every compiled program must be SFI-rewritable *)
@@ -281,12 +325,64 @@ let filterc_semantics_prop =
         | Vm.Wild_access _ -> false (* compiled code must never escape *)
         | Vm.Vm_fault _ -> false))
 
+(* loop-bearing filters: the sum construct against the same reference
+   interpreter — bounds from the leaf pool, bodies leaves in r5 *)
+let gen_loop_filter_expr =
+  let open QCheck2.Gen in
+  let bound =
+    oneof
+      [ map (fun n -> Filterc.Lit n) (int_bound 60); return Filterc.Len;
+        map (fun i -> Filterc.Byte (Filterc.Lit i)) (int_range (-4) 40) ]
+  in
+  let body =
+    oneof
+      [ return (Filterc.Byte Filterc.Idx); return Filterc.Idx;
+        map (fun n -> Filterc.Lit n) (int_bound 9);
+        map (fun i -> Filterc.Byte (Filterc.Lit i)) (int_range 0 40);
+        return Filterc.Len ]
+  in
+  let loop = map3 (fun lo hi b -> Filterc.For (lo, hi, b)) bound bound body in
+  let op =
+    oneofl
+      [ Filterc.Add; Filterc.Band; Filterc.Eq; Filterc.Ne; Filterc.Lt; Filterc.Ge ]
+  in
+  oneof [ loop; map3 (fun o l r -> Filterc.Bin (o, l, r)) op loop bound ]
+
+let loop_semantics_prop =
+  prop "compiled sum loops agree with the reference interpreter"
+    QCheck2.Gen.(pair gen_loop_filter_expr (string_size (int_range 0 48)))
+    (fun (e, pkt_str) ->
+      let pkt = Bytes.of_string pkt_str in
+      match Filterc.compile e with
+      | Error _ -> false (* leaf-bodied outermost sums always compile *)
+      | Ok program ->
+        (match run_prog ~pkt program with
+        | Vm.Returned v -> v = eval_ref pkt e
+        | Vm.Wild_access _ -> false
+        | Vm.Vm_fault _ -> false))
+
 let sfi_preserves_semantics_prop =
   prop "SFI rewriting preserves compiled-filter behaviour"
     QCheck2.Gen.(pair gen_filter_expr (string_size (int_range 0 32)))
     (fun (e, pkt_str) ->
       match Filterc.compile e with
       | Error _ -> true
+      | Ok program ->
+        let padded = Sfi_rewrite.padded_size (max 1 (String.length pkt_str)) in
+        let pkt1 = Bytes.make padded '\000' in
+        Bytes.blit_string pkt_str 0 pkt1 0 (String.length pkt_str);
+        let pkt2 = Bytes.copy pkt1 in
+        (match Sfi_rewrite.rewrite program ~window_size:padded with
+        | Error _ -> false
+        | Ok sandboxed ->
+          run_prog ~pkt:pkt1 program = run_prog ~pkt:pkt2 sandboxed))
+
+let sfi_preserves_loops_prop =
+  prop "SFI rewriting preserves sum-loop behaviour"
+    QCheck2.Gen.(pair gen_loop_filter_expr (string_size (int_range 0 32)))
+    (fun (e, pkt_str) ->
+      match Filterc.compile e with
+      | Error _ -> false
       | Ok program ->
         let padded = Sfi_rewrite.padded_size (max 1 (String.length pkt_str)) in
         let pkt1 = Bytes.make padded '\000' in
@@ -537,9 +633,11 @@ let () =
           Alcotest.test_case "basics" `Quick test_filterc_basics;
           Alcotest.test_case "parser" `Quick test_filterc_parser;
           Alcotest.test_case "too deep" `Quick test_filterc_too_deep;
+          Alcotest.test_case "loop misuse" `Quick test_filterc_loop_misuse;
           Alcotest.test_case "rewritable output" `Quick
             test_filterc_avoids_reserved_regs;
           filterc_semantics_prop;
+          loop_semantics_prop;
         ] );
       ( "sfi",
         [
@@ -550,6 +648,7 @@ let () =
           Alcotest.test_case "out-of-range jump stays out" `Quick
             test_sfi_out_of_range_jump_stays_out;
           sfi_preserves_semantics_prop;
+          sfi_preserves_loops_prop;
           sfi_containment_prop;
         ] );
       ( "stack-filter",
