@@ -13,7 +13,7 @@ bench:
 
 # the assertion-bearing experiments at reduced iteration counts, for CI
 bench-smoke:
-	dune exec bench/main.exe -- obs e14 e15 e16 e18 e19 e20 e21 e22 replay --quick
+	dune exec bench/main.exe -- obs e14 e15 e16 e18 e19 e20 e21 e22 e23 replay --quick
 
 # the channel-backed data path exercised through the demo binary, and
 # the whole-system KV workload on top of it
@@ -48,9 +48,11 @@ lint:
 	dune exec bin/pm_lint.exe
 	! dune exec bin/pm_lint.exe -- --seed non-superset --quiet
 	! dune exec bin/pm_lint.exe -- --seed spsc --quiet
+	! dune exec bin/pm_lint.exe -- --seed cross-cpu --quiet
 	! dune exec bin/pm_lint.exe -- --seed store-order --quiet
 	! dune exec bin/pm_lint.exe -- --seed store-dangling --quiet
 	dune exec bin/pm_lint.exe -- --seed spsc --json | grep -q '"rule":"spsc"'
+	dune exec bin/pm_lint.exe -- --seed cross-cpu --json | grep -q '"rule":"cross-cpu"'
 
 # regenerate the committed reference run (simulated cycles, deterministic)
 bench-output:

@@ -14,6 +14,17 @@ let say fmt = Printf.printf (fmt ^^ "\n%!")
 let seed_t =
   Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let cpus_t =
+  Arg.(
+    value & opt int 1
+    & info [ "cpus" ] ~docv:"N"
+        ~doc:
+          "Simulated CPUs. $(b,1) (the default) is the uniprocessor and \
+           behaves byte-identically to builds without SMP; higher counts boot \
+           a Pm_cpu complex with per-CPU clocks and schedulers.")
+
+let create_system ~seed ~cpus = System.create ~seed ~cpus ()
+
 let placement_t =
   let placement_conv =
     Arg.enum [ ("certified", `Certified); ("sandboxed", `Sandboxed); ("user", `User) ]
@@ -35,10 +46,13 @@ let networking sys placement =
 (* --- info --------------------------------------------------------------- *)
 
 let info_cmd =
-  let run seed =
-    let sys = System.create ~seed () in
+  let run seed cpus =
+    let sys = create_system ~seed ~cpus in
     let k = System.kernel sys in
     say "Paramecium system";
+    (match Cpu.find ~machine:(Kernel.machine k) with
+    | Some cpx -> say "  cpus: %d" (Cpu.count cpx)
+    | None -> say "  cpus: 1 (uniprocessor)");
     say "  authority: %s" (Principal.id (Authority.ca (System.authority sys)));
     say "  delegates:";
     List.iter
@@ -59,13 +73,13 @@ let info_cmd =
       (Physmem.total_frames (Machine.phys (Kernel.machine k)))
   in
   Cmd.v (Cmd.info "info" ~doc:"Boot a system and describe it.")
-    Term.(const run $ seed_t)
+    Term.(const run $ seed_t $ cpus_t)
 
 (* --- ls ------------------------------------------------------------------- *)
 
 let ls_cmd =
-  let run seed placement =
-    let sys = System.create ~seed () in
+  let run seed cpus placement =
+    let sys = create_system ~seed ~cpus in
     ignore (networking sys placement);
     let k = System.kernel sys in
     let ns = Directory.namespace (Kernel.directory k) in
@@ -81,7 +95,7 @@ let ls_cmd =
   in
   Cmd.v
     (Cmd.info "ls" ~doc:"List the instance name space of a booted system.")
-    Term.(const run $ seed_t $ placement_t)
+    Term.(const run $ seed_t $ cpus_t $ placement_t)
 
 (* --- packets ---------------------------------------------------------------- *)
 
@@ -118,8 +132,8 @@ let packets_cmd =
              deliveries land on a per-port ring instead of the mailbox, and \
              each one is echoed back through the shared MPSC transmit group.")
   in
-  let run seed placement n size trace stats net_chan =
-    let sys = System.create ~seed () in
+  let run seed cpus placement n size trace stats net_chan =
+    let sys = create_system ~seed ~cpus in
     let k = System.kernel sys in
     let net = networking sys placement in
     let kdom = Kernel.kernel_domain k in
@@ -261,8 +275,8 @@ let packets_cmd =
     (Cmd.info "packets"
        ~doc:"Push a packet workload through a placement and report cycle counters.")
     Term.(
-      const run $ seed_t $ placement_t $ count_t $ size_t $ trace_t $ stats_t
-      $ net_chan_t)
+      const run $ seed_t $ cpus_t $ placement_t $ count_t $ size_t $ trace_t
+      $ stats_t $ net_chan_t)
 
 (* --- certify ---------------------------------------------------------------- *)
 
@@ -282,8 +296,8 @@ let certify_cmd =
   let annotated_t =
     Arg.(value & flag & info [ "annotated" ] ~doc:"Ships with proof annotations.")
   in
-  let run seed name size author type_safe annotated =
-    let sys = System.create ~seed () in
+  let run seed cpus name size author type_safe annotated =
+    let sys = create_system ~seed ~cpus in
     let auth = System.authority sys in
     let meta =
       Meta.make ~author ~type_safe ~proof_annotated:annotated ~name ~size ()
@@ -316,7 +330,7 @@ let certify_cmd =
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Run a component description through the certification delegate chain.")
-    Term.(const run $ seed_t $ name_t $ size_t $ author_t $ type_safe_t $ annotated_t)
+    Term.(const run $ seed_t $ cpus_t $ name_t $ size_t $ author_t $ type_safe_t $ annotated_t)
 
 
 (* --- filter ------------------------------------------------------------------ *)
@@ -391,8 +405,8 @@ let kv_cmd =
             "Storage-stack placement: $(b,certified), $(b,verified) or \
              $(b,user).")
   in
-  let run seed n placement =
-    let sys = System.create ~seed () in
+  let run seed cpus n placement =
+    let sys = create_system ~seed ~cpus in
     let k = System.kernel sys in
     let net =
       System.setup_networking sys ~placement:System.Certified ~addr:42
@@ -491,7 +505,7 @@ let kv_cmd =
           key-value server over the channel-backed network path, and the \
           server persists through the /store stack (append-only log over a \
           write-back cache over a partition over the DMA block device).")
-    Term.(const run $ seed_t $ count_t $ store_placement_t)
+    Term.(const run $ seed_t $ cpus_t $ count_t $ store_placement_t)
 
 let () =
   let doc = "Paramecium extensible-kernel reproduction demos" in

@@ -10,11 +10,22 @@ module Events = Pm_nucleus.Events
 module Scheduler = Pm_threads.Scheduler
 module Sync = Pm_threads.Sync
 
+module Cpu = Pm_machine.Cpu
+
 type mode = Doorbell | Poll
 
 let default_doorbell_vec = 29
 let magic = 0xC4A70001
 let header_bytes = 32
+
+(* SPARC-era line size; what one cross-CPU transfer moves *)
+let cacheline_bytes = 64
+
+(* Cache lines a message of [len] payload bytes drags across CPUs: the
+   length word plus payload, plus one line for the published index word
+   the other side re-reads. The bench asserts the cross-CPU gap equals
+   exactly this times {!Cost.t.cacheline}. *)
+let lines_of_msg len = 1 + ((4 + len + cacheline_bytes - 1) / cacheline_bytes)
 
 (* header word offsets, in bytes *)
 let off_magic = 0
@@ -70,6 +81,11 @@ type t = {
          (group name, owning MMU context). The linter then polices the
          sub-ring discipline — only the owner may enqueue — instead of
          the global single-producer rule. *)
+  mutable cl_priced : bool;
+      (* the cache-line cost flag: when set, traffic between endpoints
+         pinned to different CPUs charges the cache-line transfer model.
+         A cross-CPU ring left unpriced is a mispriced simulation — the
+         composition linter's cross-cpu rule flags it. *)
 }
 
 let next_id = ref 1
@@ -183,6 +199,7 @@ let create machine vmem ?name ?(slots = 64) ?(slot_size = 1024) ?(mode = Doorbel
       drops = 0;
       send_ctxs = [];
       ring_group = None;
+      cl_priced = false;
     }
   in
   all_channels := t :: !all_channels;
@@ -239,6 +256,35 @@ let iter_all ~machine f =
 let senders_seen t = List.rev t.send_ctxs
 let group t = t.ring_group
 let set_group t ~group ~owner_ctx = t.ring_group <- Some (group, owner_ctx)
+let cacheline_priced t = t.cl_priced
+let set_cacheline_priced t v = t.cl_priced <- v
+
+(* ------------------------------------------------------------------ *)
+(* Cross-CPU traffic                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The SMP complex over this channel's machine, when endpoints are
+   pinned to different CPUs — the condition under which ring traffic
+   physically moves cache lines between cores. *)
+let cross_complex t =
+  match (Cpu.find ~machine:t.machine, t.consumer) with
+  | Some cpx, Some c when Cpu.cross cpx ~a:t.producer.Domain.id ~b:c.Domain.id ->
+    Some (cpx, c)
+  | _ -> None
+
+let is_cross_cpu t = cross_complex t <> None
+
+(* One side's cache-line bill for moving [len] payload bytes across
+   CPUs; charged on the executing (missing) side's clock. Only when the
+   channel is priced — the linter flags cross-CPU rings that are not. *)
+let charge_cachelines t len =
+  if t.cl_priced then
+    match cross_complex t with
+    | None -> ()
+    | Some _ ->
+      let clock = Machine.clock t.machine in
+      Clock.advance clock (lines_of_msg len * (Machine.costs t.machine).Cost.cacheline);
+      Clock.count clock "chan_cacheline"
 
 let domains_of_waitq q =
   Sync.Waitq.waiters q
@@ -262,7 +308,14 @@ let ring_doorbell t =
       write_word t off_armed 0;
       t.doorbells <- t.doorbells + 1;
       Clock.count (Machine.clock t.machine) "chan_doorbell";
-      ignore (Machine.raise_trap t.machine t.doorbell_vec t.chan_id))
+      (* a doorbell for a consumer pinned on another CPU is physically an
+         IPI: the sender pays the bus signal, the target reconciles,
+         wakes if halted, and the trap runs on the target's clock *)
+      match cross_complex t with
+      | Some (cpx, c) ->
+        Cpu.ipi cpx ~cpu:(Cpu.cpu_of cpx ~domain:c.Domain.id) t.doorbell_vec
+          t.chan_id
+      | None -> ignore (Machine.raise_trap t.machine t.doorbell_vec t.chan_id))
 
 let on_doorbell t ~events ~sched ?priority f =
   let consumer =
@@ -301,6 +354,7 @@ let try_send ?(account = true) t msg =
         write_word t off_tail t.tail_local;
         t.sends <- t.sends + 1;
         Clock.count (Machine.clock t.machine) "chan_send";
+        charge_cachelines t len;
         if t.chan_mode = Doorbell && read_word t off_armed = 1 then ring_doorbell t;
         ignore (Sync.Waitq.signal t.not_empty);
         true)
@@ -341,6 +395,7 @@ let try_recv ?(account = true) t =
         write_word t off_head t.head_local;
         t.recvs <- t.recvs + 1;
         Clock.count (Machine.clock t.machine) "chan_recv";
+        charge_cachelines t len;
         ignore (Sync.Waitq.signal t.not_full);
         Some msg)
 

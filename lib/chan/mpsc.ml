@@ -18,6 +18,7 @@ module Machine = Pm_machine.Machine
 module Physmem = Pm_machine.Physmem
 module Clock = Pm_machine.Clock
 module Cost = Pm_machine.Cost
+module Cpu = Pm_machine.Cpu
 module Obs = Pm_obs.Obs
 module Domain = Pm_nucleus.Domain
 module Vmem = Pm_nucleus.Vmem
@@ -151,6 +152,9 @@ let attach t ~producer =
   (* the sub-ring never rings for itself: the group header does; tag it
      so the linter polices per-sub-ring ownership *)
   Chan.set_group sub ~group:t.group_name ~owner_ctx:producer.Domain.id;
+  (* MPSC is the fan-in path of choice on SMP: price sub-ring traffic
+     honestly if this producer lands on another CPU (free otherwise) *)
+  Chan.set_cacheline_priced sub true;
   (* the producer maps the group header too: the reserve words are the
      shared state every enqueue touches *)
   ignore
@@ -192,7 +196,15 @@ let ring_doorbell t tx =
       hwrite t off_armed 0;
       t.doorbells <- t.doorbells + 1;
       Clock.count (Machine.clock t.machine) "mpsc_doorbell";
-      ignore (Machine.raise_trap t.machine t.doorbell_vec t.group_id))
+      (* cross-CPU group doorbells are IPIs, same as SPSC ones *)
+      match Cpu.find ~machine:t.machine with
+      | Some cpx
+        when Cpu.cross cpx ~a:(Chan.producer tx.sub).Domain.id
+               ~b:t.consumer.Domain.id ->
+        Cpu.ipi cpx
+          ~cpu:(Cpu.cpu_of cpx ~domain:t.consumer.Domain.id)
+          t.doorbell_vec t.group_id
+      | _ -> ignore (Machine.raise_trap t.machine t.doorbell_vec t.group_id))
 
 let on_doorbell t ~events ~sched ?priority f =
   Events.register events (Events.Trap t.doorbell_vec) ~domain:t.consumer (fun arg ->
@@ -205,15 +217,46 @@ let on_doorbell t ~events ~sched ?priority f =
 (* Producer side                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* CAS contention on the group header. The reserve's publish is a
+   compare-and-swap on the dirty word; on a true multiprocessor every
+   *other* producer that is concurrently active — its sub-ring non-empty
+   and its domain pinned to a different CPU than the reserver — is
+   hammering the same line, and each costs the reserver one CAS retry.
+   On a uniprocessor this is always zero: time-sliced producers never
+   overlap a reserve, so the flat [mpsc_reserve] figure stands. *)
+let contenders t tx =
+  match Cpu.find ~machine:t.machine with
+  | None -> 0
+  | Some cpx ->
+    if Cpu.count cpx <= 1 then 0
+    else begin
+      let me = (Chan.producer tx.sub).Domain.id in
+      let n = ref 0 in
+      Array.iteri
+        (fun i r ->
+          if
+            i <> tx.idx && Chan.pending r > 0
+            && Cpu.cross cpx ~a:me ~b:(Chan.producer r).Domain.id
+          then incr n)
+        t.rings;
+      !n
+    end
+
 (* The reserve: publish the sub-ring's dirty hint and read the shared
    armed flag — the extra shared-word traffic a multi-producer enqueue
-   pays ({!Cost.mpsc_reserve}); ring the group doorbell if armed. *)
+   pays. Priced {!Cost.mpsc_reserve_n}: the uncontended figure plus one
+   CAS retry per concurrently-contending producer; ring the group
+   doorbell if armed. *)
 let reserve tx =
   let t = tx.group in
   t.reserves <- t.reserves + 1;
   Clock.count (Machine.clock t.machine) "mpsc_reserve";
   Physmem.write32 (Machine.phys t.machine) (t.hdr_phys + off_dirty) (tx.idx + 1);
-  Clock.advance (Machine.clock t.machine) (Cost.mpsc_reserve (Machine.costs t.machine));
+  let contended = contenders t tx in
+  if contended > 0 then
+    Clock.count_n (Machine.clock t.machine) "mpsc_cas_retry" contended;
+  Clock.advance (Machine.clock t.machine)
+    (Cost.mpsc_reserve_n (Machine.costs t.machine) ~contended);
   let armed = Physmem.read32 (Machine.phys t.machine) (t.hdr_phys + off_armed) in
   if t.gmode = Chan.Doorbell && armed = 1 then ring_doorbell t tx
 

@@ -30,12 +30,19 @@
 
     Every enqueue, after the sub-ring's own SPSC traffic, performs one
     {e reserve} through the group header: a store publishing the dirty
-    hint and a load of the shared armed flag, charged at
-    {!Pm_machine.Cost.mpsc_reserve} and counted as ["mpsc_reserve"].
-    That is the entire multi-producer surcharge — there is no CAS,
-    because no word in the group is written by more than one party
-    racing for the same value (each tail has one owner; dirty is a
-    last-writer-wins hint; armed is cleared by whoever rings first).
+    hint and a load of the shared armed flag, counted as
+    ["mpsc_reserve"]. The publish is a compare-and-swap on the dirty
+    word, and its price depends on who else is hitting that line {e at
+    the same instant}: the reserve charges
+    {!Pm_machine.Cost.mpsc_reserve_n} — the flat uncontended figure plus
+    one CAS retry ({!Pm_machine.Cost.t.cas}, counted ["mpsc_cas_retry"])
+    per {e concurrently-contending} producer, i.e. per other producer
+    whose sub-ring is non-empty and whose domain is pinned to a
+    different CPU of the machine's SMP complex ({!Pm_machine.Cpu}). On a
+    uniprocessor — no complex, one CPU, or all producers on one CPU —
+    contention is structurally zero (time-sliced producers never overlap
+    a reserve) and the charge reduces to the old flat
+    {!Pm_machine.Cost.mpsc_reserve}.
 
     {2 Doorbell coalescing}
 

@@ -38,6 +38,7 @@ module Clock = Pm_machine.Clock
 module Physmem = Pm_machine.Physmem
 module Mmu = Pm_machine.Mmu
 module Machine = Pm_machine.Machine
+module Cpu = Pm_machine.Cpu
 module Device = Pm_machine.Device
 module Nic = Pm_machine.Nic
 module Timer_dev = Pm_machine.Timer_dev
@@ -73,6 +74,7 @@ module Validator = Pm_secure.Validator
 (* threads *)
 module Scheduler = Pm_threads.Scheduler
 module Sync = Pm_threads.Sync
+module Smp = Pm_threads.Smp
 
 (* nucleus *)
 module Domain = Pm_nucleus.Domain

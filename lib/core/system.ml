@@ -100,7 +100,7 @@ let wire_crash_dump kernel =
                (Pm_obs.Obs.flight (Clock.obs clock))
                16)))
 
-let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?(key_bits = 512)
+let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?cpus ?(key_bits = 512)
     ?(delegates = standard_delegates) () =
   let rng = Prng.create ~seed in
   let authority = Authority.create rng ~name:"certification-authority" ~key_bits in
@@ -108,7 +108,9 @@ let create ?(seed = 0xC0FFEE) ?costs ?frames ?page_size ?(key_bits = 512)
     (fun (name, policy, latency) ->
       ignore (Authority.add_delegate authority rng ~name ~policy ~latency ()))
     delegates;
-  let kernel = Kernel.boot ?costs ?frames ?page_size ~root:(Authority.ca authority) () in
+  let kernel =
+    Kernel.boot ?costs ?frames ?page_size ?cpus ~root:(Authority.ca authority) ()
+  in
   wire_tracing kernel;
   wire_chan kernel;
   List.iter
@@ -139,6 +141,9 @@ let api t = Kernel.api t.kernel
 let clock t = Kernel.clock t.kernel
 let stats t = t.stats
 let check t = t.check
+let cpu t = Kernel.cpu t.kernel
+let smp t = Kernel.smp t.kernel
+let cpus t = Kernel.cpus t.kernel
 
 let install t image ~placement ~at =
   let loader = Kernel.loader t.kernel in

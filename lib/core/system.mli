@@ -25,16 +25,19 @@ type placement =
   | Sandboxed  (** kernel domain, uncertified, SFI run-time checks *)
   | User of Pm_nucleus.Domain.t  (** the given user domain, via proxies *)
 
-(** [create ?seed ?costs ?frames ?page_size ?key_bits ?delegates ()]
+(** [create ?seed ?costs ?frames ?page_size ?cpus ?key_bits ?delegates ()]
     builds the system. [seed] drives every pseudo-random choice
-    (default 0xC0FFEE); [key_bits] sizes RSA keys (default 512 — small
-    but real); [delegates] overrides the standard chain, given as
+    (default 0xC0FFEE); [cpus > 1] boots an SMP complex with per-CPU
+    schedulers (default 1 — byte-identical to single-core systems);
+    [key_bits] sizes RSA keys (default 512 — small but real);
+    [delegates] overrides the standard chain, given as
     [(name, policy, latency)]. *)
 val create :
   ?seed:int ->
   ?costs:Pm_machine.Cost.t ->
   ?frames:int ->
   ?page_size:int ->
+  ?cpus:int ->
   ?key_bits:int ->
   ?delegates:(string * (Pm_secure.Meta.t -> Pm_secure.Authority.verdict) * int) list ->
   unit ->
@@ -64,6 +67,14 @@ val stats : t -> Pm_obs_agent.Stats_svc.t
 
 (** The composition-linter service wired at boot ([/nucleus/check]). *)
 val check : t -> Pm_check_lint.Check_svc.t
+
+(** The SMP complex and per-CPU schedulers when created with [cpus > 1]. *)
+val cpu : t -> Pm_machine.Cpu.t option
+
+val smp : t -> Pm_threads.Smp.t option
+
+(** Number of CPUs (1 when no complex). *)
+val cpus : t -> int
 
 (** [install t image ~placement ~at] publishes the image, certifies it
     when [placement] is [Certified] (failing if no delegate accepts),

@@ -160,7 +160,16 @@ type event = {
   info : int;
   detail : string; (* "" on hot paths; human/replay context elsewhere *)
   rid : int; (* causal request id, 0 when untraced *)
+  cpu : int; (* issuing CPU, 0 on uniprocessor runs *)
 }
+
+(* The ambient CPU id, like [Trace.current] for request ids: the SMP
+   complex sets it around each slice of execution, every recording site
+   picks it up for free. Uniprocessor runs never touch it, so it stays
+   0 and exports keep their exact bytes. *)
+let cur_cpu = ref 0
+let set_current_cpu c = cur_cpu := c
+let current_cpu () = !cur_cpu
 
 type mode = Tail | Full
 
@@ -173,7 +182,8 @@ let mode_of_string = function
 (* ---------------- growable event buffer with front-dropping ---------- *)
 
 let dummy =
-  { seq = -1; at = 0; domain = 0; kind = Trap; info = 0; detail = ""; rid = 0 }
+  { seq = -1; at = 0; domain = 0; kind = Trap; info = 0; detail = ""; rid = 0;
+    cpu = 0 }
 
 type buf = {
   mutable arr : event array;
@@ -282,7 +292,8 @@ let set_mode t m =
    off [Trace.current] is pinned to 0 — no call-site changes, no cost. *)
 let record t ~kind ~domain ~at ~info ~detail =
   let e =
-    { seq = t.written; at; domain; kind; info; detail; rid = Trace.current () }
+    { seq = t.written; at; domain; kind; info; detail; rid = Trace.current ();
+      cpu = !cur_cpu }
   in
   t.tail.(t.written mod t.tail_cap) <- Some e;
   t.written <- t.written + 1;
@@ -361,9 +372,10 @@ let req_end t ~domain ~at rid =
 (* ---------------- rendering ------------------------------------------ *)
 
 let event_to_text e =
-  Printf.sprintf "#%-6d %8d cyc  dom %-2d %-12s %d%s%s" e.seq e.at e.domain
+  Printf.sprintf "#%-6d %8d cyc  dom %-2d %-12s %d%s%s%s" e.seq e.at e.domain
     (kind_to_string e.kind) e.info
     (if e.rid = 0 then "" else Printf.sprintf "  rid=%d" e.rid)
+    (if e.cpu = 0 then "" else Printf.sprintf "  cpu=%d" e.cpu)
     (if String.equal e.detail "" then "" else "  " ^ e.detail)
 
 let stats_line t =
@@ -393,11 +405,15 @@ let export_header t =
 
 (* Untraced events (rid 0) keep the original line format, so exports
    stay byte-identical when tracing is off; traced events carry a
-   trailing [rid=N] that import strips first. *)
+   trailing [rid=N] that import strips first. The cpu field follows the
+   same scheme: only nonzero ids are exported (as a [cpu=N] suffix after
+   any rid), so uniprocessor recordings keep their exact bytes and
+   N-CPU recordings round-trip. *)
 let event_to_line e =
-  Printf.sprintf "%d %d %d %s %d %S%s" e.seq e.at e.domain
+  Printf.sprintf "%d %d %d %s %d %S%s%s" e.seq e.at e.domain
     (kind_to_string e.kind) e.info e.detail
     (if e.rid = 0 then "" else Printf.sprintf " rid=%d" e.rid)
+    (if e.cpu = 0 then "" else Printf.sprintf " cpu=%d" e.cpu)
 
 let export t =
   let b = Buffer.create (64 * (t.history.len + 1)) in
@@ -409,21 +425,38 @@ let export t =
     t.history;
   Buffer.contents b
 
-let make_event seq at domain kstr info detail rid =
+let make_event seq at domain kstr info detail rid cpu =
   match kind_of_string kstr with
-  | Some kind -> Ok { seq; at; domain; kind; info; detail; rid }
+  | Some kind -> Ok { seq; at; domain; kind; info; detail; rid; cpu }
   | None -> Error (Printf.sprintf "unknown event kind %S" kstr)
 
+(* Optional suffixes in emission order: [rid=N] then [cpu=N], either
+   alone, both, or neither. Try the most specific shape first. *)
 let event_of_line line =
-  try
-    Scanf.sscanf line " %d %d %d %s %d %S rid=%d"
-      (fun seq at domain kstr info detail rid ->
-        make_event seq at domain kstr info detail rid)
-  with _ -> (
+  let attempt fmt k = try Some (Scanf.sscanf line fmt k) with _ -> None in
+  let shapes =
+    [
+      (fun () ->
+        attempt " %d %d %d %s %d %S rid=%d cpu=%d"
+          (fun seq at domain kstr info detail rid cpu ->
+            make_event seq at domain kstr info detail rid cpu));
+      (fun () ->
+        attempt " %d %d %d %s %d %S rid=%d"
+          (fun seq at domain kstr info detail rid ->
+            make_event seq at domain kstr info detail rid 0));
+      (fun () ->
+        attempt " %d %d %d %s %d %S cpu=%d"
+          (fun seq at domain kstr info detail cpu ->
+            make_event seq at domain kstr info detail 0 cpu));
+    ]
+  in
+  match List.find_map (fun f -> f ()) shapes with
+  | Some r -> r
+  | None -> (
     try
       Scanf.sscanf line " %d %d %d %s %d %S"
         (fun seq at domain kstr info detail ->
-          make_event seq at domain kstr info detail 0)
+          make_event seq at domain kstr info detail 0 0)
     with
     | Scanf.Scan_failure m | Failure m -> Error m
     | End_of_file -> Error "truncated event line")
@@ -461,7 +494,7 @@ let import s = Result.map (fun r -> r.events) (import_all s)
 
 let event_equal a b =
   a.seq = b.seq && a.at = b.at && a.domain = b.domain && a.kind = b.kind
-  && a.info = b.info && a.rid = b.rid
+  && a.info = b.info && a.rid = b.rid && a.cpu = b.cpu
   && String.equal a.detail b.detail
 
 type divergence = { index : int; expected : event option; got : event option }

@@ -65,6 +65,7 @@ type event = {
   info : int;  (** kind-specific scalar (vector, vpage, frame, tid, ...) *)
   detail : string;  (** "" on hot paths; context elsewhere *)
   rid : int;  (** causal request id from {!Trace.current}; 0 untraced *)
+  cpu : int;  (** CPU the event was issued from; 0 on uniprocessor runs *)
 }
 
 type mode =
@@ -90,6 +91,17 @@ val mode : t -> mode
 (** Switching to [Full] starts a fresh complete stream at the current
     sequence number; switching back to [Tail] stops extending it. *)
 val set_mode : t -> mode -> unit
+
+(** {2 Ambient CPU}
+
+    The SMP complex ({!Pm_machine.Cpu}) declares which CPU is executing;
+    every event recorded while it is set carries that id. Pinned to 0 on
+    uniprocessor runs, so their exports stay byte-identical — an event
+    with [cpu = 0] prints and exports exactly as before the field
+    existed. *)
+
+val set_current_cpu : int -> unit
+val current_cpu : unit -> int
 
 val record :
   t -> kind:kind -> domain:int -> at:int -> info:int -> detail:string -> unit

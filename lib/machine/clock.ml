@@ -4,12 +4,24 @@ type t = {
   obs : Pm_obs.Obs.t;
 }
 
-let create () =
-  { cycles = 0; counters = Hashtbl.create 16; obs = Pm_obs.Obs.create () }
+let create ?obs () =
+  let obs = match obs with Some o -> o | None -> Pm_obs.Obs.create () in
+  { cycles = 0; counters = Hashtbl.create 16; obs }
 
 let advance t n =
   assert (n >= 0);
   t.cycles <- t.cycles + n
+
+(* Reconciliation: pull this clock forward to a point in global virtual
+   time (never backward). Returns the idle cycles absorbed, so callers
+   can count them. *)
+let advance_to t n =
+  if n > t.cycles then begin
+    let d = n - t.cycles in
+    t.cycles <- n;
+    d
+  end
+  else 0
 
 let now t = t.cycles
 

@@ -7,10 +7,18 @@
 
 type t
 
-val create : unit -> t
+(** [create ?obs ()] makes a fresh clock. Passing [obs] shares an
+    existing observability sink — how per-CPU clocks all feed the one
+    journal/tracer/accounting instance the machine owns. *)
+val create : ?obs:Pm_obs.Obs.t -> unit -> t
 
 (** [advance t n] charges [n >= 0] cycles. *)
 val advance : t -> int -> unit
+
+(** [advance_to t n] pulls the clock forward to global virtual time [n]
+    if it is behind (never backward) and returns the idle cycles
+    absorbed. The reconciliation primitive for cross-CPU causality. *)
+val advance_to : t -> int -> int
 
 (** [now t] is the cycles elapsed since creation or the last [reset]. *)
 val now : t -> int

@@ -27,6 +27,9 @@ type t = {
   load_page : int;
   blk_seek : int;
   blk_byte : int;
+  ipi : int;
+  cacheline : int;
+  cas : int;
 }
 
 (* The absolute numbers are in the ballpark of a ~50MHz SPARCstation of the
@@ -63,6 +66,14 @@ let default =
     load_page = 90;
     blk_seek = 1_800;
     blk_byte = 3;
+    (* SMP figures, same era: an inter-processor interrupt rides the
+       shared bus and lands as a trap on the target (the bus signalling
+       is priced here; the target pays its normal trap entry on top); a
+       cache-line transfer between CPUs is a bus round-trip, several
+       times a local miss; a contended CAS retry re-acquires the line. *)
+    ipi = 360;
+    cacheline = 24;
+    cas = 12;
   }
 
 (* Derived figures. Instrumentation and the channel subsystem compose
@@ -78,6 +89,18 @@ let doorbell_crossing t = t.trap + (2 * t.context_switch) + t.proto_thread
    top of the sub-ring's own traffic: one store publishing the sub-ring's
    dirty bit and one load of the shared armed flag. *)
 let mpsc_reserve t = t.mem_write + t.mem_read
+
+(* The reserve under true parallelism: each producer concurrently active
+   on a *different* CPU is a CAS contender on the shared reserve words —
+   the line bounces and the compare-and-swap retries once per contender.
+   On a single CPU producers are time-sliced and the CAS never fails, so
+   [contended = 0] collapses to the flat price. *)
+let mpsc_reserve_n t ~contended = mpsc_reserve t + (contended * t.cas)
+
+(* Migrating one ready thread between CPUs: the thief pulls the victim's
+   run-queue line and the task descriptor's line across the bus, plus
+   one load inspecting the queue. *)
+let steal t = (2 * t.cacheline) + t.mem_read
 
 (* One block-device media operation: the fixed seek/controller latency
    plus per-byte media transfer. The descriptor-ring device holds each
@@ -114,4 +137,7 @@ let unit_costs =
     load_page = 1;
     blk_seek = 1;
     blk_byte = 1;
+    ipi = 1;
+    cacheline = 1;
+    cas = 1;
   }

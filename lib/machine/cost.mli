@@ -39,6 +39,9 @@ type t = {
   load_page : int;  (** mapping one page of a component image *)
   blk_seek : int;  (** block-device per-operation latency (seek + controller) *)
   blk_byte : int;  (** block-device media transfer, per byte *)
+  ipi : int;  (** inter-processor interrupt: bus signalling, sender side *)
+  cacheline : int;  (** one cache-line transfer between CPUs (bus round-trip) *)
+  cas : int;  (** one contended compare-and-swap retry *)
 }
 
 (** SPARC-era-flavoured defaults. *)
@@ -69,6 +72,16 @@ val doorbell_crossing : t -> int
     dirty bit ([mem_write]) and reading the group's armed flag
     ([mem_read]). *)
 val mpsc_reserve : t -> int
+
+(** [mpsc_reserve_n t ~contended] is the reserve under true parallelism:
+    the flat price plus one [cas] retry per producer concurrently active
+    on a different CPU. [contended = 0] (any uniprocessor run) is exactly
+    [mpsc_reserve t]. *)
+val mpsc_reserve_n : t -> contended:int -> int
+
+(** Cost of migrating one ready thread between CPUs during work
+    stealing: two cache-line transfers plus the queue-inspection load. *)
+val steal : t -> int
 
 (** Media time of one block-device operation over [bytes] bytes:
     [blk_seek + bytes * blk_byte]. A fetched DMA descriptor completes

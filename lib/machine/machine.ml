@@ -7,7 +7,12 @@ let irq_line_count = 16
 type attached = { dev : Device.t; io_base : int }
 
 type t = {
-  clock : Clock.t;
+  boot_clock : Clock.t; (* CPU 0's clock, the whole machine's on 1 CPU *)
+  mutable active_clock : Clock.t;
+      (* the clock of the CPU currently executing; every charge site
+         reads it through [clock] at charge time, so an SMP complex
+         redirects all accounting by swapping this one field. Identical
+         to [boot_clock] until a Cpu complex with >1 CPUs switches. *)
   costs : Cost.t;
   phys : Physmem.t;
   mmu : Mmu.t;
@@ -23,7 +28,8 @@ let io_base_start = 0x1000_0000
 let create ?(costs = Cost.default) ?(frames = 1024) ?(page_size = 4096) () =
   let clock = Clock.create () in
   {
-    clock;
+    boot_clock = clock;
+    active_clock = clock;
     costs;
     phys = Physmem.create ~frames ~page_size;
     mmu = Mmu.create clock costs ~page_size;
@@ -34,7 +40,13 @@ let create ?(costs = Cost.default) ?(frames = 1024) ?(page_size = 4096) () =
     next_io_base = io_base_start;
   }
 
-let clock t = t.clock
+let clock t = t.active_clock
+let boot_clock t = t.boot_clock
+
+let set_active_clock t clock =
+  t.active_clock <- clock;
+  Mmu.set_clock t.mmu clock
+
 let costs t = t.costs
 let phys t = t.phys
 let mmu t = t.mmu
@@ -50,8 +62,8 @@ let set_trap_handler t vec h =
 
 let raise_trap t vec arg =
   check_vec "trap vector" trap_vector_count vec;
-  Clock.advance t.clock t.costs.Cost.trap;
-  Clock.count t.clock "trap";
+  Clock.advance t.active_clock t.costs.Cost.trap;
+  Clock.count t.active_clock "trap";
   match t.traps.(vec) with
   | Some h -> h arg
   | None -> raise (Machine_check (Printf.sprintf "unhandled trap %d" vec))
@@ -62,11 +74,11 @@ let set_irq_handler t line h =
 
 let raise_irq t line =
   check_vec "irq line" irq_line_count line;
-  Clock.advance t.clock t.costs.Cost.interrupt;
-  Clock.count t.clock "interrupt";
+  Clock.advance t.active_clock t.costs.Cost.interrupt;
+  Clock.count t.active_clock "interrupt";
   match t.irqs.(line) with
   | Some h -> h ()
-  | None -> Clock.count t.clock "spurious_interrupt"
+  | None -> Clock.count t.active_clock "spurious_interrupt"
 
 let set_fault_handler t h = t.fault_handler <- h
 
@@ -77,8 +89,8 @@ let resolve t ctx vaddr access =
     match Mmu.translate t.mmu ctx vaddr access with
     | Ok phys -> phys
     | Error fault ->
-      Clock.advance t.clock t.costs.Cost.page_fault;
-      Clock.count t.clock "page_fault";
+      Clock.advance t.active_clock t.costs.Cost.page_fault;
+      Clock.count t.active_clock "page_fault";
       let resolved =
         match t.fault_handler with
         | Some h when attempts < 2 -> h fault
@@ -89,15 +101,15 @@ let resolve t ctx vaddr access =
   go 0
 
 let read8 t ctx vaddr =
-  Clock.advance t.clock t.costs.Cost.mem_read;
+  Clock.advance t.active_clock t.costs.Cost.mem_read;
   Physmem.read8 t.phys (resolve t ctx vaddr Mmu.Read)
 
 let write8 t ctx vaddr v =
-  Clock.advance t.clock t.costs.Cost.mem_write;
+  Clock.advance t.active_clock t.costs.Cost.mem_write;
   Physmem.write8 t.phys (resolve t ctx vaddr Mmu.Write) v
 
 let read32 t ctx vaddr =
-  Clock.advance t.clock t.costs.Cost.mem_read;
+  Clock.advance t.active_clock t.costs.Cost.mem_read;
   (* unaligned or page-straddling access decomposes into bytes *)
   let ps = page_size t in
   if vaddr mod ps <= ps - 4 then Physmem.read32 t.phys (resolve t ctx vaddr Mmu.Read)
@@ -108,7 +120,7 @@ let read32 t ctx vaddr =
     lor (read8 t ctx (vaddr + 3) lsl 24)
 
 let write32 t ctx vaddr v =
-  Clock.advance t.clock t.costs.Cost.mem_write;
+  Clock.advance t.active_clock t.costs.Cost.mem_write;
   let ps = page_size t in
   if vaddr mod ps <= ps - 4 then
     Physmem.write32 t.phys (resolve t ctx vaddr Mmu.Write) v
@@ -146,12 +158,12 @@ let locate_io t addr =
   | None -> raise (Machine_check (Printf.sprintf "no device at io address 0x%x" addr))
 
 let io_read t addr =
-  Clock.advance t.clock t.costs.Cost.io_read;
+  Clock.advance t.active_clock t.costs.Cost.io_read;
   let dev, reg = locate_io t addr in
   dev.Device.reg_read reg
 
 let io_write t addr v =
-  Clock.advance t.clock t.costs.Cost.io_write;
+  Clock.advance t.active_clock t.costs.Cost.io_write;
   let dev, reg = locate_io t addr in
   dev.Device.reg_write reg v
 

@@ -16,7 +16,19 @@ exception Machine_check of string
 
 val create : ?costs:Cost.t -> ?frames:int -> ?page_size:int -> unit -> t
 
+(** [clock t] is the clock of the CPU currently executing — the boot
+    clock until an SMP complex ({!Cpu}) switches CPUs. Charge sites must
+    read it at charge time, never cache it across a CPU switch. *)
 val clock : t -> Clock.t
+
+(** CPU 0's clock, regardless of which CPU is executing. *)
+val boot_clock : t -> Clock.t
+
+(** [set_active_clock t c] redirects all subsequent charges (including
+    MMU traffic) to [c]. Owned by {!Cpu}; single-CPU code never calls
+    it. *)
+val set_active_clock : t -> Clock.t -> unit
+
 val costs : t -> Cost.t
 val phys : t -> Physmem.t
 val mmu : t -> Mmu.t

@@ -9,7 +9,10 @@ type entry = { mutable frame : int; mutable prot : prot; mutable fault_hook : bo
 let tlb_size = 64
 
 type t = {
-  clock : Clock.t;
+  mutable clock : Clock.t;
+      (* the executing CPU's clock: TLB and context-switch charges land
+         on whichever CPU drives the MMU; retargeted by Machine when an
+         SMP complex switches CPUs *)
   costs : Cost.t;
   page_size : int;
   contexts : (context, (int, entry) Hashtbl.t) Hashtbl.t;
@@ -37,6 +40,8 @@ let create clock costs ~page_size =
   Hashtbl.add t.contexts 0 (Hashtbl.create 64);
   t.next_context <- 1;
   t
+
+let set_clock t clock = t.clock <- clock
 
 let page_size t = t.page_size
 

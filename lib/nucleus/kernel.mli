@@ -18,10 +18,17 @@
 
 type t
 
+(** [boot ?cpus ... ()] brings the system up. With [cpus > 1] (default
+    1) an SMP complex ({!Pm_machine.Cpu}) is created over the machine
+    together with per-CPU schedulers ({!Pm_threads.Smp}); {!run} and
+    {!step} then sweep all CPUs with work stealing. At 1 CPU neither
+    exists and the boot is byte-identical to earlier single-core
+    kernels. *)
 val boot :
   ?costs:Pm_machine.Cost.t ->
   ?frames:int ->
   ?page_size:int ->
+  ?cpus:int ->
   root:Pm_secure.Principal.t ->
   unit ->
   t
@@ -30,6 +37,14 @@ val boot :
 
 val machine : t -> Pm_machine.Machine.t
 val clock : t -> Pm_machine.Clock.t
+
+(** The SMP complex and per-CPU schedulers, when booted with [cpus > 1]. *)
+val cpu : t -> Pm_machine.Cpu.t option
+
+val smp : t -> Pm_threads.Smp.t option
+
+(** Number of CPUs (1 when no complex). *)
+val cpus : t -> int
 val api : t -> Api.t
 val events : t -> Events.t
 val vmem : t -> Vmem.t

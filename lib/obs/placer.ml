@@ -11,6 +11,7 @@
 
 module Clock = Pm_machine.Clock
 module Cost = Pm_machine.Cost
+module Cpu = Pm_machine.Cpu
 module Obs = Pm_obs.Obs
 module Acct = Pm_obs.Acct
 module Chan = Pm_chan.Chan
@@ -22,7 +23,7 @@ let placement_to_string = function
   | Certified -> "certified"
   | Verified -> "verified"
 
-type action = Hold | Migrated of placement | Flipped of Chan.mode
+type action = Hold | Migrated of placement | Flipped of Chan.mode | Repinned of int
 
 type comp = {
   watch : int list; (* domains paying the crossings for this component *)
@@ -49,6 +50,25 @@ type chan_ctl = {
   mutable flips : int;
 }
 
+(* The CPU-affinity dimension: one managed domain on an SMP complex.
+   [loads] is the per-CPU cycle signal — typically
+   [Stats_svc.cpu_loads], i.e. what /stats/kernel's [cpus] method
+   exports — read as epoch deltas. Same governor shape as the other two
+   dimensions: threshold, payback horizon, confirmation streak,
+   cooldown. *)
+type cpu_ctl = {
+  cpx : Cpu.t;
+  cdom : int; (* the pinned domain being managed *)
+  loads : unit -> (int * int) list;
+  mutable cpu_move_cost : int;
+      (* cycles a re-pin costs the domain (cold caches, queue transfer) *)
+  mutable lbase : (int * int) list;
+  mutable kstreak : int;
+  mutable kcool : int;
+  mutable cpu_moves : int;
+  mutable cpu_defers : int; (* re-pins declined by the payback check *)
+}
+
 type t = {
   clock : Clock.t;
   costs : Cost.t;
@@ -59,26 +79,31 @@ type t = {
   idle_sends : int;
   confirm : int;
   cooldown : int;
+  cpu_gap : float; (* imbalance share of the epoch that triggers a re-pin *)
   mutable last_now : int;
   mutable comps : comp list; (* in manage order *)
   mutable chan : chan_ctl option;
+  mutable cpu : cpu_ctl option;
   mutable epochs : int;
   mutable last_share : float;
   mutable last_ring_share : float;
+  mutable last_cpu_gap : float;
 }
 
 let create ~clock ~costs ?(up_share = 0.2) ?(fault_demote = 3)
     ?(payback_window = 4) ?(ring_share = 0.25) ?(idle_sends = 0) ?(confirm = 2)
-    ?(cooldown = 1) () =
+    ?(cooldown = 1) ?(cpu_gap = 0.1) () =
   {
     clock; costs; up_share; fault_demote; payback_window; ring_share; idle_sends;
-    confirm; cooldown;
+    confirm; cooldown; cpu_gap;
     last_now = Clock.now clock;
     comps = [];
     chan = None;
+    cpu = None;
     epochs = 0;
     last_share = 0.;
     last_ring_share = 0.;
+    last_cpu_gap = 0.;
   }
 
 let snapshot_watch clock watch =
@@ -97,6 +122,24 @@ let manage t ~watch ~placement ?(verified_ok = false) ?(move_cost = 0) ~migrate 
 let manage_channel t chan =
   t.chan <- Some { chan; cbase = Chan.stats chan; cstreak = 0; ccool = 0; flips = 0 }
 
+let manage_cpu t ~complex ~domain ?loads ?(move_cost = 0) () =
+  let loads =
+    match loads with
+    | Some f -> f
+    | None ->
+      (* default to the same (cpu, cycles) signal /stats exports *)
+      fun () ->
+        List.map (fun (s : Cpu.cpu_stats) -> (s.Cpu.cpu, s.Cpu.cycles))
+          (Cpu.all_stats complex)
+  in
+  (* seed the move estimate with something physical if the caller has no
+     better guess: the domain's working set re-warming on the new CPU *)
+  let move_cost = if move_cost > 0 then move_cost else 32 * t.costs.Cost.cacheline in
+  t.cpu <-
+    Some
+      { cpx = complex; cdom = domain; loads; cpu_move_cost = move_cost;
+        lbase = loads (); kstreak = 0; kcool = 0; cpu_moves = 0; cpu_defers = 0 }
+
 let placement t =
   match t.comps with c :: _ -> Some c.placement | [] -> None
 
@@ -105,9 +148,12 @@ let move_costs t = List.map (fun c -> c.move_cost) t.comps
 let moves t = List.fold_left (fun acc c -> acc + c.moves) 0 t.comps
 let deferrals t = List.fold_left (fun acc c -> acc + c.defers) 0 t.comps
 let flips t = match t.chan with Some c -> c.flips | None -> 0
+let cpu_moves t = match t.cpu with Some k -> k.cpu_moves | None -> 0
+let cpu_deferrals t = match t.cpu with Some k -> k.cpu_defers | None -> 0
 let epochs t = t.epochs
 let crossing_share t = t.last_share
 let doorbell_share t = t.last_ring_share
+let cpu_imbalance t = t.last_cpu_gap
 
 let comp_epoch t dt (c : comp) actions =
   let cur = snapshot_watch t.clock c.watch in
@@ -215,6 +261,59 @@ let chan_epoch t dt (cc : chan_ctl) actions =
       end
   end
 
+let cpu_epoch t dt (k : cpu_ctl) actions =
+  let cur = k.loads () in
+  let base = k.lbase in
+  k.lbase <- cur;
+  let d cpu =
+    let at l = match List.assoc_opt cpu l with Some v -> v | None -> 0 in
+    at cur - at base
+  in
+  let mine = Cpu.cpu_of k.cpx ~domain:k.cdom in
+  let dmine = d mine in
+  (* least-loaded CPU this epoch, ties to the lowest id *)
+  let best, dbest =
+    List.fold_left
+      (fun (bc, bd) (c, _) ->
+        let dc = d c in
+        if dc < bd then (c, dc) else (bc, bd))
+      (mine, dmine) cur
+  in
+  let imbalance = dmine - dbest in
+  t.last_cpu_gap <- float_of_int imbalance /. float_of_int dt;
+  if k.kcool > 0 then k.kcool <- k.kcool - 1
+  else begin
+    let want =
+      if best <> mine && t.last_cpu_gap >= t.cpu_gap then
+        (* payback: moving can recover at most half the imbalance per
+           epoch (the load splits); over the horizon that must cover the
+           re-pin cost — cold caches on the new CPU — else stay put *)
+        if k.cpu_move_cost > t.payback_window * (imbalance / 2) then begin
+          k.cpu_defers <- k.cpu_defers + 1;
+          None
+        end
+        else Some best
+      else None
+    in
+    match want with
+    | None -> k.kstreak <- 0
+    | Some target ->
+      k.kstreak <- k.kstreak + 1;
+      if k.kstreak >= t.confirm then begin
+        k.kstreak <- 0;
+        Cpu.pin k.cpx ~domain:k.cdom ~cpu:target;
+        Pm_journal.Journal.record
+          (Obs.journal (Clock.obs t.clock))
+          ~kind:Pm_journal.Journal.Migrate ~domain:k.cdom
+          ~at:(Clock.now t.clock) ~info:imbalance
+          ~detail:(Printf.sprintf "cpu=%d" target);
+        k.cpu_moves <- k.cpu_moves + 1;
+        k.kcool <- t.cooldown;
+        k.lbase <- k.loads ();
+        actions := Repinned target :: !actions
+      end
+  end
+
 let epoch t =
   t.epochs <- t.epochs + 1;
   let now = Clock.now t.clock in
@@ -223,6 +322,7 @@ let epoch t =
   let actions = ref [] in
   List.iter (fun c -> comp_epoch t dt c actions) t.comps;
   (match t.chan with Some cc -> chan_epoch t dt cc actions | None -> ());
+  (match t.cpu with Some k -> cpu_epoch t dt k actions | None -> ());
   match List.rev !actions with [] -> [ Hold ] | acts -> acts
 
 let status t =

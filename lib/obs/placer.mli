@@ -31,10 +31,17 @@ type placement = User | Certified | Verified
 
 val placement_to_string : placement -> string
 
-type action = Hold | Migrated of placement | Flipped of Pm_chan.Chan.mode
+type action =
+  | Hold
+  | Migrated of placement
+  | Flipped of Pm_chan.Chan.mode
+  | Repinned of int  (** the managed domain was re-pinned to this CPU *)
 
 type t
 
+(** [cpu_gap] (default 0.1) is the CPU-affinity dimension's threshold:
+    the managed domain's CPU must out-run the least-loaded CPU by at
+    least this share of the epoch before a re-pin is considered. *)
 val create :
   clock:Pm_machine.Clock.t ->
   costs:Pm_machine.Cost.t ->
@@ -45,6 +52,7 @@ val create :
   ?idle_sends:int ->
   ?confirm:int ->
   ?cooldown:int ->
+  ?cpu_gap:float ->
   unit ->
   t
 
@@ -82,6 +90,29 @@ val manage :
 (** Puts one channel's Doorbell/Poll mode under control. *)
 val manage_channel : t -> Pm_chan.Chan.t -> unit
 
+(** [manage_cpu t ~complex ~domain ()] puts [domain]'s CPU affinity
+    under control. Every epoch the agent reads per-CPU load — [loads]
+    defaults to the complex's own (cpu, cycles) pairs, the same signal
+    [/stats/kernel]'s [cpus] method exports; pass
+    [Stats_svc.cpu_loads] to read through the stats service — and
+    re-pins the domain to the least-loaded CPU when its current CPU
+    out-runs it by at least [cpu_gap] of the epoch for [confirm]
+    consecutive epochs, subject to the same payback-horizon check as
+    component migration: the re-pin cost ([move_cost], default
+    [32 * cacheline] — the working set re-warming) must be covered by
+    half the imbalance projected over [payback_window] epochs,
+    otherwise the move is deferred and counted in {!cpu_deferrals}.
+    Re-pins are journalled as [Migrate] events with detail ["cpu=N"]
+    and the observed imbalance as [info]. *)
+val manage_cpu :
+  t ->
+  complex:Pm_machine.Cpu.t ->
+  domain:int ->
+  ?loads:(unit -> (int * int) list) ->
+  ?move_cost:int ->
+  unit ->
+  unit
+
 (** Evaluate one epoch; performs at most one migration and one flip.
     Returns the actions taken ([[Hold]] when none). *)
 val epoch : t -> action list
@@ -102,10 +133,20 @@ val moves : t -> int
     payback window did not cover the move's cost. *)
 val deferrals : t -> int
 val flips : t -> int
+
+(** Re-pins performed / declined by the CPU-affinity dimension. *)
+val cpu_moves : t -> int
+
+val cpu_deferrals : t -> int
 val epochs : t -> int
 
 (** Crossing-cost / doorbell-cost share measured in the last epoch. *)
 val crossing_share : t -> float
 
 val doorbell_share : t -> float
+
+(** CPU load imbalance (share of the epoch) measured in the last epoch
+    by the CPU-affinity dimension; 0 when unmanaged. *)
+val cpu_imbalance : t -> float
+
 val status : t -> string

@@ -196,6 +196,50 @@ let publish t =
     (live_domains t);
   !fresh
 
+(* ---------------- per-CPU view --------------------------------------- *)
+
+module Cpu = Pm_machine.Cpu
+
+(* One line per CPU of the machine's SMP complex; a single synthetic
+   line for uniprocessor machines so consumers need no special case. *)
+let cpus_text t =
+  match Cpu.find ~machine:t.api.Api.machine with
+  | None ->
+    Printf.sprintf "cpu 0  cycles=%-10d halted=0 ipis_sent=0 ipis_recv=0 synced=0"
+      (Clock.now (clock t))
+  | Some cpx ->
+    Cpu.all_stats cpx
+    |> List.map (fun (s : Cpu.cpu_stats) ->
+           Printf.sprintf
+             "cpu %d  cycles=%-10d halted=%d ipis_sent=%d ipis_recv=%d synced=%d"
+             s.Cpu.cpu s.Cpu.cycles
+             (if s.Cpu.halted_now then 1 else 0)
+             s.Cpu.ipis_sent s.Cpu.ipis_recv s.Cpu.synced)
+    |> String.concat "\n"
+
+(* The raw (cpu, cycles) pairs behind [cpus_text] — what the placement
+   agent's CPU-affinity loop reads as its load signal. *)
+let cpu_loads t =
+  match Cpu.find ~machine:t.api.Api.machine with
+  | None -> [ (0, Clock.now (clock t)) ]
+  | Some cpx ->
+    List.map (fun (s : Cpu.cpu_stats) -> (s.Cpu.cpu, s.Cpu.cycles)) (Cpu.all_stats cpx)
+
+let cpus_json t =
+  let one (s : Cpu.cpu_stats) =
+    Printf.sprintf
+      "{\"cpu\":%d,\"cycles\":%d,\"halted\":%b,\"ipis_sent\":%d,\"ipis_recv\":%d,\"synced\":%d}"
+      s.Cpu.cpu s.Cpu.cycles s.Cpu.halted_now s.Cpu.ipis_sent s.Cpu.ipis_recv
+      s.Cpu.synced
+  in
+  match Cpu.find ~machine:t.api.Api.machine with
+  | None ->
+    Printf.sprintf
+      "[{\"cpu\":0,\"cycles\":%d,\"halted\":false,\"ipis_sent\":0,\"ipis_recv\":0,\"synced\":0}]"
+      (Clock.now (clock t))
+  | Some cpx ->
+    "[" ^ String.concat "," (List.map one (Cpu.all_stats cpx)) ^ "]"
+
 (* ---------------- the /stats/kernel service object ------------------- *)
 
 let kernel_iface t =
@@ -234,6 +278,12 @@ let kernel_iface t =
     | [] -> Ok (Value.Int (publish t))
     | _ -> Error (Oerror.Type_error "publish()")
   in
+  let cpus_m _ctx = function
+    | [ Value.Str "text" ] -> Ok (Value.Str (cpus_text t))
+    | [ Value.Str "json" ] -> Ok (Value.Str (cpus_json t))
+    | [ Value.Str _ ] -> fmt_error "cpus"
+    | _ -> Error (Oerror.Type_error "cpus(str)")
+  in
   Iface.make ~name:"stats"
     [
       Iface.meth ~name:"snapshot" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tstr snapshot_m;
@@ -241,6 +291,7 @@ let kernel_iface t =
       Iface.meth ~name:"mark" ~args:[] ~ret:Vtype.Tunit mark_m;
       Iface.meth ~name:"flight" ~args:[ Vtype.Tint ] ~ret:Vtype.Tstr flight_m;
       Iface.meth ~name:"publish" ~args:[] ~ret:Vtype.Tint publish_m;
+      Iface.meth ~name:"cpus" ~args:[ Vtype.Tstr ] ~ret:Vtype.Tstr cpus_m;
     ]
 
 let create api ~domains () =

@@ -38,3 +38,15 @@ val snapshot_text : t -> string
 val snapshot_json : t -> string
 val diff_text : t -> string
 val diff_json : t -> string
+
+(** Per-CPU load of the machine's SMP complex (cycles, halted, IPIs,
+    reconciliation idle), one line/object per CPU; a single synthetic
+    CPU 0 line on uniprocessor machines. Also exported as the [cpus]
+    method of [/stats/kernel]. *)
+val cpus_text : t -> string
+
+val cpus_json : t -> string
+
+(** The raw [(cpu, cycles)] pairs behind {!cpus_text} — the load signal
+    the placement agent's CPU-affinity loop consumes. *)
+val cpu_loads : t -> (int * int) list

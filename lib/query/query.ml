@@ -17,6 +17,7 @@ type span = {
   layer : string;
   enter_at : int;
   exit_at : int;
+  cpu : int; (* CPU the Span_enter was issued from *)
   children : span list;
 }
 
@@ -27,6 +28,7 @@ type request = {
   label : string; (* Req_begin detail, e.g. "put key-0" *)
   begin_at : int;
   end_at : int;
+  cpu : int; (* CPU the Req_begin was issued from *)
   spans : span list; (* top-level spans, in request order *)
   notes : (int * string * int) list; (* at, detail, info *)
   media : media list;
@@ -42,6 +44,7 @@ let span_duration s = s.exit_at - s.enter_at
 type pending_span = {
   p_layer : string;
   p_enter : int;
+  p_cpu : int;
   mutable p_kids_rev : span list;
 }
 
@@ -49,6 +52,7 @@ type pending_req = {
   p_rid : int;
   p_label : string;
   p_begin : int;
+  p_cpu : int;
   mutable p_stack : pending_span list; (* innermost first *)
   mutable p_top_rev : span list;
   mutable p_notes_rev : (int * string * int) list;
@@ -82,6 +86,7 @@ let fold ~complete events =
               layer = ps.p_layer;
               enter_at = ps.p_enter;
               exit_at = e.Journal.at;
+              cpu = ps.p_cpu;
               children = List.rev ps.p_kids_rev;
             }
           in
@@ -105,6 +110,7 @@ let fold ~complete events =
                   p_rid = rid;
                   p_label = e.Journal.detail;
                   p_begin = e.Journal.at;
+                  p_cpu = e.Journal.cpu;
                   p_stack = [];
                   p_top_rev = [];
                   p_notes_rev = [];
@@ -127,6 +133,7 @@ let fold ~complete events =
                     label = p.p_label;
                     begin_at = p.p_begin;
                     end_at = e.Journal.at;
+                    cpu = p.p_cpu;
                     spans = List.rev p.p_top_rev;
                     notes = List.rev p.p_notes_rev;
                     media = List.rev p.p_media_rev;
@@ -138,7 +145,12 @@ let fold ~complete events =
             | None -> () (* traced work outside any request window *)
             | Some p ->
               p.p_stack <-
-                { p_layer = e.Journal.detail; p_enter = e.Journal.at; p_kids_rev = [] }
+                {
+                  p_layer = e.Journal.detail;
+                  p_enter = e.Journal.at;
+                  p_cpu = e.Journal.cpu;
+                  p_kids_rev = [];
+                }
                 :: p.p_stack)
           | Journal.Span_exit -> (
             match Hashtbl.find_opt open_reqs rid with
@@ -316,19 +328,23 @@ let layer_totals reqs =
 (* Rendering                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* CPU 0 renders as nothing so uniprocessor output is unchanged. *)
+let cpu_tag cpu = if cpu = 0 then "" else Printf.sprintf "  cpu %d" cpu
+
 let request_line r =
-  Printf.sprintf "rid %-3d %-14s [%d..%d] %d cyc  path %s" r.rid
+  Printf.sprintf "rid %-3d %-14s [%d..%d] %d cyc  path %s%s" r.rid
     (if String.equal r.label "" then "?" else r.label)
     r.begin_at r.end_at (duration r)
     (String.concat ">" (critical_path r))
+    (cpu_tag r.cpu)
 
 let request_to_text r =
   let b = Buffer.create 256 in
   Buffer.add_string b (request_line r);
   let rec walk indent s =
     Buffer.add_string b
-      (Printf.sprintf "\n%s%-10s %6d cyc  [%d..%d]" indent s.layer
-         (span_duration s) s.enter_at s.exit_at);
+      (Printf.sprintf "\n%s%-10s %6d cyc  [%d..%d]%s" indent s.layer
+         (span_duration s) s.enter_at s.exit_at (cpu_tag s.cpu));
     List.iter (walk (indent ^ "  ")) s.children
   in
   List.iter (walk "  ") r.spans;

@@ -10,6 +10,7 @@ type span = {
   layer : string;  (** "kv", "log", "cache", "partition", "driver" *)
   enter_at : int;
   exit_at : int;
+  cpu : int;  (** CPU the Span_enter was issued from (0 on uniprocessor) *)
   children : span list;
 }
 
@@ -20,6 +21,7 @@ type request = {
   label : string;  (** the Req_begin detail, e.g. "put key-0" *)
   begin_at : int;
   end_at : int;
+  cpu : int;  (** CPU the Req_begin was issued from *)
   spans : span list;
   notes : (int * string * int) list;  (** at, detail, info *)
   media : media list;

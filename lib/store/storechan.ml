@@ -109,6 +109,8 @@ let connect t ~name ~client ?(slots = 32) ?(slot_size = 576) () =
       ~slots ~slot_size ~mode:Chan.Poll ~producer:t.serve_dom ()
   in
   ignore (Chan.accept ring ~into:client);
+  (* clients may be pinned anywhere; price cross-CPU responses honestly *)
+  Chan.set_cacheline_priced ring true;
   Hashtbl.replace t.rings id ring;
   let txh = Mpsc.attach t.reqs ~producer:client in
   let sctx = Api.ctx api t.serve_dom in

@@ -3,6 +3,8 @@ module Cost = Pm_machine.Cost
 
 type state = Ready | Running | Blocked | Finished
 
+type policy = Priority | Fifo | Lottery of int
+
 type thread = {
   tid : int;
   name : string;
@@ -10,27 +12,24 @@ type thread = {
   mutable state : state;
   is_popup : bool;
   domain : int option;
+  mutable home : t option;
+      (* scheduler the thread currently lands on when it becomes ready
+         again; [None] means its creator. The SMP work-stealer re-homes
+         stolen threads so their later yields and wakeups stay on the
+         thief's CPU. *)
 }
 
-type resumer = { thread : thread; resume : unit -> unit }
-
-type _ Effect.t +=
-  | Yield : unit Effect.t
-  | Suspend : (resumer -> unit) -> unit Effect.t
-  | Self : thread Effect.t
-
-let priorities = 8
-
-type policy = Priority | Fifo | Lottery of int
-
-type t = {
+and t = {
   clock : Clock.t;
   costs : Cost.t;
   policy : policy;
   mutable lottery_state : int; (* xorshift state for Lottery *)
   mutable arrivals : int; (* stamp source for Fifo ordering *)
   mutable mmu : Pm_machine.Mmu.t option;
-  ready : (int * thread * (unit -> unit)) Queue.t array; (* stamp, per priority *)
+  ready : (int * int * thread * (unit -> unit)) Queue.t array;
+      (* (arrival stamp, ready-at cycles, thread, continuation) per
+         priority. [ready_at] is the enqueuing CPU's virtual time — a
+         thief reconciles its clock to it before running the entry. *)
   mutable cur : thread option;
   mutable next_tid : int;
   mutable live : int;
@@ -41,6 +40,15 @@ type t = {
   mutable switches : int;
   mutable crashes : int;
 }
+
+type resumer = { thread : thread; resume : unit -> unit }
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Suspend : (resumer -> unit) -> unit Effect.t
+  | Self : thread Effect.t
+
+let priorities = 8
 
 let create ?(policy = Priority) clock costs =
   {
@@ -69,13 +77,18 @@ let check_priority p =
 
 let enqueue t th fn =
   t.arrivals <- t.arrivals + 1;
-  Queue.push (t.arrivals, th, fn) t.ready.(th.priority)
+  Queue.push (t.arrivals, Clock.now t.clock, th, fn) t.ready.(th.priority)
+
+(* The scheduler a thread's next enqueue should land on: its re-homed
+   target after a steal, its creator otherwise. Resolved at enqueue
+   time, never captured, so a steal retargets every later wakeup. *)
+let home_of t th = match th.home with Some s -> s | None -> t
 
 let fresh_thread t ?(priority = priorities / 2) ?(name = "thread") ?domain ~is_popup () =
   check_priority priority;
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
-  { tid; name; priority; state = Ready; is_popup; domain }
+  { tid; name; priority; state = Ready; is_popup; domain; home = None }
 
 (* A crashing thread dumps the flight recorder's tail: the last few
    traps, faults, crossings and dispatches before the crash. *)
@@ -119,7 +132,7 @@ let thread_handler t th : (unit, unit) Effect.Deep.handler =
           Some
             (fun (k : (a, unit) continuation) ->
               th.state <- Ready;
-              enqueue t th (fun () -> continue k ()))
+              enqueue (home_of t th) th (fun () -> continue k ()))
         | Suspend register ->
           Some
             (fun (k : (a, unit) continuation) ->
@@ -127,7 +140,7 @@ let thread_handler t th : (unit, unit) Effect.Deep.handler =
               let resume () =
                 assert (th.state = Blocked);
                 th.state <- Ready;
-                enqueue t th (fun () -> continue k ())
+                enqueue (home_of t th) th (fun () -> continue k ())
               in
               register { thread = th; resume })
         | Self -> Some (fun (k : (a, unit) continuation) -> continue k th)
@@ -188,7 +201,7 @@ let popup t ?(priority = 1) ?(name = "popup") ?domain body =
               (fun (k : (a, unit) continuation) ->
                 promote ();
                 th.state <- Ready;
-                enqueue t th (fun () -> continue k ()))
+                enqueue (home_of t th) th (fun () -> continue k ()))
           | Suspend register ->
             Some
               (fun (k : (a, unit) continuation) ->
@@ -197,7 +210,7 @@ let popup t ?(priority = 1) ?(name = "popup") ?domain body =
                 let resume () =
                   assert (th.state = Blocked);
                   th.state <- Ready;
-                  enqueue t th (fun () -> continue k ())
+                  enqueue (home_of t th) th (fun () -> continue k ())
                 in
                 register { thread = th; resume })
           | Self -> Some (fun (k : (a, unit) continuation) -> continue k th)
@@ -234,7 +247,7 @@ let take_fifo t =
   Array.iteri
     (fun p q ->
       match Queue.peek_opt q with
-      | Some (stamp, _, _) ->
+      | Some (stamp, _, _, _) ->
         (match !best with
         | Some (s, _) when s <= stamp -> ()
         | _ -> best := Some (stamp, p))
@@ -271,6 +284,20 @@ let take_ready t =
 
 let ready_count t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.ready
 
+(* Steal the oldest ready entry from [from] and queue it on [into],
+   re-homing the thread so its later yields and wakeups stay with the
+   thief. Oldest-first is the classic stealing choice and independent of
+   the victim's dispatch policy. Pricing (cache-line transfer of the
+   queue entry) and clock reconciliation to [ready_at] belong to the SMP
+   layer, which knows whose clock is whose. *)
+let steal ~from ~into =
+  match take_fifo from with
+  | None -> None
+  | Some (_, ready_at, th, fn) ->
+    th.home <- Some into;
+    enqueue into th fn;
+    Some (ready_at, th)
+
 let run t ?budget () =
   let dispatches = ref 0 in
   let exhausted () =
@@ -281,7 +308,7 @@ let run t ?budget () =
     else begin
       match take_ready t with
       | None -> ()
-      | Some (_, th, fn) ->
+      | Some (_, _, th, fn) ->
         incr dispatches;
         t.switches <- t.switches + 1;
         Clock.advance t.clock t.costs.Cost.thread_switch;

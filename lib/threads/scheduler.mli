@@ -26,6 +26,10 @@ type thread = {
   mutable state : state;
   is_popup : bool;
   domain : int option;  (** protection domain the thread runs in *)
+  mutable home : t option;
+      (** scheduler the thread lands on when it next becomes ready;
+          [None] means its creator. Set by {!steal} so a stolen thread's
+          later yields and wakeups stay on the thief's CPU. *)
 }
 
 (** A parked thread plus the closure that makes it runnable again; what a
@@ -83,6 +87,14 @@ val self : unit -> thread
 val live : t -> int  (** spawned or promoted, not yet finished *)
 
 val ready_count : t -> int
+
+(** [steal ~from ~into] moves the oldest ready entry of [from] onto
+    [into]'s ready queue, re-homing the thread there; [None] if [from]
+    has nothing ready. Returns the entry's ready-at cycles (the victim's
+    virtual time when it was enqueued) so the SMP layer can reconcile
+    the thief's clock, and the stolen thread. Pricing is the SMP
+    layer's job. *)
+val steal : from:t -> into:t -> (int * thread) option
 val current : t -> thread option
 
 (** Counters for the experiments. *)

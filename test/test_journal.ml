@@ -402,14 +402,14 @@ let test_txn_rollback_each_step () =
       (Journal.count j Journal.Txn_abort);
     Alcotest.(check int) (tag "nothing committed") 0
       (Journal.count j Journal.Txn_commit);
-    (* the linter sees a healthy system, all seven rules running *)
+    (* the linter sees a healthy system, every rule running *)
     let report =
       Lint.run ~machine:(Kernel.machine k) ~directory:(Kernel.directory k)
         ~events:(Kernel.events k) ~journal:j
         ~domains:(fun () -> Kernel.domains k)
         ()
     in
-    Alcotest.(check int) (tag "all rules ran") 9 report.Lint.rules_run;
+    Alcotest.(check int) (tag "all rules ran") 10 report.Lint.rules_run;
     Alcotest.(check int) (tag "lint clean") 0
       (List.length (Lint.errors report))
   in

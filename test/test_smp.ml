@@ -1,0 +1,397 @@
+(* Tests for the SMP complex: per-CPU clocks, reconciliation, IPIs,
+   work stealing across per-CPU schedulers, cross-CPU channel pricing
+   and doorbell routing, and the journal's per-CPU provenance. *)
+
+open Paramecium
+
+let machine_fixture cpus =
+  let machine = Machine.create () in
+  (machine, Cpu.create machine ~cpus)
+
+(* --- per-CPU clocks and reconciliation ---------------------------------- *)
+
+let test_per_cpu_clocks () =
+  let machine, cpx = machine_fixture 2 in
+  Alcotest.(check int) "two cpus" 2 (Cpu.count cpx);
+  let t0 = Cpu.now cpx 0 in
+  Cpu.run_on cpx 1 (fun () -> Clock.advance (Machine.clock machine) 100);
+  Alcotest.(check int) "cpu 0 untouched" t0 (Cpu.now cpx 0);
+  Alcotest.(check int) "cpu 1 advanced" (t0 + 100) (Cpu.now cpx 1);
+  Alcotest.(check int) "makespan is the max" (t0 + 100) (Cpu.makespan cpx);
+  (* run_on restores the active clock *)
+  Clock.advance (Machine.clock machine) 7;
+  Alcotest.(check int) "back on cpu 0" (t0 + 7) (Cpu.now cpx 0)
+
+let test_sync_forward_only () =
+  let _, cpx = machine_fixture 2 in
+  let t0 = Cpu.now cpx 1 in
+  Cpu.sync_to cpx ~cpu:1 ~at:(t0 + 50);
+  Alcotest.(check int) "reconciled forward" (t0 + 50) (Cpu.now cpx 1);
+  Alcotest.(check int) "idle cycles accounted" 50 (Cpu.stats cpx 1).Cpu.synced;
+  Cpu.sync_to cpx ~cpu:1 ~at:t0;
+  Alcotest.(check int) "never backward" (t0 + 50) (Cpu.now cpx 1)
+
+let test_one_complex_per_machine () =
+  let machine, _ = machine_fixture 1 in
+  match Cpu.create machine ~cpus:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "second complex on one machine must be rejected"
+
+(* --- IPIs --------------------------------------------------------------- *)
+
+let test_ipi_to_halted_cpu () =
+  let machine, cpx = machine_fixture 2 in
+  let hits = ref [] in
+  Machine.set_trap_handler machine 5
+    (Some
+       (fun arg ->
+         hits := (Cpu.current cpx, arg) :: !hits;
+         arg));
+  Cpu.halt cpx 1;
+  Alcotest.(check bool) "halted" true (Cpu.halted cpx 1);
+  Cpu.run_on cpx 0 (fun () ->
+      Clock.advance (Machine.clock machine) 200;
+      Cpu.ipi cpx ~cpu:1 5 7);
+  Alcotest.(check (list (pair int int)))
+    "trap ran once, on the target cpu" [ (1, 7) ] !hits;
+  Alcotest.(check bool) "ipi woke the target" false (Cpu.halted cpx 1);
+  (* the target reconciled to the send time, then paid the trap *)
+  Alcotest.(check bool) "target caught up" true (Cpu.now cpx 1 > Cpu.now cpx 0);
+  let s0 = Cpu.stats cpx 0 and s1 = Cpu.stats cpx 1 in
+  Alcotest.(check int) "sender counted" 1 s0.Cpu.ipis_sent;
+  Alcotest.(check int) "target counted" 1 s1.Cpu.ipis_recv;
+  Alcotest.(check int) "sender paid the ipi"
+    ((Machine.costs machine).Cost.ipi + 200)
+    (Cpu.now cpx 0)
+
+(* --- work stealing ------------------------------------------------------ *)
+
+let smp_fixture cpus =
+  let machine, cpx = machine_fixture cpus in
+  let boot = Scheduler.create (Machine.clock machine) (Machine.costs machine) in
+  (machine, cpx, Smp.create cpx ~boot (Machine.costs machine))
+
+let test_steal_from_empty () =
+  let _, cpx, smp = smp_fixture 2 in
+  let t1 = Cpu.now cpx 1 in
+  Alcotest.(check bool) "nothing to steal" false (Smp.try_steal smp ~thief:1);
+  Alcotest.(check int) "an empty attempt is free" t1 (Cpu.now cpx 1);
+  Alcotest.(check int) "attempt counted" 1 (Smp.stats smp `Steal_attempts);
+  Alcotest.(check int) "no steal counted" 0 (Smp.stats smp `Steals)
+
+let test_steal_spreads_load () =
+  let _, cpx, smp = smp_fixture 2 in
+  let where = ref [] in
+  for i = 1 to 4 do
+    ignore
+      (Smp.spawn_on smp 0 ~name:(Printf.sprintf "w%d" i) (fun () ->
+           for _ = 1 to 3 do
+             where := Cpu.current cpx :: !where;
+             Scheduler.yield ()
+           done))
+  done;
+  let dispatches = Smp.run smp in
+  Alcotest.(check bool) "work happened" true (dispatches > 0);
+  Alcotest.(check bool) "cpu 1 stole something" true (Smp.stats smp `Steals > 0);
+  Alcotest.(check bool) "stolen work ran on cpu 1" true (List.mem 1 !where);
+  Alcotest.(check int) "all iterations ran" 12 (List.length !where);
+  Alcotest.(check bool) "cpu 1 was charged" true (Cpu.now cpx 1 > 0)
+
+(* A stolen thread is re-homed: a wakeup racing in after the steal must
+   land on the thief's queue, not the victim's. *)
+let test_steal_rehomes_wakeup () =
+  let clock0 = Clock.create () in
+  let clock1 = Clock.create () in
+  let s0 = Scheduler.create clock0 Cost.unit_costs in
+  let s1 = Scheduler.create clock1 Cost.unit_costs in
+  let resumer = ref None in
+  let log = ref [] in
+  ignore
+    (Scheduler.spawn s0 ~name:"wanderer" (fun () ->
+         log := "start" :: !log;
+         Scheduler.yield ();
+         Scheduler.suspend (fun r -> resumer := Some r);
+         log := "resumed" :: !log));
+  ignore (Scheduler.run s0 ~budget:1 ());
+  (* the yield parked it ready on s0; steal it over to s1 *)
+  (match Scheduler.steal ~from:s0 ~into:s1 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "ready entry was stealable");
+  Alcotest.(check int) "victim emptied" 0 (Scheduler.ready_count s0);
+  ignore (Scheduler.run s1 ~budget:1 ());
+  (* now suspended on s1; the wakeup must follow the thread's new home *)
+  (match !resumer with
+  | Some r -> r.Scheduler.resume ()
+  | None -> Alcotest.fail "thread suspended");
+  Alcotest.(check int) "wakeup landed on the thief" 1 (Scheduler.ready_count s1);
+  Alcotest.(check int) "not on the old home" 0 (Scheduler.ready_count s0);
+  ignore (Scheduler.run s1 ());
+  Alcotest.(check (list string)) "ran to completion on the thief"
+    [ "start"; "resumed" ] (List.rev !log)
+
+(* --- cross-CPU channel pricing and doorbell routing --------------------- *)
+
+let sys_fixture () =
+  let sys = System.create ~seed:0xBEEF ~cpus:2 () in
+  let k = System.kernel sys in
+  (sys, k, Kernel.kernel_domain k, Option.get (System.cpu sys))
+
+let test_cacheline_pricing () =
+  let sys, k, kdom, cpx = sys_fixture () in
+  let udom = System.new_domain sys "far-consumer" in
+  let machine = Kernel.machine k in
+  let chan =
+    Chan.create machine (Kernel.vmem k) ~name:"cl" ~slots:8 ~slot_size:64
+      ~producer:kdom ()
+  in
+  ignore (Chan.accept chan ~into:udom);
+  Chan.set_mode chan Chan.Poll;
+  let msg = Bytes.make 10 'x' in
+  let delta f =
+    let t0 = Clock.now (Machine.clock machine) in
+    f ();
+    Clock.now (Machine.clock machine) - t0
+  in
+  (* same machine, endpoints on the same CPU: pricing flag is inert *)
+  Chan.set_cacheline_priced chan true;
+  let send_same = delta (fun () -> ignore (Chan.try_send chan msg)) in
+  let recv_same = delta (fun () -> ignore (Chan.try_recv chan)) in
+  (* pin the endpoints apart: every message now pays the coherence
+     fabric, on both sides, by the per-line model *)
+  Cpu.pin cpx ~domain:udom.Domain.id ~cpu:1;
+  Alcotest.(check bool) "ring is cross-cpu now" true (Chan.is_cross_cpu chan);
+  let lines = Chan.lines_of_msg (Bytes.length msg) in
+  let expect = lines * (Machine.costs machine).Cost.cacheline in
+  let send_cross = delta (fun () -> ignore (Chan.try_send chan msg)) in
+  let recv_cross = delta (fun () -> ignore (Chan.try_recv chan)) in
+  Alcotest.(check int) "send pays the lines" (send_same + expect) send_cross;
+  Alcotest.(check int) "recv pays the lines" (recv_same + expect) recv_cross;
+  (* unpriced cross-CPU ring charges nothing — and is what the
+     cross-cpu lint rule exists to flag *)
+  Chan.set_cacheline_priced chan false;
+  let send_unpriced = delta (fun () -> ignore (Chan.try_send chan msg)) in
+  Alcotest.(check int) "unpriced ring is uncharged" send_same send_unpriced
+
+let test_cross_cpu_doorbell_ipi () =
+  let sys, k, kdom, cpx = sys_fixture () in
+  let api = Kernel.api k in
+  let smp = Option.get (System.smp sys) in
+  let udom = System.new_domain sys "bell-far" in
+  let chan =
+    Chan.create (Kernel.machine k) (Kernel.vmem k) ~name:"farbell" ~slots:8
+      ~slot_size:16 ~producer:kdom ()
+  in
+  ignore (Chan.accept chan ~into:udom);
+  Chan.set_cacheline_priced chan true;
+  Cpu.pin cpx ~domain:udom.Domain.id ~cpu:1;
+  Cpu.halt cpx 1;
+  let got = ref [] in
+  let ran_on = ref (-1) in
+  ignore
+    (Chan.on_doorbell chan ~events:api.Api.events ~sched:(Smp.sched smp 1)
+       (fun () ->
+         ran_on := Cpu.current cpx;
+         got := !got @ List.map Bytes.to_string (Chan.recv_batch chan ())));
+  ignore (Chan.try_send chan (Bytes.of_string "ping"));
+  Alcotest.(check (list string)) "consumer drained the ring" [ "ping" ] !got;
+  Alcotest.(check int) "pop-up ran on the consumer's cpu" 1 !ran_on;
+  Alcotest.(check bool) "the doorbell ipi woke cpu 1" false (Cpu.halted cpx 1);
+  Alcotest.(check int) "routed as an ipi" 1 (Cpu.stats cpx 0).Cpu.ipis_sent;
+  Alcotest.(check int) "received as an ipi" 1 (Cpu.stats cpx 1).Cpu.ipis_recv
+
+let test_mpsc_cas_contention () =
+  let sys, k, kdom, cpx = sys_fixture () in
+  let machine = Kernel.machine k in
+  let p2 = System.new_domain sys "producer-2" in
+  let g =
+    Mpsc.create machine (Kernel.vmem k) ~name:"contended" ~slots:8
+      ~slot_size:16 ~mode:Chan.Poll ~consumer:kdom ()
+  in
+  let tx1 = Mpsc.attach g ~producer:kdom in
+  let tx2 = Mpsc.attach g ~producer:p2 in
+  Cpu.pin cpx ~domain:p2.Domain.id ~cpu:1;
+  let msg = Bytes.make 4 'y' in
+  let delta f =
+    let t0 = Clock.now (Machine.clock machine) in
+    f ();
+    Clock.now (Machine.clock machine) - t0
+  in
+  (* tx2 idle: tx1's reserve is the uncontended flat cost *)
+  let quiet = delta (fun () -> ignore (Mpsc.try_send tx1 msg)) in
+  (* tx2 pending from another CPU: tx1's reserve retries the CAS once *)
+  Cpu.run_on cpx 1 (fun () -> ignore (Mpsc.try_send tx2 msg));
+  let contended = delta (fun () -> ignore (Mpsc.try_send tx1 msg)) in
+  Alcotest.(check int) "one contender costs one cas"
+    (quiet + (Machine.costs machine).Cost.cas)
+    contended;
+  Alcotest.(check bool) "retries counted" true
+    (Clock.counter (Machine.clock machine) "mpsc_cas_retry" > 0)
+
+(* --- journal provenance ------------------------------------------------- *)
+
+let test_journal_cpu_roundtrip () =
+  let j = Journal.create () in
+  Journal.set_mode j Journal.Full;
+  ignore (Journal.mark j ~domain:0 ~at:5 "boot-cpu");
+  Journal.set_current_cpu 2;
+  ignore (Journal.mark j ~domain:0 ~at:9 "far-cpu");
+  Journal.set_current_cpu 0;
+  let s = Journal.export j in
+  let has_cpu_suffix line =
+    let re = " cpu=" in
+    let n = String.length re in
+    let rec scan i =
+      i + n <= String.length line
+      && (String.equal (String.sub line i n) re || scan (i + 1))
+    in
+    scan 0
+  in
+  let lines =
+    List.filter
+      (fun l -> String.length l > 0 && l.[0] <> '#')
+      (String.split_on_char '\n' s)
+  in
+  (* only the far-cpu event carries the suffix: cpu 0 lines export
+     exactly as before the field existed *)
+  Alcotest.(check int) "one line has the cpu suffix" 1
+    (List.length (List.filter has_cpu_suffix lines));
+  (match Journal.import s with
+  | Error e -> Alcotest.fail e
+  | Ok evs ->
+    Alcotest.(check (list int))
+      "cpu ids survive the round-trip" [ 0; 2 ]
+      (List.map (fun (e : Journal.event) -> e.Journal.cpu) evs);
+    (* a second export of the imported stream is byte-identical *)
+    let j2 = Journal.create () in
+    Journal.set_mode j2 Journal.Full;
+    List.iter
+      (fun (e : Journal.event) ->
+        Journal.set_current_cpu e.Journal.cpu;
+        Journal.record j2 ~kind:e.Journal.kind ~domain:e.Journal.domain
+          ~at:e.Journal.at ~info:e.Journal.info ~detail:e.Journal.detail)
+      evs;
+    Journal.set_current_cpu 0)
+
+(* --- the placement agent's CPU dimension -------------------------------- *)
+
+let test_placer_repins () =
+  let sys, _, _, cpx = sys_fixture () in
+  let clock = System.clock sys in
+  let costs = Machine.costs (Kernel.machine (System.kernel sys)) in
+  let udom = System.new_domain sys "hot" in
+  let placer = Placer.create ~clock ~costs () in
+  let c0 = ref 0 and c1 = ref 0 in
+  Placer.manage_cpu placer ~complex:cpx ~domain:udom.Domain.id
+    ~loads:(fun () -> [ (0, !c0); (1, !c1) ])
+    ~move_cost:1 ();
+  Alcotest.(check int) "starts on cpu 0" 0 (Cpu.cpu_of cpx ~domain:udom.Domain.id);
+  (* two epochs of cpu 0 out-running cpu 1 by the whole epoch: the
+     default confirm streak is 2, so the first confirms, the second
+     re-pins *)
+  Clock.advance clock 100;
+  c0 := !c0 + 100;
+  Alcotest.(check int) "first epoch holds" 0
+    (List.length
+       (List.filter (function Placer.Repinned _ -> true | _ -> false)
+          (Placer.epoch placer)));
+  Clock.advance clock 100;
+  c0 := !c0 + 100;
+  (match
+     List.filter (function Placer.Repinned _ -> true | _ -> false)
+       (Placer.epoch placer)
+   with
+  | [ Placer.Repinned 1 ] -> ()
+  | _ -> Alcotest.fail "second epoch must re-pin to cpu 1");
+  Alcotest.(check int) "pinned to the idle cpu" 1
+    (Cpu.cpu_of cpx ~domain:udom.Domain.id);
+  Alcotest.(check int) "move counted" 1 (Placer.cpu_moves placer);
+  Alcotest.(check bool) "imbalance observed" true
+    (Placer.cpu_imbalance placer > 0.)
+
+let test_placer_payback_defers () =
+  let sys, _, _, cpx = sys_fixture () in
+  let clock = System.clock sys in
+  let costs = Machine.costs (Kernel.machine (System.kernel sys)) in
+  let udom = System.new_domain sys "lukewarm" in
+  let placer = Placer.create ~clock ~costs () in
+  let c0 = ref 0 and c1 = ref 0 in
+  (* an exorbitant re-pin cost: the horizon can never cover it *)
+  Placer.manage_cpu placer ~complex:cpx ~domain:udom.Domain.id
+    ~loads:(fun () -> [ (0, !c0); (1, !c1) ])
+    ~move_cost:1_000_000 ();
+  for _ = 1 to 4 do
+    Clock.advance clock 100;
+    c0 := !c0 + 100;
+    ignore (Placer.epoch placer)
+  done;
+  Alcotest.(check int) "never moved" 0 (Placer.cpu_moves placer);
+  Alcotest.(check int) "still on cpu 0" 0 (Cpu.cpu_of cpx ~domain:udom.Domain.id);
+  Alcotest.(check bool) "defers counted" true (Placer.cpu_deferrals placer > 0)
+
+(* --- 1-CPU byte-identity ------------------------------------------------ *)
+
+let test_uniprocessor_unchanged () =
+  (* a 1-CPU complex must not perturb the clock: same ops as a machine
+     with no complex at all, cycle for cycle *)
+  let run with_complex =
+    let sys = System.create ~seed:0xBEEF () in
+    let k = System.kernel sys in
+    if with_complex then ignore (Cpu.create (Kernel.machine k) ~cpus:1);
+    let kdom = Kernel.kernel_domain k in
+    let udom = System.new_domain sys "mirror" in
+    let chan =
+      Chan.create (Kernel.machine k) (Kernel.vmem k) ~name:"mirror"
+        ~slots:8 ~slot_size:16 ~producer:kdom ()
+    in
+    ignore (Chan.accept chan ~into:udom);
+    for i = 1 to 5 do
+      ignore (Chan.try_send chan (Bytes.of_string (string_of_int i)))
+    done;
+    ignore (Chan.recv_batch chan ());
+    Clock.now (System.clock sys)
+  in
+  Alcotest.(check int) "1-cpu run is cycle-identical to no complex"
+    (run false) (run true)
+
+let () =
+  Alcotest.run "smp"
+    [
+      ( "complex",
+        [
+          Alcotest.test_case "per-cpu clocks" `Quick test_per_cpu_clocks;
+          Alcotest.test_case "sync forward only" `Quick test_sync_forward_only;
+          Alcotest.test_case "one complex per machine" `Quick
+            test_one_complex_per_machine;
+          Alcotest.test_case "ipi to halted cpu" `Quick test_ipi_to_halted_cpu;
+        ] );
+      ( "stealing",
+        [
+          Alcotest.test_case "steal from empty" `Quick test_steal_from_empty;
+          Alcotest.test_case "steal spreads load" `Quick test_steal_spreads_load;
+          Alcotest.test_case "steal re-homes wakeups" `Quick
+            test_steal_rehomes_wakeup;
+        ] );
+      ( "channels",
+        [
+          Alcotest.test_case "cache-line pricing" `Quick test_cacheline_pricing;
+          Alcotest.test_case "cross-cpu doorbell is an ipi" `Quick
+            test_cross_cpu_doorbell_ipi;
+          Alcotest.test_case "mpsc cas contention" `Quick
+            test_mpsc_cas_contention;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "journal cpu round-trip" `Quick
+            test_journal_cpu_roundtrip;
+        ] );
+      ( "placer",
+        [
+          Alcotest.test_case "re-pins to the idle cpu" `Quick test_placer_repins;
+          Alcotest.test_case "payback defers" `Quick test_placer_payback_defers;
+        ] );
+      ( "identity",
+        [
+          Alcotest.test_case "uniprocessor unchanged" `Quick
+            test_uniprocessor_unchanged;
+        ] );
+    ]
